@@ -1,0 +1,472 @@
+//! A recoverable memory allocator layered on RVM.
+//!
+//! §4.1: "A recoverable memory allocator, also layered on RVM, supports
+//! heap management of storage within a segment." This crate is that
+//! layer: a first-fit free-list allocator whose *entire state lives in
+//! recoverable memory*, so the heap structure itself enjoys transactional
+//! atomicity and survives crashes.
+//!
+//! # Layout
+//!
+//! The managed region starts with a header (magic, version, byte counts)
+//! followed by a sequence of blocks. Every block carries a small header
+//! (`size | used`-style, with explicit next-free links). Free blocks form
+//! a singly-linked list threaded through block headers by region offset;
+//! `NIL` (`u64::MAX`) terminates the list.
+//!
+//! All mutations happen inside a caller-supplied [`rvm::Transaction`], so
+//! an aborted transaction rolls the heap back along with the caller's own
+//! data, and a crash recovers to the last committed heap.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rvm::segment::MemResolver;
+//! use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+//! use rvm_alloc::RvmHeap;
+//! use rvm_storage::MemDevice;
+//!
+//! let rvm = Rvm::initialize(
+//!     Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+//!         .resolver(MemResolver::new().into_resolver())
+//!         .create_if_empty(),
+//! )
+//! .unwrap();
+//! let region = rvm.map(&RegionDescriptor::new("heap", 0, 4 * PAGE_SIZE)).unwrap();
+//!
+//! let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+//! let heap = RvmHeap::format(&region, &mut txn).unwrap();
+//! let a = heap.alloc(&region, &mut txn, 100).unwrap();
+//! region.write(&mut txn, a, b"persistent bytes").unwrap();
+//! txn.commit(CommitMode::Flush).unwrap();
+//! ```
+
+use rvm::{Region, Result, RvmError, Transaction};
+
+const MAGIC: u64 = 0x5256_4D48_4541_5031; // "RVMHEAP1"
+const NIL: u64 = u64::MAX;
+
+/// Region-offset of the heap header fields.
+mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const TOTAL: u64 = 8;
+    pub const FREE_HEAD: u64 = 16;
+    pub const USED_BYTES: u64 = 24;
+    pub const ALLOCS: u64 = 32;
+    pub const SIZE: u64 = 40;
+}
+
+/// Per-block header: size (excluding header) and state.
+mod blk {
+    /// Block payload size.
+    pub const SIZE: u64 = 0;
+    /// `1` if allocated, else the offset of the next free block.
+    pub const STATE: u64 = 8;
+    /// Header bytes before the payload.
+    pub const HEADER: u64 = 16;
+}
+
+const USED: u64 = 1;
+/// Smallest payload worth splitting off as a remainder block.
+const MIN_SPLIT: u64 = 32;
+
+/// A heap manager over one mapped region.
+///
+/// The struct itself is stateless — all state is in recoverable memory —
+/// so it is trivially `Clone` and cheap to re-open after a restart.
+#[derive(Debug, Clone, Copy)]
+pub struct RvmHeap;
+
+/// Point-in-time usage statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Total managed payload capacity.
+    pub total_bytes: u64,
+    /// Bytes currently allocated (payloads only).
+    pub used_bytes: u64,
+    /// Live allocations.
+    pub allocations: u64,
+    /// Blocks on the free list.
+    pub free_blocks: u64,
+    /// Largest free payload available.
+    pub largest_free: u64,
+}
+
+impl RvmHeap {
+    /// Formats `region` as an empty heap inside `txn`.
+    ///
+    /// The heap takes over the whole region; existing contents are
+    /// clobbered (transactionally — an abort restores them).
+    pub fn format(region: &Region, txn: &mut Transaction) -> Result<RvmHeap> {
+        let total = region.len();
+        if total < hdr::SIZE + blk::HEADER + MIN_SPLIT {
+            return Err(RvmError::BadMapping(format!(
+                "region of {total} bytes is too small for a heap"
+            )));
+        }
+        region.put_u64(txn, hdr::MAGIC, MAGIC)?;
+        region.put_u64(txn, hdr::TOTAL, total)?;
+        region.put_u64(txn, hdr::FREE_HEAD, hdr::SIZE)?;
+        region.put_u64(txn, hdr::USED_BYTES, 0)?;
+        region.put_u64(txn, hdr::ALLOCS, 0)?;
+        // One big free block covering the rest.
+        let first = hdr::SIZE;
+        region.put_u64(txn, first + blk::SIZE, total - hdr::SIZE - blk::HEADER)?;
+        region.put_u64(txn, first + blk::STATE, NIL)?;
+        Ok(RvmHeap)
+    }
+
+    /// Opens an existing heap, validating its header.
+    pub fn open(region: &Region) -> Result<RvmHeap> {
+        if region.get_u64(hdr::MAGIC)? != MAGIC {
+            return Err(RvmError::BadMapping(
+                "region does not contain an RVM heap".to_owned(),
+            ));
+        }
+        if region.get_u64(hdr::TOTAL)? != region.len() {
+            return Err(RvmError::BadMapping(
+                "heap was formatted over a region of a different size".to_owned(),
+            ));
+        }
+        Ok(RvmHeap)
+    }
+
+    /// Allocates `size` bytes, returning the payload's region offset.
+    ///
+    /// First-fit over the free list; the chosen block is split when the
+    /// remainder is large enough to be useful.
+    pub fn alloc(&self, region: &Region, txn: &mut Transaction, size: u64) -> Result<u64> {
+        let size = size.max(1);
+        let mut prev = NIL;
+        let mut cur = region.get_u64(hdr::FREE_HEAD)?;
+        while cur != NIL {
+            let block_size = region.get_u64(cur + blk::SIZE)?;
+            let next = region.get_u64(cur + blk::STATE)?;
+            if block_size >= size {
+                // Unlink from the free list.
+                let remainder = block_size - size;
+                let take_all = remainder < blk::HEADER + MIN_SPLIT;
+                let successor = if take_all {
+                    next
+                } else {
+                    // Split: the tail becomes a new free block.
+                    let tail = cur + blk::HEADER + size;
+                    region.put_u64(txn, tail + blk::SIZE, remainder - blk::HEADER)?;
+                    region.put_u64(txn, tail + blk::STATE, next)?;
+                    region.put_u64(txn, cur + blk::SIZE, size)?;
+                    tail
+                };
+                if prev == NIL {
+                    region.put_u64(txn, hdr::FREE_HEAD, successor)?;
+                } else {
+                    region.put_u64(txn, prev + blk::STATE, successor)?;
+                }
+                region.put_u64(txn, cur + blk::STATE, USED)?;
+                let payload = if take_all { block_size } else { size };
+                let used = region.get_u64(hdr::USED_BYTES)?;
+                region.put_u64(txn, hdr::USED_BYTES, used + payload)?;
+                let allocs = region.get_u64(hdr::ALLOCS)?;
+                region.put_u64(txn, hdr::ALLOCS, allocs + 1)?;
+                return Ok(cur + blk::HEADER);
+            }
+            prev = cur;
+            cur = next;
+        }
+        Err(RvmError::OutOfRange {
+            offset: 0,
+            len: size,
+            region_len: region.len(),
+        })
+    }
+
+    /// Frees the allocation whose payload starts at `offset`.
+    ///
+    /// The block is pushed onto the free list head. (Coalescing of
+    /// adjacent free blocks happens lazily in [`RvmHeap::coalesce`].)
+    pub fn free(&self, region: &Region, txn: &mut Transaction, offset: u64) -> Result<()> {
+        let block = offset
+            .checked_sub(blk::HEADER)
+            .ok_or(RvmError::OutOfRange {
+                offset,
+                len: 0,
+                region_len: region.len(),
+            })?;
+        if region.get_u64(block + blk::STATE)? != USED {
+            return Err(RvmError::OutOfRange {
+                offset,
+                len: 0,
+                region_len: region.len(),
+            });
+        }
+        let size = region.get_u64(block + blk::SIZE)?;
+        let head = region.get_u64(hdr::FREE_HEAD)?;
+        region.put_u64(txn, block + blk::STATE, head)?;
+        region.put_u64(txn, hdr::FREE_HEAD, block)?;
+        let used = region.get_u64(hdr::USED_BYTES)?;
+        region.put_u64(txn, hdr::USED_BYTES, used.saturating_sub(size))?;
+        let allocs = region.get_u64(hdr::ALLOCS)?;
+        region.put_u64(txn, hdr::ALLOCS, allocs.saturating_sub(1))?;
+        Ok(())
+    }
+
+    /// Walks the whole region merging physically adjacent free blocks and
+    /// rebuilding the free list in address order. Returns the number of
+    /// merges performed.
+    pub fn coalesce(&self, region: &Region, txn: &mut Transaction) -> Result<u64> {
+        let total = region.get_u64(hdr::TOTAL)?;
+        let mut merges = 0u64;
+        let mut new_head = NIL;
+        let mut last_free: Option<u64> = None;
+        let mut prev_free_block: Option<u64> = None;
+        let mut cur = hdr::SIZE;
+        while cur + blk::HEADER <= total {
+            let size = region.get_u64(cur + blk::SIZE)?;
+            let state = region.get_u64(cur + blk::STATE)?;
+            let next_block = cur + blk::HEADER + size;
+            if state != USED {
+                if let Some(pf) = prev_free_block {
+                    // Physically adjacent to the previous free block: merge.
+                    let pf_size = region.get_u64(pf + blk::SIZE)?;
+                    region.put_u64(txn, pf + blk::SIZE, pf_size + blk::HEADER + size)?;
+                    merges += 1;
+                } else {
+                    // New free run: link it in address order.
+                    if let Some(lf) = last_free {
+                        region.put_u64(txn, lf + blk::STATE, cur)?;
+                    } else {
+                        new_head = cur;
+                    }
+                    region.put_u64(txn, cur + blk::STATE, NIL)?;
+                    last_free = Some(cur);
+                    prev_free_block = Some(cur);
+                }
+            } else {
+                prev_free_block = None;
+            }
+            if next_block <= cur {
+                return Err(RvmError::BadMapping(
+                    "corrupt heap: non-advancing block chain".to_owned(),
+                ));
+            }
+            cur = next_block;
+        }
+        region.put_u64(txn, hdr::FREE_HEAD, new_head)?;
+        Ok(merges)
+    }
+
+    /// Reads usage statistics (no transaction needed).
+    pub fn stats(&self, region: &Region) -> Result<HeapStats> {
+        let mut free_blocks = 0u64;
+        let mut largest = 0u64;
+        let mut cur = region.get_u64(hdr::FREE_HEAD)?;
+        while cur != NIL {
+            free_blocks += 1;
+            largest = largest.max(region.get_u64(cur + blk::SIZE)?);
+            cur = region.get_u64(cur + blk::STATE)?;
+        }
+        Ok(HeapStats {
+            total_bytes: region.get_u64(hdr::TOTAL)?,
+            used_bytes: region.get_u64(hdr::USED_BYTES)?,
+            allocations: region.get_u64(hdr::ALLOCS)?,
+            free_blocks,
+            largest_free: largest,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn world() -> (Rvm, Region) {
+        let rvm = Rvm::initialize(
+            Options::new(Arc::new(MemDevice::with_len(4 << 20)))
+                .resolver(MemResolver::new().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("heap", 0, 16 * PAGE_SIZE))
+            .unwrap();
+        (rvm, region)
+    }
+
+    fn formatted() -> (Rvm, Region, RvmHeap) {
+        let (rvm, region) = world();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let heap = RvmHeap::format(&region, &mut txn).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        (rvm, region, heap)
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let a = heap.alloc(&region, &mut txn, 100).unwrap();
+        let b = heap.alloc(&region, &mut txn, 200).unwrap();
+        assert!(b >= a + 100, "allocations must not overlap");
+        region.write(&mut txn, a, &[0xAA; 100]).unwrap();
+        region.write(&mut txn, b, &[0xBB; 200]).unwrap();
+        heap.free(&region, &mut txn, a).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+
+        let stats = heap.stats(&region).unwrap();
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.used_bytes, 200);
+        assert_eq!(region.read_vec(b, 200).unwrap(), vec![0xBB; 200]);
+    }
+
+    #[test]
+    fn allocations_never_overlap_under_churn() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let mut live: Vec<(u64, u64, u8)> = Vec::new();
+        for i in 0..200u64 {
+            let size = 16 + (i * 13) % 300;
+            if i % 3 == 2 && !live.is_empty() {
+                let (off, _, _) = live.remove((i as usize * 7) % live.len());
+                heap.free(&region, &mut txn, off).unwrap();
+            } else {
+                let off = heap.alloc(&region, &mut txn, size).unwrap();
+                let tag = (i % 251) as u8;
+                region.write(&mut txn, off, &vec![tag; size as usize]).unwrap();
+                live.push((off, size, tag));
+            }
+        }
+        // Every live allocation still holds its own bytes.
+        for (off, size, tag) in &live {
+            assert_eq!(
+                region.read_vec(*off, *size).unwrap(),
+                vec![*tag; *size as usize],
+                "allocation at {off} was clobbered"
+            );
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_the_heap_structure() {
+        let (rvm, region, heap) = formatted();
+        let before = heap.stats(&region).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let _ = heap.alloc(&region, &mut txn, 500).unwrap();
+        let _ = heap.alloc(&region, &mut txn, 500).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(heap.stats(&region).unwrap(), before);
+    }
+
+    #[test]
+    fn heap_survives_restart() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        let offset;
+        {
+            let rvm = Rvm::initialize(
+                Options::new(log.clone())
+                    .resolver(segs.clone().into_resolver())
+                    .create_if_empty(),
+            )
+            .unwrap();
+            let region = rvm
+                .map(&RegionDescriptor::new("heap", 0, 16 * PAGE_SIZE))
+                .unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            let heap = RvmHeap::format(&region, &mut txn).unwrap();
+            offset = heap.alloc(&region, &mut txn, 64).unwrap();
+            region.write(&mut txn, offset, b"reborn!!").unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            std::mem::forget(rvm); // crash
+        }
+        let rvm = Rvm::initialize(
+            Options::new(log)
+                .resolver(segs.into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("heap", 0, 16 * PAGE_SIZE))
+            .unwrap();
+        let heap = RvmHeap::open(&region).unwrap();
+        assert_eq!(heap.stats(&region).unwrap().allocations, 1);
+        assert_eq!(region.read_vec(offset, 8).unwrap(), b"reborn!!");
+        // And the heap still works.
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let other = heap.alloc(&region, &mut txn, 64).unwrap();
+        assert_ne!(other, offset);
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_unformatted_regions() {
+        let (_rvm, region) = world();
+        assert!(RvmHeap::open(&region).is_err());
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let mut count = 0;
+        while heap.alloc(&region, &mut txn, 1000).is_ok() {
+            count += 1;
+            assert!(count < 100, "should run out well before 100 KB-blocks");
+        }
+        // A smaller allocation may still fit.
+        assert!(count > 50, "got {count} kilobyte blocks from 64 KiB");
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn free_rejects_bogus_offsets() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        assert!(heap.free(&region, &mut txn, 0).is_err());
+        let a = heap.alloc(&region, &mut txn, 32).unwrap();
+        heap.free(&region, &mut txn, a).unwrap();
+        // Double free is rejected (the block is no longer marked used).
+        assert!(heap.free(&region, &mut txn, a).is_err());
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_free_blocks() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let offs: Vec<u64> = (0..8).map(|_| heap.alloc(&region, &mut txn, 100).unwrap()).collect();
+        for &o in &offs {
+            heap.free(&region, &mut txn, o).unwrap();
+        }
+        let frag = heap.stats(&region).unwrap();
+        assert!(frag.free_blocks >= 8);
+        let merges = heap.coalesce(&region, &mut txn).unwrap();
+        assert!(merges >= 7, "expected near-total merging, got {merges}");
+        let after = heap.stats(&region).unwrap();
+        assert_eq!(after.free_blocks, 1);
+        assert_eq!(after.used_bytes, 0);
+        // The whole region (minus headers) is one block again.
+        assert!(after.largest_free > region.len() - 64);
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn split_reuses_remainders() {
+        let (rvm, region, heap) = formatted();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let big = heap.alloc(&region, &mut txn, 10_000).unwrap();
+        heap.free(&region, &mut txn, big).unwrap();
+        // Allocating small out of the freed block must split it, leaving
+        // room for more.
+        let a = heap.alloc(&region, &mut txn, 100).unwrap();
+        let b = heap.alloc(&region, &mut txn, 100).unwrap();
+        assert_ne!(a, b);
+        let stats = heap.stats(&region).unwrap();
+        assert!(stats.largest_free > 5_000);
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Figure 8** (transactional throughput, §7.1.2) as ASCII
+//! plots plus CSV: (a) best and worst cases — sequential and random — and
+//! (b) the localized average case, for RVM and Camelot across the
+//! Rmem/Pmem sweep.
+//!
+//! Usage: `figure8 [--quick] [--txns N] [--csv]`
+
+use rvm_bench::report::{ascii_plot, Series};
+use rvm_bench::tpca_run::{run_cell, SweepConfig, SystemKind};
+use tpca::{rmem_pmem_percent, table1_account_sizes, AccessPattern};
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    cfg.trials = 1;
+    let mut sizes = table1_account_sizes();
+    let mut csv_only = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg.txns_per_trial = 8_000;
+                sizes = sizes.into_iter().step_by(3).collect();
+            }
+            "--txns" => {
+                i += 1;
+                cfg.txns_per_trial = args[i].parse().expect("--txns N");
+            }
+            "--csv" => csv_only = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let combos = [
+        (SystemKind::Rvm, AccessPattern::Sequential),
+        (SystemKind::Rvm, AccessPattern::Random),
+        (SystemKind::Rvm, AccessPattern::Localized),
+        (SystemKind::Camelot, AccessPattern::Sequential),
+        (SystemKind::Camelot, AccessPattern::Random),
+        (SystemKind::Camelot, AccessPattern::Localized),
+    ];
+    let mut data: Vec<Vec<(f64, f64)>> = vec![Vec::new(); combos.len()];
+    println!("system,pattern,accounts,rmem_pmem_pct,txns_per_sec");
+    for &accounts in &sizes {
+        let pct = rmem_pmem_percent(accounts);
+        for (ci, &(kind, pattern)) in combos.iter().enumerate() {
+            let cell = run_cell(kind, accounts, pattern, &cfg);
+            data[ci].push((pct, cell.mean_tps()));
+            println!(
+                "{},{},{accounts},{pct:.1},{:.2}",
+                kind.name(),
+                pattern.name(),
+                cell.mean_tps()
+            );
+        }
+    }
+    if csv_only {
+        return;
+    }
+
+    println!();
+    let plot_a = ascii_plot(
+        "Figure 8(a): Best and Worst Cases (throughput, txn/s)",
+        "Rmem/Pmem (percent)",
+        "transactions per second",
+        &[
+            Series { label: "RVM Sequential", marker: 'R', points: data[0].clone() },
+            Series { label: "RVM Random", marker: 'r', points: data[1].clone() },
+            Series { label: "Camelot Sequential", marker: 'C', points: data[3].clone() },
+            Series { label: "Camelot Random", marker: 'c', points: data[4].clone() },
+        ],
+        70,
+        24,
+    );
+    println!("{plot_a}");
+    let plot_b = ascii_plot(
+        "Figure 8(b): Average Case (localized access, txn/s)",
+        "Rmem/Pmem (percent)",
+        "transactions per second",
+        &[
+            Series { label: "RVM Localized", marker: 'R', points: data[2].clone() },
+            Series { label: "Camelot Localized", marker: 'C', points: data[5].clone() },
+        ],
+        70,
+        24,
+    );
+    println!("{plot_b}");
+}

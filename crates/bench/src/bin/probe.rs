@@ -1,0 +1,31 @@
+//! Internal calibration probe (not part of the published harness).
+use rvm_bench::camelot_driver::CamelotTpca;
+use rvm_bench::model::Machine;
+use rvm_bench::rvm_driver::RvmTpca;
+use rvm_bench::tpca_run::{run_trial, SweepConfig};
+use tpca::{AccessPattern, TpcaLayout};
+
+fn main() {
+    let cfg = SweepConfig::default();
+    let _ = Machine::default();
+    for accounts in [32768u64, 262144, 425984] {
+        let layout = TpcaLayout::new(accounts);
+        let mut cam = CamelotTpca::new(&cfg.machine, cfg.camelot.clone(), accounts);
+        let r = run_trial(&mut cam, layout, AccessPattern::Random, 8000, 1);
+        let cs = cam.stats();
+        let vs = cam.vm_stats();
+        println!(
+            "CAM {accounts}: tps={:.1} cpu={:.2}ms trunc={} pages_written={} faults={} writebacks={} evic={}",
+            r.tps, r.cpu_ms_per_txn, cs.truncations, cs.pages_written, vs.faults, vs.writebacks, vs.evictions
+        );
+        let mut rv = RvmTpca::new(&cfg.machine, cfg.rvm_model.clone(), &cfg.log, accounts);
+        let f0 = rv.vm_stats().faults;
+        let r = run_trial(&mut rv, layout, AccessPattern::Random, 8000, 1);
+        let st = rv.rvm_stats();
+        let vs = rv.vm_stats();
+        println!(
+            "RVM {accounts}: tps={:.1} cpu={:.2}ms trunc={} ranges={} faults={} (pre-window {}) writebacks={} evic={}",
+            r.tps, r.cpu_ms_per_txn, st.epoch_truncations, st.truncation_ranges_applied, vs.faults, f0, vs.writebacks, vs.evictions
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Table 1** (transactional throughput, §7.1.2): RVM vs
+//! Camelot over 14 account-array sizes and 3 access patterns, mean (sd)
+//! of N deterministic trials.
+//!
+//! Usage: `table1 [--quick] [--trials N] [--txns N]`
+
+use rvm_bench::report::mean_sd;
+use rvm_bench::tpca_run::{run_cell, SweepConfig, SystemKind};
+use tpca::{rmem_pmem_percent, table1_account_sizes, AccessPattern};
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut sizes = table1_account_sizes();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                cfg.txns_per_trial = 8_000;
+                cfg.trials = 1;
+                sizes = sizes.into_iter().step_by(3).collect();
+            }
+            "--trials" => {
+                i += 1;
+                cfg.trials = args[i].parse().expect("--trials N");
+            }
+            "--txns" => {
+                i += 1;
+                cfg.txns_per_trial = args[i].parse().expect("--txns N");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    println!("Table 1: Transactional Throughput (txn/s), mean (sd) of {} trials", cfg.trials);
+    println!(
+        "Benchmark: TPC-A variant (Section 7.1.1), {} transactions per trial",
+        cfg.txns_per_trial
+    );
+    println!(
+        "Theoretical maximum from the 17.4 ms log force (Section 7.1.2): {:.1} txn/s",
+        1000.0 / 17.4
+    );
+    println!();
+    println!(
+        "{:>9} {:>6}  | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11}",
+        "Accounts", "Rm/Pm", "RVM seq", "RVM rand", "RVM local", "Cam seq", "Cam rand", "Cam local"
+    );
+    println!("{}", "-".repeat(105));
+    for &accounts in &sizes {
+        let pct = rmem_pmem_percent(accounts);
+        print!("{accounts:>9} {pct:>5.1}%  |");
+        for kind in [SystemKind::Rvm, SystemKind::Camelot] {
+            for pattern in AccessPattern::ALL {
+                let cell = run_cell(kind, accounts, pattern, &cfg);
+                print!(" {:>11}", mean_sd(cell.mean_tps(), cell.sd_tps()));
+            }
+            if kind == SystemKind::Rvm {
+                print!(" |");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! TPC-A driver for the Camelot baseline.
+
+use std::sync::Arc;
+
+use camelot_sim::{Camelot, CamelotParams};
+use rvm_storage::NullDevice;
+use simclock::{Clock, SimTime};
+use simdisk::SimDisk;
+use simvm::{SimVm, VmParams, VM_PAGE_SIZE};
+use tpca::{TpcaLayout, TpcaTxn};
+
+use crate::model::Machine;
+use crate::tpca_run::TpcaSystem;
+
+/// CPU charged per Camelot page fault: the external-pager path is several
+/// Mach IPC round trips through the Disk Manager (§3.2), far costlier
+/// than an in-kernel fault.
+pub fn camelot_fault_cpu(params: &CamelotParams) -> SimTime {
+    params.ipc_cost * 8 + params.context_switch * 8
+}
+
+/// The Camelot system under test.
+pub struct CamelotTpca {
+    clock: Clock,
+    cam: Camelot,
+    layout: TpcaLayout,
+}
+
+impl CamelotTpca {
+    /// Builds a Camelot node sized for `accounts`.
+    pub fn new(machine: &Machine, params: CamelotParams, accounts: u64) -> Self {
+        let clock = Clock::new();
+        let layout = TpcaLayout::new(accounts);
+        let log_disk = Arc::new(SimDisk::new(
+            Arc::new(NullDevice::new(256 << 20)),
+            clock.clone(),
+            machine.disk.clone(),
+        ));
+        // Single-copy backing store: the data segment itself (§3.2).
+        let data_disk = Arc::new(SimDisk::new(
+            Arc::new(NullDevice::new(layout.total_len() + VM_PAGE_SIZE)),
+            clock.clone(),
+            machine.disk.clone(),
+        ));
+        let vm = SimVm::new(
+            clock.clone(),
+            (machine.camelot_avail_bytes / VM_PAGE_SIZE) as usize,
+            VmParams {
+                fault_service_cpu: camelot_fault_cpu(&params),
+                hit_cpu: SimTime::ZERO,
+                // Pageout through the external pager: two IPC round trips.
+                evict_cpu: params.ipc_cost * 2,
+                pageout_cluster: 8,
+            },
+        );
+        let cam = Camelot::new(
+            clock.clone(),
+            params,
+            log_disk,
+            vm,
+            data_disk,
+            layout.total_len(),
+        );
+        Self { clock, cam, layout }
+    }
+
+    /// Camelot-side statistics.
+    pub fn stats(&self) -> camelot_sim::CamelotStats {
+        self.cam.stats()
+    }
+
+    /// Paging statistics.
+    pub fn vm_stats(&self) -> simvm::VmStats {
+        self.cam.vm_stats()
+    }
+}
+
+impl TpcaSystem for CamelotTpca {
+    fn warm_up(&mut self) {
+        let pages = self.layout.total_len() / VM_PAGE_SIZE;
+        for page in 0..pages {
+            self.cam.read(page * VM_PAGE_SIZE, 1);
+        }
+    }
+
+    fn run_txn(&mut self, t: &TpcaTxn) {
+        let l = self.layout;
+        self.cam.begin_transaction();
+        self.cam.read(l.account_offset(t.account), 128);
+        self.cam.modify(l.account_offset(t.account), 128);
+        self.cam.modify(l.teller_offset(t.teller), 128);
+        self.cam.modify(l.branch_offset(), 128);
+        self.cam.modify(l.audit_slot_offset(t.audit_slot), 64);
+        self.cam.end_transaction();
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}

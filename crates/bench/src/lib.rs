@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§7).
+//!
+//! * [`model`] — the simulated machine and per-operation CPU costs, with
+//!   their derivations.
+//! * [`rvm_driver`] — runs the *real* RVM library over latency-modelled
+//!   devices, with paging modelled by `simvm` around the account touches.
+//! * [`camelot_driver`] — runs the `camelot-sim` baseline.
+//! * [`tpca_run`] — the benchmark loop shared by both systems.
+//! * [`report`] — table and ASCII-plot formatting.
+//!
+//! Binaries: `table1`, `figure8`, `figure9`, `table2`, `ablation`.
+
+pub mod camelot_driver;
+pub mod model;
+pub mod report;
+pub mod rvm_driver;
+pub mod tpca_run;

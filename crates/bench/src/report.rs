@@ -1,0 +1,130 @@
+//! Table formatting and ASCII plotting for the harness binaries.
+
+/// Formats "mean (sd)" in the style of the paper's Table 1.
+pub fn mean_sd(mean: f64, sd: f64) -> String {
+    format!("{mean:.1} ({sd:.1})")
+}
+
+/// A single plot series.
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Marker character.
+    pub marker: char,
+    /// (x, y) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series as a fixed-size ASCII scatter plot, the harness's
+/// stand-in for Figures 8 and 9.
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series<'_>],
+    width: usize,
+    height: usize,
+) -> String {
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() {
+        return format!("{title}\n(no data)\n");
+    }
+    // Pad the y range a little.
+    let y_pad = ((y_max - y_min) * 0.05).max(0.5);
+    y_min -= y_pad;
+    y_max += y_pad;
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / (x_max - x_min).max(1e-12)) * (width - 1) as f64).round()
+                as usize;
+            let row = (((y_max - y) / (y_max - y_min).max(1e-12)) * (height - 1) as f64).round()
+                as usize;
+            let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+            // First series wins on collision; later markers show as '+'.
+            *cell = if *cell == ' ' { s.marker } else { '+' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let axis = if i % 4 == 0 {
+            format!("{y_here:7.1} |")
+        } else {
+            "        |".to_owned()
+        };
+        out.push_str(&axis);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("        +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "         {:<10.1}{:>width$.1}   ({x_label})\n",
+        x_min,
+        x_max,
+        width = width - 14
+    ));
+    out.push_str(&format!("  y: {y_label}\n  "));
+    for s in series {
+        out.push_str(&format!("[{}] {}   ", s.marker, s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sd_format_matches_table1_style() {
+        assert_eq!(mean_sd(48.56, 0.04), "48.6 (0.0)");
+        assert_eq!(mean_sd(27.4, 0.21), "27.4 (0.2)");
+    }
+
+    #[test]
+    fn plot_renders_all_series_markers() {
+        let plot = ascii_plot(
+            "t",
+            "x",
+            "y",
+            &[
+                Series {
+                    label: "a",
+                    marker: 'o',
+                    points: vec![(0.0, 0.0), (10.0, 10.0)],
+                },
+                Series {
+                    label: "b",
+                    marker: 'x',
+                    points: vec![(5.0, 5.0)],
+                },
+            ],
+            40,
+            10,
+        );
+        assert!(plot.contains('o'));
+        assert!(plot.contains('x'));
+        assert!(plot.contains("[o] a"));
+    }
+
+    #[test]
+    fn plot_handles_empty_input() {
+        let plot = ascii_plot("t", "x", "y", &[], 10, 5);
+        assert!(plot.contains("no data"));
+    }
+}

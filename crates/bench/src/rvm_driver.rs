@@ -1,0 +1,194 @@
+//! TPC-A driver running the *real* RVM library over simulated devices.
+//!
+//! The library's own I/O (log forces, truncation writes to the external
+//! data segment) flows through `simdisk` devices and is charged
+//! automatically. Two things the library cannot charge are modelled
+//! around it:
+//!
+//! * **CPU path lengths** — 1993 instruction budgets per operation, from
+//!   [`RvmCostModel`];
+//! * **paging** — region memory is plain VM backed by a separate paging
+//!   disk (§3.2); every record access touches the corresponding page of a
+//!   [`SimVm`] space sized to the machine's available frames.
+
+use std::sync::Arc;
+
+use rvm::segment::DeviceResolver;
+use rvm::{CommitMode, Options, Region, RegionDescriptor, Rvm, StatsSnapshot, Tuning, TxnMode};
+use rvm_storage::{MemDevice, NullDevice};
+use simclock::{Clock, SimTime};
+use simdisk::SimDisk;
+use simvm::{SimVm, SpaceId, VmParams, VM_PAGE_SIZE};
+use tpca::{TpcaLayout, TpcaTxn};
+
+use crate::model::{LogConfig, Machine, RvmCostModel};
+use crate::tpca_run::TpcaSystem;
+
+/// Data bytes logged per TPC-A transaction (account + teller + branch +
+/// audit record).
+pub const LOGGED_BYTES_PER_TXN: u64 = 128 + 128 + 128 + 64;
+
+/// The RVM system under test.
+pub struct RvmTpca {
+    clock: Clock,
+    rvm: Rvm,
+    region: Region,
+    layout: TpcaLayout,
+    vm: SimVm,
+    space: SpaceId,
+    model: RvmCostModel,
+    last_stats: StatsSnapshot,
+    counter: u64,
+}
+
+impl RvmTpca {
+    /// Builds the system: log, data and paging disks, the RVM instance,
+    /// one mapped region holding the whole benchmark layout, and the VM
+    /// model.
+    pub fn new(machine: &Machine, model: RvmCostModel, log_cfg: &LogConfig, accounts: u64) -> Self {
+        let clock = Clock::new();
+        let layout = TpcaLayout::new(accounts);
+
+        let log_disk: Arc<dyn rvm_storage::Device> = Arc::new(SimDisk::new(
+            Arc::new(MemDevice::with_len(log_cfg.device_bytes)),
+            clock.clone(),
+            machine.disk.clone(),
+        ));
+        let data_disk: Arc<dyn rvm_storage::Device> = Arc::new(SimDisk::new(
+            Arc::new(NullDevice::new(layout.total_len())),
+            clock.clone(),
+            machine.disk.clone(),
+        ));
+        let paging_disk: Arc<dyn rvm_storage::Device> = Arc::new(SimDisk::new(
+            Arc::new(NullDevice::new(layout.total_len() + VM_PAGE_SIZE)),
+            clock.clone(),
+            machine.disk.clone(),
+        ));
+
+        let data_for_resolver = data_disk.clone();
+        let resolver: DeviceResolver = Arc::new(move |_name, min_len| {
+            if data_for_resolver.len()? < min_len {
+                data_for_resolver.set_len(min_len)?;
+            }
+            Ok(data_for_resolver.clone())
+        });
+        let tuning = Tuning {
+            truncation_threshold: log_cfg.threshold,
+            ..Tuning::default()
+        };
+        let rvm = Rvm::initialize(
+            Options::new(log_disk)
+                .resolver(resolver)
+                .tuning(tuning)
+                .create_if_empty(),
+        )
+        .expect("initialize RVM over simulated devices");
+        let region = rvm
+            .map(&RegionDescriptor::new("tpca", 0, layout.total_len()))
+            .expect("map the benchmark region");
+
+        let mut vm = SimVm::new(
+            clock.clone(),
+            (machine.rvm_avail_bytes / VM_PAGE_SIZE) as usize,
+            VmParams {
+                fault_service_cpu: model.cpu_fault,
+                hit_cpu: SimTime::ZERO,
+                evict_cpu: SimTime::from_micros(50),
+                pageout_cluster: 8,
+            },
+        );
+        let space = vm.add_space(paging_disk, 0, layout.total_len() / VM_PAGE_SIZE);
+        let last_stats = rvm.stats();
+        Self {
+            clock,
+            rvm,
+            region,
+            layout,
+            vm,
+            space,
+            model,
+            last_stats,
+            counter: 0,
+        }
+    }
+
+    fn touch(&mut self, offset: u64, len: u64) {
+        let first = offset / VM_PAGE_SIZE;
+        let last = (offset + len - 1) / VM_PAGE_SIZE;
+        for page in first..=last {
+            self.vm.touch(self.space, page, true);
+        }
+    }
+
+    /// Paging statistics of the run.
+    pub fn vm_stats(&self) -> simvm::VmStats {
+        self.vm.stats()
+    }
+
+    /// The underlying RVM statistics.
+    pub fn rvm_stats(&self) -> StatsSnapshot {
+        self.rvm.stats()
+    }
+}
+
+impl TpcaSystem for RvmTpca {
+    fn warm_up(&mut self) {
+        // Reach paging steady state before the measurement window: touch
+        // every page once, dirty (oldest pages end up evicted if the
+        // region exceeds the frame pool, and at steady state resident
+        // recoverable pages are dirty — the double-paging cost of §3.2).
+        for page in 0..self.layout.total_len() / VM_PAGE_SIZE {
+            self.vm.touch(self.space, page, true);
+        }
+    }
+
+    fn run_txn(&mut self, t: &TpcaTxn) {
+        self.counter += 1;
+        let l = self.layout;
+        let account_off = l.account_offset(t.account);
+        let teller_off = l.teller_offset(t.teller);
+        let branch_off = l.branch_offset();
+        let audit_off = l.audit_slot_offset(t.audit_slot);
+
+        // Model the VM traffic of the four record accesses.
+        self.touch(account_off, 128);
+        self.touch(teller_off, 128);
+        self.touch(branch_off, 128);
+        self.touch(audit_off, 64);
+
+        // The real transaction.
+        let mut rec = [0u8; 128];
+        rec[..8].copy_from_slice(&self.counter.to_le_bytes());
+        let mut txn = self
+            .rvm
+            .begin_transaction(TxnMode::Restore)
+            .expect("begin");
+        self.region.write(&mut txn, account_off, &rec).expect("account");
+        self.region.write(&mut txn, teller_off, &rec).expect("teller");
+        self.region.write(&mut txn, branch_off, &rec).expect("branch");
+        self.region
+            .write(&mut txn, audit_off, &rec[..64])
+            .expect("audit");
+        txn.commit(CommitMode::Flush).expect("commit");
+
+        // Charge the modelled CPU path.
+        self.clock
+            .charge_cpu(self.model.base_txn_cpu(LOGGED_BYTES_PER_TXN));
+
+        // Charge truncation CPU when the library truncated.
+        let stats = self.rvm.stats();
+        let delta = stats.delta_since(&self.last_stats);
+        self.last_stats = stats;
+        if delta.epoch_truncations > 0 {
+            self.clock.charge_cpu(
+                SimTime::from_nanos(
+                    self.model.cpu_trunc_per_scanned_byte_ns * delta.truncation_bytes_scanned,
+                ) + self.model.cpu_trunc_per_range * delta.truncation_ranges_applied,
+            );
+        }
+    }
+
+    fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}

@@ -1,0 +1,179 @@
+//! The shared benchmark loop and the Table 1 sweep.
+
+use camelot_sim::CamelotParams;
+use simclock::Clock;
+use tpca::{AccessPattern, TpcaLayout, TpcaTxn, TpcaWorkload};
+
+use crate::camelot_driver::CamelotTpca;
+use crate::model::{LogConfig, Machine, RvmCostModel};
+use crate::rvm_driver::RvmTpca;
+
+/// A system that can execute TPC-A transactions on the virtual clock.
+pub trait TpcaSystem {
+    /// Brings the system to paging steady state (excluded from the
+    /// measurement window, like the paper's startup).
+    fn warm_up(&mut self);
+    /// Executes one transaction, charging all costs to the clock.
+    fn run_txn(&mut self, txn: &TpcaTxn);
+    /// The virtual clock all costs land on.
+    fn clock(&self) -> &Clock;
+}
+
+/// Which system a cell of Table 1 measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// This library.
+    Rvm,
+    /// The Camelot model.
+    Camelot,
+}
+
+impl SystemKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Rvm => "RVM",
+            SystemKind::Camelot => "Camelot",
+        }
+    }
+}
+
+/// One trial's measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialResult {
+    /// Steady-state throughput, transactions per second.
+    pub tps: f64,
+    /// Amortized CPU per transaction, milliseconds (Figure 9's metric).
+    pub cpu_ms_per_txn: f64,
+}
+
+/// Mean and standard deviation over trials (the paper reports mean and
+/// σ of the three most consistent of five to eight trials; we run
+/// exactly `trials` deterministic seeds).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Per-trial results.
+    pub trials: Vec<TrialResult>,
+}
+
+impl CellResult {
+    /// Mean throughput.
+    pub fn mean_tps(&self) -> f64 {
+        mean(self.trials.iter().map(|t| t.tps))
+    }
+
+    /// Standard deviation of throughput.
+    pub fn sd_tps(&self) -> f64 {
+        sd(self.trials.iter().map(|t| t.tps))
+    }
+
+    /// Mean CPU ms/transaction.
+    pub fn mean_cpu(&self) -> f64 {
+        mean(self.trials.iter().map(|t| t.cpu_ms_per_txn))
+    }
+
+    /// Standard deviation of CPU ms/transaction.
+    pub fn sd_cpu(&self) -> f64 {
+        sd(self.trials.iter().map(|t| t.cpu_ms_per_txn))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn sd(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Transactions per trial (the measurement window).
+    pub txns_per_trial: u64,
+    /// Trials per cell.
+    pub trials: u32,
+    /// The machine.
+    pub machine: Machine,
+    /// RVM CPU model.
+    pub rvm_model: RvmCostModel,
+    /// RVM log sizing.
+    pub log: LogConfig,
+    /// Camelot parameters.
+    pub camelot: CamelotParams,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            txns_per_trial: 40_000,
+            trials: 3,
+            machine: Machine::default(),
+            rvm_model: RvmCostModel::default(),
+            log: LogConfig::default(),
+            camelot: CamelotParams::default(),
+        }
+    }
+}
+
+/// Runs one trial and returns its measurements.
+pub fn run_trial(
+    system: &mut dyn TpcaSystem,
+    layout: TpcaLayout,
+    pattern: AccessPattern,
+    txns: u64,
+    seed: u64,
+) -> TrialResult {
+    let mut workload = TpcaWorkload::new(layout, pattern, seed);
+    system.warm_up();
+    // A short ramp so the first measured transaction is not special.
+    for _ in 0..200 {
+        let t = workload.next_txn();
+        system.run_txn(&t);
+    }
+    let before = system.clock().snapshot();
+    for _ in 0..txns {
+        let t = workload.next_txn();
+        system.run_txn(&t);
+    }
+    let delta = system.clock().snapshot() - before;
+    TrialResult {
+        tps: txns as f64 / delta.total.as_secs_f64(),
+        cpu_ms_per_txn: delta.cpu.as_millis_f64() * 1000.0 / txns as f64 / 1000.0,
+    }
+}
+
+/// Runs all trials of one (system, size, pattern) cell.
+pub fn run_cell(
+    kind: SystemKind,
+    accounts: u64,
+    pattern: AccessPattern,
+    cfg: &SweepConfig,
+) -> CellResult {
+    let layout = TpcaLayout::new(accounts);
+    let trials = (0..cfg.trials)
+        .map(|trial| {
+            let seed = 0xC0DA + trial as u64 * 7919 + accounts;
+            match kind {
+                SystemKind::Rvm => {
+                    let mut sys = RvmTpca::new(
+                        &cfg.machine,
+                        cfg.rvm_model.clone(),
+                        &cfg.log,
+                        accounts,
+                    );
+                    run_trial(&mut sys, layout, pattern, cfg.txns_per_trial, seed)
+                }
+                SystemKind::Camelot => {
+                    let mut sys =
+                        CamelotTpca::new(&cfg.machine, cfg.camelot.clone(), accounts);
+                    run_trial(&mut sys, layout, pattern, cfg.txns_per_trial, seed)
+                }
+            }
+        })
+        .collect();
+    CellResult { trials }
+}

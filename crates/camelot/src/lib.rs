@@ -1,0 +1,463 @@
+//! A performance model of **Camelot**, the paper's baseline (§2, §7).
+//!
+//! Camelot was a general-purpose transactional facility built on Mach:
+//! Master Control, the Camelot and Node Server tasks, and the Recovery,
+//! Transaction and Disk Managers, each a separate Mach task communicating
+//! by IPC (Figure 1). Recoverable virtual memory was provided through the
+//! Disk Manager acting as a Mach external pager, giving Camelot a
+//! *single-copy* backing store (no double paging) and `pin`/`unpin`
+//! control over dirty pages (§3.2).
+//!
+//! The paper attributes Camelot's costs to exactly three structural
+//! facts, which this simulation encodes:
+//!
+//! 1. **IPC on every operation.** A Mach RPC cost ~430 µs against 0.7 µs
+//!    for a local call (§3.3); every `begin`/`set_range`/`commit` crosses
+//!    task boundaries several times, and kernel-thread context switches
+//!    come with it. This is why Camelot's CPU per transaction is about
+//!    twice RVM's (Figure 9).
+//! 2. **An overly aggressive Disk-Manager truncation strategy** (§7.1.2
+//!    conjecture): truncation writes *all* dirty pages referenced by the
+//!    truncated portion of the log, and it runs frequently, so random
+//!    access patterns lose the chance to amortize a page write across
+//!    many transactions — the reason Camelot's throughput is sensitive to
+//!    locality even when everything fits in memory.
+//! 3. **Mach-integrated paging**: the external pager writes dirty pages
+//!    to the one backing store, so pages evicted under memory pressure
+//!    are usually *clean* and eviction is cheap — Camelot degrades more
+//!    gracefully than RVM at high Rmem/Pmem ratios (the convexity of
+//!    Figure 8a).
+//!
+//! The transactional *semantics* here are trivial (the benchmark only
+//! commits); what is modelled faithfully is the *cost structure*. All
+//! charges land on a shared [`simclock::Clock`].
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use simclock::{Clock, SimTime};
+use simdisk::SimDisk;
+use simvm::{SimVm, SpaceId, VM_PAGE_SIZE};
+
+/// The Mach tasks of a Camelot node (Figure 1), for IPC accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Spawns and supervises the rest.
+    MasterControl,
+    /// The camelot task proper.
+    Camelot,
+    /// Node configuration database.
+    NodeServer,
+    /// Log replay after crashes.
+    RecoveryManager,
+    /// Coordinates begins/commits/aborts.
+    TransactionManager,
+    /// External pager and log multiplexer.
+    DiskManager,
+    /// The application's Data Server task.
+    DataServer,
+}
+
+/// Cost parameters of the Camelot model.
+#[derive(Debug, Clone)]
+pub struct CamelotParams {
+    /// One cross-task Mach RPC (request + reply), charged as CPU.
+    pub ipc_cost: SimTime,
+    /// A kernel-thread context switch.
+    pub context_switch: SimTime,
+    /// Straight-line CPU in the managers per transaction, excluding IPC.
+    pub base_cpu_per_txn: SimTime,
+    /// CPU per pin/unpin pair and bookkeeping per modified range.
+    pub cpu_per_range: SimTime,
+    /// CPU per byte spooled to the Disk Manager's log.
+    pub cpu_per_logged_byte_ns: u64,
+    /// Per-range log record overhead, bytes.
+    pub log_record_overhead: u64,
+    /// The Disk Manager truncates once this many bytes of log accumulate.
+    /// Small = aggressive (the §7.1.2 conjecture).
+    pub truncation_interval: u64,
+    /// IPCs for `begin_transaction` (Data Server ↔ Transaction Manager).
+    pub ipcs_begin: u32,
+    /// IPCs per modified range (pin via the Disk Manager).
+    pub ipcs_per_range: u32,
+    /// IPCs for commit (TM coordination + DM log force + replies).
+    pub ipcs_commit: u32,
+}
+
+impl Default for CamelotParams {
+    fn default() -> Self {
+        Self {
+            // §3.3: 430 µs vs 0.7 µs on the DECstation 5000/200.
+            ipc_cost: SimTime::from_micros(430),
+            context_switch: SimTime::from_micros(120),
+            base_cpu_per_txn: SimTime::from_micros(800),
+            // Pin/unpin are kernel calls, not full cross-task RPCs.
+            cpu_per_range: SimTime::from_micros(150),
+            cpu_per_logged_byte_ns: 40,
+            log_record_overhead: 96,
+            // Aggressive truncation: about every 224 KiB of log
+            // (~1000 TPC-A transactions).
+            truncation_interval: 224 << 10,
+            ipcs_begin: 1,
+            ipcs_per_range: 0,
+            ipcs_commit: 3,
+        }
+    }
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CamelotStats {
+    /// Transactions committed.
+    pub txns_committed: u64,
+    /// Disk-Manager truncations.
+    pub truncations: u64,
+    /// Dirty pages written by truncation.
+    pub pages_written: u64,
+    /// Bytes appended to the Disk-Manager log.
+    pub bytes_logged: u64,
+    /// Mach IPCs performed.
+    pub ipcs: u64,
+}
+
+struct OpenTxn {
+    pinned: Vec<u64>,
+    logged_bytes: u64,
+    dirtied: Vec<u64>,
+}
+
+/// A simulated Camelot node serving one Data Server with one recoverable
+/// region.
+pub struct Camelot {
+    clock: Clock,
+    params: CamelotParams,
+    log_disk: Arc<SimDisk>,
+    vm: SimVm,
+    space: SpaceId,
+    region_len: u64,
+    log_used: u64,
+    log_write_pos: u64,
+    /// Dirty pages referenced by the live (untruncated) log portion, in
+    /// log order (first reference first), without duplicates.
+    dirty_refs: Vec<u64>,
+    dirty_refs_set: HashSet<u64>,
+    open: Option<OpenTxn>,
+    stats: CamelotStats,
+}
+
+impl Camelot {
+    /// Builds a node: `vm` pages the recoverable region from its single
+    /// backing store (already registered as `space`); the log lives on
+    /// `log_disk`.
+    pub fn new(
+        clock: Clock,
+        params: CamelotParams,
+        log_disk: Arc<SimDisk>,
+        mut vm: SimVm,
+        backing: Arc<SimDisk>,
+        region_len: u64,
+    ) -> Self {
+        let pages = region_len.div_ceil(VM_PAGE_SIZE);
+        let space = vm.add_space(backing, 0, pages);
+        Self {
+            clock,
+            params,
+            log_disk,
+            vm,
+            space,
+            region_len,
+            log_used: 0,
+            log_write_pos: 0,
+            dirty_refs: Vec::new(),
+            dirty_refs_set: HashSet::new(),
+            open: None,
+            stats: CamelotStats::default(),
+        }
+    }
+
+    /// Region length in bytes.
+    pub fn region_len(&self) -> u64 {
+        self.region_len
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CamelotStats {
+        self.stats
+    }
+
+    /// VM statistics (faults, evictions).
+    pub fn vm_stats(&self) -> simvm::VmStats {
+        self.vm.stats()
+    }
+
+    fn charge_ipcs(&mut self, n: u32) {
+        self.stats.ipcs += n as u64;
+        self.clock
+            .charge_cpu(self.params.ipc_cost * n as u64 + self.params.context_switch * n as u64);
+    }
+
+    /// `begin_transaction`: Data Server → Transaction Manager.
+    pub fn begin_transaction(&mut self) {
+        assert!(self.open.is_none(), "model supports one open transaction");
+        self.charge_ipcs(self.params.ipcs_begin);
+        self.open = Some(OpenTxn {
+            pinned: Vec::new(),
+            logged_bytes: 0,
+            dirtied: Vec::new(),
+        });
+    }
+
+    /// Reads `[offset, offset + len)` of the recoverable region: pure VM
+    /// traffic, no Camelot involvement.
+    pub fn read(&mut self, offset: u64, len: u64) {
+        for page in page_span(offset, len) {
+            self.vm.touch(self.space, page, false);
+        }
+    }
+
+    /// Modifies `[offset, offset + len)` inside the open transaction:
+    /// pages are touched dirty and pinned via the Disk Manager (§3.2), and
+    /// the new values are destined for the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn modify(&mut self, offset: u64, len: u64) {
+        let pages: Vec<u64> = page_span(offset, len).collect();
+        let params_ipcs = self.params.ipcs_per_range;
+        self.charge_ipcs(params_ipcs);
+        self.clock.charge_cpu(self.params.cpu_per_range);
+        for &page in &pages {
+            self.vm.touch(self.space, page, true);
+            self.vm.pin(self.space, page);
+        }
+        let txn = self.open.as_mut().expect("no open transaction");
+        txn.pinned.extend(&pages);
+        txn.dirtied.extend(&pages);
+        txn.logged_bytes += len + self.params.log_record_overhead;
+    }
+
+    /// `end_transaction`: Transaction Manager coordination, Disk Manager
+    /// log force, unpin, dirty-page bookkeeping, and possibly a
+    /// truncation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn end_transaction(&mut self) {
+        let txn = self.open.take().expect("no open transaction");
+        self.charge_ipcs(self.params.ipcs_commit);
+        self.clock.charge_cpu(self.params.base_cpu_per_txn);
+        self.clock.charge_cpu(SimTime::from_nanos(
+            self.params.cpu_per_logged_byte_ns * txn.logged_bytes,
+        ));
+
+        // The Disk Manager forces the log (sequential, one seek+rotation).
+        use rvm_storage::Device;
+        let buf = vec![0u8; txn.logged_bytes as usize];
+        let cap = self.log_disk.len().unwrap_or(1 << 20);
+        let pos = self.log_write_pos % (cap - txn.logged_bytes.min(cap));
+        let _ = self.log_disk.write_at(pos, &buf);
+        let _ = self.log_disk.sync();
+        self.log_write_pos += txn.logged_bytes;
+        self.stats.bytes_logged += txn.logged_bytes;
+        self.log_used += txn.logged_bytes;
+
+        for page in txn.pinned {
+            self.vm.unpin(self.space, page);
+        }
+        for page in txn.dirtied {
+            if self.dirty_refs_set.insert(page) {
+                self.dirty_refs.push(page);
+            }
+        }
+        self.stats.txns_committed += 1;
+
+        if self.log_used >= self.params.truncation_interval {
+            self.truncate();
+        }
+    }
+
+    /// Disk-Manager truncation: write out *all* dirty pages referenced by
+    /// the truncated log portion (§7.1.2), in ascending order (elevator),
+    /// then reset the log.
+    ///
+    /// The aggressiveness the paper conjectures is modelled literally: a
+    /// referenced page that the pager has already evicted (and therefore
+    /// cleaned) is faulted back in and rewritten anyway — "much higher
+    /// levels of paging activity sustained by the Camelot Disk Manager".
+    fn truncate(&mut self) {
+        let pages = std::mem::take(&mut self.dirty_refs);
+        self.dirty_refs_set.clear();
+        let n = pages.len() as u64;
+        // Pages are processed in the order the log references them — i.e.
+        // commit order, not elevator order. Resident dirty pages at least
+        // batch into one queued flush; pages the pager has already evicted
+        // (and cleaned) are faulted back in and rewritten one at a time,
+        // which is exactly where the amortization is lost.
+        for &page in &pages {
+            if self.vm.is_resident(self.space, page) {
+                self.vm.writeback(self.space, page);
+            }
+        }
+        self.vm.sync_space(self.space);
+        for &page in &pages {
+            if !self.vm.is_resident(self.space, page) {
+                self.vm.touch(self.space, page, false);
+                self.vm.force_writeback(self.space, page);
+                self.vm.sync_space(self.space);
+            }
+        }
+        // Disk Manager CPU for scanning and scheduling the writes.
+        self.clock
+            .charge_cpu(SimTime::from_micros(200) + SimTime::from_micros(30) * n);
+        self.charge_ipcs(2);
+        self.stats.pages_written += n;
+        self.stats.truncations += 1;
+        self.log_used = 0;
+    }
+}
+
+fn page_span(offset: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = offset / VM_PAGE_SIZE;
+    let last = if len == 0 {
+        first
+    } else {
+        (offset + len - 1) / VM_PAGE_SIZE + 1
+    };
+    first..last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::MemDevice;
+    use simdisk::DiskParams;
+    use simvm::VmParams;
+
+    fn node(frames: usize, region_len: u64) -> (Camelot, Clock) {
+        let clock = Clock::new();
+        let log_disk = Arc::new(SimDisk::new(
+            Arc::new(MemDevice::with_len(64 << 20)),
+            clock.clone(),
+            DiskParams::circa_1990(),
+        ));
+        let data_disk = Arc::new(SimDisk::new(
+            Arc::new(MemDevice::with_len(256 << 20)),
+            clock.clone(),
+            DiskParams::circa_1990(),
+        ));
+        let vm = SimVm::new(clock.clone(), frames, VmParams::default());
+        let cam = Camelot::new(
+            clock.clone(),
+            CamelotParams::default(),
+            log_disk,
+            vm,
+            data_disk,
+            region_len,
+        );
+        (cam, clock)
+    }
+
+    fn one_txn(cam: &mut Camelot, offset: u64) {
+        cam.begin_transaction();
+        cam.read(offset, 128);
+        cam.modify(offset, 128);
+        cam.end_transaction();
+    }
+
+    #[test]
+    fn a_transaction_costs_about_a_log_force_plus_overhead() {
+        let (mut cam, clock) = node(1024, 1 << 20);
+        one_txn(&mut cam, 0); // warm the page
+        let before = clock.snapshot();
+        one_txn(&mut cam, 0);
+        let ms = (clock.snapshot() - before).total.as_millis_f64();
+        assert!(
+            (17.0..28.0).contains(&ms),
+            "txn should cost force + IPC overhead, got {ms} ms"
+        );
+        assert_eq!(cam.stats().txns_committed, 2);
+    }
+
+    #[test]
+    fn ipc_makes_camelot_cpu_heavy() {
+        let (mut cam, clock) = node(1024, 1 << 20);
+        one_txn(&mut cam, 0);
+        let before = clock.snapshot();
+        one_txn(&mut cam, 0);
+        let cpu = (clock.snapshot() - before).cpu;
+        // begin(1) + range(1) + commit(3) = 5 IPCs at 430+120 us plus base
+        // CPU: comfortably over 2 ms.
+        assert!(
+            cpu.as_millis_f64() > 2.0,
+            "IPC-heavy path expected, got {cpu}"
+        );
+    }
+
+    #[test]
+    fn aggressive_truncation_fires_by_log_volume() {
+        let (mut cam, _clock) = node(1024, 1 << 20);
+        // Each txn logs ~224 bytes; the 224 KiB interval fires within
+        // ~1100 transactions.
+        for i in 0..1200 {
+            one_txn(&mut cam, (i % 64) * 128);
+        }
+        assert!(cam.stats().truncations >= 1);
+        assert!(cam.stats().pages_written >= 1);
+    }
+
+    #[test]
+    fn random_access_writes_more_truncation_pages_than_sequential() {
+        let region = 4 << 20; // 1024 pages
+        let (mut seq, _) = node(4096, region);
+        for i in 0..2400u64 {
+            one_txn(&mut seq, (i * 128) % region);
+        }
+        let (mut rnd, _) = node(4096, region);
+        // A crude LCG for deterministic "random" offsets.
+        let mut x = 12345u64;
+        for _ in 0..2400 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let account = (x >> 33) % (region / 128);
+            one_txn(&mut rnd, account * 128);
+        }
+        assert!(
+            rnd.stats().pages_written > 2 * seq.stats().pages_written,
+            "random {} vs sequential {}",
+            rnd.stats().pages_written,
+            seq.stats().pages_written
+        );
+    }
+
+    #[test]
+    fn paging_degrades_gracefully_because_pages_are_clean() {
+        // Region twice the frame pool: evictions happen constantly, but
+        // frequent truncation keeps pages clean, so writebacks stay rare
+        // relative to evictions.
+        let region = 8 << 20; // 2048 pages
+        let (mut cam, _clock) = node(1024, region);
+        let mut x = 7u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let account = (x >> 33) % (region / 128);
+            one_txn(&mut cam, account * 128);
+        }
+        let vm = cam.vm_stats();
+        assert!(vm.evictions > 0);
+        assert!(
+            (vm.writebacks as f64) < 0.5 * vm.evictions as f64,
+            "writebacks {} vs evictions {}",
+            vm.writebacks,
+            vm.evictions
+        );
+    }
+
+    #[test]
+    fn page_span_helper() {
+        assert_eq!(page_span(0, 1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(page_span(4095, 2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(page_span(8192, 4096).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(page_span(100, 0).count(), 0);
+    }
+}

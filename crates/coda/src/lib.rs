@@ -1,0 +1,281 @@
+//! Coda-like workloads for reproducing **Table 2** (§7.3): the observed
+//! savings in log traffic due to RVM's intra- and inter-transaction
+//! optimizations on three Coda servers and six Coda clients.
+//!
+//! The paper's data came from four days of live Coda operation. What the
+//! optimizations exploit is structural, and this generator produces both
+//! phenomena synthetically:
+//!
+//! * **Servers** commit directory operations with *flush* transactions.
+//!   Modularity and defensive programming make call chains re-declare
+//!   ranges they may already have declared ("applications are often
+//!   written to err on the side of caution", §5.2) — duplicate and
+//!   overlapping `set_range`s that the intra-transaction optimization
+//!   coalesces. Servers see **no** inter-transaction savings because that
+//!   optimization only applies to no-flush transactions.
+//!
+//! * **Clients** persist replay logs and hoard state with *no-flush*
+//!   transactions. Temporal locality — the paper's example is
+//!   `cp d1/* d2` issuing one transaction per child of `d1`, each
+//!   rewriting `d2`'s directory structure — creates bursts in which each
+//!   commit subsumes its predecessor, so only the last record per burst
+//!   survives a flush.
+//!
+//! Per-machine intensities (how defensive the code paths are, how long
+//! the bursts run) are calibrated so the savings land near the paper's
+//! per-machine percentages; transaction counts are the paper's divided by
+//! [`SCALE`].
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rvm::segment::MemResolver;
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+use rvm_storage::MemDevice;
+
+/// Paper transaction counts are divided by this to keep runs quick.
+pub const SCALE: u64 = 20;
+
+/// Whether a machine runs the server or client workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// Coda file server: flush-mode meta-data transactions.
+    Server,
+    /// Coda client: no-flush replay-log/hoard transactions.
+    Client,
+}
+
+/// One machine's workload profile.
+#[derive(Debug, Clone)]
+pub struct MachineProfile {
+    /// Machine name (the paper's host names).
+    pub name: &'static str,
+    /// Server or client.
+    pub kind: MachineKind,
+    /// Transactions to commit (already scaled).
+    pub txns: u64,
+    /// Base object (directory block) size in bytes.
+    pub obj_size: u64,
+    /// Average *extra* fraction of the object re-declared by defensive
+    /// call chains (drives intra-transaction savings).
+    pub dup_intensity: f64,
+    /// Mean burst length of same-directory updates (drives
+    /// inter-transaction savings; 1.0 = no bursts). Ignored for servers.
+    pub burst_mean: f64,
+    /// Client flush period in transactions (bounded persistence).
+    pub flush_every: u64,
+}
+
+/// Reference row from the paper's Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Machine name.
+    pub name: &'static str,
+    /// Transactions committed over the four days.
+    pub txns: u64,
+    /// Bytes written to the log (after optimizations).
+    pub bytes: u64,
+    /// Intra-transaction savings, percent.
+    pub intra_pct: f64,
+    /// Inter-transaction savings, percent.
+    pub inter_pct: f64,
+}
+
+/// The paper's Table 2, verbatim.
+pub const PAPER_TABLE2: [PaperRow; 9] = [
+    PaperRow { name: "grieg", txns: 267_224, bytes: 289_215_032, intra_pct: 20.7, inter_pct: 0.0 },
+    PaperRow { name: "haydn", txns: 483_978, bytes: 661_612_324, intra_pct: 21.5, inter_pct: 0.0 },
+    PaperRow { name: "wagner", txns: 248_169, bytes: 264_557_372, intra_pct: 20.9, inter_pct: 0.0 },
+    PaperRow { name: "mozart", txns: 34_744, bytes: 9_039_008, intra_pct: 41.6, inter_pct: 26.7 },
+    PaperRow { name: "ives", txns: 21_013, bytes: 6_842_648, intra_pct: 31.2, inter_pct: 22.0 },
+    PaperRow { name: "verdi", txns: 21_907, bytes: 5_789_696, intra_pct: 28.1, inter_pct: 20.9 },
+    PaperRow { name: "bach", txns: 26_209, bytes: 10_787_736, intra_pct: 25.8, inter_pct: 21.9 },
+    PaperRow { name: "purcell", txns: 76_491, bytes: 12_247_508, intra_pct: 41.3, inter_pct: 36.2 },
+    PaperRow { name: "berlioz", txns: 101_168, bytes: 14_918_736, intra_pct: 17.3, inter_pct: 64.3 },
+];
+
+/// Calibrated per-machine profiles (servers first, like the paper).
+pub fn profiles() -> Vec<MachineProfile> {
+    vec![
+        MachineProfile { name: "grieg", kind: MachineKind::Server, txns: 267_224 / SCALE, obj_size: 960, dup_intensity: 0.30, burst_mean: 1.0, flush_every: 0 },
+        MachineProfile { name: "haydn", kind: MachineKind::Server, txns: 483_978 / SCALE, obj_size: 1248, dup_intensity: 0.32, burst_mean: 1.0, flush_every: 0 },
+        MachineProfile { name: "wagner", kind: MachineKind::Server, txns: 248_169 / SCALE, obj_size: 944, dup_intensity: 0.31, burst_mean: 1.0, flush_every: 0 },
+        MachineProfile { name: "mozart", kind: MachineKind::Client, txns: 34_744 / SCALE, obj_size: 224, dup_intensity: 1.05, burst_mean: 2.0, flush_every: 64 },
+        MachineProfile { name: "ives", kind: MachineKind::Client, txns: 21_013 / SCALE, obj_size: 288, dup_intensity: 0.62, burst_mean: 1.45, flush_every: 64 },
+        MachineProfile { name: "verdi", kind: MachineKind::Client, txns: 21_907 / SCALE, obj_size: 240, dup_intensity: 0.55, burst_mean: 1.4, flush_every: 64 },
+        MachineProfile { name: "bach", kind: MachineKind::Client, txns: 26_209 / SCALE, obj_size: 368, dup_intensity: 0.44, burst_mean: 1.42, flush_every: 64 },
+        MachineProfile { name: "purcell", kind: MachineKind::Client, txns: 76_491 / SCALE, obj_size: 144, dup_intensity: 1.30, burst_mean: 3.1, flush_every: 64 },
+        MachineProfile { name: "berlioz", kind: MachineKind::Client, txns: 101_168 / SCALE, obj_size: 128, dup_intensity: 0.45, burst_mean: 7.5, flush_every: 64 },
+    ]
+}
+
+/// Measured results for one machine.
+#[derive(Debug, Clone)]
+pub struct MachineRow {
+    /// Machine name.
+    pub name: &'static str,
+    /// Transactions committed.
+    pub txns: u64,
+    /// Bytes written to the log after both optimizations.
+    pub bytes_logged: u64,
+    /// Intra-transaction savings, percent of original log volume.
+    pub intra_pct: f64,
+    /// Inter-transaction savings, percent of original log volume.
+    pub inter_pct: f64,
+}
+
+impl MachineRow {
+    /// Total savings, percent.
+    pub fn total_pct(&self) -> f64 {
+        self.intra_pct + self.inter_pct
+    }
+}
+
+/// Number of directory objects each machine's region holds.
+const NUM_OBJECTS: u64 = 512;
+
+/// Runs one machine's workload against a fresh RVM instance and reports
+/// its Table 2 row.
+pub fn run_machine(profile: &MachineProfile, seed: u64) -> MachineRow {
+    let region_len =
+        (NUM_OBJECTS * profile.obj_size * 2).div_ceil(PAGE_SIZE) * PAGE_SIZE + PAGE_SIZE;
+    let log = Arc::new(MemDevice::with_len(256 << 20));
+    let rvm = Rvm::initialize(
+        Options::new(log)
+            .resolver(MemResolver::new().into_resolver())
+            .create_if_empty(),
+    )
+    .expect("initialize");
+    let region = rvm
+        .map(&RegionDescriptor::new("coda-meta", 0, region_len))
+        .expect("map");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut committed = 0u64;
+    let mut burst_left = 0u64;
+    let mut burst_obj = 0u64;
+    let mut burst_step = 0u64;
+    while committed < profile.txns {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+
+        let (obj, write_len) = match profile.kind {
+            MachineKind::Server => (rng.random_range(0..NUM_OBJECTS), profile.obj_size),
+            MachineKind::Client => {
+                if burst_left == 0 {
+                    // Start a new burst: `cp d1/* d2` touches one target
+                    // directory once per child.
+                    burst_obj = rng.random_range(0..NUM_OBJECTS);
+                    burst_step = 0;
+                    let p = 1.0 / profile.burst_mean.max(1.0);
+                    burst_left = 1;
+                    while burst_left < 64 && rng.random_range(0.0..1.0) > p {
+                        burst_left += 1;
+                    }
+                }
+                burst_left -= 1;
+                burst_step += 1;
+                // The directory block grows a little with each entry; a
+                // later rewrite covers all earlier ones.
+                (burst_obj, (profile.obj_size + burst_step * 8).min(profile.obj_size * 2))
+            }
+        };
+        let base = obj * profile.obj_size * 2;
+
+        // The primary declaration plus the write.
+        let payload = vec![(committed & 0xFF) as u8; write_len as usize];
+        region.write(&mut txn, base, &payload).expect("write");
+
+        // Defensive re-declarations by helper procedures: duplicates and
+        // overlaps that the intra optimization will coalesce.
+        let mut extra = (profile.obj_size as f64 * profile.dup_intensity) as u64;
+        while extra > 0 {
+            let len = extra.min(profile.obj_size / 2).max(16).min(write_len);
+            let start = base + rng.random_range(0..=(write_len - len));
+            txn.set_range(&region, start, len).expect("set_range");
+            extra = extra.saturating_sub(len);
+        }
+
+        let mode = match profile.kind {
+            MachineKind::Server => CommitMode::Flush,
+            MachineKind::Client => CommitMode::NoFlush,
+        };
+        txn.commit(mode).expect("commit");
+        committed += 1;
+
+        if profile.kind == MachineKind::Client && profile.flush_every > 0
+            && committed % profile.flush_every == 0
+        {
+            rvm.flush().expect("flush");
+        }
+    }
+    rvm.flush().expect("final flush");
+
+    let stats = rvm.stats();
+    MachineRow {
+        name: profile.name,
+        txns: committed,
+        bytes_logged: stats.bytes_logged,
+        intra_pct: stats.intra_savings_fraction() * 100.0,
+        inter_pct: stats.inter_savings_fraction() * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(name: &str) -> MachineProfile {
+        profiles().into_iter().find(|p| p.name == name).unwrap()
+    }
+
+    #[test]
+    fn servers_have_intra_but_no_inter_savings() {
+        let mut p = profile("grieg");
+        p.txns = 500;
+        let row = run_machine(&p, 1);
+        assert_eq!(row.txns, 500);
+        assert!(row.intra_pct > 5.0, "intra {}", row.intra_pct);
+        assert_eq!(row.inter_pct, 0.0);
+    }
+
+    #[test]
+    fn clients_get_both_kinds_of_savings() {
+        let mut p = profile("berlioz");
+        p.txns = 2000;
+        let row = run_machine(&p, 2);
+        assert!(row.intra_pct > 5.0, "intra {}", row.intra_pct);
+        assert!(row.inter_pct > 20.0, "inter {}", row.inter_pct);
+    }
+
+    #[test]
+    fn longer_bursts_mean_more_inter_savings() {
+        let mut short = profile("verdi");
+        short.txns = 2000;
+        let mut long = short.clone();
+        long.burst_mean = 10.0;
+        let a = run_machine(&short, 3);
+        let b = run_machine(&long, 3);
+        assert!(
+            b.inter_pct > a.inter_pct + 5.0,
+            "short {} vs long {}",
+            a.inter_pct,
+            b.inter_pct
+        );
+    }
+
+    #[test]
+    fn paper_reference_rows_are_consistent() {
+        assert_eq!(PAPER_TABLE2.len(), 9);
+        // The paper's servers show zero inter-transaction savings.
+        for row in &PAPER_TABLE2[..3] {
+            assert_eq!(row.inter_pct, 0.0);
+        }
+        let profs = profiles();
+        assert_eq!(profs.len(), 9);
+        for (p, r) in profs.iter().zip(PAPER_TABLE2.iter()) {
+            assert_eq!(p.name, r.name);
+            assert_eq!(p.txns, r.txns / SCALE);
+        }
+    }
+}

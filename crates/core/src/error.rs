@@ -1,0 +1,144 @@
+//! RVM error type.
+
+use std::fmt;
+
+use rvm_storage::DeviceError;
+
+/// Result alias for RVM operations.
+pub type Result<T> = std::result::Result<T, RvmError>;
+
+/// Errors reported by the RVM library.
+///
+/// Mirrors the return-code discipline of the original C library: every
+/// operation that touches a device, the log, or library state is fallible.
+#[derive(Debug)]
+pub enum RvmError {
+    /// An error from the log or a data-segment device.
+    Device(DeviceError),
+    /// The log device is not a valid RVM log (bad magic, both status-block
+    /// copies corrupt, or impossible geometry).
+    BadLog(String),
+    /// The log is too small to hold the record being committed even after
+    /// truncation.
+    LogFull {
+        /// Bytes the record needs.
+        needed: u64,
+        /// Usable record-area capacity.
+        capacity: u64,
+    },
+    /// A mapping request violated the rules of §4.1: overlap with an
+    /// existing mapping, duplicate mapping, or bad alignment.
+    BadMapping(String),
+    /// The named segment could not be entered into the status block's
+    /// segment table (table full).
+    SegmentTableFull,
+    /// An offset/length pair fell outside a region.
+    OutOfRange {
+        /// Requested start offset within the region.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// The region's length.
+        region_len: u64,
+    },
+    /// The operation needs a mapped region but the region was unmapped.
+    Unmapped,
+    /// `unmap` was called while transactions with uncommitted changes to
+    /// the region were outstanding.
+    RegionBusy {
+        /// Number of outstanding uncommitted transactions on the region.
+        uncommitted: u64,
+    },
+    /// `abort` was called on a no-restore transaction (§4.2: such a
+    /// transaction promises never to abort, and RVM kept no old values).
+    CannotAbortNoRestore,
+    /// An operation was attempted on a transaction that already ended.
+    TransactionEnded,
+    /// `terminate` was called while transactions were still in progress.
+    TransactionsOutstanding(u64),
+    /// The library instance has been terminated.
+    Terminated,
+}
+
+impl fmt::Display for RvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvmError::Device(e) => write!(f, "device error: {e}"),
+            RvmError::BadLog(msg) => write!(f, "not a valid RVM log: {msg}"),
+            RvmError::LogFull { needed, capacity } => write!(
+                f,
+                "log full: record of {needed} bytes cannot fit in a log of capacity {capacity}"
+            ),
+            RvmError::BadMapping(msg) => write!(f, "bad mapping: {msg}"),
+            RvmError::SegmentTableFull => write!(f, "segment table full"),
+            RvmError::OutOfRange {
+                offset,
+                len,
+                region_len,
+            } => write!(
+                f,
+                "range [{offset}, {}) outside region of length {region_len}",
+                offset + len
+            ),
+            RvmError::Unmapped => write!(f, "region is not mapped"),
+            RvmError::RegionBusy { uncommitted } => write!(
+                f,
+                "region has {uncommitted} uncommitted transaction(s) outstanding"
+            ),
+            RvmError::CannotAbortNoRestore => {
+                write!(f, "no-restore transactions cannot be aborted")
+            }
+            RvmError::TransactionEnded => write!(f, "transaction has already ended"),
+            RvmError::TransactionsOutstanding(n) => {
+                write!(f, "cannot terminate: {n} transaction(s) outstanding")
+            }
+            RvmError::Terminated => write!(f, "RVM instance has been terminated"),
+        }
+    }
+}
+
+impl std::error::Error for RvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RvmError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for RvmError {
+    fn from(e: DeviceError) -> Self {
+        RvmError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RvmError::LogFull {
+            needed: 100,
+            capacity: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+        assert!(RvmError::CannotAbortNoRestore
+            .to_string()
+            .contains("no-restore"));
+        assert!(RvmError::OutOfRange {
+            offset: 8,
+            len: 8,
+            region_len: 4
+        }
+        .to_string()
+        .contains("[8, 16)"));
+    }
+
+    #[test]
+    fn device_errors_convert() {
+        let e: RvmError = DeviceError::Crashed.into();
+        assert!(matches!(e, RvmError::Device(DeviceError::Crashed)));
+    }
+}

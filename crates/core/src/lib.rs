@@ -1,0 +1,96 @@
+//! # RVM — Lightweight Recoverable Virtual Memory
+//!
+//! A Rust implementation of the transactional facility described in
+//! M. Satyanarayanan, H. H. Mashburn, P. Kumar, D. C. Steere and
+//! J. J. Kistler, *"Lightweight Recoverable Virtual Memory"*, SOSP 1993.
+//!
+//! RVM offers **recoverable virtual memory**: regions of memory on which
+//! transactional **atomicity** and (process-failure) **permanence** are
+//! guaranteed, while **serializability** and **media recovery** are
+//! deliberately left to layers above and below (Figure 2 of the paper).
+//! It is a library, not a server: no external process, no special
+//! operating-system support — a deliberate reaction to the Camelot
+//! experience the paper recounts (§2–3).
+//!
+//! ## The programming model
+//!
+//! 1. [`Rvm::initialize`] opens a write-ahead log and runs crash recovery.
+//! 2. [`Rvm::map`] maps regions of named *external data segments* into
+//!    memory; newly mapped data is the committed image.
+//! 3. [`Rvm::begin_transaction`] starts a [`Transaction`];
+//!    [`Transaction::set_range`] (or the write helpers on [`Region`])
+//!    declares the bytes about to change; [`Transaction::commit`] makes
+//!    the change atomic and — with [`CommitMode::Flush`] — permanent.
+//! 4. [`Rvm::flush`] and [`Rvm::truncate`] expose log control for
+//!    applications using lazy ([`CommitMode::NoFlush`]) commits.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+//! use rvm::segment::MemResolver;
+//! use rvm_storage::MemDevice;
+//!
+//! # fn main() -> rvm::Result<()> {
+//! let log: Arc<MemDevice> = Arc::new(MemDevice::with_len(1 << 20));
+//! let segments = MemResolver::new();
+//! let rvm = Rvm::initialize(
+//!     Options::new(log.clone())
+//!         .resolver(segments.clone().into_resolver())
+//!         .create_if_empty(),
+//! )?;
+//! let region = rvm.map(&RegionDescriptor::new("counters", 0, PAGE_SIZE))?;
+//!
+//! let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+//! let n = region.get_u64(0)?;
+//! region.put_u64(&mut txn, 0, n + 1)?;
+//! txn.commit(CommitMode::Flush)?;
+//! assert_eq!(region.get_u64(0)?, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## What is implemented
+//!
+//! * Segments/regions with the §4.1 mapping rules; a safe byte/typed API
+//!   plus a pointer-based unsafe-style API mirroring the C library.
+//! * No-undo/redo new-value logging with single-record commits, CRC-sealed
+//!   against torn writes, bidirectional scanning (Figure 5), a circular
+//!   record area with a dual-copy status block (Figure 6).
+//! * Crash recovery by tail→head latest-wins trees, idempotent via
+//!   delayed status update (§5.1.2).
+//! * Epoch **and** incremental truncation (page vector, page queue,
+//!   uncommitted reference counts — Figure 7), with automatic reversion
+//!   to epoch truncation when incremental progress is blocked.
+//! * Intra- and inter-transaction log optimizations (§5.2), individually
+//!   switchable for ablation.
+//! * No-restore and no-flush transaction modes, `flush`/`truncate` log
+//!   control, `query`/`set_options` introspection and tuning.
+//!
+//! Layered packages live in sibling crates, as the paper suggests (§8):
+//! `rvm-alloc` (recoverable heap), `rvm-loader` (segment loader),
+//! `rvm-nest` (nesting), `rvm-dist` (two-phase commit).
+
+pub mod crc;
+mod error;
+pub mod log;
+mod options;
+pub mod query;
+pub mod ranges;
+pub mod recovery;
+mod region;
+mod rvm;
+pub mod segment;
+mod spool;
+pub mod stats;
+mod truncation;
+mod txn;
+
+pub use crc::crc32;
+pub use error::{Result, RvmError};
+pub use options::{CommitMode, LoadPolicy, Options, TruncationMode, Tuning, TxnMode, PAGE_SIZE};
+pub use query::{LogInfo, QueryInfo};
+pub use recovery::RecoveryReport;
+pub use region::{Region, RegionDescriptor};
+pub use rvm::Rvm;
+pub use stats::StatsSnapshot;
+pub use txn::Transaction;

@@ -1,0 +1,6 @@
+//! Write-ahead log: record format, status block, and the circular writer
+//! with forward and backward scanning (§5.1).
+
+pub mod record;
+pub mod status;
+pub mod wal;

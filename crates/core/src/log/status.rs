@@ -1,0 +1,349 @@
+//! The log status block (§5.1.2).
+//!
+//! The status block records the durable head and tail of the circular
+//! record area, the sequence number expected at the head, and the segment
+//! table mapping segment ids to names. Two copies are kept at fixed
+//! offsets and written alternately with a monotone sequence number and a
+//! CRC; a torn status write therefore leaves the other copy intact, and
+//! whichever valid copy has the higher sequence wins. Updating the status
+//! block *last* is what makes recovery idempotent: until the update lands,
+//! a re-run of recovery sees the same log.
+
+use rvm_storage::Device;
+
+use crate::crc::crc32;
+use crate::error::{Result, RvmError};
+use crate::segment::{SegmentId, SegmentInfo};
+
+/// Size reserved for one status-block copy.
+pub const STATUS_BLOCK_SIZE: u64 = 8192;
+/// Offset of copy A.
+pub const STATUS_A_OFFSET: u64 = 0;
+/// Offset of copy B.
+pub const STATUS_B_OFFSET: u64 = STATUS_BLOCK_SIZE;
+/// Offset where the circular record area begins.
+pub const LOG_AREA_START: u64 = 2 * STATUS_BLOCK_SIZE;
+
+const STATUS_MAGIC: u64 = 0x5256_4D53_5441_5431; // "RVMSTAT1"
+const FORMAT_VERSION: u64 = 1;
+
+/// Durable bookkeeping persisted in the status area.
+///
+/// `head`/`tail` are *logical* offsets: monotone counters whose value
+/// modulo the record-area length gives the physical position. `tail` is a
+/// hint — recovery always re-derives the true tail by scanning forward
+/// from `head` — but is kept accurate at truncation for inspection tools.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusBlock {
+    /// Write sequence of the status block itself (picks the newer copy).
+    pub seq: u64,
+    /// Logical offset of the oldest live record.
+    pub head: u64,
+    /// Logical offset one past the newest record known at last write.
+    pub tail: u64,
+    /// Record sequence number expected at `head`.
+    pub seq_at_head: u64,
+    /// Next record sequence number to assign (hint).
+    pub next_seq: u64,
+    /// Length of the circular record area.
+    pub area_len: u64,
+    /// The segment table.
+    pub segments: Vec<SegmentInfo>,
+}
+
+impl StatusBlock {
+    /// A fresh, empty log with the given record-area length.
+    pub fn fresh(area_len: u64) -> Self {
+        Self {
+            seq: 0,
+            head: 0,
+            tail: 0,
+            seq_at_head: 1,
+            next_seq: 1,
+            area_len,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Looks up a segment by name.
+    pub fn segment_by_name(&self, name: &str) -> Option<&SegmentInfo> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a segment by id.
+    pub fn segment_by_id(&self, id: SegmentId) -> Option<&SegmentInfo> {
+        self.segments.iter().find(|s| s.id == id)
+    }
+
+    /// Serializes into one status-block image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment table does not fit; callers bound the table
+    /// via [`StatusBlock::table_has_room`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; STATUS_BLOCK_SIZE as usize];
+        buf[0..8].copy_from_slice(&STATUS_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.seq.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.head.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.tail.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.seq_at_head.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.next_seq.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.area_len.to_le_bytes());
+        buf[64..68].copy_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        let mut at = 68;
+        for seg in &self.segments {
+            let name = seg.name.as_bytes();
+            assert!(
+                at + 16 + name.len() <= STATUS_BLOCK_SIZE as usize - 4,
+                "segment table overflows the status block"
+            );
+            buf[at..at + 4].copy_from_slice(&seg.id.as_u32().to_le_bytes());
+            buf[at + 4..at + 8].copy_from_slice(&(name.len() as u32).to_le_bytes());
+            buf[at + 8..at + 16].copy_from_slice(&seg.min_len.to_le_bytes());
+            buf[at + 16..at + 16 + name.len()].copy_from_slice(name);
+            at += 16 + name.len();
+        }
+        let crc_at = STATUS_BLOCK_SIZE as usize - 4;
+        let crc = crc32(&buf[..crc_at]);
+        buf[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Parses and validates one status-block image.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() != STATUS_BLOCK_SIZE as usize {
+            return None;
+        }
+        let crc_at = STATUS_BLOCK_SIZE as usize - 4;
+        let stored = u32::from_le_bytes(buf[crc_at..].try_into().ok()?);
+        if crc32(&buf[..crc_at]) != stored {
+            return None;
+        }
+        let get64 = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        if get64(0) != STATUS_MAGIC || get64(8) != FORMAT_VERSION {
+            return None;
+        }
+        let n_segments = u32::from_le_bytes(buf[64..68].try_into().unwrap()) as usize;
+        let mut segments = Vec::with_capacity(n_segments);
+        let mut at = 68;
+        for _ in 0..n_segments {
+            if at + 16 > crc_at {
+                return None;
+            }
+            let id = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+            let name_len = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()) as usize;
+            let min_len = get64(at + 8);
+            if at + 16 + name_len > crc_at {
+                return None;
+            }
+            let name = String::from_utf8(buf[at + 16..at + 16 + name_len].to_vec()).ok()?;
+            segments.push(SegmentInfo {
+                id: SegmentId::new(id),
+                name,
+                min_len,
+            });
+            at += 16 + name_len;
+        }
+        Some(Self {
+            seq: get64(16),
+            head: get64(24),
+            tail: get64(32),
+            seq_at_head: get64(40),
+            next_seq: get64(48),
+            area_len: get64(56),
+            segments,
+        })
+    }
+
+    /// Returns `true` if a segment entry with a name of `name_len` bytes
+    /// still fits in the status block.
+    pub fn table_has_room(&self, name_len: usize) -> bool {
+        Self::segments_fit(&self.segments, name_len)
+    }
+
+    /// Like [`StatusBlock::table_has_room`] but over a bare segment table.
+    pub fn segments_fit(segments: &[SegmentInfo], extra_name_len: usize) -> bool {
+        let used: usize = 68 + segments.iter().map(|s| 16 + s.name.len()).sum::<usize>();
+        used + 16 + extra_name_len <= STATUS_BLOCK_SIZE as usize - 4
+    }
+}
+
+/// Reads the valid status copy with the highest sequence number.
+pub fn read_status(dev: &dyn Device) -> Result<StatusBlock> {
+    let mut best: Option<StatusBlock> = None;
+    for offset in [STATUS_A_OFFSET, STATUS_B_OFFSET] {
+        let mut buf = vec![0u8; STATUS_BLOCK_SIZE as usize];
+        if dev.read_at(offset, &mut buf).is_err() {
+            continue;
+        }
+        if let Some(sb) = StatusBlock::decode(&buf) {
+            if best.as_ref().is_none_or(|b| sb.seq > b.seq) {
+                best = Some(sb);
+            }
+        }
+    }
+    best.ok_or_else(|| RvmError::BadLog("no valid status block copy".to_owned()))
+}
+
+/// Writes the status block to the copy slot selected by its (incremented)
+/// sequence number and syncs the device.
+pub fn write_status(dev: &dyn Device, status: &mut StatusBlock) -> Result<()> {
+    status.seq += 1;
+    let offset = if status.seq % 2 == 0 {
+        STATUS_A_OFFSET
+    } else {
+        STATUS_B_OFFSET
+    };
+    dev.write_at(offset, &status.encode())?;
+    dev.sync()?;
+    Ok(())
+}
+
+/// Formats `dev` as an empty RVM log (the paper's `create_log`).
+///
+/// The record area is the device length minus the two status copies,
+/// rounded down to a whole number of log blocks.
+pub fn format_log(dev: &dyn Device) -> Result<StatusBlock> {
+    let len = dev.len()?;
+    let min = LOG_AREA_START + crate::log::record::MIN_RECORD_SIZE;
+    if len < min {
+        return Err(RvmError::BadLog(format!(
+            "log device of {len} bytes is smaller than the minimum {min}"
+        )));
+    }
+    let area_len =
+        (len - LOG_AREA_START) / crate::log::record::LOG_BLOCK * crate::log::record::LOG_BLOCK;
+    let mut status = StatusBlock::fresh(area_len);
+    // Write both copies so a fresh log is valid regardless of which copy a
+    // later torn write destroys.
+    dev.write_at(STATUS_A_OFFSET, &status.encode())?;
+    status.seq = 1;
+    dev.write_at(STATUS_B_OFFSET, &status.encode())?;
+    dev.sync()?;
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::MemDevice;
+
+    fn sample() -> StatusBlock {
+        StatusBlock {
+            seq: 5,
+            head: 1024,
+            tail: 4096,
+            seq_at_head: 17,
+            next_seq: 29,
+            area_len: 1 << 20,
+            segments: vec![
+                SegmentInfo {
+                    id: SegmentId::new(0),
+                    name: "/data/seg0".to_owned(),
+                    min_len: 8192,
+                },
+                SegmentInfo {
+                    id: SegmentId::new(1),
+                    name: "accounts".to_owned(),
+                    min_len: 1 << 16,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let sb = sample();
+        let decoded = StatusBlock::decode(&sb.encode()).expect("decodes");
+        assert_eq!(decoded, sb);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let buf = sample().encode();
+        for i in [0usize, 20, 70, STATUS_BLOCK_SIZE as usize - 1] {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xFF;
+            assert!(StatusBlock::decode(&bad).is_none(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let sb = sample();
+        assert_eq!(sb.segment_by_name("accounts").unwrap().id, SegmentId::new(1));
+        assert!(sb.segment_by_name("missing").is_none());
+        assert_eq!(sb.segment_by_id(SegmentId::new(0)).unwrap().name, "/data/seg0");
+    }
+
+    #[test]
+    fn dual_copy_read_prefers_higher_seq() {
+        let dev = MemDevice::with_len(LOG_AREA_START + 4096);
+        format_log(&dev).unwrap();
+        let mut sb = read_status(&dev).unwrap();
+        assert_eq!(sb.seq, 1);
+        sb.head = 512;
+        write_status(&dev, &mut sb).unwrap();
+        let got = read_status(&dev).unwrap();
+        assert_eq!(got.seq, 2);
+        assert_eq!(got.head, 512);
+    }
+
+    #[test]
+    fn torn_status_write_falls_back_to_other_copy() {
+        let dev = MemDevice::with_len(LOG_AREA_START + 4096);
+        format_log(&dev).unwrap();
+        let mut sb = read_status(&dev).unwrap();
+        sb.head = 512;
+        write_status(&dev, &mut sb).unwrap(); // seq 2 -> copy A
+        // Corrupt copy A, as a torn write would.
+        dev.write_at(STATUS_A_OFFSET + 100, &[0xFF; 8]).unwrap();
+        let got = read_status(&dev).unwrap();
+        assert_eq!(got.seq, 1, "falls back to copy B");
+        assert_eq!(got.head, 0);
+    }
+
+    #[test]
+    fn both_copies_corrupt_is_an_error() {
+        let dev = MemDevice::with_len(LOG_AREA_START + 4096);
+        format_log(&dev).unwrap();
+        dev.write_at(STATUS_A_OFFSET + 100, &[0xFF; 8]).unwrap();
+        dev.write_at(STATUS_B_OFFSET + 100, &[0xFF; 8]).unwrap();
+        assert!(matches!(read_status(&dev), Err(RvmError::BadLog(_))));
+    }
+
+    #[test]
+    fn format_rejects_tiny_devices() {
+        let dev = MemDevice::with_len(100);
+        assert!(matches!(format_log(&dev), Err(RvmError::BadLog(_))));
+    }
+
+    #[test]
+    fn format_aligns_area_len() {
+        let dev = MemDevice::with_len(LOG_AREA_START + 1000);
+        let sb = format_log(&dev).unwrap();
+        assert_eq!(sb.area_len, 512);
+    }
+
+    #[test]
+    fn table_room_check() {
+        let mut sb = StatusBlock::fresh(512);
+        assert!(sb.table_has_room(100));
+        // Fill the table almost to capacity.
+        let big_name = "x".repeat(4000);
+        sb.segments.push(SegmentInfo {
+            id: SegmentId::new(0),
+            name: big_name.clone(),
+            min_len: 0,
+        });
+        assert!(sb.table_has_room(100));
+        sb.segments.push(SegmentInfo {
+            id: SegmentId::new(1),
+            name: big_name,
+            min_len: 0,
+        });
+        assert!(!sb.table_has_room(1000));
+    }
+}

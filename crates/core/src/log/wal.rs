@@ -1,0 +1,514 @@
+//! The circular log writer and its scanners.
+//!
+//! The record area behaves like the paper's Figure 6: a circular buffer in
+//! which `head` chases `tail`. Offsets are *logical* (monotone u64); the
+//! physical position is `LOG_AREA_START + logical % area_len`. Records
+//! never straddle the physical end of the area — a pad record fills the
+//! remainder of a lap when the next record would not fit — so every record
+//! is contiguous on the device.
+//!
+//! Because records carry both a forward length (header) and a backward
+//! length (trailer), the log can be read in either direction, matching the
+//! bidirectional displacements of Figure 5. Recovery uses the forward scan
+//! to locate the true tail (the first invalid record or sequence gap) and
+//! then processes records newest-first; the backward scan backs the
+//! post-mortem inspection tool.
+
+use std::sync::Arc;
+
+use rvm_storage::Device;
+
+use crate::error::{Result, RvmError};
+use crate::log::record::{
+    self, encode_pad, encode_txn, parse_header, parse_record, RecordRange, TxnRecord, HEADER_SIZE,
+    LOG_BLOCK, MIN_RECORD_SIZE, TRAILER_SIZE,
+};
+use crate::log::status::LOG_AREA_START;
+
+/// Result of appending one transaction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendInfo {
+    /// Logical offset of the record's first byte.
+    pub offset: u64,
+    /// Sequence number assigned to the record.
+    pub seq: u64,
+    /// Unpadded record bytes (header + payload + trailer), the quantity
+    /// Table 2 reports as "bytes written to log".
+    pub record_bytes: u64,
+    /// Log space consumed, padding and any pad record included.
+    pub space_consumed: u64,
+}
+
+/// The circular log writer.
+pub struct Wal {
+    dev: Arc<dyn Device>,
+    area_len: u64,
+    head: u64,
+    tail: u64,
+    next_seq: u64,
+    seq_at_head: u64,
+}
+
+impl Wal {
+    /// Creates a writer over `dev` with geometry and positions from the
+    /// status block / recovery.
+    pub fn new(dev: Arc<dyn Device>, area_len: u64, head: u64, tail: u64, seq_at_head: u64, next_seq: u64) -> Self {
+        debug_assert!(head <= tail && tail - head <= area_len);
+        Self {
+            dev,
+            area_len,
+            head,
+            tail,
+            next_seq,
+            seq_at_head,
+        }
+    }
+
+    /// Logical offset of the oldest live record.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Logical offset one past the newest record.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Sequence number expected at `head`.
+    pub fn seq_at_head(&self) -> u64 {
+        self.seq_at_head
+    }
+
+    /// Next sequence number to be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bytes of live log.
+    pub fn used(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Total record-area capacity.
+    pub fn capacity(&self) -> u64 {
+        self.area_len
+    }
+
+    /// Free space available for appends.
+    pub fn free_space(&self) -> u64 {
+        self.area_len - self.used()
+    }
+
+    /// Utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.used() as f64 / self.area_len as f64
+    }
+
+    /// The log device.
+    pub fn device(&self) -> &Arc<dyn Device> {
+        &self.dev
+    }
+
+    fn phys(&self, logical: u64) -> u64 {
+        LOG_AREA_START + logical % self.area_len
+    }
+
+    /// Space an append of a record with the given padded size would
+    /// consume, including a pad record if the record would not fit in the
+    /// current lap.
+    pub fn space_needed(&self, padded_size: u64) -> u64 {
+        let lap_remaining = self.area_len - self.tail % self.area_len;
+        if padded_size <= lap_remaining {
+            padded_size
+        } else {
+            padded_size + lap_remaining
+        }
+    }
+
+    /// Appends one committed transaction as a single record.
+    ///
+    /// The caller is responsible for ensuring space (triggering truncation
+    /// as needed); if the record cannot fit in the *entire* area the error
+    /// is [`RvmError::LogFull`], and if it merely cannot fit right now the
+    /// error is [`RvmError::LogFull`] with `capacity` set to the free
+    /// space — callers distinguish by comparing against [`Wal::capacity`].
+    pub fn append_txn(&mut self, tid: u64, ranges: &[RecordRange]) -> Result<AppendInfo> {
+        let padded = record::txn_record_size(ranges.iter().map(|r| r.data.len() as u64));
+        if padded > self.area_len {
+            return Err(RvmError::LogFull {
+                needed: padded,
+                capacity: self.area_len,
+            });
+        }
+        let need = self.space_needed(padded);
+        if need > self.free_space() {
+            return Err(RvmError::LogFull {
+                needed: need,
+                capacity: self.free_space(),
+            });
+        }
+
+        // Pad out the current lap if the record will not fit in it.
+        let lap_remaining = self.area_len - self.tail % self.area_len;
+        if padded > lap_remaining {
+            debug_assert!(lap_remaining >= MIN_RECORD_SIZE);
+            let pad = encode_pad(self.next_seq, lap_remaining);
+            self.dev.write_at(self.phys(self.tail), &pad)?;
+            self.next_seq += 1;
+            self.tail += lap_remaining;
+        }
+
+        let seq = self.next_seq;
+        let buf = encode_txn(seq, tid, ranges);
+        debug_assert_eq!(buf.len() as u64, padded);
+        let offset = self.tail;
+        self.dev.write_at(self.phys(offset), &buf)?;
+        self.next_seq += 1;
+        self.tail += padded;
+
+        let record_bytes = HEADER_SIZE
+            + ranges
+                .iter()
+                .map(|r| record::RANGE_ENTRY_SIZE + r.data.len() as u64)
+                .sum::<u64>()
+            + TRAILER_SIZE;
+        Ok(AppendInfo {
+            offset,
+            seq,
+            record_bytes,
+            space_consumed: need,
+        })
+    }
+
+    /// Forces all appended records to stable storage (a "log force").
+    pub fn force(&self) -> Result<()> {
+        self.dev.sync()?;
+        Ok(())
+    }
+
+    /// Moves the head forward after truncation has applied records below
+    /// `new_head` to their segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the head would move backward or past the tail.
+    pub fn advance_head(&mut self, new_head: u64, new_seq_at_head: u64) {
+        debug_assert!(new_head >= self.head && new_head <= self.tail);
+        self.head = new_head;
+        self.seq_at_head = new_seq_at_head;
+    }
+}
+
+/// Everything a forward scan learns about the live log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Valid committed transaction records, oldest first, with their
+    /// logical offsets.
+    pub records: Vec<(u64, TxnRecord)>,
+    /// Logical offset one past the last valid record (the true tail).
+    pub tail: u64,
+    /// Sequence number the next appended record should carry.
+    pub next_seq: u64,
+    /// Pad records encountered.
+    pub pads: u64,
+}
+
+/// Scans the record area forward from `head`, stopping at the first
+/// invalid record, the first sequence gap, `stop_at`, or after one full
+/// lap.
+///
+/// Device read errors abort the scan with an error; torn or stale records
+/// are *expected* and simply terminate it.
+pub fn scan_forward(
+    dev: &dyn Device,
+    area_len: u64,
+    head: u64,
+    seq_at_head: u64,
+    stop_at: Option<u64>,
+) -> Result<ScanOutcome> {
+    let mut records = Vec::new();
+    let mut pads = 0u64;
+    let mut pos = head;
+    let mut expect = seq_at_head;
+
+    loop {
+        if pos - head >= area_len {
+            break;
+        }
+        if let Some(stop) = stop_at {
+            if pos >= stop {
+                break;
+            }
+        }
+        let lap_remaining = area_len - pos % area_len;
+        debug_assert!(lap_remaining >= LOG_BLOCK);
+
+        let mut header_buf = [0u8; HEADER_SIZE as usize];
+        dev.read_at(LOG_AREA_START + pos % area_len, &mut header_buf)?;
+        let Some(header) = parse_header(&header_buf) else {
+            break;
+        };
+        if header.seq != expect {
+            break;
+        }
+        let padded = header.padded_len();
+        if padded > lap_remaining || pos - head + padded > area_len {
+            break;
+        }
+        let mut buf = vec![0u8; padded as usize];
+        dev.read_at(LOG_AREA_START + pos % area_len, &mut buf)?;
+        let Some((_, decoded)) = parse_record(&buf) else {
+            break;
+        };
+        match decoded {
+            Some(txn) => records.push((pos, txn)),
+            None => pads += 1,
+        }
+        pos += padded;
+        expect += 1;
+    }
+
+    Ok(ScanOutcome {
+        records,
+        tail: pos,
+        next_seq: expect,
+        pads,
+    })
+}
+
+/// Scans the record area backward from `tail` (whose next sequence number
+/// is `next_seq`) down to `head`, returning transaction records newest
+/// first. This exercises the reverse displacements of Figure 5.
+pub fn scan_backward(
+    dev: &dyn Device,
+    area_len: u64,
+    head: u64,
+    tail: u64,
+    next_seq: u64,
+) -> Result<Vec<(u64, TxnRecord)>> {
+    let mut records = Vec::new();
+    let mut pos = tail;
+    let mut expect = next_seq;
+
+    while pos > head {
+        expect -= 1;
+        let trailer_at = LOG_AREA_START + (pos - TRAILER_SIZE) % area_len;
+        let mut trailer_buf = [0u8; TRAILER_SIZE as usize];
+        dev.read_at(trailer_at, &mut trailer_buf)?;
+        let Some(trailer) = record::parse_trailer(&trailer_buf) else {
+            return Err(RvmError::BadLog(format!(
+                "invalid trailer at logical offset {pos}"
+            )));
+        };
+        if trailer.seq != expect || trailer.padded_len > pos - head {
+            return Err(RvmError::BadLog(format!(
+                "inconsistent trailer at logical offset {pos}"
+            )));
+        }
+        let start = pos - trailer.padded_len;
+        let mut buf = vec![0u8; trailer.padded_len as usize];
+        dev.read_at(LOG_AREA_START + start % area_len, &mut buf)?;
+        let Some((_, decoded)) = parse_record(&buf) else {
+            return Err(RvmError::BadLog(format!(
+                "invalid record at logical offset {start}"
+            )));
+        };
+        if let Some(txn) = decoded {
+            records.push((start, txn));
+        }
+        pos = start;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentId;
+    use rvm_storage::MemDevice;
+
+    fn mk_wal(area_len: u64) -> Wal {
+        let dev = Arc::new(MemDevice::with_len(LOG_AREA_START + area_len));
+        Wal::new(dev, area_len, 0, 0, 1, 1)
+    }
+
+    fn range(seg: u32, offset: u64, byte: u8, len: usize) -> RecordRange {
+        RecordRange {
+            seg: SegmentId::new(seg),
+            offset,
+            data: vec![byte; len],
+        }
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let mut wal = mk_wal(1 << 16);
+        let a = wal.append_txn(1, &[range(0, 0, 0xAA, 100)]).unwrap();
+        let b = wal.append_txn(2, &[range(0, 100, 0xBB, 50), range(1, 0, 0xCC, 10)]).unwrap();
+        wal.force().unwrap();
+        assert_eq!(a.seq, 1);
+        assert_eq!(b.seq, 2);
+        assert!(b.offset > a.offset);
+
+        let scan = scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, None).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.tail, wal.tail());
+        assert_eq!(scan.next_seq, wal.next_seq());
+        assert_eq!(scan.records[0].1.tid, 1);
+        assert_eq!(scan.records[1].1.ranges.len(), 2);
+        assert_eq!(scan.records[1].1.ranges[1].data, vec![0xCC; 10]);
+    }
+
+    #[test]
+    fn scan_of_empty_log_finds_nothing() {
+        let wal = mk_wal(1 << 14);
+        let scan = scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, None).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.tail, 0);
+    }
+
+    #[test]
+    fn wraparound_inserts_pad_and_scans_clean() {
+        // Area of 8 blocks; records of ~3 blocks force a pad at the lap end.
+        let area = 8 * LOG_BLOCK;
+        let mut wal = mk_wal(area);
+        // Each record: header 40 + entry 24 + 1000 + trailer 24 = 1088 -> 3 blocks.
+        let r1 = wal.append_txn(1, &[range(0, 0, 1, 1000)]).unwrap();
+        let r2 = wal.append_txn(2, &[range(0, 0, 2, 1000)]).unwrap();
+        assert_eq!(r1.space_consumed, 3 * LOG_BLOCK);
+        assert_eq!(r2.space_consumed, 3 * LOG_BLOCK);
+        // Two blocks remain in the lap; the next record needs a pad first,
+        // which does not fit until we truncate.
+        assert!(wal.append_txn(3, &[range(0, 0, 3, 1000)]).is_err());
+        // Simulate truncation of the first record.
+        wal.advance_head(3 * LOG_BLOCK, 2);
+        let r3 = wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap();
+        assert_eq!(r3.space_consumed, 3 * LOG_BLOCK + 2 * LOG_BLOCK);
+        assert_eq!(r3.offset, 8 * LOG_BLOCK, "record starts on the next lap");
+
+        let scan = scan_forward(
+            wal.device().as_ref(),
+            wal.capacity(),
+            wal.head(),
+            wal.seq_at_head(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.pads, 1);
+        assert_eq!(scan.records[0].1.tid, 2);
+        assert_eq!(scan.records[1].1.tid, 3);
+        assert_eq!(scan.tail, wal.tail());
+    }
+
+    #[test]
+    fn oversized_record_is_log_full() {
+        let mut wal = mk_wal(4 * LOG_BLOCK);
+        let err = wal.append_txn(1, &[range(0, 0, 1, 10_000)]).unwrap_err();
+        assert!(matches!(err, RvmError::LogFull { .. }));
+    }
+
+    #[test]
+    fn full_log_rejects_appends_until_head_moves() {
+        let mut wal = mk_wal(4 * LOG_BLOCK);
+        wal.append_txn(1, &[range(0, 0, 1, 800)]).unwrap(); // 2 blocks
+        wal.append_txn(2, &[range(0, 0, 2, 800)]).unwrap(); // 2 blocks
+        assert_eq!(wal.free_space(), 0);
+        assert!(wal.append_txn(3, &[]).is_err());
+        wal.advance_head(2 * LOG_BLOCK, 2);
+        wal.append_txn(3, &[range(0, 0, 3, 100)]).unwrap();
+    }
+
+    #[test]
+    fn stale_records_from_previous_lap_are_not_replayed() {
+        let area = 8 * LOG_BLOCK;
+        let mut wal = mk_wal(area);
+        for tid in 1..=4u64 {
+            wal.append_txn(tid, &[range(0, 0, tid as u8, 800)]).unwrap();
+        }
+        // Truncate everything, then write one record on the second lap.
+        wal.advance_head(wal.tail(), wal.next_seq());
+        wal.append_txn(9, &[range(0, 0, 9, 800)]).unwrap();
+        let scan = scan_forward(
+            wal.device().as_ref(),
+            wal.capacity(),
+            wal.head(),
+            wal.seq_at_head(),
+            None,
+        )
+        .unwrap();
+        // Only the new record; the stale lap-1 records that physically
+        // follow it have stale sequence numbers.
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].1.tid, 9);
+    }
+
+    #[test]
+    fn scan_stops_at_stop_offset() {
+        let mut wal = mk_wal(1 << 14);
+        wal.append_txn(1, &[range(0, 0, 1, 10)]).unwrap();
+        let split = wal.tail();
+        wal.append_txn(2, &[range(0, 0, 2, 10)]).unwrap();
+        let scan =
+            scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, Some(split)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.tail, split);
+    }
+
+    #[test]
+    fn torn_tail_record_is_ignored() {
+        let mut wal = mk_wal(1 << 14);
+        wal.append_txn(1, &[range(0, 0, 1, 10)]).unwrap();
+        let good_tail = wal.tail();
+        let info = wal.append_txn(2, &[range(0, 0, 2, 300)]).unwrap();
+        // Corrupt the middle of the second record, as a torn force would.
+        wal.device()
+            .write_at(LOG_AREA_START + info.offset + 200, &[0xEE; 8])
+            .unwrap();
+        let scan = scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, None).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.tail, good_tail);
+        assert_eq!(scan.next_seq, 2);
+    }
+
+    #[test]
+    fn backward_scan_matches_forward_scan() {
+        let area = 16 * LOG_BLOCK;
+        let mut wal = mk_wal(area);
+        for tid in 1..=5u64 {
+            wal.append_txn(tid, &[range(0, tid * 8, tid as u8, 100)]).unwrap();
+        }
+        let forward = scan_forward(wal.device().as_ref(), area, 0, 1, None).unwrap();
+        let mut backward = scan_backward(
+            wal.device().as_ref(),
+            area,
+            wal.head(),
+            wal.tail(),
+            wal.next_seq(),
+        )
+        .unwrap();
+        backward.reverse();
+        assert_eq!(forward.records, backward);
+    }
+
+    #[test]
+    fn backward_scan_crosses_lap_boundary() {
+        let area = 8 * LOG_BLOCK;
+        let mut wal = mk_wal(area);
+        wal.append_txn(1, &[range(0, 0, 1, 1000)]).unwrap();
+        wal.append_txn(2, &[range(0, 0, 2, 1000)]).unwrap();
+        wal.advance_head(3 * LOG_BLOCK, 2);
+        wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap(); // pads + wraps
+        let records = scan_backward(
+            wal.device().as_ref(),
+            area,
+            wal.head(),
+            wal.tail(),
+            wal.next_seq(),
+        )
+        .unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].1.tid, 3, "newest first");
+        assert_eq!(records[1].1.tid, 2);
+    }
+}

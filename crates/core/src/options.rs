@@ -1,0 +1,183 @@
+//! Configuration: initialization options, transaction modes, and the
+//! runtime tuning knobs exposed through `set_options` (§4.2, Figure 4d).
+
+use std::sync::Arc;
+
+use rvm_storage::Device;
+
+use crate::segment::{file_resolver, DeviceResolver};
+
+/// Region page size; mappings must be multiples of this and page-aligned
+/// (§4.1).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// How a transaction treats old values (the `restore_mode` flag of
+/// `begin_transaction`, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TxnMode {
+    /// Old values are captured on `set_range`, so the transaction can
+    /// abort.
+    #[default]
+    Restore,
+    /// The application promises never to abort; RVM skips the old-value
+    /// copy on `set_range`, saving time and space (§5.1.1).
+    NoRestore,
+}
+
+/// Permanence of a commit (the `commit_mode` flag of `end_transaction`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// The new-value and commit records are forced to the log before the
+    /// commit returns: full permanence.
+    #[default]
+    Flush,
+    /// A "lazy" commit: records are spooled in memory and reach the log on
+    /// the next `flush` — bounded persistence (§4.2), and the only mode in
+    /// which inter-transaction optimizations apply (§5.2).
+    NoFlush,
+}
+
+/// How a mapped region's committed image is brought into memory.
+///
+/// The paper's implementation copied regions in at map time, at the cost
+/// of startup latency (§3.2: "a process' recoverable memory must be read
+/// in en masse rather than being paged in on demand"), and planned "an
+/// optional Mach external pager to copy data on demand". Without kernel
+/// help, this library implements the on-demand option one level up:
+/// pages are fetched from the external data segment on first access
+/// through the safe API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// Copy the whole region at map time (the paper's implementation).
+    #[default]
+    Eager,
+    /// Fetch each page from the segment on first access. The pointer
+    /// API ([`Region::base_ptr`](crate::Region::base_ptr)) bypasses the
+    /// fetch, so on-demand regions must be accessed through the safe API
+    /// or explicitly warmed with
+    /// [`Region::prefetch`](crate::Region::prefetch).
+    OnDemand,
+}
+
+/// Which truncation mechanism reclaims log space (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TruncationMode {
+    /// Epoch truncation: the crash-recovery procedure applied to the log.
+    #[default]
+    Epoch,
+    /// Incremental truncation: dirty pages written from VM via the page
+    /// vector and page queue, falling back to epoch truncation when
+    /// blocked.
+    Incremental,
+}
+
+/// Runtime tuning knobs (`set_options`).
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// Truncation triggers when log utilization exceeds this fraction.
+    pub truncation_threshold: f64,
+    /// Truncation mechanism to use.
+    pub truncation_mode: TruncationMode,
+    /// Run threshold-triggered truncation on a background thread rather
+    /// than inline on the committing thread.
+    pub background_truncation: bool,
+    /// Coalesce duplicate/overlapping/adjacent `set_range`s (§5.2).
+    pub intra_optimization: bool,
+    /// Let newer no-flush commits subsume older unflushed records (§5.2).
+    pub inter_optimization: bool,
+    /// Auto-flush the no-flush spool when it exceeds this many bytes.
+    pub spool_max_bytes: u64,
+    /// Bytes of log space an incremental-truncation run tries to reclaim.
+    pub incremental_reclaim_bytes: u64,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Self {
+            truncation_threshold: 0.5,
+            truncation_mode: TruncationMode::Epoch,
+            background_truncation: false,
+            intra_optimization: true,
+            inter_optimization: true,
+            spool_max_bytes: 4 << 20,
+            incremental_reclaim_bytes: 256 << 10,
+        }
+    }
+}
+
+/// Options for [`Rvm::initialize`](crate::Rvm::initialize).
+///
+/// The log is specified here (the `options_desc` argument of the paper's
+/// `initialize`); segments are resolved by name through the
+/// [`DeviceResolver`].
+#[derive(Clone)]
+pub struct Options {
+    /// The log device.
+    pub log: Arc<dyn Device>,
+    /// Resolves segment names to devices.
+    pub resolver: DeviceResolver,
+    /// Initial tuning (changeable later via `set_options`).
+    pub tuning: Tuning,
+    /// If the log device is not yet an RVM log, format it (equivalent to
+    /// calling `create_log` first).
+    pub create_if_empty: bool,
+}
+
+impl Options {
+    /// Options using the given log device and the default file-backed
+    /// segment resolver.
+    pub fn new(log: Arc<dyn Device>) -> Self {
+        Self {
+            log,
+            resolver: file_resolver(),
+            tuning: Tuning::default(),
+            create_if_empty: false,
+        }
+    }
+
+    /// Replaces the segment resolver.
+    pub fn resolver(mut self, resolver: DeviceResolver) -> Self {
+        self.resolver = resolver;
+        self
+    }
+
+    /// Replaces the tuning block.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Formats the log automatically if the device is not an RVM log.
+    pub fn create_if_empty(mut self) -> Self {
+        self.create_if_empty = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::MemDevice;
+
+    #[test]
+    fn defaults_match_paper_expectations() {
+        let t = Tuning::default();
+        assert!(t.intra_optimization && t.inter_optimization);
+        assert_eq!(t.truncation_mode, TruncationMode::Epoch);
+        assert!((0.0..1.0).contains(&t.truncation_threshold));
+        assert_eq!(TxnMode::default(), TxnMode::Restore);
+        assert_eq!(CommitMode::default(), CommitMode::Flush);
+    }
+
+    #[test]
+    fn options_builder_chains() {
+        let opts = Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+            .tuning(Tuning {
+                truncation_threshold: 0.8,
+                ..Tuning::default()
+            })
+            .create_if_empty();
+        assert!(opts.create_if_empty);
+        assert_eq!(opts.tuning.truncation_threshold, 0.8);
+    }
+}

@@ -1,0 +1,37 @@
+//! Results of the `query` operation (§4.2, Figure 4d).
+
+use crate::stats::StatsSnapshot;
+
+/// Log geometry and occupancy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogInfo {
+    /// Logical offset of the oldest live record.
+    pub head: u64,
+    /// Logical offset one past the newest record.
+    pub tail: u64,
+    /// Live bytes (`tail - head`).
+    pub used: u64,
+    /// Record-area capacity.
+    pub capacity: u64,
+    /// `used / capacity`.
+    pub utilization: f64,
+}
+
+/// Library-wide information returned by [`Rvm::query`](crate::Rvm::query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryInfo {
+    /// Transactions begun but not yet committed or aborted.
+    pub active_transactions: u64,
+    /// Currently mapped regions.
+    pub mapped_regions: usize,
+    /// Committed no-flush transactions awaiting a flush.
+    pub spooled_transactions: usize,
+    /// Record bytes awaiting a flush.
+    pub spool_bytes: u64,
+    /// Dirty pages queued for incremental truncation.
+    pub queued_pages: usize,
+    /// Log geometry.
+    pub log: LogInfo,
+    /// Operation counters.
+    pub stats: StatsSnapshot,
+}

@@ -1,0 +1,416 @@
+//! Byte-range bookkeeping: coalescing range sets and latest-wins interval
+//! maps.
+//!
+//! Two mechanisms in the paper reduce to interval arithmetic:
+//!
+//! * **Intra-transaction optimization** (§5.2): duplicate, overlapping and
+//!   adjacent `set_range` calls within one transaction are coalesced —
+//!   [`RangeSet`] does this, and reports which sub-ranges were *newly*
+//!   covered so old-value capture copies each byte at most once.
+//! * **Recovery trees** (§5.1.2): scanning the log tail→head, the first
+//!   (newest) value seen for each byte wins — [`IntervalMap`] implements
+//!   `insert_if_uncovered` for this.
+
+use std::collections::BTreeMap;
+
+/// A half-open byte range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ByteRange {
+    /// First byte in the range.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Creates a range from start and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len` overflows.
+    pub fn at(start: u64, len: u64) -> Self {
+        Self {
+            start,
+            end: start.checked_add(len).expect("range end overflows u64"),
+        }
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Returns `true` for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns `true` if the ranges overlap or touch (are adjacent).
+    pub fn touches(&self, other: &ByteRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Returns `true` if `other` lies entirely within `self`.
+    pub fn contains(&self, other: &ByteRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+}
+
+/// A set of disjoint, coalesced byte ranges.
+///
+/// Inserting a range that duplicates, overlaps, or is adjacent to existing
+/// ranges merges them into one — the intra-transaction optimization. The
+/// insert reports the previously-uncovered pieces so the caller can capture
+/// old values exactly once per byte.
+///
+/// # Examples
+///
+/// ```
+/// use rvm::ranges::{ByteRange, RangeSet};
+///
+/// let mut set = RangeSet::new();
+/// assert_eq!(set.insert(ByteRange::at(0, 10)), vec![ByteRange::at(0, 10)]);
+/// // A duplicate is harmless and adds nothing (§5.2).
+/// assert_eq!(set.insert(ByteRange::at(0, 10)), vec![]);
+/// // An overlapping range contributes only its new part.
+/// assert_eq!(set.insert(ByteRange::at(5, 10)), vec![ByteRange::at(10, 5)]);
+/// assert_eq!(set.iter().count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// Maps start → end; invariant: disjoint and non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `range`, coalescing with overlapping or adjacent members.
+    ///
+    /// Returns the sub-ranges of `range` that were not previously covered,
+    /// in ascending order (empty if `range` was already fully covered).
+    pub fn insert(&mut self, range: ByteRange) -> Vec<ByteRange> {
+        if range.is_empty() {
+            return Vec::new();
+        }
+        let mut new_start = range.start;
+        let mut new_end = range.end;
+        let mut newly = Vec::new();
+        let mut cursor = range.start;
+
+        // Collect members touching `range`: start ≤ range.end and
+        // end ≥ range.start. Candidates begin at the last member starting
+        // at or before range.end.
+        let mut to_remove = Vec::new();
+        for (&start, &end) in self.ranges.range(..=range.end) {
+            if end < range.start {
+                continue;
+            }
+            // Overlapping or adjacent: merge.
+            if start > cursor {
+                let gap_end = start.min(range.end);
+                if cursor < gap_end {
+                    newly.push(ByteRange {
+                        start: cursor,
+                        end: gap_end,
+                    });
+                }
+            }
+            cursor = cursor.max(end);
+            new_start = new_start.min(start);
+            new_end = new_end.max(end);
+            to_remove.push(start);
+        }
+        if cursor < range.end {
+            newly.push(ByteRange {
+                start: cursor,
+                end: range.end,
+            });
+        }
+        for s in to_remove {
+            self.ranges.remove(&s);
+        }
+        self.ranges.insert(new_start, new_end);
+        newly
+    }
+
+    /// Returns `true` if every byte of `range` is covered.
+    pub fn covers(&self, range: &ByteRange) -> bool {
+        if range.is_empty() {
+            return true;
+        }
+        match self.ranges.range(..=range.start).next_back() {
+            Some((_, &end)) => end >= range.end,
+            None => false,
+        }
+    }
+
+    /// Iterates the coalesced ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = ByteRange> + '_ {
+        self.ranges
+            .iter()
+            .map(|(&start, &end)| ByteRange { start, end })
+    }
+
+    /// Total number of bytes covered.
+    pub fn total_len(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Number of coalesced ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Returns `true` if no ranges are present.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Disjoint intervals each carrying a byte payload, with newest-wins
+/// insertion.
+///
+/// This is the in-memory "tree of the latest committed changes" recovery
+/// builds per data segment (§5.1.2): records are processed newest first and
+/// [`IntervalMap::insert_if_uncovered`] keeps only the parts of older
+/// records that newer ones did not already cover.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalMap {
+    /// start → payload; intervals are disjoint (adjacency is allowed).
+    entries: BTreeMap<u64, Vec<u8>>,
+}
+
+impl IntervalMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `data` at `start`, keeping existing entries where they
+    /// overlap (existing entries are newer). Returns the number of bytes
+    /// actually inserted.
+    pub fn insert_if_uncovered(&mut self, start: u64, data: &[u8]) -> u64 {
+        let end = start + data.len() as u64;
+        if data.is_empty() {
+            return 0;
+        }
+        // Find the covered sub-ranges overlapping [start, end).
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        // An entry starting before `start` may still overlap it.
+        if let Some((&s, payload)) = self.entries.range(..start).next_back() {
+            let e = s + payload.len() as u64;
+            if e > start {
+                covered.push((s.max(start), e.min(end)));
+            }
+        }
+        for (&s, payload) in self.entries.range(start..end) {
+            let e = s + payload.len() as u64;
+            covered.push((s, e.min(end)));
+        }
+
+        // Insert the gaps.
+        let mut inserted = 0u64;
+        let mut cursor = start;
+        for (cs, ce) in covered.into_iter().chain(std::iter::once((end, end))) {
+            if cursor < cs {
+                let slice = &data[(cursor - start) as usize..(cs - start) as usize];
+                self.entries.insert(cursor, slice.to_vec());
+                inserted += cs - cursor;
+            }
+            cursor = cursor.max(ce);
+        }
+        inserted
+    }
+
+    /// Iterates `(start, payload)` in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> + '_ {
+        self.entries.iter().map(|(&s, p)| (s, p.as_slice()))
+    }
+
+    /// Total bytes held.
+    pub fn total_len(&self) -> u64 {
+        self.entries.values().map(|p| p.len() as u64).sum()
+    }
+
+    /// Returns `true` if the map holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of disjoint intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Reads the map's view of `[start, start + buf.len())` into `buf`,
+    /// leaving gaps untouched. Used by tests to check recovery contents.
+    pub fn overlay_onto(&self, start: u64, buf: &mut [u8]) {
+        let end = start + buf.len() as u64;
+        let first = self
+            .entries
+            .range(..start)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(start);
+        for (&s, payload) in self.entries.range(first..end) {
+            let e = s + payload.len() as u64;
+            if e <= start {
+                continue;
+            }
+            let copy_start = s.max(start);
+            let copy_end = e.min(end);
+            let src = &payload[(copy_start - s) as usize..(copy_end - s) as usize];
+            let dst = &mut buf[(copy_start - start) as usize..(copy_end - start) as usize];
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_range_basics() {
+        let r = ByteRange::at(10, 5);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(r.touches(&ByteRange::at(15, 1)), "adjacency counts");
+        assert!(r.touches(&ByteRange::at(12, 1)));
+        assert!(!r.touches(&ByteRange::at(16, 1)));
+        assert!(r.contains(&ByteRange::at(11, 2)));
+        assert!(!r.contains(&ByteRange::at(11, 10)));
+    }
+
+    #[test]
+    fn rangeset_disjoint_inserts() {
+        let mut set = RangeSet::new();
+        assert_eq!(set.insert(ByteRange::at(0, 4)), vec![ByteRange::at(0, 4)]);
+        assert_eq!(set.insert(ByteRange::at(10, 4)), vec![ByteRange::at(10, 4)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_len(), 8);
+    }
+
+    #[test]
+    fn rangeset_duplicate_is_ignored() {
+        let mut set = RangeSet::new();
+        set.insert(ByteRange::at(0, 8));
+        assert!(set.insert(ByteRange::at(0, 8)).is_empty());
+        assert!(set.insert(ByteRange::at(2, 3)).is_empty());
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_len(), 8);
+    }
+
+    #[test]
+    fn rangeset_adjacent_coalesce() {
+        let mut set = RangeSet::new();
+        set.insert(ByteRange::at(0, 4));
+        assert_eq!(set.insert(ByteRange::at(4, 4)), vec![ByteRange::at(4, 4)]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap(), ByteRange { start: 0, end: 8 });
+    }
+
+    #[test]
+    fn rangeset_overlap_reports_only_new_parts() {
+        let mut set = RangeSet::new();
+        set.insert(ByteRange::at(0, 10));
+        set.insert(ByteRange::at(20, 10));
+        // Bridges both, covering the gap [10, 20).
+        let newly = set.insert(ByteRange::at(5, 20));
+        assert_eq!(newly, vec![ByteRange { start: 10, end: 20 }]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_len(), 30);
+    }
+
+    #[test]
+    fn rangeset_insert_spanning_multiple_gaps() {
+        let mut set = RangeSet::new();
+        set.insert(ByteRange::at(10, 2));
+        set.insert(ByteRange::at(20, 2));
+        set.insert(ByteRange::at(30, 2));
+        let newly = set.insert(ByteRange::at(0, 40));
+        assert_eq!(
+            newly,
+            vec![
+                ByteRange { start: 0, end: 10 },
+                ByteRange { start: 12, end: 20 },
+                ByteRange { start: 22, end: 30 },
+                ByteRange { start: 32, end: 40 },
+            ]
+        );
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_len(), 40);
+    }
+
+    #[test]
+    fn rangeset_covers() {
+        let mut set = RangeSet::new();
+        set.insert(ByteRange::at(10, 10));
+        assert!(set.covers(&ByteRange::at(10, 10)));
+        assert!(set.covers(&ByteRange::at(12, 3)));
+        assert!(!set.covers(&ByteRange::at(5, 10)));
+        assert!(!set.covers(&ByteRange::at(15, 10)));
+        assert!(set.covers(&ByteRange::at(15, 0)), "empty always covered");
+    }
+
+    #[test]
+    fn rangeset_empty_insert_is_noop() {
+        let mut set = RangeSet::new();
+        assert!(set.insert(ByteRange::at(5, 0)).is_empty());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn interval_map_newest_wins() {
+        let mut map = IntervalMap::new();
+        // Newest record inserted first.
+        assert_eq!(map.insert_if_uncovered(10, &[9, 9, 9, 9]), 4);
+        // Older record overlapping it only contributes uncovered bytes.
+        assert_eq!(map.insert_if_uncovered(8, &[1, 1, 1, 1, 1, 1, 1, 1]), 4);
+        let mut buf = [0u8; 10];
+        map.overlay_onto(8, &mut buf);
+        assert_eq!(buf, [1, 1, 9, 9, 9, 9, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn interval_map_fully_covered_inserts_nothing() {
+        let mut map = IntervalMap::new();
+        map.insert_if_uncovered(0, &[5; 16]);
+        assert_eq!(map.insert_if_uncovered(4, &[7; 8]), 0);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.total_len(), 16);
+    }
+
+    #[test]
+    fn interval_map_gap_splitting() {
+        let mut map = IntervalMap::new();
+        map.insert_if_uncovered(10, &[2; 5]);
+        map.insert_if_uncovered(20, &[3; 5]);
+        // Older data spanning everything fills exactly the three gaps.
+        let inserted = map.insert_if_uncovered(5, &[1; 25]);
+        assert_eq!(inserted, 15);
+        let mut buf = [0u8; 25];
+        map.overlay_onto(5, &mut buf);
+        let mut expected = [1u8; 25];
+        expected[5..10].fill(2);
+        expected[15..20].fill(3);
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn interval_map_preceding_entry_overlap() {
+        let mut map = IntervalMap::new();
+        map.insert_if_uncovered(0, &[4; 10]);
+        // Starts inside the existing entry.
+        assert_eq!(map.insert_if_uncovered(5, &[6; 10]), 5);
+        let mut buf = [0u8; 15];
+        map.overlay_onto(0, &mut buf);
+        let mut expected = [4u8; 15];
+        expected[10..].fill(6);
+        assert_eq!(buf, expected);
+    }
+}

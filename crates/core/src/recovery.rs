@@ -1,0 +1,278 @@
+//! Crash recovery (§5.1.2).
+//!
+//! "Crash recovery consists of RVM first reading the log from tail to
+//! head, then constructing an in-memory tree of the latest committed
+//! changes for each data segment encountered in the log. The trees are
+//! then traversed, applying modifications in them to the corresponding
+//! external data segment. Finally, the head and tail location information
+//! in the log status block is updated to reflect an empty log. The
+//! idempotency of recovery is achieved by delaying this step until all
+//! other recovery actions are complete."
+//!
+//! Concretely: the forward scan locates the true tail (first torn record
+//! or sequence gap past the durable head); records are then processed
+//! newest-first into one [`IntervalMap`] per segment, so the first value
+//! seen for any byte — the latest committed one — wins and older values
+//! are dropped without being applied.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rvm_storage::Device;
+
+use crate::error::{Result, RvmError};
+use crate::log::status::{write_status, StatusBlock};
+use crate::log::wal::scan_forward;
+use crate::ranges::IntervalMap;
+use crate::segment::DeviceResolver;
+
+/// What recovery did, for inspection and tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transaction records found in the log.
+    pub records_replayed: usize,
+    /// Bytes applied to segments (after newest-wins pruning).
+    pub bytes_applied: u64,
+    /// Segments written to.
+    pub segments_updated: usize,
+    /// Pad records skipped.
+    pub pads_skipped: u64,
+}
+
+/// Recovery output consumed by [`Rvm::initialize`](crate::Rvm::initialize).
+pub(crate) struct Recovered {
+    /// Post-recovery status (already written to the device; log empty).
+    pub status: StatusBlock,
+    /// Segment devices opened during recovery, keyed by raw segment id.
+    pub seg_devices: HashMap<u32, Arc<dyn Device>>,
+    pub report: RecoveryReport,
+}
+
+/// Runs crash recovery over the log and returns the recovered state.
+pub(crate) fn recover(
+    dev: &Arc<dyn Device>,
+    mut status: StatusBlock,
+    resolver: &DeviceResolver,
+) -> Result<Recovered> {
+    let scan = scan_forward(
+        dev.as_ref(),
+        status.area_len,
+        status.head,
+        status.seq_at_head,
+        None,
+    )?;
+
+    // Build the latest-committed-change tree per segment, newest record
+    // first.
+    let mut trees: HashMap<u32, IntervalMap> = HashMap::new();
+    for (_, record) in scan.records.iter().rev() {
+        for range in &record.ranges {
+            trees
+                .entry(range.seg.as_u32())
+                .or_default()
+                .insert_if_uncovered(range.offset, &range.data);
+        }
+    }
+
+    // Traverse the trees, applying modifications to the external data
+    // segments.
+    let mut seg_devices = HashMap::new();
+    let mut bytes_applied = 0u64;
+    let mut sorted: Vec<_> = trees.iter().collect();
+    sorted.sort_by_key(|(id, _)| **id);
+    for (&seg_raw, tree) in sorted {
+        let info = status
+            .segment_by_id(crate::segment::SegmentId::new(seg_raw))
+            .ok_or_else(|| {
+                RvmError::BadLog(format!(
+                    "log references segment id {seg_raw} absent from the segment table"
+                ))
+            })?;
+        let needed = tree
+            .iter()
+            .map(|(start, payload)| start + payload.len() as u64)
+            .max()
+            .unwrap_or(0)
+            .max(info.min_len);
+        let seg_dev = (resolver)(&info.name, needed)?;
+        if seg_dev.len()? < needed {
+            seg_dev.set_len(needed)?;
+        }
+        for (start, payload) in tree.iter() {
+            seg_dev.write_at(start, payload)?;
+            bytes_applied += payload.len() as u64;
+        }
+        seg_dev.sync()?;
+        seg_devices.insert(seg_raw, seg_dev);
+    }
+
+    // Only now reset the status block to an empty log (idempotency).
+    let report = RecoveryReport {
+        records_replayed: scan.records.len(),
+        bytes_applied,
+        segments_updated: seg_devices.len(),
+        pads_skipped: scan.pads,
+    };
+    status.head = scan.tail;
+    status.tail = scan.tail;
+    status.seq_at_head = scan.next_seq;
+    status.next_seq = scan.next_seq;
+    write_status(dev.as_ref(), &mut status)?;
+
+    Ok(Recovered {
+        status,
+        seg_devices,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::record::RecordRange;
+    use crate::log::status::{format_log, read_status, LOG_AREA_START};
+    use crate::log::wal::Wal;
+    use crate::segment::{MemResolver, SegmentId, SegmentInfo};
+    use rvm_storage::MemDevice;
+
+    fn setup(area_blocks: u64) -> (Arc<dyn Device>, StatusBlock, MemResolver) {
+        let dev: Arc<dyn Device> = Arc::new(MemDevice::with_len(
+            LOG_AREA_START + area_blocks * crate::log::record::LOG_BLOCK,
+        ));
+        let mut status = format_log(dev.as_ref()).unwrap();
+        status.segments.push(SegmentInfo {
+            id: SegmentId::new(0),
+            name: "segA".to_owned(),
+            min_len: 4096,
+        });
+        status.segments.push(SegmentInfo {
+            id: SegmentId::new(1),
+            name: "segB".to_owned(),
+            min_len: 4096,
+        });
+        write_status(dev.as_ref(), &mut status).unwrap();
+        (dev, status, MemResolver::new())
+    }
+
+    fn wal_for(dev: &Arc<dyn Device>, status: &StatusBlock) -> Wal {
+        Wal::new(
+            dev.clone(),
+            status.area_len,
+            status.head,
+            status.tail,
+            status.seq_at_head,
+            status.next_seq,
+        )
+    }
+
+    fn rr(seg: u32, offset: u64, data: &[u8]) -> RecordRange {
+        RecordRange {
+            seg: SegmentId::new(seg),
+            offset,
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn empty_log_recovers_to_nothing() {
+        let (dev, status, resolver) = setup(64);
+        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec.report, RecoveryReport::default());
+        assert!(resolver.get("segA").is_none(), "no devices touched");
+    }
+
+    #[test]
+    fn latest_committed_value_wins() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(0, 0, &[1, 1, 1, 1])]).unwrap();
+        wal.append_txn(2, &[rr(0, 2, &[2, 2])]).unwrap();
+        wal.append_txn(3, &[rr(0, 3, &[3])]).unwrap();
+        wal.force().unwrap();
+
+        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec.report.records_replayed, 3);
+        // Newest-wins pruning applies exactly 4 bytes, not 7.
+        assert_eq!(rec.report.bytes_applied, 4);
+        let seg = resolver.get("segA").unwrap();
+        let mut buf = [0u8; 4];
+        seg.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn multiple_segments_are_applied() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(0, 0, &[7; 8]), rr(1, 100, &[9; 8])])
+            .unwrap();
+        wal.force().unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec.report.segments_updated, 2);
+        let mut buf = [0u8; 8];
+        resolver.get("segB").unwrap().read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn status_is_reset_to_empty_log_and_recovery_is_idempotent() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(0, 0, &[5; 16])]).unwrap();
+        wal.force().unwrap();
+        let tail = wal.tail();
+
+        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec.status.head, tail);
+        assert_eq!(rec.status.tail, tail);
+
+        // A second recovery (as if we crashed right after) finds nothing.
+        let status2 = read_status(dev.as_ref()).unwrap();
+        let rec2 = recover(&dev, status2, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec2.report.records_replayed, 0);
+        let seg = resolver.get("segA").unwrap();
+        let mut buf = [0u8; 16];
+        seg.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [5; 16]);
+    }
+
+    #[test]
+    fn torn_tail_transaction_is_not_applied() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(0, 0, &[1; 8])]).unwrap();
+        let info = wal.append_txn(2, &[rr(0, 0, &[2; 8])]).unwrap();
+        // Tear the second record.
+        dev.write_at(LOG_AREA_START + info.offset + 50, &[0xFF; 4])
+            .unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        assert_eq!(rec.report.records_replayed, 1);
+        let seg = resolver.get("segA").unwrap();
+        let mut buf = [0u8; 8];
+        seg.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 8], "only the intact transaction is applied");
+    }
+
+    #[test]
+    fn unknown_segment_id_is_reported() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(9, 0, &[1; 4])]).unwrap();
+        wal.force().unwrap();
+        let Err(err) = recover(&dev, status, &resolver.into_resolver()) else {
+            panic!("recovery must fail for an unknown segment id");
+        };
+        assert!(matches!(err, RvmError::BadLog(_)));
+    }
+
+    #[test]
+    fn segment_device_grows_to_fit_applied_ranges() {
+        let (dev, status, resolver) = setup(64);
+        let mut wal = wal_for(&dev, &status);
+        wal.append_txn(1, &[rr(0, 100_000, &[3; 50])]).unwrap();
+        wal.force().unwrap();
+        recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let seg = resolver.get("segA").unwrap();
+        assert!(seg.len().unwrap() >= 100_050);
+    }
+}

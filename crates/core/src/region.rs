@@ -1,0 +1,506 @@
+//! Mapped regions of recoverable memory (§4.1).
+//!
+//! A region is a page-aligned slice of an external data segment copied into
+//! process memory at map time ("the copying of data from external data
+//! segment to virtual memory occurs when a region is mapped"). The memory
+//! block is allocated once and never moves while mapped, so raw pointers
+//! into it — the idiom of the original C interface — remain valid.
+//!
+//! Two APIs are offered:
+//!
+//! * a **safe API** ([`Region::read`], [`Region::write`],
+//!   [`Region::modify`], typed accessors) in which every access is
+//!   bounds-checked and internally synchronized, and writes implicitly
+//!   declare their range to the enclosing transaction;
+//! * an **unsafe API** ([`Region::base_ptr`] plus
+//!   [`Transaction::set_range_ptr`](crate::Transaction::set_range_ptr))
+//!   mirroring the C library for applications that lay out structs in
+//!   recoverable memory directly.
+//!
+//! Serializability remains the application's business (§3.1): the internal
+//! lock only makes individual operations atomic, exactly as the C library
+//! was multi-thread safe without providing concurrency control.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rvm_storage::Device;
+
+use crate::error::{Result, RvmError};
+use crate::options::PAGE_SIZE;
+use crate::segment::SegmentId;
+use crate::truncation::page_vector::PageVector;
+use crate::txn::Transaction;
+
+/// Names a region of an external data segment for mapping (§4.2's
+/// `region_desc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionDescriptor {
+    /// The segment's name (a path under the default resolver).
+    pub segment: String,
+    /// Page-aligned byte offset of the region within the segment.
+    pub offset: u64,
+    /// Region length; a positive multiple of the page size.
+    pub len: u64,
+}
+
+impl RegionDescriptor {
+    /// Describes `[offset, offset + len)` of the named segment.
+    pub fn new(segment: impl Into<String>, offset: u64, len: u64) -> Self {
+        Self {
+            segment: segment.into(),
+            offset,
+            len,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.len == 0 || self.len % PAGE_SIZE != 0 || self.offset % PAGE_SIZE != 0 {
+            return Err(RvmError::BadMapping(format!(
+                "region [{}, {}) of '{}' is not page-aligned (page size {})",
+                self.offset,
+                self.offset + self.len,
+                self.segment,
+                PAGE_SIZE
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The region's stable memory block.
+///
+/// Allocation is zeroed and page-aligned; the block never moves or resizes
+/// while the region lives, which is what makes the pointer-based API sound
+/// to offer at all.
+pub(crate) struct RegionMemory {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the raw block is plain bytes; all access is synchronized either
+// by `RegionInner::mem_lock` (safe API and library internals) or by the
+// caller's contract (unsafe API).
+unsafe impl Send for RegionMemory {}
+// SAFETY: as above — shared access without external synchronization is
+// forbidden by the access methods' contracts.
+unsafe impl Sync for RegionMemory {}
+
+impl RegionMemory {
+    pub(crate) fn alloc(len: usize) -> Self {
+        assert!(len > 0, "regions are never empty");
+        let layout =
+            Layout::from_size_align(len, PAGE_SIZE as usize).expect("valid region layout");
+        // SAFETY: layout has non-zero size (asserted above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(raw).expect("region allocation failed");
+        Self { ptr, len }
+    }
+
+    pub(crate) fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Copies `buf.len()` bytes out of the block at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the region's lock (shared suffices) or
+    /// otherwise guarantee no concurrent writer overlaps the range, and
+    /// `offset + buf.len() <= self.len()`.
+    pub(crate) unsafe fn copy_out(&self, offset: usize, buf: &mut [u8]) {
+        debug_assert!(offset + buf.len() <= self.len);
+        // SAFETY: bounds guaranteed by the caller; regions of distinct
+        // allocations never overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.as_ptr().add(offset), buf.as_mut_ptr(), buf.len());
+        }
+    }
+
+    /// Copies `data` into the block at `offset`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the region's lock exclusively (or otherwise
+    /// exclude all concurrent access to the range), and
+    /// `offset + data.len() <= self.len()`.
+    pub(crate) unsafe fn copy_in(&self, offset: usize, data: &[u8]) {
+        debug_assert!(offset + data.len() <= self.len);
+        // SAFETY: bounds guaranteed by the caller.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.as_ptr().add(offset), data.len());
+        }
+    }
+
+    /// Returns a mutable slice over `[offset, offset + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the region's lock exclusively for the lifetime
+    /// of the slice and guarantee the bounds.
+    pub(crate) unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [u8] {
+        debug_assert!(offset + len <= self.len);
+        // SAFETY: exclusivity and bounds guaranteed by the caller.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset), len) }
+    }
+}
+
+impl Drop for RegionMemory {
+    fn drop(&mut self) {
+        let layout =
+            Layout::from_size_align(self.len, PAGE_SIZE as usize).expect("valid region layout");
+        // SAFETY: `ptr` was allocated with exactly this layout in `alloc`.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+/// Library-internal state of a mapped region.
+pub(crate) struct RegionInner {
+    pub(crate) id: u64,
+    pub(crate) seg: SegmentId,
+    pub(crate) seg_name: String,
+    pub(crate) seg_dev: Arc<dyn Device>,
+    pub(crate) seg_offset: u64,
+    pub(crate) len: u64,
+    pub(crate) mem: RegionMemory,
+    /// Guards memory access for the safe API and library internals.
+    pub(crate) mem_lock: RwLock<()>,
+    pub(crate) mapped: AtomicBool,
+    /// Active transactions holding `set_range`s on this region.
+    pub(crate) uncommitted_txns: AtomicU64,
+    pub(crate) page_vector: Mutex<PageVector>,
+    /// `None` once fully loaded; otherwise tracks which pages still need
+    /// fetching from the segment (the on-demand load policy).
+    pub(crate) unloaded: Mutex<Option<Vec<bool>>>,
+}
+
+impl RegionInner {
+    pub(crate) fn check_mapped(&self) -> Result<()> {
+        if self.mapped.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(RvmError::Unmapped)
+        }
+    }
+
+    pub(crate) fn check_bounds(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(RvmError::OutOfRange {
+                offset,
+                len,
+                region_len: self.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies the committed image in from the segment device (map time).
+    pub(crate) fn load_from_segment(&self) -> Result<()> {
+        let _guard = self.mem_lock.write();
+        // SAFETY: exclusive lock held; the slice covers the whole block.
+        let buf = unsafe { self.mem.slice_mut(0, self.len as usize) };
+        self.seg_dev.read_at(self.seg_offset, buf)?;
+        *self.unloaded.lock() = None;
+        Ok(())
+    }
+
+    /// Ensures every page overlapping `[offset, offset + len)` holds its
+    /// committed image (no-op for eagerly loaded regions).
+    pub(crate) fn ensure_loaded(&self, offset: u64, len: u64) -> Result<()> {
+        let mut tracker = self.unloaded.lock();
+        let Some(pending) = tracker.as_mut() else {
+            return Ok(());
+        };
+        let span = PageVector::page_span(offset, len.max(1));
+        let mut remaining_elsewhere = false;
+        for page in span {
+            if pending[page] {
+                let page_off = page as u64 * PAGE_SIZE;
+                let page_len = PAGE_SIZE.min(self.len - page_off) as usize;
+                let mut buf = vec![0u8; page_len];
+                self.seg_dev
+                    .read_at(self.seg_offset + page_off, &mut buf)?;
+                let _guard = self.mem_lock.write();
+                // SAFETY: exclusive lock held; bounds derived from the
+                // region length.
+                unsafe { self.mem.copy_in(page_off as usize, &buf) };
+                pending[page] = false;
+            }
+        }
+        for &p in pending.iter() {
+            if p {
+                remaining_elsewhere = true;
+                break;
+            }
+        }
+        if !remaining_elsewhere {
+            *tracker = None;
+        }
+        Ok(())
+    }
+
+    /// Reads bytes with the shared lock held (library-internal).
+    pub(crate) fn read_bytes(&self, offset: u64, len: u64) -> Vec<u8> {
+        let _guard = self.mem_lock.read();
+        let mut buf = vec![0u8; len as usize];
+        // SAFETY: shared lock held; caller validated bounds.
+        unsafe { self.mem.copy_out(offset as usize, &mut buf) };
+        buf
+    }
+
+    /// Writes bytes with the exclusive lock held (library-internal; used
+    /// by abort to restore old values).
+    pub(crate) fn write_bytes(&self, offset: u64, data: &[u8]) {
+        let _guard = self.mem_lock.write();
+        // SAFETY: exclusive lock held; caller validated bounds.
+        unsafe { self.mem.copy_in(offset as usize, data) };
+    }
+}
+
+/// A handle to a mapped region of recoverable memory.
+///
+/// Handles are cheap to clone; the region stays mapped until
+/// [`Rvm::unmap`](crate::Rvm::unmap). Operations on an unmapped region
+/// fail with [`RvmError::Unmapped`].
+#[derive(Clone)]
+pub struct Region {
+    pub(crate) inner: Arc<RegionInner>,
+}
+
+impl Region {
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.inner.len
+    }
+
+    /// Regions are never empty; provided for completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Name of the backing segment.
+    pub fn segment_name(&self) -> &str {
+        &self.inner.seg_name
+    }
+
+    /// Offset of this region within its segment.
+    pub fn segment_offset(&self) -> u64 {
+        self.inner.seg_offset
+    }
+
+    /// Returns `true` while the region is mapped.
+    pub fn is_mapped(&self) -> bool {
+        self.inner.mapped.load(Ordering::Acquire)
+    }
+
+    /// Number of transactions with uncommitted changes to this region —
+    /// the paper's `query` information.
+    pub fn uncommitted_transactions(&self) -> u64 {
+        self.inner.uncommitted_txns.load(Ordering::Acquire)
+    }
+
+    /// Number of pages tracked by the region's page vector.
+    pub fn num_pages(&self) -> usize {
+        self.inner.page_vector.lock().num_pages()
+    }
+
+    /// Indices of pages holding committed changes not yet applied to the
+    /// external data segment (Figure 7's dirty bits).
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        self.inner.page_vector.lock().dirty_pages().collect()
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// Reads require no RVM intervention beyond bounds checks (§4.2)
+    /// (plus a first-touch fetch for on-demand regions).
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.check_mapped()?;
+        self.inner.check_bounds(offset, buf.len() as u64)?;
+        self.inner.ensure_loaded(offset, buf.len() as u64)?;
+        let _guard = self.inner.mem_lock.read();
+        // SAFETY: shared lock held and bounds checked above.
+        unsafe { self.inner.mem.copy_out(offset as usize, buf) };
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.inner.check_mapped()?;
+        self.inner.check_bounds(offset, len)?;
+        self.inner.ensure_loaded(offset, len)?;
+        Ok(self.inner.read_bytes(offset, len))
+    }
+
+    /// Fetches `[offset, offset + len)` from the segment if not yet
+    /// loaded (on-demand regions); a no-op otherwise. Useful to warm a
+    /// region before using the pointer API.
+    pub fn prefetch(&self, offset: u64, len: u64) -> Result<()> {
+        self.inner.check_mapped()?;
+        self.inner.check_bounds(offset, len)?;
+        self.inner.ensure_loaded(offset, len)
+    }
+
+    /// Returns `true` once the whole region holds its committed image.
+    pub fn is_fully_loaded(&self) -> bool {
+        self.inner.unloaded.lock().is_none()
+    }
+
+    /// Reads a little-endian `u32` at `offset`.
+    pub fn get_u32(&self, offset: u64) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(offset, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64` at `offset`.
+    pub fn get_u64(&self, offset: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Transactionally writes `data` at `offset`: declares the range to
+    /// `txn` (an implicit `set_range`) and updates memory.
+    pub fn write(&self, txn: &mut Transaction, offset: u64, data: &[u8]) -> Result<()> {
+        txn.set_range(self, offset, data.len() as u64)?;
+        let _guard = self.inner.mem_lock.write();
+        // SAFETY: exclusive lock held; set_range validated the bounds.
+        unsafe { self.inner.mem.copy_in(offset as usize, data) };
+        Ok(())
+    }
+
+    /// Transactionally writes a little-endian `u32`.
+    pub fn put_u32(&self, txn: &mut Transaction, offset: u64, v: u32) -> Result<()> {
+        self.write(txn, offset, &v.to_le_bytes())
+    }
+
+    /// Transactionally writes a little-endian `u64`.
+    pub fn put_u64(&self, txn: &mut Transaction, offset: u64, v: u64) -> Result<()> {
+        self.write(txn, offset, &v.to_le_bytes())
+    }
+
+    /// Declares `[offset, offset + len)` to `txn` and passes the bytes to
+    /// `f` for in-place modification.
+    pub fn modify<R>(
+        &self,
+        txn: &mut Transaction,
+        offset: u64,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        txn.set_range(self, offset, len)?;
+        let _guard = self.inner.mem_lock.write();
+        // SAFETY: exclusive lock held; set_range validated the bounds.
+        let slice = unsafe { self.inner.mem.slice_mut(offset as usize, len as usize) };
+        Ok(f(slice))
+    }
+
+    /// Base address of the region's memory block, for the C-style
+    /// pointer API.
+    ///
+    /// The block is stable while the region is mapped. All mutation
+    /// through this pointer must be covered by
+    /// [`Transaction::set_range_ptr`](crate::Transaction::set_range_ptr)
+    /// calls — "the result is disastrous" otherwise, exactly as §6 warns —
+    /// and the caller takes over synchronization entirely.
+    pub fn base_ptr(&self) -> *mut u8 {
+        self.inner.mem.as_ptr()
+    }
+
+    /// Translates a pointer into this region to its byte offset, if it
+    /// points inside the region.
+    pub fn offset_of_ptr(&self, ptr: *const u8) -> Option<u64> {
+        let base = self.inner.mem.as_ptr() as usize;
+        let p = ptr as usize;
+        if p >= base && p < base + self.inner.len as usize {
+            Some((p - base) as u64)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region")
+            .field("segment", &self.inner.seg_name)
+            .field("seg_offset", &self.inner.seg_offset)
+            .field("len", &self.inner.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use rvm_storage::MemDevice;
+
+    /// Builds a standalone mapped region over a fresh in-memory segment,
+    /// for unit tests of components that need a `RegionInner`.
+    pub(crate) fn make_test_region(len: u64) -> Arc<RegionInner> {
+        use std::sync::atomic::AtomicU64 as Counter;
+        static NEXT_ID: Counter = Counter::new(1);
+        Arc::new(RegionInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            seg: SegmentId::new(0),
+            seg_name: "test-segment".to_owned(),
+            seg_dev: Arc::new(MemDevice::with_len(len)),
+            seg_offset: 0,
+            len,
+            mem: RegionMemory::alloc(len as usize),
+            mem_lock: RwLock::new(()),
+            mapped: AtomicBool::new(true),
+            uncommitted_txns: AtomicU64::new(0),
+            page_vector: Mutex::new(PageVector::new(len)),
+            unloaded: Mutex::new(None),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_validation() {
+        assert!(RegionDescriptor::new("s", 0, PAGE_SIZE).validate().is_ok());
+        assert!(RegionDescriptor::new("s", PAGE_SIZE * 3, PAGE_SIZE * 2)
+            .validate()
+            .is_ok());
+        assert!(RegionDescriptor::new("s", 0, 0).validate().is_err());
+        assert!(RegionDescriptor::new("s", 0, 100).validate().is_err());
+        assert!(RegionDescriptor::new("s", 100, PAGE_SIZE).validate().is_err());
+    }
+
+    #[test]
+    fn memory_alloc_is_zeroed_and_aligned() {
+        let mem = RegionMemory::alloc(PAGE_SIZE as usize * 2);
+        assert_eq!(mem.as_ptr() as usize % PAGE_SIZE as usize, 0);
+        let mut buf = vec![0xFFu8; PAGE_SIZE as usize * 2];
+        // SAFETY: sole owner, bounds exact.
+        unsafe { mem.copy_out(0, &mut buf) };
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn memory_copy_round_trip() {
+        let mem = RegionMemory::alloc(PAGE_SIZE as usize);
+        // SAFETY: sole owner, bounds checked by construction.
+        unsafe {
+            mem.copy_in(100, &[1, 2, 3]);
+            let mut buf = [0u8; 3];
+            mem.copy_out(100, &mut buf);
+            assert_eq!(buf, [1, 2, 3]);
+            let slice = mem.slice_mut(100, 3);
+            slice[1] = 9;
+            let mut buf = [0u8; 3];
+            mem.copy_out(100, &mut buf);
+            assert_eq!(buf, [1, 9, 3]);
+        }
+    }
+}

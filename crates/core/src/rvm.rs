@@ -1,0 +1,881 @@
+//! The top-level RVM instance: initialization, mapping, commit paths,
+//! flushing, and truncation (Figure 4's operation set).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use rvm_storage::Device;
+
+use crate::error::{Result, RvmError};
+use crate::log::record::{self, RecordRange};
+use crate::log::status::{format_log, read_status, write_status, StatusBlock, LOG_AREA_START};
+use crate::log::wal::{scan_forward, AppendInfo, Wal};
+use crate::options::{CommitMode, LoadPolicy, Options, Tuning, TxnMode, PAGE_SIZE};
+use crate::query::{LogInfo, QueryInfo};
+use crate::ranges::{ByteRange, IntervalMap};
+use crate::recovery::{recover, RecoveryReport};
+use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
+use crate::segment::{DeviceResolver, SegmentId, SegmentInfo};
+use crate::spool::{Spool, SpooledTxn};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::truncation::page_vector::PageVector;
+use crate::truncation::PageQueue;
+use crate::txn::Transaction;
+
+/// Pages written per incremental-truncation sync batch.
+const INCREMENTAL_BATCH_PAGES: usize = 32;
+
+/// State guarded by the single "core" lock: the WAL, the segment table,
+/// the spool, and the page queue. One lock serializes commits, exactly as
+/// the C library serialized its log with an internal mutex.
+pub(crate) struct Core {
+    wal: Wal,
+    status_seq: u64,
+    segments: Vec<SegmentInfo>,
+    seg_devices: HashMap<u32, Arc<dyn Device>>,
+    spool: Spool,
+    page_queue: PageQueue,
+    /// Segments referenced by live (untruncated) log records.
+    segs_in_log: HashSet<u32>,
+}
+
+/// Shared library state behind [`Rvm`] handles and live transactions.
+pub(crate) struct RvmShared {
+    dev: Arc<dyn Device>,
+    resolver: DeviceResolver,
+    pub(crate) tuning: RwLock<Tuning>,
+    pub(crate) stats: Stats,
+    core: Mutex<Core>,
+    regions: RwLock<HashMap<u64, Arc<RegionInner>>>,
+    next_tid: AtomicU64,
+    next_region_id: AtomicU64,
+    pub(crate) active_txns: AtomicU64,
+    terminated: AtomicBool,
+    bg_wakeup: Mutex<bool>,
+    bg_condvar: Condvar,
+}
+
+/// A recoverable-virtual-memory instance over one log (§4.2's
+/// `initialize`).
+///
+/// One `Rvm` corresponds to one process-wide log in the paper's design
+/// (§3.3: "each process using RVM has a separate log"); nothing prevents a
+/// Rust program from holding several instances over distinct logs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+/// use rvm::segment::MemResolver;
+/// use rvm_storage::MemDevice;
+///
+/// let log = Arc::new(MemDevice::with_len(1 << 20));
+/// let rvm = Rvm::initialize(
+///     Options::new(log)
+///         .resolver(MemResolver::new().into_resolver())
+///         .create_if_empty(),
+/// )
+/// .unwrap();
+/// let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+/// let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+/// region.write(&mut txn, 0, b"hello").unwrap();
+/// txn.commit(CommitMode::Flush).unwrap();
+/// assert_eq!(region.read_vec(0, 5).unwrap(), b"hello");
+/// ```
+pub struct Rvm {
+    shared: Arc<RvmShared>,
+    recovery_report: RecoveryReport,
+    bg_thread: Option<JoinHandle<()>>,
+}
+
+impl Rvm {
+    /// Formats `dev` as an empty RVM log (the paper's `create_log`).
+    pub fn create_log(dev: &dyn Device) -> Result<()> {
+        format_log(dev)?;
+        Ok(())
+    }
+
+    /// Initializes the library over an existing (or, with
+    /// [`Options::create_if_empty`], fresh) log and runs crash recovery.
+    pub fn initialize(options: Options) -> Result<Self> {
+        let dev = options.log.clone();
+        let status = match read_status(dev.as_ref()) {
+            Ok(s) => s,
+            Err(_) if options.create_if_empty => format_log(dev.as_ref())?,
+            Err(e) => return Err(e),
+        };
+        if LOG_AREA_START + status.area_len > dev.len()? {
+            return Err(RvmError::BadLog(format!(
+                "status block claims a record area of {} bytes but the device holds {}",
+                status.area_len,
+                dev.len()?
+            )));
+        }
+
+        let recovered = recover(&dev, status, &options.resolver)?;
+        let status = recovered.status;
+        let wal = Wal::new(
+            dev.clone(),
+            status.area_len,
+            status.head,
+            status.tail,
+            status.seq_at_head,
+            status.next_seq,
+        );
+
+        let shared = Arc::new(RvmShared {
+            dev,
+            resolver: options.resolver,
+            tuning: RwLock::new(options.tuning.clone()),
+            stats: Stats::default(),
+            core: Mutex::new(Core {
+                wal,
+                status_seq: status.seq,
+                segments: status.segments,
+                seg_devices: recovered.seg_devices,
+                spool: Spool::new(),
+                page_queue: PageQueue::new(),
+                segs_in_log: HashSet::new(),
+            }),
+            regions: RwLock::new(HashMap::new()),
+            next_tid: AtomicU64::new(1),
+            next_region_id: AtomicU64::new(1),
+            active_txns: AtomicU64::new(0),
+            terminated: AtomicBool::new(false),
+            bg_wakeup: Mutex::new(false),
+            bg_condvar: Condvar::new(),
+        });
+
+        let bg_thread = if options.tuning.background_truncation {
+            let weak = Arc::downgrade(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("rvm-truncation".to_owned())
+                    .spawn(move || background_truncation_loop(weak))
+                    .expect("spawning the truncation thread"),
+            )
+        } else {
+            None
+        };
+
+        Ok(Self {
+            shared,
+            recovery_report: recovered.report,
+            bg_thread,
+        })
+    }
+
+    /// What crash recovery did during [`Rvm::initialize`].
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery_report
+    }
+
+    fn check_live(&self) -> Result<()> {
+        if self.shared.terminated.load(Ordering::Acquire) {
+            Err(RvmError::Terminated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Maps a region of an external data segment into recoverable memory
+    /// (§4.1). The mapped memory holds the committed image of the region,
+    /// copied in eagerly (the paper's behaviour); see [`Rvm::map_with`]
+    /// for on-demand loading.
+    pub fn map(&self, desc: &RegionDescriptor) -> Result<Region> {
+        self.map_with(desc, LoadPolicy::Eager)
+    }
+
+    /// Maps a region with an explicit [`LoadPolicy`]. On-demand mapping
+    /// returns immediately and fetches pages from the segment on first
+    /// access — the "copy data on demand" option §3.2 planned, which
+    /// removes the startup latency of reading recoverable memory in en
+    /// masse.
+    pub fn map_with(&self, desc: &RegionDescriptor, policy: LoadPolicy) -> Result<Region> {
+        self.check_live()?;
+        desc.validate()?;
+        let shared = &self.shared;
+        let mut core = shared.core.lock();
+
+        // Enter the segment into the durable table on first sight; the
+        // table must be durable before any record references the id.
+        let mut status_dirty = false;
+        let seg_id = match core.segments.iter().position(|s| s.name == desc.segment) {
+            Some(i) => core.segments[i].id,
+            None => {
+                if !StatusBlock::segments_fit(&core.segments, desc.segment.len()) {
+                    return Err(RvmError::SegmentTableFull);
+                }
+                let id = SegmentId::new(core.segments.len() as u32);
+                core.segments.push(SegmentInfo {
+                    id,
+                    name: desc.segment.clone(),
+                    min_len: desc.offset + desc.len,
+                });
+                status_dirty = true;
+                id
+            }
+        };
+        {
+            let info = core
+                .segments
+                .iter_mut()
+                .find(|s| s.id == seg_id)
+                .expect("segment just looked up");
+            if info.min_len < desc.offset + desc.len {
+                info.min_len = desc.offset + desc.len;
+                status_dirty = true;
+            }
+        }
+
+        // §4.1 mapping rules: no region mapped twice, no overlap.
+        let new_range = ByteRange::at(desc.offset, desc.len);
+        for region in shared.regions.read().values() {
+            if region.seg == seg_id {
+                let existing = ByteRange::at(region.seg_offset, region.len);
+                if new_range.start < existing.end && existing.start < new_range.end {
+                    return Err(RvmError::BadMapping(format!(
+                        "[{}, {}) of '{}' overlaps the mapped region [{}, {})",
+                        new_range.start,
+                        new_range.end,
+                        desc.segment,
+                        existing.start,
+                        existing.end
+                    )));
+                }
+            }
+        }
+
+        let min_len = desc.offset + desc.len;
+        let seg_dev = self.shared.segment_device(&mut core, seg_id, min_len)?;
+        if status_dirty {
+            shared.write_status_locked(&mut core)?;
+        }
+
+        // Guarantee the mapped image is the committed one: if live log
+        // records or spooled commits reference this segment, reflect them
+        // into the device first.
+        if core.segs_in_log.contains(&seg_id.as_u32()) || core.spool.references(seg_id) {
+            shared.flush_spool_locked(&mut core)?;
+            shared.epoch_truncate_locked(&mut core)?;
+        }
+
+        let inner = Arc::new(RegionInner {
+            id: shared.next_region_id.fetch_add(1, Ordering::Relaxed),
+            seg: seg_id,
+            seg_name: desc.segment.clone(),
+            seg_dev,
+            seg_offset: desc.offset,
+            len: desc.len,
+            mem: RegionMemory::alloc(desc.len as usize),
+            mem_lock: RwLock::new(()),
+            mapped: AtomicBool::new(true),
+            uncommitted_txns: AtomicU64::new(0),
+            page_vector: Mutex::new(PageVector::new(desc.len)),
+            unloaded: Mutex::new(match policy {
+                LoadPolicy::Eager => None,
+                LoadPolicy::OnDemand => {
+                    Some(vec![true; desc.len.div_ceil(PAGE_SIZE) as usize])
+                }
+            }),
+        });
+        if policy == LoadPolicy::Eager {
+            inner.load_from_segment()?;
+        }
+        shared.regions.write().insert(inner.id, inner.clone());
+        Ok(Region { inner })
+    }
+
+    /// Unmaps a quiescent region (§4.1: no uncommitted transactions may be
+    /// outstanding). Committed-but-untruncated changes remain safe in the
+    /// log and spool.
+    pub fn unmap(&self, region: &Region) -> Result<()> {
+        region.inner.check_mapped()?;
+        let uncommitted = region.inner.uncommitted_txns.load(Ordering::Acquire);
+        if uncommitted > 0 {
+            return Err(RvmError::RegionBusy { uncommitted });
+        }
+        region.inner.mapped.store(false, Ordering::Release);
+        self.shared.regions.write().remove(&region.inner.id);
+        Ok(())
+    }
+
+    /// Starts a transaction (§4.2 `begin_transaction`).
+    pub fn begin_transaction(&self, mode: TxnMode) -> Result<Transaction> {
+        self.check_live()?;
+        self.shared.active_txns.fetch_add(1, Ordering::AcqRel);
+        let tid = self.shared.next_tid.fetch_add(1, Ordering::Relaxed);
+        Ok(Transaction::new(tid, mode, self.shared.clone()))
+    }
+
+    /// Forces all spooled no-flush commits to the log (§4.2 `flush`).
+    pub fn flush(&self) -> Result<()> {
+        self.check_live()?;
+        let mut core = self.shared.core.lock();
+        self.shared.flush_spool_locked(&mut core)
+    }
+
+    /// Applies every committed change in the write-ahead log to its data
+    /// segment and reclaims the space (§4.2 `truncate`). Blocks until
+    /// done. Spooled no-flush commits are *not* included — call
+    /// [`Rvm::flush`] first for that.
+    pub fn truncate(&self) -> Result<()> {
+        self.check_live()?;
+        let mut core = self.shared.core.lock();
+        self.shared.epoch_truncate_locked(&mut core)?;
+        Ok(())
+    }
+
+    /// Current tuning options.
+    pub fn options(&self) -> Tuning {
+        self.shared.tuning.read().clone()
+    }
+
+    /// Replaces the tuning options (§4.2 `set_options`).
+    pub fn set_options(&self, tuning: Tuning) {
+        *self.shared.tuning.write() = tuning;
+    }
+
+    /// Library-wide information (§4.2 `query`).
+    pub fn query(&self) -> QueryInfo {
+        let core = self.shared.core.lock();
+        QueryInfo {
+            active_transactions: self.shared.active_txns.load(Ordering::Acquire),
+            mapped_regions: self.shared.regions.read().len(),
+            spooled_transactions: core.spool.len(),
+            spool_bytes: core.spool.bytes(),
+            queued_pages: core.page_queue.len(),
+            log: LogInfo {
+                head: core.wal.head(),
+                tail: core.wal.tail(),
+                used: core.wal.used(),
+                capacity: core.wal.capacity(),
+                utilization: core.wal.utilization(),
+            },
+            stats: self.shared.stats.snapshot(),
+        }
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Shuts the instance down cleanly (§4.2 `terminate`): fails if
+    /// transactions are outstanding, otherwise flushes the spool and
+    /// writes a final status block.
+    pub fn terminate(mut self) -> Result<()> {
+        let active = self.shared.active_txns.load(Ordering::Acquire);
+        if active > 0 {
+            return Err(RvmError::TransactionsOutstanding(active));
+        }
+        self.shutdown()?;
+        Ok(())
+    }
+
+    fn shutdown(&mut self) -> Result<()> {
+        if self.shared.terminated.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        // Wake and join the background truncation thread.
+        {
+            let mut flag = self.shared.bg_wakeup.lock();
+            *flag = true;
+            self.shared.bg_condvar.notify_all();
+        }
+        if let Some(handle) = self.bg_thread.take() {
+            let _ = handle.join();
+        }
+        let mut core = self.shared.core.lock();
+        self.shared.flush_spool_locked(&mut core)?;
+        self.shared.write_status_locked(&mut core)?;
+        Ok(())
+    }
+}
+
+impl Drop for Rvm {
+    fn drop(&mut self) {
+        // Best-effort clean shutdown; errors cannot be reported here.
+        let _ = self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Rvm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rvm")
+            .field("terminated", &self.shared.terminated.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RvmShared {
+    /// Resolves (and caches) the device backing a segment.
+    fn segment_device(
+        &self,
+        core: &mut Core,
+        seg: SegmentId,
+        min_len: u64,
+    ) -> Result<Arc<dyn Device>> {
+        if let Some(dev) = core.seg_devices.get(&seg.as_u32()) {
+            if dev.len()? < min_len {
+                dev.set_len(min_len)?;
+            }
+            return Ok(dev.clone());
+        }
+        let info = core
+            .segments
+            .iter()
+            .find(|s| s.id == seg)
+            .ok_or_else(|| RvmError::BadLog(format!("unknown segment id {seg}")))?;
+        let dev = (self.resolver)(&info.name, min_len.max(info.min_len))?;
+        if dev.len()? < min_len {
+            dev.set_len(min_len)?;
+        }
+        core.seg_devices.insert(seg.as_u32(), dev.clone());
+        Ok(dev)
+    }
+
+    /// Writes the status block from live state.
+    fn write_status_locked(&self, core: &mut Core) -> Result<()> {
+        let mut status = StatusBlock {
+            seq: core.status_seq,
+            head: core.wal.head(),
+            tail: core.wal.tail(),
+            seq_at_head: core.wal.seq_at_head(),
+            next_seq: core.wal.next_seq(),
+            area_len: core.wal.capacity(),
+            segments: core.segments.clone(),
+        };
+        write_status(self.dev.as_ref(), &mut status)?;
+        core.status_seq = status.seq;
+        Ok(())
+    }
+
+    /// Appends a record, truncating (epoch mode — the "space critical"
+    /// path of §5.1.2) as needed to make room.
+    fn append_with_space(
+        &self,
+        core: &mut Core,
+        tid: u64,
+        ranges: &[RecordRange],
+    ) -> Result<AppendInfo> {
+        let padded = record::txn_record_size(ranges.iter().map(|r| r.data.len() as u64));
+        if padded > core.wal.capacity() {
+            return Err(RvmError::LogFull {
+                needed: padded,
+                capacity: core.wal.capacity(),
+            });
+        }
+        loop {
+            if core.wal.space_needed(padded) <= core.wal.free_space() {
+                return core.wal.append_txn(tid, ranges);
+            }
+            if !self.epoch_truncate_locked(core)? {
+                return Err(RvmError::LogFull {
+                    needed: core.wal.space_needed(padded),
+                    capacity: core.wal.free_space(),
+                });
+            }
+        }
+    }
+
+    /// Commits a transaction; called from [`Transaction::commit`].
+    pub(crate) fn commit_txn(
+        self: &Arc<Self>,
+        txn: &mut Transaction,
+        mode: CommitMode,
+    ) -> Result<()> {
+        if self.terminated.load(Ordering::Acquire) {
+            txn.release();
+            return Err(RvmError::Terminated);
+        }
+        let tuning = self.tuning.read().clone();
+        let stats = &self.stats;
+
+        // Read the new values out of recoverable memory *now* — "new-value
+        // records that reflect the current contents of the corresponding
+        // ranges of memory" (§5.1.1).
+        let mut ranges: Vec<RecordRange> = Vec::new();
+        let mut net_data = 0u64;
+        let mut region_pages: Vec<(Arc<RegionInner>, Vec<usize>)> = Vec::new();
+        let mut txn_regions: Vec<_> = txn.regions.values().collect();
+        txn_regions.sort_by_key(|r| r.region.id);
+        for txn_region in txn_regions {
+            let region = &txn_region.region;
+            let use_coalesced = tuning.intra_optimization;
+            let iter: Vec<ByteRange> = if use_coalesced {
+                txn_region.ranges.iter().collect()
+            } else {
+                txn_region.raw_ranges.clone()
+            };
+            let mut pages = std::collections::BTreeSet::new();
+            for r in &iter {
+                let data = region.read_bytes(r.start, r.len());
+                net_data += data.len() as u64;
+                for p in PageVector::page_span(r.start, r.len()) {
+                    pages.insert(p);
+                }
+                ranges.push(RecordRange {
+                    seg: region.seg,
+                    offset: region.seg_offset + r.start,
+                    data,
+                });
+            }
+            region_pages.push((region.clone(), pages.into_iter().collect()));
+        }
+        if tuning.intra_optimization && txn.gross_bytes >= net_data {
+            stats.add(&stats.bytes_saved_intra, txn.gross_bytes - net_data);
+        }
+
+        let mut over_threshold = false;
+        if !ranges.is_empty() {
+            let mut core = self.core.lock();
+            match mode {
+                CommitMode::Flush => {
+                    // Preserve commit order in the durable log.
+                    self.flush_spool_locked(&mut core)?;
+                    let info = self.append_with_space(&mut core, txn.tid, &ranges)?;
+                    core.wal.force()?;
+                    stats.add(&stats.log_forces, 1);
+                    stats.add(&stats.bytes_logged, info.record_bytes);
+                    stats.add(&stats.flush_commits, 1);
+                    for (region, pages) in &region_pages {
+                        {
+                            let mut pv = region.page_vector.lock();
+                            for &p in pages {
+                                pv.mark_page_dirty(p);
+                            }
+                        }
+                        for &p in pages {
+                            core.page_queue.enqueue(region, p, info.offset, info.seq);
+                        }
+                    }
+                    for r in &ranges {
+                        core.segs_in_log.insert(r.seg.as_u32());
+                    }
+                }
+                CommitMode::NoFlush => {
+                    let record_bytes = record::HEADER_SIZE
+                        + ranges
+                            .iter()
+                            .map(|r| record::RANGE_ENTRY_SIZE + r.data.len() as u64)
+                            .sum::<u64>()
+                        + record::TRAILER_SIZE;
+                    let mut pages_list = Vec::new();
+                    for (region, pages) in &region_pages {
+                        let mut pv = region.page_vector.lock();
+                        for &p in pages {
+                            pv.inc_unflushed(p);
+                        }
+                        pages_list.push((Arc::downgrade(region), pages.clone()));
+                    }
+                    let saved = core.spool.push(
+                        SpooledTxn {
+                            tid: txn.tid,
+                            ranges,
+                            pages: pages_list,
+                            record_bytes,
+                        },
+                        tuning.inter_optimization,
+                    );
+                    stats.add(&stats.bytes_saved_inter, saved);
+                    stats.add(&stats.no_flush_commits, 1);
+                    if core.spool.bytes() > tuning.spool_max_bytes {
+                        self.flush_spool_locked(&mut core)?;
+                    }
+                }
+            }
+            over_threshold = core.wal.utilization() > tuning.truncation_threshold;
+        } else {
+            // An empty transaction commits trivially; nothing reaches the
+            // log.
+            stats.add(
+                match mode {
+                    CommitMode::Flush => &stats.flush_commits,
+                    CommitMode::NoFlush => &stats.no_flush_commits,
+                },
+                1,
+            );
+        }
+        stats.add(&stats.txns_committed, 1);
+        txn.release();
+
+        if over_threshold {
+            self.request_truncation(&tuning);
+        }
+        Ok(())
+    }
+
+    /// Writes every spooled record to the log and forces it once.
+    fn flush_spool_locked(&self, core: &mut Core) -> Result<()> {
+        if core.spool.is_empty() {
+            return Ok(());
+        }
+        let stats = &self.stats;
+        let mut flushed_any = false;
+        while let Some(spooled) = core.spool.pop_front() {
+            let info = match self.append_with_space(core, spooled.tid, &spooled.ranges) {
+                Ok(info) => info,
+                Err(e) => {
+                    core.spool.push_front(spooled);
+                    return Err(e);
+                }
+            };
+            flushed_any = true;
+            stats.add(&stats.bytes_logged, info.record_bytes);
+            for (weak, pages) in &spooled.pages {
+                if let Some(region) = weak.upgrade() {
+                    let mut pv = region.page_vector.lock();
+                    for &p in pages {
+                        pv.dec_unflushed(p);
+                        pv.mark_page_dirty(p);
+                    }
+                    drop(pv);
+                    for &p in pages {
+                        core.page_queue.enqueue(&region, p, info.offset, info.seq);
+                    }
+                }
+            }
+            for r in &spooled.ranges {
+                core.segs_in_log.insert(r.seg.as_u32());
+            }
+        }
+        if flushed_any {
+            core.wal.force()?;
+            stats.add(&stats.log_forces, 1);
+            stats.add(&stats.spool_flushes, 1);
+        }
+        Ok(())
+    }
+
+    /// Epoch truncation (§5.1.2): the recovery procedure applied to the
+    /// live log. Returns whether the head moved.
+    fn epoch_truncate_locked(&self, core: &mut Core) -> Result<bool> {
+        if core.wal.used() == 0 {
+            return Ok(false);
+        }
+        let head = core.wal.head();
+        let split = core.wal.tail();
+        let scan = scan_forward(
+            core.wal.device().as_ref(),
+            core.wal.capacity(),
+            head,
+            core.wal.seq_at_head(),
+            Some(split),
+        )?;
+
+        // Latest-committed-change trees, newest record first.
+        let mut trees: HashMap<u32, IntervalMap> = HashMap::new();
+        for (_, rec) in scan.records.iter().rev() {
+            for range in &rec.ranges {
+                trees
+                    .entry(range.seg.as_u32())
+                    .or_default()
+                    .insert_if_uncovered(range.offset, &range.data);
+            }
+        }
+        let mut seg_ids: Vec<u32> = trees.keys().copied().collect();
+        seg_ids.sort_unstable();
+        for seg_raw in seg_ids {
+            let tree = &trees[&seg_raw];
+            let needed = tree
+                .iter()
+                .map(|(s, p)| s + p.len() as u64)
+                .max()
+                .unwrap_or(0);
+            let dev = self.segment_device(core, SegmentId::new(seg_raw), needed)?;
+            for (start, payload) in tree.iter() {
+                dev.write_at(start, payload)?;
+            }
+            dev.sync()?;
+        }
+
+        let stats = &self.stats;
+        stats.add(&stats.truncation_bytes_scanned, split - head);
+        for tree in trees.values() {
+            stats.add(&stats.truncation_ranges_applied, tree.len() as u64);
+            stats.add(&stats.truncation_bytes_applied, tree.total_len());
+        }
+        core.wal.advance_head(scan.tail, scan.next_seq);
+        core.segs_in_log.clear();
+        core.page_queue.clear();
+        for region in self.regions.read().values() {
+            region.page_vector.lock().clear_dirty_where_flushed();
+        }
+        self.write_status_locked(core)?;
+        self.stats.add(&self.stats.epoch_truncations, 1);
+        Ok(true)
+    }
+
+    /// Incremental truncation (Figure 7): write dirty pages from VM in
+    /// page-queue order, advancing the log head. Returns bytes reclaimed.
+    ///
+    /// Steps are batched: up to [`INCREMENTAL_BATCH_PAGES`] writable pages
+    /// are written and their segment devices synced once before the head
+    /// advances past all of them, so each step costs one positioning
+    /// batch rather than one sync per page.
+    fn incremental_truncate_locked(&self, core: &mut Core, target: u64) -> Result<u64> {
+        let start_head = core.wal.head();
+        'outer: loop {
+            if core.wal.head() - start_head >= target {
+                break;
+            }
+            if core.page_queue.is_empty() {
+                // Queue drained: every committed, flushed change is
+                // applied; the whole log is reclaimable.
+                if core.wal.used() > 0 {
+                    let (tail, seq) = (core.wal.tail(), core.wal.next_seq());
+                    core.wal.advance_head(tail, seq);
+                    core.segs_in_log.clear();
+                }
+                break;
+            }
+
+            // Gather a batch of writable pages from the queue head.
+            let mut batch: Vec<(Arc<RegionInner>, usize)> = Vec::new();
+            while batch.len() < INCREMENTAL_BATCH_PAGES {
+                let Some(front) = core.page_queue.front() else {
+                    break;
+                };
+                let Some(region) = front.region.upgrade() else {
+                    if batch.is_empty() {
+                        // The region was unmapped: its pages cannot be
+                        // written from VM any more. Revert to epoch
+                        // truncation (§5.1.2).
+                        self.epoch_truncate_locked(core)?;
+                        break 'outer;
+                    }
+                    break;
+                };
+                let page = front.page;
+                {
+                    let mut pv = region.page_vector.lock();
+                    let entry = *pv.entry(page);
+                    if entry.uncommitted > 0 {
+                        // "Incremental truncation is now blocked until
+                        // the uncommitted reference count drops to zero."
+                        break;
+                    }
+                    if entry.unflushed > 0 {
+                        if !batch.is_empty() {
+                            break;
+                        }
+                        // Committed data still in the spool: flushing it
+                        // is always safe and unblocks the page.
+                        drop(pv);
+                        self.flush_spool_locked(core)?;
+                        continue 'outer;
+                    }
+                    pv.entry_mut(page).reserved = true;
+                }
+                core.page_queue.pop_front();
+                batch.push((region, page));
+            }
+            if batch.is_empty() {
+                break; // blocked at the queue head
+            }
+
+            // Write the batch from VM to the data segments, one sync per
+            // distinct device.
+            for (region, page) in &batch {
+                let page_off = *page as u64 * PAGE_SIZE;
+                let len = PAGE_SIZE.min(region.len - page_off);
+                let buf = region.read_bytes(page_off, len);
+                region.seg_dev.write_at(region.seg_offset + page_off, &buf)?;
+            }
+            let mut synced: Vec<u64> = Vec::new();
+            for (region, _) in &batch {
+                if !synced.contains(&region.id) {
+                    region.seg_dev.sync()?;
+                    synced.push(region.id);
+                }
+            }
+            for (region, page) in &batch {
+                let mut pv = region.page_vector.lock();
+                pv.entry_mut(*page).reserved = false;
+                pv.entry_mut(*page).dirty = false;
+            }
+            self.stats.add(&self.stats.incremental_steps, 1);
+            self.stats
+                .add(&self.stats.pages_written_incremental, batch.len() as u64);
+
+            // Move the log head to the next descriptor's offset.
+            let (new_head, new_seq) = match core.page_queue.front() {
+                Some(d) if d.offset > core.wal.head() => (d.offset, d.seq),
+                Some(_) => (core.wal.head(), core.wal.seq_at_head()),
+                None => (core.wal.tail(), core.wal.next_seq()),
+            };
+            core.wal.advance_head(new_head, new_seq);
+        }
+        let reclaimed = core.wal.head() - start_head;
+        if reclaimed > 0 {
+            self.write_status_locked(core)?;
+        }
+        Ok(reclaimed)
+    }
+
+    /// Runs the configured truncation mechanism once.
+    pub(crate) fn truncate_per_mode(&self, core: &mut Core, tuning: &Tuning) -> Result<()> {
+        match tuning.truncation_mode {
+            crate::options::TruncationMode::Epoch => {
+                self.epoch_truncate_locked(core)?;
+            }
+            crate::options::TruncationMode::Incremental => {
+                let reclaimed =
+                    self.incremental_truncate_locked(core, tuning.incremental_reclaim_bytes)?;
+                // Blocked with space critical: revert to epoch truncation.
+                let critical = (tuning.truncation_threshold + 0.3).min(0.95);
+                if reclaimed == 0 && core.wal.utilization() > critical {
+                    self.epoch_truncate_locked(core)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn request_truncation(&self, tuning: &Tuning) {
+        if tuning.background_truncation {
+            let mut flag = self.bg_wakeup.lock();
+            *flag = true;
+            self.bg_condvar.notify_all();
+        } else {
+            let mut core = self.core.lock();
+            // Re-check under the lock; another committer may have
+            // truncated already.
+            if core.wal.utilization() > tuning.truncation_threshold {
+                let _ = self.truncate_per_mode(&mut core, tuning);
+            }
+        }
+    }
+}
+
+fn background_truncation_loop(shared: Weak<RvmShared>) {
+    loop {
+        let Some(strong) = shared.upgrade() else {
+            return;
+        };
+        {
+            let mut flag = strong.bg_wakeup.lock();
+            if !*flag {
+                strong
+                    .bg_condvar
+                    .wait_for(&mut flag, std::time::Duration::from_millis(50));
+            }
+            *flag = false;
+        }
+        if strong.terminated.load(Ordering::Acquire) {
+            return;
+        }
+        let tuning = strong.tuning.read().clone();
+        let mut core = strong.core.lock();
+        if core.wal.utilization() > tuning.truncation_threshold {
+            let _ = strong.truncate_per_mode(&mut core, &tuning);
+        }
+        drop(core);
+        drop(strong);
+    }
+}

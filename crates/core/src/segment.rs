@@ -1,0 +1,170 @@
+//! External data segments (§4.1).
+//!
+//! A segment is the backing store for recoverable memory — "a file or a raw
+//! disk partition"; the distinction is invisible to programs, so segments
+//! are named by a string and resolved to a [`Device`] through a
+//! [`DeviceResolver`]. The default resolver opens (or creates) regular
+//! files; tests and simulations inject resolvers returning shared
+//! in-memory or latency-modelled devices.
+//!
+//! Segment identities are small integers recorded in the log's status
+//! block, so crash recovery is self-contained: it can re-resolve every
+//! segment the log references without application help.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rvm_storage::{Device, FileDevice};
+
+/// Identifies a segment within one log's segment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(u32);
+
+impl SegmentId {
+    /// Creates a segment id from its raw table index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw table index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A segment-table entry as persisted in the log status block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// The segment's id.
+    pub id: SegmentId,
+    /// The name the application mapped it by (a path for file-backed
+    /// segments).
+    pub name: String,
+    /// Smallest device length the segment has been known to need; recovery
+    /// grows the device to at least this before applying changes.
+    pub min_len: u64,
+}
+
+/// Resolves a segment name to a device.
+///
+/// Called with the segment's name and the minimum length the caller needs;
+/// the returned device must be at least that long.
+pub type DeviceResolver =
+    Arc<dyn Fn(&str, u64) -> rvm_storage::Result<Arc<dyn Device>> + Send + Sync>;
+
+/// The default resolver: a segment name is a filesystem path, opened if it
+/// exists (grown if shorter than needed) or created zero-filled.
+pub fn file_resolver() -> DeviceResolver {
+    Arc::new(|name: &str, min_len: u64| {
+        let dev = FileDevice::open_or_create(name, min_len)?;
+        if dev.len()? < min_len {
+            dev.set_len(min_len)?;
+        }
+        Ok(Arc::new(dev) as Arc<dyn Device>)
+    })
+}
+
+/// A resolver over named in-memory devices, for tests and simulation.
+///
+/// All segments resolved through clones of one `MemResolver` share the same
+/// backing images, so a "reboot" (a second `Rvm::initialize`) sees the
+/// state an earlier instance persisted.
+///
+/// # Examples
+///
+/// ```
+/// use rvm::segment::MemResolver;
+///
+/// let resolver = MemResolver::new();
+/// let a = resolver.resolve("seg", 4096).unwrap();
+/// let b = resolver.resolve("seg", 4096).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+#[derive(Clone, Default)]
+pub struct MemResolver {
+    devices: Arc<parking_lot::Mutex<std::collections::HashMap<String, Arc<rvm_storage::MemDevice>>>>,
+}
+
+impl MemResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating on first use) the named in-memory device.
+    pub fn resolve(&self, name: &str, min_len: u64) -> rvm_storage::Result<Arc<dyn Device>> {
+        let mut devices = self.devices.lock();
+        let dev = devices
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(rvm_storage::MemDevice::with_len(min_len)))
+            .clone();
+        if dev.len()? < min_len {
+            dev.set_len(min_len)?;
+        }
+        Ok(dev)
+    }
+
+    /// Returns the named device if it exists.
+    pub fn get(&self, name: &str) -> Option<Arc<rvm_storage::MemDevice>> {
+        self.devices.lock().get(name).cloned()
+    }
+
+    /// Converts into a [`DeviceResolver`] for [`Options`](crate::Options).
+    pub fn into_resolver(self) -> DeviceResolver {
+        Arc::new(move |name, min_len| self.resolve(name, min_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_id_round_trip_and_display() {
+        let id = SegmentId::new(7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(id.to_string(), "seg7");
+    }
+
+    #[test]
+    fn mem_resolver_shares_devices_by_name() {
+        let r = MemResolver::new();
+        let a = r.resolve("x", 100).unwrap();
+        a.write_at(0, &[42]).unwrap();
+        let b = r.resolve("x", 100).unwrap();
+        let mut buf = [0u8; 1];
+        b.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 42);
+        assert!(r.get("x").is_some());
+        assert!(r.get("y").is_none());
+    }
+
+    #[test]
+    fn mem_resolver_grows_devices() {
+        let r = MemResolver::new();
+        let a = r.resolve("x", 10).unwrap();
+        assert_eq!(a.len().unwrap(), 10);
+        let b = r.resolve("x", 100).unwrap();
+        assert_eq!(b.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn file_resolver_creates_and_grows() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rvm-seg-test-{}", std::process::id()));
+        let name = path.to_str().unwrap().to_owned();
+        let r = file_resolver();
+        let dev = r(&name, 64).unwrap();
+        assert_eq!(dev.len().unwrap(), 64);
+        drop(dev);
+        let dev = r(&name, 128).unwrap();
+        assert_eq!(dev.len().unwrap(), 128);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! The no-flush commit spool and inter-transaction optimization (§5.2).
+//!
+//! No-flush ("lazy") commits do not force the log: their records are
+//! spooled in memory and written out together on the next `flush`. The
+//! spool is where the inter-transaction optimization lives: "if the
+//! modifications being committed subsume those from an earlier unflushed
+//! transaction, the older log records are discarded."
+//!
+//! Dropping a spooled record must release the *unflushed* page counts it
+//! holds (see
+//! [`PageVector`](crate::truncation::page_vector::PageVector)), otherwise
+//! incremental truncation would block forever on pages whose pending
+//! records no longer exist.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Weak;
+
+use crate::log::record::RecordRange;
+use crate::ranges::{ByteRange, RangeSet};
+use crate::region::RegionInner;
+use crate::segment::SegmentId;
+
+/// One committed-but-unflushed transaction.
+pub(crate) struct SpooledTxn {
+    /// Transaction id (diagnostics).
+    pub tid: u64,
+    /// New-value ranges, segment-absolute, exactly as they will be logged.
+    pub ranges: Vec<RecordRange>,
+    /// Pages whose unflushed count this record holds, per region.
+    pub pages: Vec<(Weak<RegionInner>, Vec<usize>)>,
+    /// Unpadded record size, for Table 2 accounting.
+    pub record_bytes: u64,
+}
+
+impl SpooledTxn {
+    fn release_unflushed(&self) {
+        for (weak, pages) in &self.pages {
+            if let Some(region) = weak.upgrade() {
+                let mut pv = region.page_vector.lock();
+                for &p in pages {
+                    pv.dec_unflushed(p);
+                }
+            }
+        }
+    }
+}
+
+/// FIFO of committed, unflushed transaction records.
+#[derive(Default)]
+pub(crate) struct Spool {
+    txns: VecDeque<SpooledTxn>,
+    bytes: u64,
+}
+
+impl Spool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of spooled records.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Total unpadded record bytes pending.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Returns `true` if any pending record touches `seg`.
+    pub fn references(&self, seg: SegmentId) -> bool {
+        self.txns
+            .iter()
+            .any(|t| t.ranges.iter().any(|r| r.seg == seg))
+    }
+
+    /// Appends a record, first discarding any older records it subsumes
+    /// when `inter_opt` is enabled. Returns the record bytes saved.
+    pub fn push(&mut self, txn: SpooledTxn, inter_opt: bool) -> u64 {
+        let mut saved = 0u64;
+        if inter_opt && !self.txns.is_empty() {
+            // Coverage of the new record, per segment.
+            let mut coverage: HashMap<u32, RangeSet> = HashMap::new();
+            for r in &txn.ranges {
+                coverage
+                    .entry(r.seg.as_u32())
+                    .or_default()
+                    .insert(ByteRange::at(r.offset, r.data.len() as u64));
+            }
+            self.txns.retain(|old| {
+                let subsumed = old.ranges.iter().all(|r| {
+                    coverage
+                        .get(&r.seg.as_u32())
+                        .is_some_and(|set| set.covers(&ByteRange::at(r.offset, r.data.len() as u64)))
+                });
+                if subsumed {
+                    saved += old.record_bytes;
+                    old.release_unflushed();
+                }
+                !subsumed
+            });
+            self.bytes -= saved;
+        }
+        self.bytes += txn.record_bytes;
+        self.txns.push_back(txn);
+        saved
+    }
+
+    /// Removes and returns the oldest record.
+    pub fn pop_front(&mut self) -> Option<SpooledTxn> {
+        let txn = self.txns.pop_front()?;
+        self.bytes -= txn.record_bytes;
+        Some(txn)
+    }
+
+    /// Puts a record back at the front (after a failed flush attempt).
+    pub fn push_front(&mut self, txn: SpooledTxn) {
+        self.bytes += txn.record_bytes;
+        self.txns.push_front(txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seg: u32, offset: u64, len: usize, bytes: u64) -> SpooledTxn {
+        SpooledTxn {
+            tid: 0,
+            ranges: vec![RecordRange {
+                seg: SegmentId::new(seg),
+                offset,
+                data: vec![0; len],
+            }],
+            pages: Vec::new(),
+            record_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn push_and_pop_preserve_fifo_and_bytes() {
+        let mut spool = Spool::new();
+        spool.push(rec(0, 0, 10, 100), false);
+        spool.push(rec(0, 100, 10, 120), false);
+        assert_eq!(spool.len(), 2);
+        assert_eq!(spool.bytes(), 220);
+        let first = spool.pop_front().unwrap();
+        assert_eq!(first.record_bytes, 100);
+        assert_eq!(spool.bytes(), 120);
+        spool.push_front(first);
+        assert_eq!(spool.bytes(), 220);
+        assert_eq!(spool.pop_front().unwrap().record_bytes, 100);
+    }
+
+    #[test]
+    fn partial_overlap_does_not_subsume() {
+        let mut spool = Spool::new();
+        spool.push(rec(0, 10, 10, 100), true);
+        // The second covers only [15, 20) of the first's [10, 20): the
+        // older record survives.
+        let saved = spool.push(rec(0, 15, 5, 50), true);
+        assert_eq!(saved, 0);
+        assert_eq!(spool.bytes(), 150);
+        assert_eq!(spool.len(), 2);
+    }
+
+    #[test]
+    fn exact_and_superset_coverage_subsumes() {
+        let mut spool = Spool::new();
+        spool.push(rec(0, 10, 10, 100), true);
+        // Exact same range: subsumes (the cp d1/* d2 case).
+        let saved = spool.push(rec(0, 10, 10, 100), true);
+        assert_eq!(saved, 100);
+        assert_eq!(spool.len(), 1);
+        // Superset subsumes too.
+        let saved = spool.push(rec(0, 0, 100, 300), true);
+        assert_eq!(saved, 100);
+        assert_eq!(spool.len(), 1);
+        assert_eq!(spool.bytes(), 300);
+    }
+
+    #[test]
+    fn different_segment_never_subsumes() {
+        let mut spool = Spool::new();
+        spool.push(rec(0, 10, 10, 100), true);
+        let saved = spool.push(rec(1, 10, 10, 100), true);
+        assert_eq!(saved, 0);
+        assert_eq!(spool.len(), 2);
+    }
+
+    #[test]
+    fn optimization_disabled_keeps_everything() {
+        let mut spool = Spool::new();
+        spool.push(rec(0, 10, 10, 100), false);
+        let saved = spool.push(rec(0, 10, 10, 100), false);
+        assert_eq!(saved, 0);
+        assert_eq!(spool.len(), 2);
+    }
+
+    #[test]
+    fn multi_range_subsumption_requires_all_ranges_covered() {
+        let mut spool = Spool::new();
+        let old = SpooledTxn {
+            tid: 1,
+            ranges: vec![
+                RecordRange {
+                    seg: SegmentId::new(0),
+                    offset: 0,
+                    data: vec![0; 10],
+                },
+                RecordRange {
+                    seg: SegmentId::new(0),
+                    offset: 100,
+                    data: vec![0; 10],
+                },
+            ],
+            pages: Vec::new(),
+            record_bytes: 200,
+        };
+        spool.push(old, true);
+        // Covers only the first range: no subsumption.
+        assert_eq!(spool.push(rec(0, 0, 10, 50), true), 0);
+        assert_eq!(spool.len(), 2);
+        // Covers both: subsumes the two-range record (but not the 50-byte
+        // one, whose [0,10) is inside the new coverage — it IS subsumed).
+        let new = SpooledTxn {
+            tid: 2,
+            ranges: vec![
+                RecordRange {
+                    seg: SegmentId::new(0),
+                    offset: 0,
+                    data: vec![0; 20],
+                },
+                RecordRange {
+                    seg: SegmentId::new(0),
+                    offset: 90,
+                    data: vec![0; 30],
+                },
+            ],
+            pages: Vec::new(),
+            record_bytes: 400,
+        };
+        let saved = spool.push(new, true);
+        assert_eq!(saved, 250);
+        assert_eq!(spool.len(), 1);
+        assert_eq!(spool.bytes(), 400);
+    }
+
+    #[test]
+    fn references_checks_segments() {
+        let mut spool = Spool::new();
+        spool.push(rec(3, 0, 4, 10), false);
+        assert!(spool.references(SegmentId::new(3)));
+        assert!(!spool.references(SegmentId::new(4)));
+    }
+}

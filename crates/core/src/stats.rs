@@ -1,0 +1,196 @@
+//! Operation statistics.
+//!
+//! The paper instrumented RVM "to keep track of the total volume of log
+//! data eliminated by each technique" to produce Table 2 (§7.3). The same
+//! counters back this library's `query` operation, the Table 2 benchmark,
+//! and the optimization ablations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, updated atomically by the library.
+#[derive(Debug, Default)]
+pub struct Stats {
+    pub(crate) txns_committed: AtomicU64,
+    pub(crate) txns_aborted: AtomicU64,
+    pub(crate) flush_commits: AtomicU64,
+    pub(crate) no_flush_commits: AtomicU64,
+    pub(crate) set_range_calls: AtomicU64,
+    /// Sum of requested `set_range` lengths (before intra coalescing).
+    pub(crate) bytes_set_range_gross: AtomicU64,
+    /// Record bytes appended to the log (headers + data, after all
+    /// optimizations, before block padding).
+    pub(crate) bytes_logged: AtomicU64,
+    /// Data bytes suppressed by intra-transaction optimization.
+    pub(crate) bytes_saved_intra: AtomicU64,
+    /// Record bytes suppressed by inter-transaction optimization.
+    pub(crate) bytes_saved_inter: AtomicU64,
+    pub(crate) log_forces: AtomicU64,
+    pub(crate) spool_flushes: AtomicU64,
+    pub(crate) epoch_truncations: AtomicU64,
+    /// Log bytes scanned by epoch truncation.
+    pub(crate) truncation_bytes_scanned: AtomicU64,
+    /// Disjoint intervals applied to segments by epoch truncation.
+    pub(crate) truncation_ranges_applied: AtomicU64,
+    /// Bytes applied to segments by epoch truncation.
+    pub(crate) truncation_bytes_applied: AtomicU64,
+    pub(crate) incremental_steps: AtomicU64,
+    pub(crate) pages_written_incremental: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            flush_commits: self.flush_commits.load(Ordering::Relaxed),
+            no_flush_commits: self.no_flush_commits.load(Ordering::Relaxed),
+            set_range_calls: self.set_range_calls.load(Ordering::Relaxed),
+            bytes_set_range_gross: self.bytes_set_range_gross.load(Ordering::Relaxed),
+            bytes_logged: self.bytes_logged.load(Ordering::Relaxed),
+            bytes_saved_intra: self.bytes_saved_intra.load(Ordering::Relaxed),
+            bytes_saved_inter: self.bytes_saved_inter.load(Ordering::Relaxed),
+            log_forces: self.log_forces.load(Ordering::Relaxed),
+            spool_flushes: self.spool_flushes.load(Ordering::Relaxed),
+            epoch_truncations: self.epoch_truncations.load(Ordering::Relaxed),
+            truncation_bytes_scanned: self.truncation_bytes_scanned.load(Ordering::Relaxed),
+            truncation_ranges_applied: self.truncation_ranges_applied.load(Ordering::Relaxed),
+            truncation_bytes_applied: self.truncation_bytes_applied.load(Ordering::Relaxed),
+            incremental_steps: self.incremental_steps.load(Ordering::Relaxed),
+            pages_written_incremental: self.pages_written_incremental.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the library's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transactions committed (both modes).
+    pub txns_committed: u64,
+    /// Transactions aborted.
+    pub txns_aborted: u64,
+    /// Commits in flush mode.
+    pub flush_commits: u64,
+    /// Commits in no-flush (lazy) mode.
+    pub no_flush_commits: u64,
+    /// `set_range` invocations.
+    pub set_range_calls: u64,
+    /// Sum of requested `set_range` lengths before coalescing.
+    pub bytes_set_range_gross: u64,
+    /// Record bytes written to the log after optimizations.
+    pub bytes_logged: u64,
+    /// Data bytes suppressed by intra-transaction optimization.
+    pub bytes_saved_intra: u64,
+    /// Record bytes suppressed by inter-transaction optimization.
+    pub bytes_saved_inter: u64,
+    /// Synchronous log forces.
+    pub log_forces: u64,
+    /// Spool flushes (each covers many no-flush commits).
+    pub spool_flushes: u64,
+    /// Completed epoch truncations.
+    pub epoch_truncations: u64,
+    /// Log bytes scanned by epoch truncation.
+    pub truncation_bytes_scanned: u64,
+    /// Disjoint intervals applied to segments by epoch truncation.
+    pub truncation_ranges_applied: u64,
+    /// Bytes applied to segments by epoch truncation.
+    pub truncation_bytes_applied: u64,
+    /// Incremental truncation steps executed.
+    pub incremental_steps: u64,
+    /// Pages written to segments by incremental truncation.
+    pub pages_written_incremental: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of potential log traffic suppressed by intra-transaction
+    /// optimization, as Table 2 reports it: savings divided by what the
+    /// log volume would have been without any optimization.
+    pub fn intra_savings_fraction(&self) -> f64 {
+        let original = self.bytes_logged + self.bytes_saved_intra + self.bytes_saved_inter;
+        if original == 0 {
+            0.0
+        } else {
+            self.bytes_saved_intra as f64 / original as f64
+        }
+    }
+
+    /// Fraction suppressed by inter-transaction optimization (Table 2).
+    pub fn inter_savings_fraction(&self) -> f64 {
+        let original = self.bytes_logged + self.bytes_saved_intra + self.bytes_saved_inter;
+        if original == 0 {
+            0.0
+        } else {
+            self.bytes_saved_inter as f64 / original as f64
+        }
+    }
+
+    /// Total savings fraction (Table 2's final column).
+    pub fn total_savings_fraction(&self) -> f64 {
+        self.intra_savings_fraction() + self.inter_savings_fraction()
+    }
+
+    /// Field-wise difference from an earlier snapshot.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            txns_committed: self.txns_committed - earlier.txns_committed,
+            txns_aborted: self.txns_aborted - earlier.txns_aborted,
+            flush_commits: self.flush_commits - earlier.flush_commits,
+            no_flush_commits: self.no_flush_commits - earlier.no_flush_commits,
+            set_range_calls: self.set_range_calls - earlier.set_range_calls,
+            bytes_set_range_gross: self.bytes_set_range_gross - earlier.bytes_set_range_gross,
+            bytes_logged: self.bytes_logged - earlier.bytes_logged,
+            bytes_saved_intra: self.bytes_saved_intra - earlier.bytes_saved_intra,
+            bytes_saved_inter: self.bytes_saved_inter - earlier.bytes_saved_inter,
+            log_forces: self.log_forces - earlier.log_forces,
+            spool_flushes: self.spool_flushes - earlier.spool_flushes,
+            epoch_truncations: self.epoch_truncations - earlier.epoch_truncations,
+            truncation_bytes_scanned: self.truncation_bytes_scanned - earlier.truncation_bytes_scanned,
+            truncation_ranges_applied: self.truncation_ranges_applied - earlier.truncation_ranges_applied,
+            truncation_bytes_applied: self.truncation_bytes_applied - earlier.truncation_bytes_applied,
+            incremental_steps: self.incremental_steps - earlier.incremental_steps,
+            pages_written_incremental: self.pages_written_incremental
+                - earlier.pages_written_incremental,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_fractions() {
+        let snap = StatsSnapshot {
+            bytes_logged: 60,
+            bytes_saved_intra: 25,
+            bytes_saved_inter: 15,
+            ..Default::default()
+        };
+        assert!((snap.intra_savings_fraction() - 0.25).abs() < 1e-9);
+        assert!((snap.inter_savings_fraction() - 0.15).abs() < 1e-9);
+        assert!((snap.total_savings_fraction() - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_savings() {
+        let snap = StatsSnapshot::default();
+        assert_eq!(snap.intra_savings_fraction(), 0.0);
+        assert_eq!(snap.total_savings_fraction(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_and_delta() {
+        let stats = Stats::default();
+        stats.add(&stats.txns_committed, 5);
+        stats.add(&stats.bytes_logged, 100);
+        let s1 = stats.snapshot();
+        stats.add(&stats.txns_committed, 3);
+        let d = stats.snapshot().delta_since(&s1);
+        assert_eq!(d.txns_committed, 3);
+        assert_eq!(d.bytes_logged, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Truncation machinery (§5.1.2).
+//!
+//! Truncation "is the process of reclaiming space allocated to log entries
+//! by applying the changes contained in them to the recoverable data
+//! segment". Two mechanisms exist:
+//!
+//! * **epoch truncation** — the crash-recovery procedure applied to the
+//!   live log (implemented in [`crate::rvm`], reusing
+//!   [`crate::recovery`]'s tree building exactly as the paper reused its
+//!   recovery code);
+//! * **incremental truncation** — dirty pages written directly from VM,
+//!   coordinated by the per-region page vector (this module's
+//!   [`page_vector`]) and the FIFO [`PageQueue`] of page modification
+//!   descriptors (Figure 7).
+
+pub mod page_vector;
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Weak};
+
+use crate::region::RegionInner;
+
+/// A page modification descriptor (Figure 7): the log offset and sequence
+/// number of the *first* record referencing the page since it was last
+/// clean.
+pub(crate) struct PageDesc {
+    /// The owning region (weak: regions may be unmapped while queued).
+    pub region: Weak<RegionInner>,
+    pub region_id: u64,
+    /// Page index within the region.
+    pub page: usize,
+    /// Logical log offset of the first record referencing this page.
+    pub offset: u64,
+    /// Sequence number of that record.
+    pub seq: u64,
+}
+
+/// FIFO queue of page modification descriptors.
+///
+/// "The queue contains no duplicate page references: a page is mentioned
+/// only in the earliest descriptor in which it could appear." Because
+/// records are enqueued in append order, descriptor offsets are
+/// non-decreasing, so the head of the queue always bounds how far the log
+/// head may advance.
+#[derive(Default)]
+pub(crate) struct PageQueue {
+    queue: VecDeque<PageDesc>,
+    queued: HashSet<(u64, usize)>,
+}
+
+impl PageQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a descriptor unless the page is already queued (in which
+    /// case the earlier descriptor — with the earlier offset — stands).
+    pub fn enqueue(&mut self, region: &Arc<RegionInner>, page: usize, offset: u64, seq: u64) {
+        if self.queued.insert((region.id, page)) {
+            self.queue.push_back(PageDesc {
+                region: Arc::downgrade(region),
+                region_id: region.id,
+                page,
+                offset,
+                seq,
+            });
+        }
+    }
+
+    /// The earliest descriptor, if any.
+    pub fn front(&self) -> Option<&PageDesc> {
+        self.queue.front()
+    }
+
+    /// Removes the earliest descriptor.
+    pub fn pop_front(&mut self) -> Option<PageDesc> {
+        let desc = self.queue.pop_front()?;
+        self.queued.remove(&(desc.region_id, desc.page));
+        Some(desc)
+    }
+
+    /// Empties the queue (after an epoch truncation has applied the whole
+    /// log).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.queued.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::PAGE_SIZE;
+    use crate::region::tests_support::make_test_region;
+
+    #[test]
+    fn enqueue_deduplicates_keeping_earliest() {
+        let region = make_test_region(4 * PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&region, 0, 100, 1);
+        q.enqueue(&region, 1, 200, 2);
+        q.enqueue(&region, 0, 300, 3); // duplicate: ignored
+        assert_eq!(q.len(), 2);
+        let d = q.pop_front().unwrap();
+        assert_eq!((d.page, d.offset, d.seq), (0, 100, 1));
+        // After popping, the page may be enqueued again.
+        q.enqueue(&region, 0, 400, 4);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.front().unwrap().page, 1);
+    }
+
+    #[test]
+    fn clear_resets_dedup_state() {
+        let region = make_test_region(PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&region, 0, 100, 1);
+        q.clear();
+        assert!(q.is_empty());
+        q.enqueue(&region, 0, 500, 5);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.front().unwrap().offset, 500);
+    }
+
+    #[test]
+    fn descriptors_survive_region_unmap_as_dead_weaks() {
+        let region = make_test_region(PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&region, 0, 100, 1);
+        drop(region);
+        assert!(q.front().unwrap().region.upgrade().is_none());
+    }
+
+    #[test]
+    fn distinct_regions_do_not_collide() {
+        let a = make_test_region(PAGE_SIZE);
+        let b = make_test_region(PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&a, 0, 100, 1);
+        q.enqueue(&b, 0, 200, 2);
+        assert_eq!(q.len(), 2);
+    }
+}

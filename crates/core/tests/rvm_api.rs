@@ -1,0 +1,663 @@
+//! End-to-end tests of the public RVM API over in-memory devices.
+
+use std::sync::Arc;
+
+use rvm::segment::MemResolver;
+use rvm::{
+    CommitMode, Options, RegionDescriptor, Rvm, RvmError, TruncationMode, Tuning, TxnMode,
+    PAGE_SIZE,
+};
+use rvm_storage::{Device, MemDevice};
+
+/// A small self-contained world: one log device + one segment resolver,
+/// both shared across "reboots".
+struct World {
+    log: Arc<MemDevice>,
+    segments: MemResolver,
+}
+
+impl World {
+    fn new(log_len: u64) -> Self {
+        Self {
+            log: Arc::new(MemDevice::with_len(log_len)),
+            segments: MemResolver::new(),
+        }
+    }
+
+    fn options(&self) -> Options {
+        Options::new(self.log.clone())
+            .resolver(self.segments.clone().into_resolver())
+            .create_if_empty()
+    }
+
+    fn boot(&self) -> Rvm {
+        Rvm::initialize(self.options()).expect("initialize")
+    }
+
+    fn boot_tuned(&self, tuning: Tuning) -> Rvm {
+        Rvm::initialize(self.options().tuning(tuning)).expect("initialize")
+    }
+}
+
+#[test]
+fn committed_data_survives_a_reboot() {
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 10, b"durable").unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        // Simulated crash: drop without terminate (Drop flushes, but the
+        // flush-mode commit was already forced; stronger crash tests live
+        // in the workspace-level suite with FaultDevice).
+    }
+    let rvm = world.boot();
+    assert_eq!(rvm.recovery_report().records_replayed, 1);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.read_vec(10, 7).unwrap(), b"durable");
+}
+
+#[test]
+fn abort_restores_old_values() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[7; 64]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[9; 64]).unwrap();
+    region.write(&mut txn, 100, &[9; 8]).unwrap();
+    assert_eq!(region.read_vec(0, 4).unwrap(), vec![9; 4]);
+    txn.abort().unwrap();
+    assert_eq!(region.read_vec(0, 64).unwrap(), vec![7; 64]);
+    assert_eq!(region.read_vec(100, 8).unwrap(), vec![0; 8]);
+    assert_eq!(rvm.stats().txns_aborted, 1);
+}
+
+#[test]
+fn dropping_a_transaction_aborts_it() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 0, &[5; 16]).unwrap();
+    }
+    assert_eq!(region.read_vec(0, 16).unwrap(), vec![0; 16]);
+    assert_eq!(rvm.query().active_transactions, 0);
+    assert_eq!(region.uncommitted_transactions(), 0);
+}
+
+#[test]
+fn no_restore_transactions_cannot_abort() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::NoRestore).unwrap();
+    region.write(&mut txn, 0, &[1; 8]).unwrap();
+    let err = txn.abort().unwrap_err();
+    assert!(matches!(err, RvmError::CannotAbortNoRestore));
+    // Memory keeps the modification (it cannot be undone)...
+    assert_eq!(region.read_vec(0, 8).unwrap(), vec![1; 8]);
+    // ...but the bookkeeping is released.
+    assert_eq!(region.uncommitted_transactions(), 0);
+}
+
+#[test]
+fn no_flush_commits_are_lost_on_crash_without_flush() {
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 0, b"lazy").unwrap();
+        txn.commit(CommitMode::NoFlush).unwrap();
+        assert_eq!(rvm.query().spooled_transactions, 1);
+        // Hard crash: forget the instance entirely so Drop cannot flush.
+        std::mem::forget(rvm);
+    }
+    let rvm = world.boot();
+    assert_eq!(rvm.recovery_report().records_replayed, 0);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.read_vec(0, 4).unwrap(), vec![0; 4]);
+}
+
+#[test]
+fn flush_bounds_the_persistence_of_no_flush_commits() {
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        for i in 0..5u8 {
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            region.write(&mut txn, i as u64 * 8, &[i + 1; 8]).unwrap();
+            txn.commit(CommitMode::NoFlush).unwrap();
+        }
+        rvm.flush().unwrap();
+        assert_eq!(rvm.query().spooled_transactions, 0);
+        std::mem::forget(rvm);
+    }
+    let rvm = world.boot();
+    assert_eq!(rvm.recovery_report().records_replayed, 5);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    for i in 0..5u8 {
+        assert_eq!(region.read_vec(i as u64 * 8, 8).unwrap(), vec![i + 1; 8]);
+    }
+}
+
+#[test]
+fn truncate_applies_the_log_to_segments() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[3; 128]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    assert!(rvm.query().log.used > 0);
+
+    rvm.truncate().unwrap();
+    assert_eq!(rvm.query().log.used, 0);
+    assert_eq!(rvm.stats().epoch_truncations, 1);
+
+    let seg = world.segments.get("seg").unwrap();
+    let mut buf = [0u8; 128];
+    seg.read_at(0, &mut buf).unwrap();
+    assert_eq!(buf, [3; 128]);
+}
+
+#[test]
+fn sustained_commits_wrap_the_log_via_inline_truncation() {
+    // Log area of ~14 KiB; each commit writes ~1 KiB of data.
+    let world = World::new(30 * 1024);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+    for round in 0..100u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let off = (round % 16) * 1024;
+        region.write(&mut txn, off, &[round as u8; 1024]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    assert!(rvm.stats().epoch_truncations > 0, "threshold must trigger");
+    // Final state: offsets written in the last full cycle hold their data.
+    for round in 84..100u64 {
+        let off = (round % 16) * 1024;
+        assert_eq!(
+            region.read_vec(off, 4).unwrap(),
+            vec![round as u8; 4],
+            "round {round}"
+        );
+    }
+    // And it all survives a reboot.
+    drop(rvm);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+    for round in 84..100u64 {
+        let off = (round % 16) * 1024;
+        assert_eq!(region.read_vec(off, 4).unwrap(), vec![round as u8; 4]);
+    }
+}
+
+#[test]
+fn incremental_truncation_advances_the_head() {
+    let world = World::new(64 * 1024);
+    let tuning = Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.2,
+        incremental_reclaim_bytes: 8 * 1024,
+        ..Tuning::default()
+    };
+    let rvm = world.boot_tuned(tuning);
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 8 * PAGE_SIZE))
+        .unwrap();
+    for round in 0..60u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let off = (round % 8) * PAGE_SIZE;
+        region.write(&mut txn, off, &[round as u8; 512]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(
+        stats.pages_written_incremental > 0,
+        "incremental steps must have run: {stats:?}"
+    );
+    drop(rvm);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 8 * PAGE_SIZE))
+        .unwrap();
+    for round in 52..60u64 {
+        let off = (round % 8) * PAGE_SIZE;
+        assert_eq!(region.read_vec(off, 4).unwrap(), vec![round as u8; 4]);
+    }
+}
+
+#[test]
+fn incremental_truncation_blocks_on_uncommitted_pages() {
+    let world = World::new(64 * 1024);
+    let tuning = Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.05,
+        incremental_reclaim_bytes: u64::MAX,
+        ..Tuning::default()
+    };
+    let rvm = world.boot_tuned(tuning);
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+        .unwrap();
+
+    // A long-running transaction pins page 0.
+    let mut long_txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    long_txn.set_range(&region, 0, 16).unwrap();
+
+    // Other commits to page 0 pile up in the log; truncation cannot write
+    // page 0 while the long transaction holds a reference.
+    for i in 0..4u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 100 + i * 16, &[1; 16]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    assert!(rvm.query().log.used > 0, "head must be blocked");
+
+    long_txn.commit(CommitMode::Flush).unwrap();
+    rvm.truncate().unwrap();
+    assert_eq!(rvm.query().log.used, 0);
+}
+
+#[test]
+fn optimization_statistics_track_savings() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+
+    // Intra: the same range declared three times logs once.
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    for _ in 0..3 {
+        txn.set_range(&region, 0, 100).unwrap();
+    }
+    region.write(&mut txn, 0, &[1; 100]).unwrap(); // a 4th declaration
+    txn.commit(CommitMode::Flush).unwrap();
+    let stats = rvm.stats();
+    assert_eq!(stats.bytes_set_range_gross, 400);
+    assert_eq!(stats.bytes_saved_intra, 300);
+
+    // Inter: two no-flush commits of the same range keep only the newest.
+    for val in [2u8, 3u8] {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 200, &[val; 50]).unwrap();
+        txn.commit(CommitMode::NoFlush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(stats.bytes_saved_inter > 0);
+    rvm.flush().unwrap();
+    assert_eq!(region.read_vec(200, 4).unwrap(), vec![3; 4]);
+}
+
+#[test]
+fn optimizations_can_be_disabled() {
+    let world = World::new(1 << 20);
+    let tuning = Tuning {
+        intra_optimization: false,
+        inter_optimization: false,
+        ..Tuning::default()
+    };
+    let rvm = world.boot_tuned(tuning);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    txn.set_range(&region, 0, 100).unwrap();
+    txn.set_range(&region, 0, 100).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    let stats = rvm.stats();
+    assert_eq!(stats.bytes_saved_intra, 0);
+    // Both duplicate declarations were logged: 2 range entries * (24 + 100)
+    // plus header/trailer.
+    assert!(stats.bytes_logged >= 2 * 124);
+}
+
+#[test]
+fn mapping_rules_are_enforced() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let _a = rvm
+        .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+        .unwrap();
+    // Overlap and duplicate mappings are rejected (§4.1).
+    assert!(matches!(
+        rvm.map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE)),
+        Err(RvmError::BadMapping(_))
+    ));
+    assert!(matches!(
+        rvm.map(&RegionDescriptor::new("seg", PAGE_SIZE, PAGE_SIZE)),
+        Err(RvmError::BadMapping(_))
+    ));
+    // A disjoint region of the same segment is fine.
+    let _b = rvm
+        .map(&RegionDescriptor::new("seg", 2 * PAGE_SIZE, PAGE_SIZE))
+        .unwrap();
+    // Alignment is enforced.
+    assert!(matches!(
+        rvm.map(&RegionDescriptor::new("seg2", 0, 100)),
+        Err(RvmError::BadMapping(_))
+    ));
+}
+
+#[test]
+fn unmap_requires_quiescence_and_remap_sees_committed_state() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[8; 32]).unwrap();
+    assert!(matches!(
+        rvm.unmap(&region),
+        Err(RvmError::RegionBusy { uncommitted: 1 })
+    ));
+    txn.commit(CommitMode::Flush).unwrap();
+
+    rvm.unmap(&region).unwrap();
+    assert!(!region.is_mapped());
+    assert!(matches!(region.read_vec(0, 4), Err(RvmError::Unmapped)));
+
+    // Remap: the committed (but never truncated) data must be visible.
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.read_vec(0, 32).unwrap(), vec![8; 32]);
+}
+
+#[test]
+fn remap_sees_spooled_no_flush_state() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[4; 16]).unwrap();
+    txn.commit(CommitMode::NoFlush).unwrap();
+    rvm.unmap(&region).unwrap();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.read_vec(0, 16).unwrap(), vec![4; 16]);
+}
+
+#[test]
+fn pointer_api_round_trips() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let base = region.base_ptr();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    // SAFETY: single-threaded test; the pointer stays within the region.
+    unsafe {
+        let p = base.add(64);
+        txn.set_range_ptr(&region, p, 8).unwrap();
+        std::ptr::copy_nonoverlapping(b"ptr-api!".as_ptr(), p, 8);
+    }
+    txn.commit(CommitMode::Flush).unwrap();
+    assert_eq!(region.read_vec(64, 8).unwrap(), b"ptr-api!");
+
+    // A pointer outside the region is rejected.
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    let bogus = [0u8; 1];
+    assert!(txn.set_range_ptr(&region, bogus.as_ptr(), 1).is_err());
+}
+
+#[test]
+fn bounds_are_enforced() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    assert!(matches!(
+        txn.set_range(&region, PAGE_SIZE - 4, 8),
+        Err(RvmError::OutOfRange { .. })
+    ));
+    assert!(region.read_vec(PAGE_SIZE, 1).is_err());
+    txn.commit(CommitMode::Flush).unwrap();
+}
+
+#[test]
+fn multi_region_transactions_commit_atomically() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let a = rvm.map(&RegionDescriptor::new("segA", 0, PAGE_SIZE)).unwrap();
+    let b = rvm.map(&RegionDescriptor::new("segB", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    a.write(&mut txn, 0, &[1; 8]).unwrap();
+    b.write(&mut txn, 0, &[2; 8]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    drop(rvm);
+
+    let rvm = world.boot();
+    assert_eq!(rvm.recovery_report().segments_updated, 2);
+    let a = rvm.map(&RegionDescriptor::new("segA", 0, PAGE_SIZE)).unwrap();
+    let b = rvm.map(&RegionDescriptor::new("segB", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(a.read_vec(0, 8).unwrap(), vec![1; 8]);
+    assert_eq!(b.read_vec(0, 8).unwrap(), vec![2; 8]);
+}
+
+#[test]
+fn terminate_rejects_outstanding_transactions() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[1]).unwrap();
+    assert!(matches!(
+        rvm.terminate(),
+        Err(RvmError::TransactionsOutstanding(1))
+    ));
+}
+
+#[test]
+fn terminate_flushes_the_spool() {
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 0, b"clean").unwrap();
+        txn.commit(CommitMode::NoFlush).unwrap();
+        rvm.terminate().unwrap();
+    }
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.read_vec(0, 5).unwrap(), b"clean");
+}
+
+#[test]
+fn background_truncation_reclaims_space() {
+    let world = World::new(64 * 1024);
+    let tuning = Tuning {
+        background_truncation: true,
+        truncation_threshold: 0.3,
+        ..Tuning::default()
+    };
+    let rvm = world.boot_tuned(tuning);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    for i in 0..40u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, (i % 4) * 512, &[i as u8; 512]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    // Give the background thread a moment.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while rvm.stats().epoch_truncations == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(rvm.stats().epoch_truncations > 0);
+    rvm.terminate().unwrap();
+}
+
+#[test]
+fn query_reports_consistent_state() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let q0 = rvm.query();
+    assert_eq!(q0.mapped_regions, 1);
+    assert_eq!(q0.log.used, 0);
+
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[1; 8]).unwrap();
+    assert_eq!(rvm.query().active_transactions, 1);
+    txn.commit(CommitMode::NoFlush).unwrap();
+
+    let q = rvm.query();
+    assert_eq!(q.active_transactions, 0);
+    assert_eq!(q.spooled_transactions, 1);
+    assert!(q.spool_bytes > 0);
+    assert_eq!(q.stats.no_flush_commits, 1);
+}
+
+#[test]
+fn operations_fail_after_terminate_marker() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    drop(rvm);
+    // The region handle outlives the instance; reads still work (memory is
+    // alive) but the mapping is simply stale — no UB, no panic.
+    let _ = region.read_vec(0, 4).unwrap();
+}
+
+#[test]
+fn empty_transactions_commit_without_logging() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    let stats = rvm.stats();
+    assert_eq!(stats.txns_committed, 1);
+    assert_eq!(stats.bytes_logged, 0);
+    assert_eq!(rvm.query().log.used, 0);
+}
+
+#[test]
+fn large_transactions_spanning_many_pages_recover() {
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, 16 * PAGE_SIZE))
+            .unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let blob: Vec<u8> = (0..10 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        region.write(&mut txn, PAGE_SIZE, &blob).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        std::mem::forget(rvm);
+    }
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 16 * PAGE_SIZE))
+        .unwrap();
+    let got = region.read_vec(PAGE_SIZE, 10 * PAGE_SIZE).unwrap();
+    assert!(got.iter().enumerate().all(|(i, &b)| b == (i % 251) as u8));
+}
+
+#[test]
+fn oversized_transaction_reports_log_full() {
+    let world = World::new(LOG_OVERHEAD + 8 * 1024);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &vec![1u8; 12 * 1024]).unwrap();
+    assert!(matches!(
+        txn.commit(CommitMode::Flush),
+        Err(RvmError::LogFull { .. })
+    ));
+}
+
+/// Status blocks take the first 16 KiB of the log device.
+const LOG_OVERHEAD: u64 = 16 * 1024;
+
+mod on_demand {
+    use super::*;
+    use rvm::LoadPolicy;
+
+    #[test]
+    fn on_demand_region_reads_the_committed_image_lazily() {
+        let world = World::new(1 << 20);
+        // First incarnation persists some data and truncates it into the
+        // segment.
+        {
+            let rvm = world.boot();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE)).unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            region.write(&mut txn, 0, b"page zero").unwrap();
+            region.write(&mut txn, 3 * PAGE_SIZE + 5, b"page three").unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            rvm.terminate().unwrap();
+        }
+        let rvm = world.boot();
+        let region = rvm
+            .map_with(
+                &RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE),
+                LoadPolicy::OnDemand,
+            )
+            .unwrap();
+        assert!(!region.is_fully_loaded());
+        assert_eq!(region.read_vec(0, 9).unwrap(), b"page zero");
+        assert_eq!(region.read_vec(3 * PAGE_SIZE + 5, 10).unwrap(), b"page three");
+        assert!(!region.is_fully_loaded(), "pages 1-2 still pending");
+        region.prefetch(0, 4 * PAGE_SIZE).unwrap();
+        assert!(region.is_fully_loaded());
+    }
+
+    #[test]
+    fn on_demand_transactions_capture_correct_old_values() {
+        let world = World::new(1 << 20);
+        {
+            let rvm = world.boot();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            region.write(&mut txn, 100, &[7; 32]).unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            rvm.terminate().unwrap();
+        }
+        let rvm = world.boot();
+        let region = rvm
+            .map_with(&RegionDescriptor::new("seg", 0, PAGE_SIZE), LoadPolicy::OnDemand)
+            .unwrap();
+        // The very first touch is a transactional write: the old-value
+        // capture must see the *committed* image, not zeros.
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 100, &[9; 32]).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(region.read_vec(100, 32).unwrap(), vec![7; 32]);
+    }
+
+    #[test]
+    fn on_demand_commit_and_recovery_round_trip() {
+        let world = World::new(1 << 20);
+        {
+            let rvm = world.boot();
+            let region = rvm
+                .map_with(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE), LoadPolicy::OnDemand)
+                .unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            region.write(&mut txn, PAGE_SIZE + 10, b"lazy but durable").unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            std::mem::forget(rvm);
+        }
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE)).unwrap();
+        assert_eq!(region.read_vec(PAGE_SIZE + 10, 16).unwrap(), b"lazy but durable");
+    }
+
+    #[test]
+    fn eager_regions_report_fully_loaded() {
+        let world = World::new(1 << 20);
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        assert!(region.is_fully_loaded());
+        region.prefetch(0, PAGE_SIZE).unwrap();
+    }
+}

@@ -1,0 +1,25 @@
+//! Recoverable data structures layered on RVM.
+//!
+//! The paper's motivating domain is "the meta-data of storage
+//! repositories" (§1): directories, indices, housekeeping tables — small
+//! structured data that must be updated fault-tolerantly. Coda kept its
+//! directories as "manipulations of in-memory data structures" in
+//! recoverable memory (§2.3). This crate packages the two structures
+//! that pattern keeps reinventing:
+//!
+//! * [`RecoverableMap`] — a chained hash table whose buckets, entries,
+//!   keys and values all live in recoverable memory (allocated from an
+//!   [`rvm_alloc::RvmHeap`]), so every mutation is transactional and the
+//!   whole table survives crashes;
+//! * [`RingLog`] — a fixed-capacity ring of fixed-size records with a
+//!   persistent head counter: the TPC-A audit trail (§7.1.1), the Coda
+//!   replay log (§6), every "last N events" table.
+//!
+//! Both are just disciplined layouts over the `rvm` + `rvm-alloc` public
+//! APIs — exactly the kind of layering the paper's Figure 2 prescribes.
+
+mod map;
+mod ring;
+
+pub use map::{MapStats, RecoverableMap};
+pub use ring::RingLog;

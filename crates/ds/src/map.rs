@@ -1,0 +1,439 @@
+//! A recoverable chained hash map.
+
+use rvm::{Region, Result, Rvm, RvmError, Transaction, TxnMode, CommitMode};
+use rvm_alloc::RvmHeap;
+
+const MAGIC: u64 = 0x5256_4D44_534D_5031; // "RVMDSMP1"
+const NIL: u64 = 0;
+
+/// Map super-block, stored at a heap allocation whose offset the caller
+/// keeps (typically in a root slot or at a fixed region offset).
+mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const BUCKETS_OFF: u64 = 8;
+    pub const NUM_BUCKETS: u64 = 16;
+    pub const LEN: u64 = 24;
+    pub const SIZE: u64 = 32;
+}
+
+/// Entry layout: `next u64 | klen u32 | vlen u32 | key | value`.
+mod ent {
+    pub const NEXT: u64 = 0;
+    pub const KLEN: u64 = 8;
+    pub const VLEN: u64 = 12;
+    pub const HEADER: u64 = 16;
+}
+
+/// FNV-1a, stable across runs (the table layout is persistent).
+fn hash(key: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Usage statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapStats {
+    /// Number of entries.
+    pub len: u64,
+    /// Number of buckets.
+    pub buckets: u64,
+    /// Length of the longest chain.
+    pub longest_chain: u64,
+}
+
+/// A hash map whose entire state lives in recoverable memory.
+///
+/// The struct holds only the super-block offset; all data is in the
+/// region, so reopening after a restart is just [`RecoverableMap::open`]
+/// with the same offset.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rvm::segment::MemResolver;
+/// use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+/// use rvm_alloc::RvmHeap;
+/// use rvm_ds::RecoverableMap;
+/// use rvm_storage::MemDevice;
+///
+/// let rvm = Rvm::initialize(
+///     Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+///         .resolver(MemResolver::new().into_resolver())
+///         .create_if_empty(),
+/// )
+/// .unwrap();
+/// let region = rvm.map(&RegionDescriptor::new("meta", 0, 32 * PAGE_SIZE)).unwrap();
+/// let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+/// let heap = RvmHeap::format(&region, &mut txn).unwrap();
+/// let map = RecoverableMap::create(&region, &heap, &mut txn, 64).unwrap();
+/// map.put(&region, &heap, &mut txn, b"volume-17", b"/vicepa/17").unwrap();
+/// txn.commit(CommitMode::Flush).unwrap();
+/// assert_eq!(map.get(&region, b"volume-17").unwrap().unwrap(), b"/vicepa/17");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverableMap {
+    /// Offset of the super-block within the region.
+    base: u64,
+}
+
+impl RecoverableMap {
+    /// Allocates and initializes a map with `num_buckets` buckets.
+    pub fn create(
+        region: &Region,
+        heap: &RvmHeap,
+        txn: &mut Transaction,
+        num_buckets: u64,
+    ) -> Result<RecoverableMap> {
+        let num_buckets = num_buckets.max(1);
+        let base = heap.alloc(region, txn, hdr::SIZE)?;
+        let buckets = heap.alloc(region, txn, num_buckets * 8)?;
+        region.write(txn, buckets, &vec![0u8; (num_buckets * 8) as usize])?;
+        region.put_u64(txn, base + hdr::MAGIC, MAGIC)?;
+        region.put_u64(txn, base + hdr::BUCKETS_OFF, buckets)?;
+        region.put_u64(txn, base + hdr::NUM_BUCKETS, num_buckets)?;
+        region.put_u64(txn, base + hdr::LEN, 0)?;
+        Ok(RecoverableMap { base })
+    }
+
+    /// Opens the map whose super-block sits at `base`.
+    pub fn open(region: &Region, base: u64) -> Result<RecoverableMap> {
+        if region.get_u64(base + hdr::MAGIC)? != MAGIC {
+            return Err(RvmError::BadMapping(
+                "no recoverable map at this offset".to_owned(),
+            ));
+        }
+        Ok(RecoverableMap { base })
+    }
+
+    /// Offset of the super-block (store this in a root).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of entries.
+    pub fn len(&self, region: &Region) -> Result<u64> {
+        region.get_u64(self.base + hdr::LEN)
+    }
+
+    /// Returns `true` if the map has no entries.
+    pub fn is_empty(&self, region: &Region) -> Result<bool> {
+        Ok(self.len(region)? == 0)
+    }
+
+    fn bucket_slot(&self, region: &Region, key: &[u8]) -> Result<u64> {
+        let buckets = region.get_u64(self.base + hdr::BUCKETS_OFF)?;
+        let n = region.get_u64(self.base + hdr::NUM_BUCKETS)?;
+        Ok(buckets + (hash(key) % n) * 8)
+    }
+
+    fn entry_key(&self, region: &Region, entry: u64) -> Result<Vec<u8>> {
+        let klen = region.get_u32(entry + ent::KLEN)? as u64;
+        region.read_vec(entry + ent::HEADER, klen)
+    }
+
+    fn entry_value(&self, region: &Region, entry: u64) -> Result<Vec<u8>> {
+        let klen = region.get_u32(entry + ent::KLEN)? as u64;
+        let vlen = region.get_u32(entry + ent::VLEN)? as u64;
+        region.read_vec(entry + ent::HEADER + klen, vlen)
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, region: &Region, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let slot = self.bucket_slot(region, key)?;
+        let mut entry = region.get_u64(slot)?;
+        while entry != NIL {
+            if self.entry_key(region, entry)? == key {
+                return Ok(Some(self.entry_value(region, entry)?));
+            }
+            entry = region.get_u64(entry + ent::NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Inserts or replaces a key's value inside `txn`. Returns `true` if
+    /// the key was new.
+    pub fn put(
+        &self,
+        region: &Region,
+        heap: &RvmHeap,
+        txn: &mut Transaction,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<bool> {
+        // Replace in place when the key exists (freeing the old entry).
+        let existed = self.remove(region, heap, txn, key)?;
+        let slot = self.bucket_slot(region, key)?;
+        let head = region.get_u64(slot)?;
+        let entry = heap.alloc(
+            region,
+            txn,
+            ent::HEADER + key.len() as u64 + value.len() as u64,
+        )?;
+        let mut image = Vec::with_capacity((ent::HEADER as usize) + key.len() + value.len());
+        image.extend_from_slice(&head.to_le_bytes());
+        image.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        image.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        image.extend_from_slice(key);
+        image.extend_from_slice(value);
+        region.write(txn, entry, &image)?;
+        region.put_u64(txn, slot, entry)?;
+        let len = region.get_u64(self.base + hdr::LEN)?;
+        region.put_u64(txn, self.base + hdr::LEN, len + 1)?;
+        Ok(!existed)
+    }
+
+    /// Removes a key inside `txn`; returns `true` if it was present.
+    pub fn remove(
+        &self,
+        region: &Region,
+        heap: &RvmHeap,
+        txn: &mut Transaction,
+        key: &[u8],
+    ) -> Result<bool> {
+        let slot = self.bucket_slot(region, key)?;
+        let mut prev = NIL;
+        let mut entry = region.get_u64(slot)?;
+        while entry != NIL {
+            let next = region.get_u64(entry + ent::NEXT)?;
+            if self.entry_key(region, entry)? == key {
+                if prev == NIL {
+                    region.put_u64(txn, slot, next)?;
+                } else {
+                    region.put_u64(txn, prev + ent::NEXT, next)?;
+                }
+                heap.free(region, txn, entry)?;
+                let len = region.get_u64(self.base + hdr::LEN)?;
+                region.put_u64(txn, self.base + hdr::LEN, len.saturating_sub(1))?;
+                return Ok(true);
+            }
+            prev = entry;
+            entry = next;
+        }
+        Ok(false)
+    }
+
+    /// Collects all `(key, value)` pairs (unordered).
+    pub fn entries(&self, region: &Region) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let buckets = region.get_u64(self.base + hdr::BUCKETS_OFF)?;
+        let n = region.get_u64(self.base + hdr::NUM_BUCKETS)?;
+        let mut out = Vec::new();
+        for b in 0..n {
+            let mut entry = region.get_u64(buckets + b * 8)?;
+            while entry != NIL {
+                out.push((
+                    self.entry_key(region, entry)?,
+                    self.entry_value(region, entry)?,
+                ));
+                entry = region.get_u64(entry + ent::NEXT)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Chain statistics.
+    pub fn stats(&self, region: &Region) -> Result<MapStats> {
+        let buckets = region.get_u64(self.base + hdr::BUCKETS_OFF)?;
+        let n = region.get_u64(self.base + hdr::NUM_BUCKETS)?;
+        let mut longest = 0u64;
+        for b in 0..n {
+            let mut chain = 0u64;
+            let mut entry = region.get_u64(buckets + b * 8)?;
+            while entry != NIL {
+                chain += 1;
+                entry = region.get_u64(entry + ent::NEXT)?;
+            }
+            longest = longest.max(chain);
+        }
+        Ok(MapStats {
+            len: self.len(region)?,
+            buckets: n,
+            longest_chain: longest,
+        })
+    }
+}
+
+/// Convenience: one-call transactional put with flush commit.
+pub fn put_durably(
+    rvm: &Rvm,
+    region: &Region,
+    heap: &RvmHeap,
+    map: &RecoverableMap,
+    key: &[u8],
+    value: &[u8],
+) -> Result<()> {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+    map.put(region, heap, &mut txn, key, value)?;
+    txn.commit(CommitMode::Flush)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::{Options, RegionDescriptor, PAGE_SIZE};
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn world() -> (Arc<MemDevice>, MemResolver) {
+        (Arc::new(MemDevice::with_len(4 << 20)), MemResolver::new())
+    }
+
+    fn boot(log: &Arc<MemDevice>, segs: &MemResolver) -> Rvm {
+        Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap()
+    }
+
+    fn setup(rvm: &Rvm) -> (Region, RvmHeap, RecoverableMap) {
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, 64 * PAGE_SIZE))
+            .unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let heap = RvmHeap::format(&region, &mut txn).unwrap();
+        let map = RecoverableMap::create(&region, &heap, &mut txn, 32).unwrap();
+        // Keep the super-block offset discoverable at region offset…
+        // tests simply remember it.
+        txn.commit(CommitMode::Flush).unwrap();
+        (region, heap, map)
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let (region, heap, map) = setup(&rvm);
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        assert!(map.put(&region, &heap, &mut txn, b"alpha", b"1").unwrap());
+        assert!(map.put(&region, &heap, &mut txn, b"beta", b"2").unwrap());
+        // Replacement reports the key as already present.
+        assert!(!map.put(&region, &heap, &mut txn, b"alpha", b"one").unwrap());
+        txn.commit(CommitMode::Flush).unwrap();
+
+        assert_eq!(map.get(&region, b"alpha").unwrap().unwrap(), b"one");
+        assert_eq!(map.get(&region, b"beta").unwrap().unwrap(), b"2");
+        assert!(map.get(&region, b"gamma").unwrap().is_none());
+        assert_eq!(map.len(&region).unwrap(), 2);
+
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        assert!(map.remove(&region, &heap, &mut txn, b"alpha").unwrap());
+        assert!(!map.remove(&region, &heap, &mut txn, b"alpha").unwrap());
+        txn.commit(CommitMode::Flush).unwrap();
+        assert!(map.get(&region, b"alpha").unwrap().is_none());
+        assert_eq!(map.len(&region).unwrap(), 1);
+    }
+
+    #[test]
+    fn survives_crash_and_reopen() {
+        let (log, segs) = world();
+        let base;
+        {
+            let rvm = boot(&log, &segs);
+            let (region, heap, map) = setup(&rvm);
+            base = map.base();
+            for i in 0..40u32 {
+                put_durably(
+                    &rvm,
+                    &region,
+                    &heap,
+                    &map,
+                    format!("key-{i}").as_bytes(),
+                    &i.to_le_bytes(),
+                )
+                .unwrap();
+            }
+            std::mem::forget(rvm);
+        }
+        let rvm = boot(&log, &segs);
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, 64 * PAGE_SIZE))
+            .unwrap();
+        let map = RecoverableMap::open(&region, base).unwrap();
+        assert_eq!(map.len(&region).unwrap(), 40);
+        for i in 0..40u32 {
+            assert_eq!(
+                map.get(&region, format!("key-{i}").as_bytes())
+                    .unwrap()
+                    .unwrap(),
+                i.to_le_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn aborted_mutations_leave_no_trace() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let (region, heap, map) = setup(&rvm);
+        put_durably(&rvm, &region, &heap, &map, b"keep", b"me").unwrap();
+
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        map.put(&region, &heap, &mut txn, b"drop", b"me").unwrap();
+        map.remove(&region, &heap, &mut txn, b"keep").unwrap();
+        txn.abort().unwrap();
+
+        assert_eq!(map.get(&region, b"keep").unwrap().unwrap(), b"me");
+        assert!(map.get(&region, b"drop").unwrap().is_none());
+        assert_eq!(map.len(&region).unwrap(), 1);
+    }
+
+    #[test]
+    fn chains_handle_collisions() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        // A single bucket forces every key onto one chain.
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, 64 * PAGE_SIZE))
+            .unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let heap = RvmHeap::format(&region, &mut txn).unwrap();
+        let map = RecoverableMap::create(&region, &heap, &mut txn, 1).unwrap();
+        for i in 0..20u32 {
+            map.put(&region, &heap, &mut txn, format!("k{i}").as_bytes(), &[i as u8])
+                .unwrap();
+        }
+        // Remove from the middle of the chain.
+        map.remove(&region, &heap, &mut txn, b"k10").unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        let stats = map.stats(&region).unwrap();
+        assert_eq!(stats.buckets, 1);
+        assert_eq!(stats.len, 19);
+        assert_eq!(stats.longest_chain, 19);
+        assert!(map.get(&region, b"k10").unwrap().is_none());
+        assert_eq!(map.get(&region, b"k9").unwrap().unwrap(), vec![9]);
+        assert_eq!(map.get(&region, b"k19").unwrap().unwrap(), vec![19]);
+    }
+
+    #[test]
+    fn entries_lists_everything() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let (region, heap, map) = setup(&rvm);
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        for i in 0..10u8 {
+            map.put(&region, &heap, &mut txn, &[i], &[i, i]).unwrap();
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+        let mut entries = map.entries(&region).unwrap();
+        entries.sort();
+        assert_eq!(entries.len(), 10);
+        assert_eq!(entries[3], (vec![3u8], vec![3u8, 3u8]));
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, PAGE_SIZE))
+            .unwrap();
+        assert!(RecoverableMap::open(&region, 128).is_err());
+    }
+}

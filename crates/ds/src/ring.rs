@@ -1,0 +1,246 @@
+//! A recoverable ring log of fixed-size records.
+
+use rvm::{Region, Result, RvmError, Transaction};
+
+const MAGIC: u64 = 0x5256_4D44_5352_4731; // "RVMDSRG1"
+
+/// Super-block layout at the ring's base offset.
+mod hdr {
+    pub const MAGIC: u64 = 0;
+    pub const RECORD_SIZE: u64 = 8;
+    pub const CAPACITY: u64 = 16;
+    /// Monotone count of records ever appended.
+    pub const APPENDED: u64 = 24;
+    pub const SIZE: u64 = 32;
+}
+
+/// A fixed-capacity ring of fixed-size records in recoverable memory —
+/// the shape of the paper's TPC-A audit trail ("access to the audit
+/// trail is always sequential, with wraparound", §7.1.1) and of Coda's
+/// replay logs (§6).
+///
+/// The ring occupies `[base, base + HEADER + capacity * record_size)` of
+/// its region; the caller provides the space (typically from
+/// [`rvm_alloc::RvmHeap`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RingLog {
+    base: u64,
+}
+
+impl RingLog {
+    /// Bytes needed for a ring of `capacity` records of `record_size`.
+    pub fn footprint(capacity: u64, record_size: u64) -> u64 {
+        hdr::SIZE + capacity * record_size
+    }
+
+    /// Initializes a ring at `base` inside `txn`.
+    pub fn create(
+        region: &Region,
+        txn: &mut Transaction,
+        base: u64,
+        capacity: u64,
+        record_size: u64,
+    ) -> Result<RingLog> {
+        if capacity == 0 || record_size == 0 {
+            return Err(RvmError::OutOfRange {
+                offset: base,
+                len: 0,
+                region_len: region.len(),
+            });
+        }
+        region.put_u64(txn, base + hdr::MAGIC, MAGIC)?;
+        region.put_u64(txn, base + hdr::RECORD_SIZE, record_size)?;
+        region.put_u64(txn, base + hdr::CAPACITY, capacity)?;
+        region.put_u64(txn, base + hdr::APPENDED, 0)?;
+        Ok(RingLog { base })
+    }
+
+    /// Opens an existing ring at `base`.
+    pub fn open(region: &Region, base: u64) -> Result<RingLog> {
+        if region.get_u64(base + hdr::MAGIC)? != MAGIC {
+            return Err(RvmError::BadMapping("no ring log at this offset".to_owned()));
+        }
+        Ok(RingLog { base })
+    }
+
+    /// The ring's base offset.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total records ever appended.
+    pub fn appended(&self, region: &Region) -> Result<u64> {
+        region.get_u64(self.base + hdr::APPENDED)
+    }
+
+    /// Records currently retained (≤ capacity).
+    pub fn len(&self, region: &Region) -> Result<u64> {
+        let appended = self.appended(region)?;
+        let cap = region.get_u64(self.base + hdr::CAPACITY)?;
+        Ok(appended.min(cap))
+    }
+
+    /// Returns `true` if nothing has ever been appended.
+    pub fn is_empty(&self, region: &Region) -> Result<bool> {
+        Ok(self.appended(region)? == 0)
+    }
+
+    /// Appends a record inside `txn` (truncated or zero-padded to the
+    /// ring's record size), overwriting the oldest once full. Returns the
+    /// record's sequence number.
+    pub fn append(&self, region: &Region, txn: &mut Transaction, record: &[u8]) -> Result<u64> {
+        let record_size = region.get_u64(self.base + hdr::RECORD_SIZE)?;
+        let cap = region.get_u64(self.base + hdr::CAPACITY)?;
+        let appended = self.appended(region)?;
+        let slot = appended % cap;
+        let mut image = vec![0u8; record_size as usize];
+        let n = record.len().min(record_size as usize);
+        image[..n].copy_from_slice(&record[..n]);
+        region.write(txn, self.base + hdr::SIZE + slot * record_size, &image)?;
+        region.put_u64(txn, self.base + hdr::APPENDED, appended + 1)?;
+        Ok(appended)
+    }
+
+    /// Reads the record with sequence number `seq`, if still retained.
+    pub fn get(&self, region: &Region, seq: u64) -> Result<Option<Vec<u8>>> {
+        let record_size = region.get_u64(self.base + hdr::RECORD_SIZE)?;
+        let cap = region.get_u64(self.base + hdr::CAPACITY)?;
+        let appended = self.appended(region)?;
+        if seq >= appended || appended - seq > cap {
+            return Ok(None);
+        }
+        let slot = seq % cap;
+        Ok(Some(region.read_vec(
+            self.base + hdr::SIZE + slot * record_size,
+            record_size,
+        )?))
+    }
+
+    /// The retained records, oldest first, with their sequence numbers.
+    pub fn tail(&self, region: &Region) -> Result<Vec<(u64, Vec<u8>)>> {
+        let appended = self.appended(region)?;
+        let retained = self.len(region)?;
+        let mut out = Vec::with_capacity(retained as usize);
+        for seq in appended - retained..appended {
+            if let Some(rec) = self.get(region, seq)? {
+                out.push((seq, rec));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn world() -> (Rvm, Region) {
+        let rvm = Rvm::initialize(
+            Options::new(Arc::new(MemDevice::with_len(2 << 20)))
+                .resolver(MemResolver::new().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("ring", 0, 4 * PAGE_SIZE))
+            .unwrap();
+        (rvm, region)
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let (rvm, region) = world();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let ring = RingLog::create(&region, &mut txn, 0, 4, 16).unwrap();
+        for i in 0..3u8 {
+            let seq = ring.append(&region, &mut txn, &[i; 8]).unwrap();
+            assert_eq!(seq, i as u64);
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+        assert_eq!(ring.len(&region).unwrap(), 3);
+        let rec = ring.get(&region, 1).unwrap().unwrap();
+        assert_eq!(&rec[..8], &[1; 8]);
+        assert_eq!(&rec[8..], &[0; 8], "zero padded");
+    }
+
+    #[test]
+    fn wraparound_drops_the_oldest() {
+        let (rvm, region) = world();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let ring = RingLog::create(&region, &mut txn, 64, 4, 8).unwrap();
+        for i in 0..10u8 {
+            ring.append(&region, &mut txn, &[i]).unwrap();
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+        assert_eq!(ring.appended(&region).unwrap(), 10);
+        assert_eq!(ring.len(&region).unwrap(), 4);
+        assert!(ring.get(&region, 5).unwrap().is_none(), "overwritten");
+        let tail = ring.tail(&region).unwrap();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].0, 6);
+        assert_eq!(tail[0].1[0], 6);
+        assert_eq!(tail[3].0, 9);
+        assert!(ring.get(&region, 10).unwrap().is_none(), "future seq");
+    }
+
+    #[test]
+    fn survives_restart() {
+        let log = Arc::new(MemDevice::with_len(2 << 20));
+        let segs = MemResolver::new();
+        let boot = |log: &Arc<MemDevice>, segs: &MemResolver| {
+            Rvm::initialize(
+                Options::new(log.clone())
+                    .resolver(segs.clone().into_resolver())
+                    .create_if_empty(),
+            )
+            .unwrap()
+        };
+        {
+            let rvm = boot(&log, &segs);
+            let region = rvm
+                .map(&RegionDescriptor::new("ring", 0, PAGE_SIZE))
+                .unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            let ring = RingLog::create(&region, &mut txn, 0, 8, 32).unwrap();
+            ring.append(&region, &mut txn, b"audit record one").unwrap();
+            ring.append(&region, &mut txn, b"audit record two").unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            std::mem::forget(rvm);
+        }
+        let rvm = boot(&log, &segs);
+        let region = rvm
+            .map(&RegionDescriptor::new("ring", 0, PAGE_SIZE))
+            .unwrap();
+        let ring = RingLog::open(&region, 0).unwrap();
+        assert_eq!(ring.appended(&region).unwrap(), 2);
+        let tail = ring.tail(&region).unwrap();
+        assert_eq!(&tail[1].1[..16], b"audit record two");
+    }
+
+    #[test]
+    fn aborted_appends_vanish() {
+        let (rvm, region) = world();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let ring = RingLog::create(&region, &mut txn, 0, 4, 8).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        ring.append(&region, &mut txn, b"ghost").unwrap();
+        txn.abort().unwrap();
+        assert!(ring.is_empty(&region).unwrap());
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        let (rvm, region) = world();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        assert!(RingLog::create(&region, &mut txn, 0, 0, 8).is_err());
+        assert!(RingLog::create(&region, &mut txn, 0, 8, 0).is_err());
+        txn.commit(CommitMode::Flush).unwrap();
+        assert!(RingLog::open(&region, 512).is_err());
+        assert_eq!(RingLog::footprint(4, 8), 32 + 32);
+    }
+}

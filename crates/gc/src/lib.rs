@@ -1,0 +1,499 @@
+//! A persistent object heap with crash-atomic copying garbage collection
+//! over RVM segments.
+//!
+//! §8 cites O'Toole, Nettles and Gifford (SOSP '93), who used "RVM
+//! segments ... as the stable to-space and from-space of the heap for a
+//! language that supports concurrent garbage collection of persistent
+//! data", as "further evidence of the versatility of RVM ... for a very
+//! different context from the one that motivated it". This crate
+//! recreates that construction in miniature:
+//!
+//! * two RVM regions are the **from-space** and **to-space**;
+//! * objects carry reference slots (heap offsets) plus raw payload bytes;
+//! * a fixed **root table** and a space-flip flag live in a third, small
+//!   *meta* region;
+//! * [`PersistentHeap::collect`] runs Cheney's copying collection from
+//!   the roots into to-space, updating every reference — and the entire
+//!   collection, including the space flip, is **one RVM transaction**:
+//!   a crash at any point during GC recovers to the un-collected heap,
+//!   a crash after commit recovers to the collected one. Atomicity makes
+//!   a relocating collector over persistent data almost embarrassingly
+//!   easy, which was rather the paper's point.
+//!
+//! Object handles are offsets in the *current* space and are invalidated
+//! by a collection; persistent data structures reach their objects
+//! through the root table, exactly as the stable heap of O'Toole et al.
+//! reached its data through stable roots.
+
+use rvm::{CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE};
+
+const META_MAGIC: u64 = 0x5256_4D47_4348_5031; // "RVMGCHP1"
+/// Number of root slots in the meta region.
+pub const NUM_ROOTS: u64 = 64;
+
+/// Meta-region layout.
+mod meta {
+    pub const MAGIC: u64 = 0;
+    /// Which space (0/1) is current.
+    pub const CURRENT: u64 = 8;
+    /// Bump-allocation pointer within the current space.
+    pub const ALLOC: u64 = 16;
+    /// Live objects (diagnostic).
+    pub const OBJECTS: u64 = 24;
+    /// Root table of object offsets (0 = null).
+    pub const ROOTS: u64 = 32;
+}
+
+/// Object header layout: `size_of_payload u32 | nrefs u32 | refs... | payload`.
+const OBJ_HEADER: u64 = 8;
+
+/// A handle to a heap object: its offset in the *current* space.
+///
+/// Invalidated by [`PersistentHeap::collect`]; re-fetch from roots after
+/// collecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjRef(u64);
+
+impl ObjRef {
+    /// The null reference.
+    pub const NULL: ObjRef = ObjRef(0);
+
+    /// Returns `true` for null.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw offset (diagnostic).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A persistent, garbage-collected object heap over three RVM regions.
+pub struct PersistentHeap {
+    spaces: [Region; 2],
+    meta: Region,
+    space_len: u64,
+}
+
+impl PersistentHeap {
+    /// Opens (creating on first use) a heap whose spaces are
+    /// `space_len`-byte regions of segments `<name>-0` / `<name>-1`, with
+    /// the meta region in `<name>-meta`.
+    pub fn open(rvm: &Rvm, name: &str, space_len: u64) -> Result<PersistentHeap> {
+        let space_len = space_len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let s0 = rvm.map(&RegionDescriptor::new(format!("{name}-0"), 0, space_len))?;
+        let s1 = rvm.map(&RegionDescriptor::new(format!("{name}-1"), 0, space_len))?;
+        let meta = rvm.map(&RegionDescriptor::new(format!("{name}-meta"), 0, PAGE_SIZE))?;
+        let heap = PersistentHeap {
+            spaces: [s0, s1],
+            meta,
+            space_len,
+        };
+        if heap.meta.get_u64(meta::MAGIC)? != META_MAGIC {
+            let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+            heap.meta.put_u64(&mut txn, meta::MAGIC, META_MAGIC)?;
+            heap.meta.put_u64(&mut txn, meta::CURRENT, 0)?;
+            // Offset 0 is reserved so it can mean "null".
+            heap.meta.put_u64(&mut txn, meta::ALLOC, OBJ_HEADER)?;
+            heap.meta.put_u64(&mut txn, meta::OBJECTS, 0)?;
+            txn.commit(CommitMode::Flush)?;
+        }
+        Ok(heap)
+    }
+
+    fn current(&self) -> Result<&Region> {
+        Ok(&self.spaces[self.meta.get_u64(meta::CURRENT)? as usize & 1])
+    }
+
+    /// Bytes allocated in the current space.
+    pub fn allocated(&self) -> Result<u64> {
+        self.meta.get_u64(meta::ALLOC)
+    }
+
+    /// Live-object count as of the last collection plus allocations since.
+    pub fn objects(&self) -> Result<u64> {
+        self.meta.get_u64(meta::OBJECTS)
+    }
+
+    /// Allocates an object with `refs` reference slots and `payload`
+    /// bytes, inside `txn`.
+    pub fn alloc(
+        &self,
+        txn: &mut Transaction,
+        refs: &[ObjRef],
+        payload: &[u8],
+    ) -> Result<ObjRef> {
+        let size = OBJ_HEADER + refs.len() as u64 * 8 + payload.len() as u64;
+        let at = self.meta.get_u64(meta::ALLOC)?;
+        if at + size > self.space_len {
+            return Err(RvmError::OutOfRange {
+                offset: at,
+                len: size,
+                region_len: self.space_len,
+            });
+        }
+        let space = self.current()?;
+        let mut buf = Vec::with_capacity(size as usize);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(refs.len() as u32).to_le_bytes());
+        for r in refs {
+            buf.extend_from_slice(&r.0.to_le_bytes());
+        }
+        buf.extend_from_slice(payload);
+        space.write(txn, at, &buf)?;
+        self.meta.put_u64(txn, meta::ALLOC, at + size)?;
+        let n = self.meta.get_u64(meta::OBJECTS)?;
+        self.meta.put_u64(txn, meta::OBJECTS, n + 1)?;
+        Ok(ObjRef(at))
+    }
+
+    fn obj_geometry(&self, space: &Region, obj: ObjRef) -> Result<(u32, u32)> {
+        let payload_len = space.get_u32(obj.0)?;
+        let nrefs = space.get_u32(obj.0 + 4)?;
+        Ok((payload_len, nrefs))
+    }
+
+    /// Reads an object's payload.
+    pub fn payload(&self, obj: ObjRef) -> Result<Vec<u8>> {
+        let space = self.current()?;
+        let (payload_len, nrefs) = self.obj_geometry(space, obj)?;
+        space.read_vec(obj.0 + OBJ_HEADER + nrefs as u64 * 8, payload_len as u64)
+    }
+
+    /// Reads an object's reference slots.
+    pub fn refs(&self, obj: ObjRef) -> Result<Vec<ObjRef>> {
+        let space = self.current()?;
+        let (_, nrefs) = self.obj_geometry(space, obj)?;
+        (0..nrefs as u64)
+            .map(|i| Ok(ObjRef(space.get_u64(obj.0 + OBJ_HEADER + i * 8)?)))
+            .collect()
+    }
+
+    /// Overwrites reference slot `slot` of `obj` inside `txn`.
+    pub fn set_ref(
+        &self,
+        txn: &mut Transaction,
+        obj: ObjRef,
+        slot: u64,
+        target: ObjRef,
+    ) -> Result<()> {
+        let space = self.current()?;
+        let (_, nrefs) = self.obj_geometry(space, obj)?;
+        if slot >= nrefs as u64 {
+            return Err(RvmError::OutOfRange {
+                offset: slot,
+                len: 1,
+                region_len: nrefs as u64,
+            });
+        }
+        space.put_u64(txn, obj.0 + OBJ_HEADER + slot * 8, target.0)
+    }
+
+    /// Overwrites an object's payload (same length) inside `txn`.
+    pub fn set_payload(&self, txn: &mut Transaction, obj: ObjRef, payload: &[u8]) -> Result<()> {
+        let space = self.current()?;
+        let (payload_len, nrefs) = self.obj_geometry(space, obj)?;
+        if payload.len() as u64 != payload_len as u64 {
+            return Err(RvmError::OutOfRange {
+                offset: 0,
+                len: payload.len() as u64,
+                region_len: payload_len as u64,
+            });
+        }
+        space.write(txn, obj.0 + OBJ_HEADER + nrefs as u64 * 8, payload)
+    }
+
+    /// Reads root slot `slot`.
+    pub fn root(&self, slot: u64) -> Result<ObjRef> {
+        assert!(slot < NUM_ROOTS, "root slot out of range");
+        Ok(ObjRef(self.meta.get_u64(meta::ROOTS + slot * 8)?))
+    }
+
+    /// Sets root slot `slot` inside `txn`.
+    pub fn set_root(&self, txn: &mut Transaction, slot: u64, obj: ObjRef) -> Result<()> {
+        assert!(slot < NUM_ROOTS, "root slot out of range");
+        self.meta.put_u64(txn, meta::ROOTS + slot * 8, obj.0)
+    }
+
+    /// Cheney's copying collection from the root table, as **one RVM
+    /// transaction**: the to-space contents, the updated roots, the new
+    /// allocation pointer, and the space flip all commit atomically.
+    /// Returns (live objects, bytes reclaimed).
+    pub fn collect(&self, rvm: &Rvm) -> Result<(u64, u64)> {
+        let from_idx = (self.meta.get_u64(meta::CURRENT)? & 1) as usize;
+        let from = &self.spaces[from_idx];
+        let to = &self.spaces[from_idx ^ 1];
+        let old_alloc = self.meta.get_u64(meta::ALLOC)?;
+
+        let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+        // Forwarding table: from-offset -> to-offset (volatile; the whole
+        // collection is one transaction, so no persistent forwarding
+        // pointers are needed).
+        let mut forwarded = std::collections::HashMap::new();
+        let mut scan_queue: Vec<u64> = Vec::new();
+        let mut to_alloc = OBJ_HEADER;
+        let mut live = 0u64;
+
+        // Evacuate an object, returning its to-space offset.
+        let evacuate = |obj: u64,
+                            txn: &mut Transaction,
+                            forwarded: &mut std::collections::HashMap<u64, u64>,
+                            scan_queue: &mut Vec<u64>,
+                            to_alloc: &mut u64,
+                            live: &mut u64|
+         -> Result<u64> {
+            if obj == 0 {
+                return Ok(0);
+            }
+            if let Some(&f) = forwarded.get(&obj) {
+                return Ok(f);
+            }
+            let payload_len = from.get_u32(obj)?;
+            let nrefs = from.get_u32(obj + 4)?;
+            let size = OBJ_HEADER + nrefs as u64 * 8 + payload_len as u64;
+            let image = from.read_vec(obj, size)?;
+            let new_at = *to_alloc;
+            to.write(txn, new_at, &image)?;
+            *to_alloc += size;
+            *live += 1;
+            forwarded.insert(obj, new_at);
+            scan_queue.push(new_at);
+            Ok(new_at)
+        };
+
+        // Roots.
+        for slot in 0..NUM_ROOTS {
+            let r = self.meta.get_u64(meta::ROOTS + slot * 8)?;
+            let f = evacuate(r, &mut txn, &mut forwarded, &mut scan_queue, &mut to_alloc, &mut live)?;
+            self.meta.put_u64(&mut txn, meta::ROOTS + slot * 8, f)?;
+        }
+        // Breadth-first scan of evacuated objects, forwarding their refs.
+        let mut next = 0usize;
+        while next < scan_queue.len() {
+            let at = scan_queue[next];
+            next += 1;
+            let nrefs = to.get_u32(at + 4)?;
+            for i in 0..nrefs as u64 {
+                let slot_off = at + OBJ_HEADER + i * 8;
+                let target = to.get_u64(slot_off)?;
+                let f = evacuate(
+                    target,
+                    &mut txn,
+                    &mut forwarded,
+                    &mut scan_queue,
+                    &mut to_alloc,
+                    &mut live,
+                )?;
+                to.put_u64(&mut txn, slot_off, f)?;
+            }
+        }
+
+        // The flip: current space, allocation pointer, object count.
+        self.meta
+            .put_u64(&mut txn, meta::CURRENT, (from_idx ^ 1) as u64)?;
+        self.meta.put_u64(&mut txn, meta::ALLOC, to_alloc)?;
+        self.meta.put_u64(&mut txn, meta::OBJECTS, live)?;
+        txn.commit(CommitMode::Flush)?;
+        Ok((live, old_alloc.saturating_sub(to_alloc)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::Options;
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn world() -> (Arc<MemDevice>, MemResolver) {
+        (Arc::new(MemDevice::with_len(8 << 20)), MemResolver::new())
+    }
+
+    fn boot(log: &Arc<MemDevice>, segs: &MemResolver) -> Rvm {
+        Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn objects_round_trip() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let leaf = heap.alloc(&mut txn, &[], b"leaf").unwrap();
+        let node = heap.alloc(&mut txn, &[leaf, ObjRef::NULL], b"node").unwrap();
+        heap.set_root(&mut txn, 0, node).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+
+        let node = heap.root(0).unwrap();
+        assert_eq!(heap.payload(node).unwrap(), b"node");
+        let refs = heap.refs(node).unwrap();
+        assert_eq!(refs.len(), 2);
+        assert_eq!(heap.payload(refs[0]).unwrap(), b"leaf");
+        assert!(refs[1].is_null());
+    }
+
+    #[test]
+    fn collection_reclaims_garbage_and_preserves_the_graph() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 256 * 1024).unwrap();
+
+        // A live list of 10 nodes and 50 garbage objects.
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let mut head = ObjRef::NULL;
+        for i in 0..10u8 {
+            head = heap.alloc(&mut txn, &[head], &[i; 16]).unwrap();
+        }
+        for _ in 0..50 {
+            heap.alloc(&mut txn, &[], &[0xFF; 100]).unwrap();
+        }
+        heap.set_root(&mut txn, 0, head).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        let before = heap.allocated().unwrap();
+
+        let (live, reclaimed) = heap.collect(&rvm).unwrap();
+        assert_eq!(live, 10);
+        assert!(reclaimed > 50 * 100, "reclaimed {reclaimed}");
+        assert!(heap.allocated().unwrap() < before);
+
+        // The list is intact (and in the other space now).
+        let mut cur = heap.root(0).unwrap();
+        let mut values = Vec::new();
+        while !cur.is_null() {
+            values.push(heap.payload(cur).unwrap()[0]);
+            cur = heap.refs(cur).unwrap()[0];
+        }
+        assert_eq!(values, vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn shared_structure_is_copied_once() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let shared = heap.alloc(&mut txn, &[], b"shared").unwrap();
+        let a = heap.alloc(&mut txn, &[shared], b"a").unwrap();
+        let b = heap.alloc(&mut txn, &[shared], b"b").unwrap();
+        heap.set_root(&mut txn, 0, a).unwrap();
+        heap.set_root(&mut txn, 1, b).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+
+        let (live, _) = heap.collect(&rvm).unwrap();
+        assert_eq!(live, 3, "shared object evacuated once");
+        let a = heap.root(0).unwrap();
+        let b = heap.root(1).unwrap();
+        assert_eq!(heap.refs(a).unwrap()[0], heap.refs(b).unwrap()[0]);
+    }
+
+    #[test]
+    fn cycles_survive_collection() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let a = heap.alloc(&mut txn, &[ObjRef::NULL], b"A").unwrap();
+        let b = heap.alloc(&mut txn, &[a], b"B").unwrap();
+        heap.set_ref(&mut txn, a, 0, b).unwrap(); // a -> b -> a
+        heap.set_root(&mut txn, 0, a).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+
+        heap.collect(&rvm).unwrap();
+        let a = heap.root(0).unwrap();
+        let b = heap.refs(a).unwrap()[0];
+        assert_eq!(heap.payload(a).unwrap(), b"A");
+        assert_eq!(heap.payload(b).unwrap(), b"B");
+        assert_eq!(heap.refs(b).unwrap()[0], a, "cycle closed");
+    }
+
+    #[test]
+    fn heap_survives_crash_and_recovery() {
+        let (log, segs) = world();
+        {
+            let rvm = boot(&log, &segs);
+            let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            let obj = heap.alloc(&mut txn, &[], b"durable-object").unwrap();
+            heap.set_root(&mut txn, 5, obj).unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            heap.collect(&rvm).unwrap();
+            std::mem::forget(rvm);
+        }
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+        let obj = heap.root(5).unwrap();
+        assert_eq!(heap.payload(obj).unwrap(), b"durable-object");
+        assert_eq!(heap.objects().unwrap(), 1);
+    }
+
+    #[test]
+    fn interrupted_collection_is_invisible() {
+        // A "crash" mid-collection: the transaction never commits, so
+        // the heap stays in from-space, untouched.
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let obj = heap.alloc(&mut txn, &[], b"stable").unwrap();
+        heap.set_root(&mut txn, 0, obj).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+
+        // Simulate the abort path a crash would take mid-GC: begin a
+        // transaction doing part of the copy, then drop it.
+        {
+            let mut gc_txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            // Scribble into to-space as a partial evacuation would.
+            let to = &heap.spaces[1];
+            to.write(&mut gc_txn, 8, &[0xEE; 64]).unwrap();
+            heap.meta.put_u64(&mut gc_txn, super::meta::CURRENT, 1).unwrap();
+            drop(gc_txn); // aborted
+        }
+        assert_eq!(heap.payload(heap.root(0).unwrap()).unwrap(), b"stable");
+        assert_eq!(heap.meta.get_u64(super::meta::CURRENT).unwrap(), 0);
+
+        // And a real collection still works afterwards.
+        let (live, _) = heap.collect(&rvm).unwrap();
+        assert_eq!(live, 1);
+        assert_eq!(heap.payload(heap.root(0).unwrap()).unwrap(), b"stable");
+    }
+
+    #[test]
+    fn repeated_collections_ping_pong_spaces() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", 128 * 1024).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let obj = heap.alloc(&mut txn, &[], b"pingpong").unwrap();
+        heap.set_root(&mut txn, 0, obj).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        for round in 0..6 {
+            // Add garbage each round, then collect it away.
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            for _ in 0..10 {
+                heap.alloc(&mut txn, &[], &[round as u8; 64]).unwrap();
+            }
+            txn.commit(CommitMode::Flush).unwrap();
+            let (live, _) = heap.collect(&rvm).unwrap();
+            assert_eq!(live, 1, "round {round}");
+            assert_eq!(heap.payload(heap.root(0).unwrap()).unwrap(), b"pingpong");
+        }
+    }
+
+    #[test]
+    fn allocation_failure_is_an_error() {
+        let (log, segs) = world();
+        let rvm = boot(&log, &segs);
+        let heap = PersistentHeap::open(&rvm, "heap", PAGE_SIZE).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let r = heap.alloc(&mut txn, &[], &vec![0u8; 2 * PAGE_SIZE as usize]);
+        assert!(matches!(r, Err(RvmError::OutOfRange { .. })));
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+}

@@ -1,0 +1,318 @@
+//! The segment loader package (§4.1).
+//!
+//! "A segment loader package, built on top of RVM, allows the creation and
+//! maintenance of a load map for recoverable storage and takes care of
+//! mapping a segment into the same base address each time. This simplifies
+//! the use of absolute pointers in segments."
+//!
+//! A Rust process cannot promise a fixed *hardware* address for a heap
+//! allocation, so the loader recreates the same guarantee one level up:
+//! every segment is assigned a **stable virtual base** — a 64-bit address
+//! in a private, non-overlapping range recorded in the load map, which
+//! itself lives in recoverable memory. "Absolute pointers" stored inside
+//! segments are these stable addresses ([`PersistentPtr`]); the loader
+//! translates them to `(Region, offset)` pairs on every run, no matter
+//! where the region's memory really landed.
+
+use std::collections::HashMap;
+
+use rvm::{CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE};
+
+const MAGIC: u64 = 0x5256_4D4C_4F41_4431; // "RVMLOAD1"
+/// Segments get bases `BASE_ORIGIN + index * BASE_STRIDE`.
+const BASE_ORIGIN: u64 = 0x5000_0000_0000;
+const BASE_STRIDE: u64 = 1 << 40;
+
+/// A stable pointer into recoverable storage: meaningful across process
+/// lifetimes, resolved through the [`Loader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistentPtr(pub u64);
+
+impl PersistentPtr {
+    /// The null persistent pointer.
+    pub const NULL: PersistentPtr = PersistentPtr(0);
+
+    /// Returns `true` for the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One load-map entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadMapEntry {
+    /// Segment name.
+    pub name: String,
+    /// Stable virtual base assigned to the segment.
+    pub base: u64,
+    /// Region length recorded at first load.
+    pub len: u64,
+}
+
+/// A loaded segment: its mapped region plus its stable base.
+#[derive(Clone)]
+pub struct LoadedSegment {
+    /// The mapped region.
+    pub region: Region,
+    /// The segment's stable virtual base.
+    pub base: u64,
+}
+
+impl LoadedSegment {
+    /// Builds a persistent pointer to `offset` within this segment.
+    pub fn ptr_to(&self, offset: u64) -> PersistentPtr {
+        PersistentPtr(self.base + offset)
+    }
+}
+
+/// The segment loader: a persistent load map plus the segments loaded in
+/// this incarnation.
+pub struct Loader {
+    map_region: Region,
+    entries: Vec<LoadMapEntry>,
+    loaded: HashMap<String, LoadedSegment>,
+}
+
+/// Load-map wire format inside its one-page region:
+/// `magic u64 | count u64 | entries*`, each entry
+/// `base u64 | len u64 | name_len u64 | name bytes`.
+fn encode_entries(entries: &[LoadMapEntry]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        buf.extend_from_slice(&e.base.to_le_bytes());
+        buf.extend_from_slice(&e.len.to_le_bytes());
+        buf.extend_from_slice(&(e.name.len() as u64).to_le_bytes());
+        buf.extend_from_slice(e.name.as_bytes());
+    }
+    buf
+}
+
+fn decode_entries(buf: &[u8]) -> Option<Vec<LoadMapEntry>> {
+    let get = |at: usize| -> Option<u64> {
+        Some(u64::from_le_bytes(buf.get(at..at + 8)?.try_into().ok()?))
+    };
+    if get(0)? != MAGIC {
+        return None;
+    }
+    let count = get(8)? as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut at = 16;
+    for _ in 0..count {
+        let base = get(at)?;
+        let len = get(at + 8)?;
+        let name_len = get(at + 16)? as usize;
+        let name = String::from_utf8(buf.get(at + 24..at + 24 + name_len)?.to_vec()).ok()?;
+        entries.push(LoadMapEntry { name, base, len });
+        at += 24 + name_len;
+    }
+    Some(entries)
+}
+
+impl Loader {
+    /// Opens (creating if necessary) the load map stored in the named
+    /// segment's first page.
+    pub fn open(rvm: &Rvm, map_segment: &str) -> Result<Loader> {
+        let map_region = rvm.map(&RegionDescriptor::new(map_segment, 0, PAGE_SIZE))?;
+        let image = map_region.read_vec(0, PAGE_SIZE)?;
+        let entries = match decode_entries(&image) {
+            Some(entries) => entries,
+            None => {
+                // Fresh map: persist an empty one.
+                let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+                map_region.write(&mut txn, 0, &encode_entries(&[]))?;
+                txn.commit(CommitMode::Flush)?;
+                Vec::new()
+            }
+        };
+        Ok(Loader {
+            map_region,
+            entries,
+            loaded: HashMap::new(),
+        })
+    }
+
+    /// The persistent load map.
+    pub fn entries(&self) -> &[LoadMapEntry] {
+        &self.entries
+    }
+
+    fn persist(&self, rvm: &Rvm) -> Result<()> {
+        let buf = encode_entries(&self.entries);
+        if buf.len() as u64 > PAGE_SIZE {
+            return Err(RvmError::SegmentTableFull);
+        }
+        let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+        self.map_region.write(&mut txn, 0, &buf)?;
+        txn.commit(CommitMode::Flush)?;
+        Ok(())
+    }
+
+    /// Loads (maps) a segment at its stable base, assigning one on first
+    /// load. The recorded length must match on later loads.
+    pub fn load(&mut self, rvm: &Rvm, name: &str, len: u64) -> Result<LoadedSegment> {
+        if let Some(seg) = self.loaded.get(name) {
+            return Ok(seg.clone());
+        }
+        let entry = match self.entries.iter().find(|e| e.name == name) {
+            Some(e) => {
+                if e.len != len {
+                    return Err(RvmError::BadMapping(format!(
+                        "segment '{name}' was recorded with length {} but loaded with {len}",
+                        e.len
+                    )));
+                }
+                e.clone()
+            }
+            None => {
+                let entry = LoadMapEntry {
+                    name: name.to_owned(),
+                    base: BASE_ORIGIN + self.entries.len() as u64 * BASE_STRIDE,
+                    len,
+                };
+                self.entries.push(entry.clone());
+                self.persist(rvm)?;
+                entry
+            }
+        };
+        let region = rvm.map(&RegionDescriptor::new(name, 0, len))?;
+        let seg = LoadedSegment {
+            region,
+            base: entry.base,
+        };
+        self.loaded.insert(name.to_owned(), seg.clone());
+        Ok(seg)
+    }
+
+    /// Resolves a persistent pointer to the region and offset it points
+    /// into, if that segment is loaded.
+    pub fn resolve(&self, ptr: PersistentPtr) -> Option<(&LoadedSegment, u64)> {
+        if ptr.is_null() {
+            return None;
+        }
+        self.loaded.values().find_map(|seg| {
+            let offset = ptr.0.checked_sub(seg.base)?;
+            (offset < seg.region.len()).then_some((seg, offset))
+        })
+    }
+
+    /// Reads `len` bytes through a persistent pointer.
+    pub fn read_ptr(&self, ptr: PersistentPtr, len: u64) -> Result<Vec<u8>> {
+        let (seg, offset) = self.resolve(ptr).ok_or(RvmError::Unmapped)?;
+        seg.region.read_vec(offset, len)
+    }
+
+    /// Writes bytes through a persistent pointer inside `txn`.
+    pub fn write_ptr(&self, txn: &mut Transaction, ptr: PersistentPtr, data: &[u8]) -> Result<()> {
+        let (seg, offset) = self.resolve(ptr).ok_or(RvmError::Unmapped)?;
+        seg.region.write(txn, offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::Options;
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn boot(log: &Arc<MemDevice>, segs: &MemResolver) -> Rvm {
+        Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bases_are_stable_across_restarts() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        let (base_a, base_b);
+        {
+            let rvm = boot(&log, &segs);
+            let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+            base_a = loader.load(&rvm, "segA", PAGE_SIZE).unwrap().base;
+            base_b = loader.load(&rvm, "segB", 2 * PAGE_SIZE).unwrap().base;
+            assert_ne!(base_a, base_b);
+            rvm.terminate().unwrap();
+        }
+        let rvm = boot(&log, &segs);
+        let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+        assert_eq!(loader.entries().len(), 2);
+        assert_eq!(loader.load(&rvm, "segB", 2 * PAGE_SIZE).unwrap().base, base_b);
+        assert_eq!(loader.load(&rvm, "segA", PAGE_SIZE).unwrap().base, base_a);
+    }
+
+    #[test]
+    fn persistent_pointers_survive_restarts() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        let ptr;
+        {
+            let rvm = boot(&log, &segs);
+            let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+            let seg = loader.load(&rvm, "data", PAGE_SIZE).unwrap();
+            ptr = seg.ptr_to(128);
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            loader.write_ptr(&mut txn, ptr, b"pointed-at").unwrap();
+            // Store the pointer itself in recoverable memory too.
+            seg.region.put_u64(&mut txn, 0, ptr.0).unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+            rvm.terminate().unwrap();
+        }
+        let rvm = boot(&log, &segs);
+        let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+        let seg = loader.load(&rvm, "data", PAGE_SIZE).unwrap();
+        let stored = PersistentPtr(seg.region.get_u64(0).unwrap());
+        assert_eq!(stored, ptr, "the stored absolute pointer still resolves");
+        assert_eq!(loader.read_ptr(stored, 10).unwrap(), b"pointed-at");
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected_across_incarnations() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        {
+            let rvm = boot(&log, &segs);
+            let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+            loader.load(&rvm, "seg", PAGE_SIZE).unwrap();
+            rvm.terminate().unwrap();
+        }
+        let rvm = boot(&log, &segs);
+        let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+        let Err(err) = loader.load(&rvm, "seg", 2 * PAGE_SIZE) else {
+            panic!("length mismatch must be rejected");
+        };
+        assert!(matches!(err, RvmError::BadMapping(_)));
+    }
+
+    #[test]
+    fn resolve_rejects_null_and_foreign_pointers() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        let rvm = boot(&log, &segs);
+        let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+        let seg = loader.load(&rvm, "seg", PAGE_SIZE).unwrap();
+        assert!(loader.resolve(PersistentPtr::NULL).is_none());
+        assert!(loader.resolve(PersistentPtr(123)).is_none());
+        assert!(loader.resolve(seg.ptr_to(0)).is_some());
+        assert!(loader.resolve(seg.ptr_to(PAGE_SIZE)).is_none(), "one past end");
+    }
+
+    #[test]
+    fn loading_twice_returns_the_same_mapping() {
+        let log = Arc::new(MemDevice::with_len(4 << 20));
+        let segs = MemResolver::new();
+        let rvm = boot(&log, &segs);
+        let mut loader = Loader::open(&rvm, "loadmap").unwrap();
+        let a = loader.load(&rvm, "seg", PAGE_SIZE).unwrap();
+        let b = loader.load(&rvm, "seg", PAGE_SIZE).unwrap();
+        assert_eq!(a.base, b.base);
+        // Same underlying mapping (no duplicate-map error).
+        assert_eq!(a.region.segment_name(), b.region.segment_name());
+    }
+}

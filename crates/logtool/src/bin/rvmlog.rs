@@ -1,0 +1,79 @@
+//! `rvmlog` — post-mortem RVM log inspector (paper §6).
+//!
+//! ```text
+//! rvmlog <log-file> summary
+//! rvmlog <log-file> records [--backward]
+//! rvmlog <log-file> history <segment> <offset> <len>
+//! ```
+
+use std::process::exit;
+use std::sync::Arc;
+
+use rvm_logtool::{format_entry, LogInspector};
+use rvm_storage::FileDevice;
+
+fn usage() -> ! {
+    eprintln!("usage: rvmlog <log-file> summary");
+    eprintln!("       rvmlog <log-file> records [--backward]");
+    eprintln!("       rvmlog <log-file> history <segment> <offset> <len>");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let dev = match FileDevice::open(&args[0]) {
+        Ok(dev) => Arc::new(dev),
+        Err(e) => {
+            eprintln!("rvmlog: cannot open '{}': {e}", args[0]);
+            exit(1);
+        }
+    };
+    let inspector = match LogInspector::open(dev) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("rvmlog: not a valid RVM log: {e}");
+            exit(1);
+        }
+    };
+    let result = match args[1].as_str() {
+        "summary" => inspector.summary().map(|s| print!("{s}")),
+        "records" => {
+            let backward = args.get(2).is_some_and(|a| a == "--backward");
+            let records = if backward {
+                inspector.records_backward()
+            } else {
+                inspector.records()
+            };
+            records.map(|records| {
+                for (off, rec) in records {
+                    println!(
+                        "@{off}: seq {} tid {} ranges {}",
+                        rec.seq,
+                        rec.tid,
+                        rec.ranges.len()
+                    );
+                    for r in &rec.ranges {
+                        println!("    {}[{}..{})", r.seg, r.offset, r.offset + r.data.len() as u64);
+                    }
+                }
+            })
+        }
+        "history" if args.len() == 5 => {
+            let offset: u64 = args[3].parse().unwrap_or_else(|_| usage());
+            let len: u64 = args[4].parse().unwrap_or_else(|_| usage());
+            inspector.history(&args[2], offset, len).map(|entries| {
+                for e in entries {
+                    println!("{}", format_entry(&e));
+                }
+            })
+        }
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("rvmlog: {e}");
+        exit(1);
+    }
+}

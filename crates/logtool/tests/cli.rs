@@ -1,0 +1,80 @@
+//! End-to-end test of the `rvmlog` binary against a real log file.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+use rvm_storage::FileDevice;
+
+fn rvmlog() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvmlog"))
+}
+
+fn build_log(dir: &std::path::Path) -> std::path::PathBuf {
+    let log_path = dir.join("app.rvmlog");
+    let seg_path = dir.join("objects.seg");
+    let log = Arc::new(FileDevice::open_or_create(&log_path, 1 << 20).unwrap());
+    let rvm = Rvm::initialize(Options::new(log).create_if_empty()).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new(seg_path.to_str().unwrap(), 0, PAGE_SIZE))
+        .unwrap();
+    for i in 0..3u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.put_u64(&mut txn, 128, i + 1).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    std::mem::forget(rvm); // keep the log un-truncated
+    log_path
+}
+
+#[test]
+fn summary_records_and_history_subcommands() {
+    let dir = std::env::temp_dir().join(format!("rvmlog-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = build_log(&dir);
+    let seg_name = dir.join("objects.seg");
+
+    let out = rvmlog().arg(&log_path).arg("summary").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 live record(s)"), "{text}");
+    assert!(text.contains("objects.seg"), "{text}");
+
+    let out = rvmlog().arg(&log_path).arg("records").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.matches("seq ").count(), 3, "{text}");
+
+    let out = rvmlog()
+        .arg(&log_path)
+        .arg("records")
+        .arg("--backward")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = rvmlog()
+        .arg(&log_path)
+        .arg("history")
+        .arg(seg_name.to_str().unwrap())
+        .arg("128")
+        .arg("8")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 3, "{text}");
+    assert!(text.contains("[128..136)"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = rvmlog().output().unwrap();
+    assert!(!out.status.success());
+    let out = rvmlog().arg("/nonexistent").arg("summary").output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("cannot open"), "{text}");
+}

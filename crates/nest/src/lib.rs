@@ -1,0 +1,329 @@
+//! Nested transactions layered on RVM (§8).
+//!
+//! "Nested transactions could be implemented using RVM as a substrate for
+//! bookkeeping state such as the undo logs of nested transactions. Only
+//! top-level begin, commit, and abort operations would be visible to RVM.
+//! Recovery would be simple, since the restoration of committed state
+//! would be handled entirely by RVM."
+//!
+//! That is exactly the structure here: a [`NestedTxn`] wraps one RVM
+//! top-level [`rvm::Transaction`]. Child transactions are *volatile*
+//! frames holding their own undo records; a child abort restores its
+//! frame's old values in memory (the enclosing levels continue), while a
+//! child commit merges its undo into the parent so a later parent abort
+//! still undoes it. Crash atomicity needs nothing new: until the
+//! top-level commit, RVM has logged nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rvm::segment::MemResolver;
+//! use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+//! use rvm_nest::NestedTxn;
+//! use rvm_storage::MemDevice;
+//!
+//! let rvm = Rvm::initialize(
+//!     Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+//!         .resolver(MemResolver::new().into_resolver())
+//!         .create_if_empty(),
+//! )
+//! .unwrap();
+//! let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+//!
+//! let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+//! txn.write(&region, 0, b"outer").unwrap();
+//! txn.enter(); // child
+//! txn.write(&region, 16, b"inner").unwrap();
+//! txn.abort_child().unwrap(); // only the child's effects vanish
+//! txn.commit(CommitMode::Flush).unwrap();
+//! assert_eq!(region.read_vec(0, 5).unwrap(), b"outer");
+//! assert_eq!(region.read_vec(16, 5).unwrap(), vec![0; 5]);
+//! ```
+
+use rvm::{CommitMode, Region, Result, Rvm, RvmError, Transaction, TxnMode};
+
+/// A volatile undo record of one child-level write.
+struct UndoRecord {
+    region: Region,
+    offset: u64,
+    old: Vec<u8>,
+}
+
+/// One nesting level's bookkeeping.
+#[derive(Default)]
+struct Frame {
+    undo: Vec<UndoRecord>,
+}
+
+/// A transaction tree flattened onto one RVM top-level transaction.
+///
+/// Depth 1 is the top level; [`NestedTxn::enter`] pushes children.
+/// Consuming operations ([`NestedTxn::commit`], [`NestedTxn::abort`]) are
+/// only valid at depth 1.
+pub struct NestedTxn {
+    inner: Option<Transaction>,
+    frames: Vec<Frame>,
+}
+
+impl NestedTxn {
+    /// Begins a top-level transaction.
+    pub fn begin(rvm: &Rvm, mode: TxnMode) -> Result<NestedTxn> {
+        Ok(NestedTxn {
+            inner: Some(rvm.begin_transaction(mode)?),
+            frames: vec![Frame::default()],
+        })
+    }
+
+    /// Current nesting depth (1 = top level).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Begins a child transaction.
+    pub fn enter(&mut self) {
+        self.frames.push(Frame::default());
+    }
+
+    /// Transactionally writes `data` at `offset` of `region` within the
+    /// innermost open level.
+    pub fn write(&mut self, region: &Region, offset: u64, data: &[u8]) -> Result<()> {
+        // Volatile undo for child-level rollback; RVM keeps its own undo
+        // for the top level.
+        let old = region.read_vec(offset, data.len() as u64)?;
+        let txn = self.inner.as_mut().expect("active");
+        region.write(txn, offset, data)?;
+        self.frames
+            .last_mut()
+            .expect("at least the top frame")
+            .undo
+            .push(UndoRecord {
+                region: region.clone(),
+                offset,
+                old,
+            });
+        Ok(())
+    }
+
+    /// Declares a range in the innermost level and modifies it in place.
+    pub fn modify<R>(
+        &mut self,
+        region: &Region,
+        offset: u64,
+        len: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R> {
+        let old = region.read_vec(offset, len)?;
+        let txn = self.inner.as_mut().expect("active");
+        let out = region.modify(txn, offset, len, f)?;
+        self.frames.last_mut().expect("top frame").undo.push(UndoRecord {
+            region: region.clone(),
+            offset,
+            old,
+        });
+        Ok(out)
+    }
+
+    /// Commits the innermost child: its effects are adopted by the parent
+    /// (and undone if the parent later aborts).
+    ///
+    /// # Errors
+    ///
+    /// [`RvmError::TransactionEnded`] at top level — commit the top level
+    /// with [`NestedTxn::commit`] instead.
+    pub fn commit_child(&mut self) -> Result<()> {
+        if self.frames.len() == 1 {
+            return Err(RvmError::TransactionEnded);
+        }
+        let child = self.frames.pop().expect("checked depth");
+        self.frames
+            .last_mut()
+            .expect("parent frame")
+            .undo
+            .extend(child.undo);
+        Ok(())
+    }
+
+    /// Aborts the innermost child, restoring its old values in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RvmError::TransactionEnded`] at top level — abort the top level
+    /// with [`NestedTxn::abort`] instead.
+    pub fn abort_child(&mut self) -> Result<()> {
+        if self.frames.len() == 1 {
+            return Err(RvmError::TransactionEnded);
+        }
+        let child = self.frames.pop().expect("checked depth");
+        let txn = self.inner.as_mut().expect("active");
+        for record in child.undo.into_iter().rev() {
+            // Restoring is itself a (re-)declared write, so the range
+            // stays covered in the top-level RVM transaction.
+            record.region.write(txn, record.offset, &record.old)?;
+        }
+        Ok(())
+    }
+
+    /// Commits the whole tree: the only commit RVM sees (§8).
+    ///
+    /// # Errors
+    ///
+    /// [`RvmError::TransactionsOutstanding`] if children are still open.
+    pub fn commit(mut self, mode: CommitMode) -> Result<()> {
+        if self.frames.len() != 1 {
+            return Err(RvmError::TransactionsOutstanding(
+                self.frames.len() as u64 - 1,
+            ));
+        }
+        self.inner.take().expect("active").commit(mode)
+    }
+
+    /// Aborts the whole tree; RVM restores every level's changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RvmError::CannotAbortNoRestore`] for no-restore
+    /// top-level transactions.
+    pub fn abort(mut self) -> Result<()> {
+        self.inner.take().expect("active").abort()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm::segment::MemResolver;
+    use rvm::{Options, RegionDescriptor, PAGE_SIZE};
+    use rvm_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn world() -> (Rvm, Region) {
+        let rvm = Rvm::initialize(
+            Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+                .resolver(MemResolver::new().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        (rvm, region)
+    }
+
+    #[test]
+    fn child_commit_is_adopted_by_parent_commit() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        txn.write(&region, 0, &[1; 8]).unwrap();
+        txn.enter();
+        txn.write(&region, 8, &[2; 8]).unwrap();
+        txn.commit_child().unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        assert_eq!(region.read_vec(0, 8).unwrap(), vec![1; 8]);
+        assert_eq!(region.read_vec(8, 8).unwrap(), vec![2; 8]);
+    }
+
+    #[test]
+    fn child_abort_undoes_only_the_child() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        txn.write(&region, 0, &[1; 8]).unwrap();
+        txn.enter();
+        txn.write(&region, 0, &[9; 4]).unwrap(); // overwrites parent data
+        txn.write(&region, 100, &[9; 4]).unwrap();
+        txn.abort_child().unwrap();
+        // The parent's value is back, the child's new range is zeroed.
+        assert_eq!(region.read_vec(0, 8).unwrap(), vec![1; 8]);
+        assert_eq!(region.read_vec(100, 4).unwrap(), vec![0; 4]);
+        txn.commit(CommitMode::Flush).unwrap();
+        assert_eq!(region.read_vec(0, 8).unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn parent_abort_undoes_committed_children() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        txn.enter();
+        txn.write(&region, 0, &[5; 16]).unwrap();
+        txn.commit_child().unwrap();
+        txn.abort().unwrap();
+        assert_eq!(region.read_vec(0, 16).unwrap(), vec![0; 16]);
+    }
+
+    #[test]
+    fn deep_nesting_with_mixed_outcomes() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        txn.write(&region, 0, b"L1").unwrap();
+        txn.enter();
+        txn.write(&region, 8, b"L2").unwrap();
+        txn.enter();
+        txn.write(&region, 16, b"L3").unwrap();
+        assert_eq!(txn.depth(), 3);
+        txn.abort_child().unwrap(); // L3 gone
+        txn.enter();
+        txn.write(&region, 24, b"L4").unwrap();
+        txn.commit_child().unwrap(); // L4 adopted by L2
+        txn.commit_child().unwrap(); // L2 (with L4) adopted by L1
+        txn.commit(CommitMode::Flush).unwrap();
+        assert_eq!(region.read_vec(0, 2).unwrap(), b"L1");
+        assert_eq!(region.read_vec(8, 2).unwrap(), b"L2");
+        assert_eq!(region.read_vec(16, 2).unwrap(), vec![0; 2]);
+        assert_eq!(region.read_vec(24, 2).unwrap(), b"L4");
+    }
+
+    #[test]
+    fn top_level_guards() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        assert!(txn.commit_child().is_err(), "no child to commit");
+        assert!(txn.abort_child().is_err(), "no child to abort");
+        txn.enter();
+        txn.write(&region, 0, &[1]).unwrap();
+        let err = txn.commit(CommitMode::Flush);
+        assert!(matches!(err, Err(RvmError::TransactionsOutstanding(1))));
+    }
+
+    #[test]
+    fn modify_in_child_rolls_back() {
+        let (rvm, region) = world();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+        txn.write(&region, 0, &[10; 4]).unwrap();
+        txn.enter();
+        txn.modify(&region, 0, 4, |bytes| bytes.iter_mut().for_each(|b| *b += 1))
+            .unwrap();
+        assert_eq!(region.read_vec(0, 4).unwrap(), vec![11; 4]);
+        txn.abort_child().unwrap();
+        assert_eq!(region.read_vec(0, 4).unwrap(), vec![10; 4]);
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+
+    #[test]
+    fn crash_before_top_commit_loses_everything_cleanly() {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let segs = MemResolver::new();
+        {
+            let rvm = Rvm::initialize(
+                Options::new(log.clone())
+                    .resolver(segs.clone().into_resolver())
+                    .create_if_empty(),
+            )
+            .unwrap();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+            txn.write(&region, 0, &[1; 8]).unwrap();
+            txn.enter();
+            txn.write(&region, 8, &[2; 8]).unwrap();
+            txn.commit_child().unwrap();
+            drop(txn); // crash path: nothing reached the log
+            std::mem::forget(rvm);
+        }
+        let rvm = Rvm::initialize(
+            Options::new(log)
+                .resolver(segs.into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        assert_eq!(rvm.recovery_report().records_replayed, 0);
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        assert_eq!(region.read_vec(0, 16).unwrap(), vec![0; 16]);
+    }
+}

@@ -1,0 +1,229 @@
+//! A simulated duration / instant type with nanosecond resolution.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of simulated time (also used as an instant on the virtual
+/// timeline), stored as whole nanoseconds.
+///
+/// `SimTime` is deliberately simpler than [`std::time::Duration`]: it is
+/// `Copy`, saturating on subtraction, and convertible to `f64` seconds for
+/// reporting. Benchmarks never convert it back to wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use simclock::SimTime;
+///
+/// let force = SimTime::from_micros(17_400);
+/// assert_eq!(force.as_millis_f64(), 17.4);
+/// assert_eq!(force * 3, SimTime::from_micros(52_200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    nanos: u64,
+}
+
+impl SimTime {
+    /// The zero duration.
+    pub const ZERO: SimTime = SimTime { nanos: 0 };
+
+    /// Creates a time from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// Creates a time from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64: invalid seconds value {secs}"
+        );
+        Self {
+            nanos: (secs * 1e9).round() as u64,
+        }
+    }
+
+    /// Creates a time from fractional microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros` is negative or not finite.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        Self::from_secs_f64(micros * 1e-6)
+    }
+
+    /// Returns the value in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Returns the value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 * 1e-9
+    }
+
+    /// Returns the value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 * 1e-6
+    }
+
+    /// Returns the value in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.nanos as f64 * 1e-3
+    }
+
+    /// Returns `true` if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.nanos == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// Saturating: subtracting a later time from an earlier one yields zero.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime {
+            nanos: self.nanos * rhs,
+        }
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime {
+            nanos: self.nanos / rhs,
+        }
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.nanos >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.nanos >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_secs(5).as_nanos(), 5_000_000_000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_micros_f64(17.4).as_nanos(), 17_400);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a + b, SimTime::from_millis(14));
+        assert_eq!(a - b, SimTime::from_millis(6));
+        assert_eq!(b - a, SimTime::ZERO, "subtraction saturates");
+        assert_eq!(a * 3, SimTime::from_millis(30));
+        assert_eq!(a / 2, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(SimTime::from_millis).sum();
+        assert_eq!(total, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimTime::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid seconds")]
+    fn negative_seconds_panic() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

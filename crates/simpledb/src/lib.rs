@@ -1,0 +1,324 @@
+//! The Birrell et al. "simple database" (§9 related work).
+//!
+//! "Their design is even simpler than RVM's, and is based upon new-value
+//! logging and full-database checkpointing. Each transaction is
+//! constrained to update only a single data item. There is no support for
+//! explicit transaction abort. Updates are recorded in a log file on
+//! disk, then reflected in the in-memory database image. Periodically,
+//! the entire memory image is checkpointed to disk, the log file deleted,
+//! and the new checkpoint file renamed to be the current version of the
+//! database. Log truncation occurs only during crash recovery, not during
+//! normal operation."
+//!
+//! This crate implements that design over [`rvm_storage::Device`]s (a
+//! checkpoint device with a dual-slot header standing in for the
+//! atomic-rename, and a log device), so it can run over real files, the
+//! in-memory devices, or the latency-modelled `simdisk` — making it a
+//! workable comparator in ablation studies. Its limitations relative to
+//! RVM are structural and visible in the API: single-item updates, no
+//! abort, whole-database checkpoints.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rvm_storage::{Device, DeviceError};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+const LOG_MAGIC: u32 = 0x5344_4C47; // "SDLG"
+const CKPT_MAGIC: u64 = 0x5344_4250_434B_5031; // "SDBPCKP1"
+const HEADER_SLOT: u64 = 4096;
+
+/// A key-value store with Birrell-style recovery.
+///
+/// Keys and values are small byte strings; every update is one
+/// transaction, immediately forced to the log.
+pub struct SimpleDb {
+    ckpt_dev: Arc<dyn Device>,
+    log_dev: Arc<dyn Device>,
+    state: Mutex<DbState>,
+    /// Checkpoint when the log exceeds this many bytes (the original
+    /// checkpointed on a timer; a size trigger is deterministic).
+    pub checkpoint_threshold: u64,
+}
+
+struct DbState {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    log_tail: u64,
+    updates_since_ckpt: u64,
+}
+
+fn encode_pairs(map: &BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(map.len() as u64).to_le_bytes());
+    for (k, v) in map {
+        buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        buf.extend_from_slice(k);
+        buf.extend_from_slice(v);
+    }
+    buf
+}
+
+fn decode_pairs(buf: &[u8], count: u64) -> Option<BTreeMap<Vec<u8>, Vec<u8>>> {
+    let mut map = BTreeMap::new();
+    let mut at = 0usize;
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(buf.get(at + 4..at + 8)?.try_into().ok()?) as usize;
+        let k = buf.get(at + 8..at + 8 + klen)?.to_vec();
+        let v = buf.get(at + 8 + klen..at + 8 + klen + vlen)?.to_vec();
+        map.insert(k, v);
+        at += 8 + klen + vlen;
+    }
+    Some(map)
+}
+
+impl SimpleDb {
+    /// Opens (recovering) or creates a database over the two devices.
+    ///
+    /// Recovery = load the checkpoint, then replay the log; replay stops
+    /// at the first torn record. The log is then truncated — "log
+    /// truncation occurs only during crash recovery".
+    pub fn open(ckpt_dev: Arc<dyn Device>, log_dev: Arc<dyn Device>) -> Result<SimpleDb> {
+        let map = Self::load_checkpoint(ckpt_dev.as_ref())?.unwrap_or_default();
+        let db = SimpleDb {
+            ckpt_dev,
+            log_dev,
+            state: Mutex::new(DbState {
+                map,
+                log_tail: 0,
+                updates_since_ckpt: 0,
+            }),
+            checkpoint_threshold: 1 << 20,
+        };
+        db.replay_log()?;
+        // Truncation at recovery: checkpoint and reset the log.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    fn load_checkpoint(dev: &dyn Device) -> Result<Option<BTreeMap<Vec<u8>, Vec<u8>>>> {
+        let mut header = [0u8; 28];
+        if dev.len()? < HEADER_SLOT || dev.read_at(0, &mut header).is_err() {
+            return Ok(None);
+        }
+        let magic = u64::from_le_bytes(header[0..8].try_into().expect("slice"));
+        if magic != CKPT_MAGIC {
+            return Ok(None);
+        }
+        let count = u64::from_le_bytes(header[8..16].try_into().expect("slice"));
+        let bytes = u64::from_le_bytes(header[16..24].try_into().expect("slice"));
+        let stored_crc = u32::from_le_bytes(header[24..28].try_into().expect("slice"));
+        let mut buf = vec![0u8; bytes as usize];
+        dev.read_at(HEADER_SLOT, &mut buf)?;
+        if rvm::crc32(&buf) != stored_crc {
+            return Ok(None);
+        }
+        Ok(decode_pairs(&buf, count))
+    }
+
+    fn replay_log(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        let log_len = self.log_dev.len()?;
+        let mut at = 0u64;
+        loop {
+            if at + 16 > log_len {
+                break;
+            }
+            let mut header = [0u8; 16];
+            self.log_dev.read_at(at, &mut header)?;
+            let magic = u32::from_le_bytes(header[0..4].try_into().expect("slice"));
+            if magic != LOG_MAGIC {
+                break;
+            }
+            let klen = u32::from_le_bytes(header[4..8].try_into().expect("slice")) as u64;
+            let vlen = u32::from_le_bytes(header[8..12].try_into().expect("slice")) as u64;
+            let stored_crc = u32::from_le_bytes(header[12..16].try_into().expect("slice"));
+            if at + 16 + klen + vlen > log_len {
+                break;
+            }
+            let mut payload = vec![0u8; (klen + vlen) as usize];
+            self.log_dev.read_at(at + 16, &mut payload)?;
+            if rvm::crc32(&payload) != stored_crc {
+                break; // torn record: end of valid log
+            }
+            let key = payload[..klen as usize].to_vec();
+            let value = payload[klen as usize..].to_vec();
+            state.map.insert(key, value);
+            at += 16 + klen + vlen;
+        }
+        state.log_tail = at;
+        Ok(())
+    }
+
+    /// Updates a single item — the only transaction shape supported.
+    /// The record is forced to the log before the in-memory image
+    /// changes; there is no abort.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut state = self.state.lock();
+        let mut record = Vec::with_capacity(16 + key.len() + value.len());
+        let mut payload = Vec::with_capacity(key.len() + value.len());
+        payload.extend_from_slice(key);
+        payload.extend_from_slice(value);
+        record.extend_from_slice(&LOG_MAGIC.to_le_bytes());
+        record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        record.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        record.extend_from_slice(&rvm::crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        let needed = state.log_tail + record.len() as u64;
+        if self.log_dev.len()? < needed {
+            self.log_dev.set_len(needed.max(64 * 1024))?;
+        }
+        self.log_dev.write_at(state.log_tail, &record)?;
+        self.log_dev.sync()?;
+        state.log_tail += record.len() as u64;
+        state.map.insert(key.to_vec(), value.to_vec());
+        state.updates_since_ckpt += 1;
+
+        if state.log_tail > self.checkpoint_threshold {
+            drop(state);
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Reads a value.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.state.lock().map.get(key).cloned()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.state.lock().map.len()
+    }
+
+    /// Returns `true` if the database holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes the entire image to the checkpoint device and resets the
+    /// log — the full-database checkpoint that bounds this design to
+    /// "applications which manage small amounts of recoverable data".
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        let body = encode_pairs(&state.map);
+        // Body bytes land first...
+        let needed = HEADER_SLOT + 8 + body.len() as u64;
+        if self.ckpt_dev.len()? < needed {
+            self.ckpt_dev.set_len(needed)?;
+        }
+        // encode_pairs places the count first; split it into the header.
+        let count = state.map.len() as u64;
+        let pairs = &body[8..];
+        self.ckpt_dev.write_at(HEADER_SLOT, pairs)?;
+        self.ckpt_dev.sync()?;
+        // ...then the header commits the checkpoint (stand-in for the
+        // original's rename).
+        let mut header = Vec::with_capacity(28);
+        header.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        header.extend_from_slice(&count.to_le_bytes());
+        header.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+        header.extend_from_slice(&rvm::crc32(pairs).to_le_bytes());
+        self.ckpt_dev.write_at(0, &header)?;
+        self.ckpt_dev.sync()?;
+        state.log_tail = 0;
+        state.updates_since_ckpt = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::MemDevice;
+
+    fn devices() -> (Arc<MemDevice>, Arc<MemDevice>) {
+        (
+            Arc::new(MemDevice::with_len(64 * 1024)),
+            Arc::new(MemDevice::with_len(64 * 1024)),
+        )
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let (ckpt, log) = devices();
+        let db = SimpleDb::open(ckpt, log).unwrap();
+        db.put(b"k1", b"v1").unwrap();
+        db.put(b"k2", b"v2").unwrap();
+        db.put(b"k1", b"v1b").unwrap();
+        assert_eq!(db.get(b"k1").unwrap(), b"v1b");
+        assert_eq!(db.get(b"k2").unwrap(), b"v2");
+        assert!(db.get(b"k3").is_none());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn recovery_replays_the_log() {
+        let (ckpt, log) = devices();
+        {
+            let db = SimpleDb::open(ckpt.clone(), log.clone()).unwrap();
+            db.put(b"a", b"1").unwrap();
+            db.put(b"b", b"2").unwrap();
+            // Crash without checkpoint.
+        }
+        let db = SimpleDb::open(ckpt, log).unwrap();
+        assert_eq!(db.get(b"a").unwrap(), b"1");
+        assert_eq!(db.get(b"b").unwrap(), b"2");
+    }
+
+    #[test]
+    fn torn_log_record_is_dropped() {
+        let (ckpt, log) = devices();
+        {
+            let db = SimpleDb::open(ckpt.clone(), log.clone()).unwrap();
+            db.put(b"good", b"yes").unwrap();
+            db.put(b"torn", b"maybe").unwrap();
+        }
+        // Corrupt the middle of the second record.
+        log.write_at(30, &[0xFF; 4]).unwrap();
+        let db = SimpleDb::open(ckpt, log).unwrap();
+        assert_eq!(db.get(b"good").unwrap(), b"yes");
+        assert!(db.get(b"torn").is_none());
+    }
+
+    #[test]
+    fn checkpoint_then_more_updates_recover() {
+        let (ckpt, log) = devices();
+        {
+            let db = SimpleDb::open(ckpt.clone(), log.clone()).unwrap();
+            for i in 0..20u32 {
+                db.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+            }
+            db.checkpoint().unwrap();
+            db.put(b"post", b"ckpt").unwrap();
+        }
+        let db = SimpleDb::open(ckpt, log).unwrap();
+        assert_eq!(db.len(), 21);
+        assert_eq!(db.get(b"post").unwrap(), b"ckpt");
+        assert_eq!(db.get(b"k19").unwrap(), 19u32.to_le_bytes());
+    }
+
+    #[test]
+    fn size_triggered_checkpoint_resets_the_log() {
+        let (ckpt, log) = devices();
+        let mut db = SimpleDb::open(ckpt, log).unwrap();
+        db.checkpoint_threshold = 256;
+        for i in 0..50u32 {
+            db.put(b"key", &i.to_le_bytes()).unwrap();
+        }
+        assert!(db.state.lock().log_tail < 256 + 64);
+        assert_eq!(db.get(b"key").unwrap(), 49u32.to_le_bytes());
+    }
+
+    #[test]
+    fn empty_database_opens_cleanly() {
+        let (ckpt, log) = devices();
+        let db = SimpleDb::open(ckpt, log).unwrap();
+        assert!(db.is_empty());
+    }
+}

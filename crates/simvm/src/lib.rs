@@ -1,0 +1,431 @@
+//! A simulated virtual-memory subsystem.
+//!
+//! The paper's central performance question (§7.1) is how badly RVM's
+//! *lack* of integration with the VM subsystem hurts as recoverable memory
+//! grows relative to physical memory. Answering it on modern hardware
+//! requires a model of 1993 paging behaviour: a fixed pool of page frames,
+//! LRU replacement, dirty-page writeback, and fault service charged to a
+//! virtual clock.
+//!
+//! [`SimVm`] manages *spaces* — contiguous page ranges, each backed by a
+//! device (a paging file for RVM's regions, the Disk-Manager backing store
+//! for Camelot's). [`SimVm::touch`] is the heart: a hit costs almost
+//! nothing; a miss evicts the least-recently-used unpinned frame (writing
+//! it back through its backing device if dirty) and reads the wanted page
+//! in. All device traffic flows through [`rvm_storage::Device`]
+//! implementations — in the benchmarks, latency-modelled `simdisk` disks —
+//! so paging costs land on the same virtual clock as everything else.
+//!
+//! Pinning (`pin`/`unpin`) models the Mach `pin`/`unpin` advisory calls
+//! Camelot uses to keep dirty uncommitted pages resident (§3.2).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rvm_storage::Device;
+use simclock::{Clock, SimTime};
+
+/// Page size of the simulated machine.
+pub const VM_PAGE_SIZE: u64 = 4096;
+
+/// Identifies a space created with [`SimVm::add_space`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpaceId(usize);
+
+/// Tuning knobs of the VM model.
+#[derive(Debug, Clone)]
+pub struct VmParams {
+    /// CPU cost of servicing one page fault (trap, page-table update,
+    /// I/O setup). Charged on every miss in addition to device time.
+    pub fault_service_cpu: SimTime,
+    /// CPU cost of a translation on a resident page. Usually negligible.
+    pub hit_cpu: SimTime,
+    /// CPU cost of reclaiming a frame (pageout path). An in-kernel pager
+    /// pays almost nothing; an external pager pays IPC round trips.
+    pub evict_cpu: SimTime,
+    /// Pageout clustering: the pager syncs its backing store once per
+    /// this many dirty-page writebacks, amortizing the positioning cost.
+    pub pageout_cluster: u32,
+}
+
+impl Default for VmParams {
+    fn default() -> Self {
+        Self {
+            fault_service_cpu: SimTime::from_micros(500),
+            hit_cpu: SimTime::ZERO,
+            evict_cpu: SimTime::ZERO,
+            pageout_cluster: 8,
+        }
+    }
+}
+
+/// Counters accumulated by the VM model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Touches that found the page resident.
+    pub hits: u64,
+    /// Touches that missed.
+    pub faults: u64,
+    /// Frames reclaimed.
+    pub evictions: u64,
+    /// Dirty frames written back during eviction.
+    pub writebacks: u64,
+}
+
+struct SpaceState {
+    backing: Arc<dyn Device>,
+    base_offset: u64,
+    pages: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameState {
+    dirty: bool,
+    pinned: u32,
+    stamp: u64,
+}
+
+type PageKey = (usize, u64);
+
+/// The simulated VM subsystem: a frame pool shared by all spaces.
+pub struct SimVm {
+    clock: Clock,
+    params: VmParams,
+    total_frames: usize,
+    spaces: Vec<SpaceState>,
+    resident: HashMap<PageKey, FrameState>,
+    lru: BTreeMap<u64, PageKey>,
+    next_stamp: u64,
+    pending_writebacks: u32,
+    stats: VmStats,
+}
+
+impl SimVm {
+    /// Creates a VM with `total_frames` page frames.
+    pub fn new(clock: Clock, total_frames: usize, params: VmParams) -> Self {
+        Self {
+            clock,
+            params,
+            total_frames,
+            spaces: Vec::new(),
+            resident: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            pending_writebacks: 0,
+            stats: VmStats::default(),
+        }
+    }
+
+    /// Registers a space of `pages` pages backed by `backing` starting at
+    /// `base_offset`. Pages start non-resident.
+    pub fn add_space(&mut self, backing: Arc<dyn Device>, base_offset: u64, pages: u64) -> SpaceId {
+        self.spaces.push(SpaceState {
+            backing,
+            base_offset,
+            pages,
+        });
+        SpaceId(self.spaces.len() - 1)
+    }
+
+    /// Number of frames currently in use.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Returns `true` if the page is resident.
+    pub fn is_resident(&self, space: SpaceId, page: u64) -> bool {
+        self.resident.contains_key(&(space.0, page))
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Touches a page, faulting it in if needed. Returns `true` on a
+    /// fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the space.
+    pub fn touch(&mut self, space: SpaceId, page: u64, write: bool) -> bool {
+        assert!(
+            page < self.spaces[space.0].pages,
+            "page {page} outside space of {} pages",
+            self.spaces[space.0].pages
+        );
+        let key = (space.0, page);
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        if let Some(frame) = self.resident.get_mut(&key) {
+            let old = frame.stamp;
+            frame.stamp = stamp;
+            frame.dirty |= write;
+            self.lru.remove(&old);
+            self.lru.insert(stamp, key);
+            self.stats.hits += 1;
+            self.clock.charge_cpu(self.params.hit_cpu);
+            return false;
+        }
+
+        // Fault: make room, then read the page in.
+        self.stats.faults += 1;
+        self.clock.charge_cpu(self.params.fault_service_cpu);
+        while self.resident.len() >= self.total_frames {
+            if !self.evict_one() {
+                break; // everything pinned: overcommit rather than deadlock
+            }
+        }
+        let sp = &self.spaces[space.0];
+        let mut buf = vec![0u8; VM_PAGE_SIZE as usize];
+        let _ = sp
+            .backing
+            .read_at(sp.base_offset + page * VM_PAGE_SIZE, &mut buf);
+        self.resident.insert(
+            key,
+            FrameState {
+                dirty: write,
+                pinned: 0,
+                stamp,
+            },
+        );
+        self.lru.insert(stamp, key);
+        true
+    }
+
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .lru
+            .iter()
+            .map(|(_, &key)| key)
+            .find(|key| self.resident[key].pinned == 0);
+        let Some(key) = victim else {
+            return false;
+        };
+        let frame = self.resident.remove(&key).expect("victim is resident");
+        self.lru.remove(&frame.stamp);
+        self.stats.evictions += 1;
+        self.clock.charge_cpu(self.params.evict_cpu);
+        if frame.dirty {
+            self.stats.writebacks += 1;
+            let sp = &self.spaces[key.0];
+            let buf = vec![0u8; VM_PAGE_SIZE as usize];
+            let _ = sp
+                .backing
+                .write_at(sp.base_offset + key.1 * VM_PAGE_SIZE, &buf);
+            // Pageouts are clustered: the pager issues the positioning
+            // cost once per batch.
+            self.pending_writebacks += 1;
+            if self.pending_writebacks >= self.params.pageout_cluster.max(1) {
+                self.pending_writebacks = 0;
+                let _ = sp.backing.sync();
+            }
+        }
+        true
+    }
+
+    /// Pins a page (faulting it in first), preventing eviction.
+    pub fn pin(&mut self, space: SpaceId, page: u64) {
+        self.touch(space, page, false);
+        if let Some(frame) = self.resident.get_mut(&(space.0, page)) {
+            frame.pinned += 1;
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, space: SpaceId, page: u64) {
+        if let Some(frame) = self.resident.get_mut(&(space.0, page)) {
+            frame.pinned = frame.pinned.saturating_sub(1);
+        }
+    }
+
+    /// Writes a resident dirty page to its backing store *without* a sync
+    /// (the caller batches and syncs), clearing its dirty bit. Used by the
+    /// Camelot Disk Manager's truncation, which writes "all dirty pages
+    /// referenced by entries in the affected portion of the log"
+    /// (§7.1.2). No-op if the page is not resident or not dirty.
+    pub fn writeback(&mut self, space: SpaceId, page: u64) {
+        if let Some(frame) = self.resident.get_mut(&(space.0, page)) {
+            if frame.dirty {
+                frame.dirty = false;
+                let sp = &self.spaces[space.0];
+                let buf = vec![0u8; VM_PAGE_SIZE as usize];
+                let _ = sp
+                    .backing
+                    .write_at(sp.base_offset + page * VM_PAGE_SIZE, &buf);
+            }
+        }
+    }
+
+    /// Writes a page to its backing store even if it is clean or
+    /// non-resident (the page must then be faulted in first by the
+    /// caller). Models a Disk Manager that rewrites every page its log
+    /// references, whether or not the pager already cleaned it.
+    pub fn force_writeback(&mut self, space: SpaceId, page: u64) {
+        if let Some(frame) = self.resident.get_mut(&(space.0, page)) {
+            frame.dirty = false;
+        }
+        let sp = &self.spaces[space.0];
+        let buf = vec![0u8; VM_PAGE_SIZE as usize];
+        let _ = sp
+            .backing
+            .write_at(sp.base_offset + page * VM_PAGE_SIZE, &buf);
+    }
+
+    /// Syncs a space's backing device (ends a writeback batch).
+    pub fn sync_space(&mut self, space: SpaceId) {
+        let _ = self.spaces[space.0].backing.sync();
+    }
+
+    /// The clock this VM charges.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::MemDevice;
+    use simdisk::{DiskParams, SimDisk};
+
+    fn vm_with_frames(frames: usize) -> (SimVm, SpaceId, Clock) {
+        let clock = Clock::new();
+        let disk: Arc<dyn Device> = Arc::new(SimDisk::new(
+            Arc::new(MemDevice::with_len(64 << 20)),
+            clock.clone(),
+            DiskParams::circa_1990(),
+        ));
+        let mut vm = SimVm::new(
+            clock.clone(),
+            frames,
+            VmParams {
+                // Unit tests want each writeback's cost visible at once.
+                pageout_cluster: 1,
+                ..VmParams::default()
+            },
+        );
+        let space = vm.add_space(disk, 0, 1024);
+        (vm, space, clock)
+    }
+
+    #[test]
+    fn first_touch_faults_then_hits() {
+        let (mut vm, space, clock) = vm_with_frames(8);
+        assert!(vm.touch(space, 0, false));
+        let after_fault = clock.now();
+        assert!(!vm.touch(space, 0, false));
+        assert_eq!(clock.now(), after_fault, "hit is free by default");
+        assert_eq!(vm.stats().faults, 1);
+        assert_eq!(vm.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_the_coldest_page() {
+        let (mut vm, space, _clock) = vm_with_frames(2);
+        vm.touch(space, 0, false);
+        vm.touch(space, 1, false);
+        vm.touch(space, 0, false); // page 1 is now coldest
+        vm.touch(space, 2, false); // evicts page 1
+        assert!(vm.is_resident(space, 0));
+        assert!(!vm.is_resident(space, 1));
+        assert!(vm.is_resident(space, 2));
+        assert_eq!(vm.stats().evictions, 1);
+        assert_eq!(vm.stats().writebacks, 0, "clean page: no writeback");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back_and_costs_io() {
+        let (mut vm, space, clock) = vm_with_frames(1);
+        vm.touch(space, 0, true);
+        let before = clock.snapshot();
+        vm.touch(space, 1, false); // evicts dirty page 0
+        let delta = clock.snapshot() - before;
+        assert_eq!(vm.stats().writebacks, 1);
+        // Writeback sync + page-in read both cost real I/O time.
+        assert!(delta.io.as_millis_f64() > 15.0, "got {}", delta.io);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (mut vm, space, _clock) = vm_with_frames(2);
+        vm.pin(space, 0);
+        vm.touch(space, 1, false);
+        vm.touch(space, 2, false); // must evict page 1, not pinned page 0
+        assert!(vm.is_resident(space, 0));
+        assert!(!vm.is_resident(space, 1));
+        vm.unpin(space, 0);
+        vm.touch(space, 3, false);
+        vm.touch(space, 4, false);
+        assert!(!vm.is_resident(space, 0), "unpinned page becomes evictable");
+    }
+
+    #[test]
+    fn all_pinned_overcommits_instead_of_deadlocking() {
+        let (mut vm, space, _clock) = vm_with_frames(2);
+        vm.pin(space, 0);
+        vm.pin(space, 1);
+        vm.touch(space, 2, false);
+        assert_eq!(vm.resident_count(), 3);
+    }
+
+    #[test]
+    fn writeback_clears_dirty_without_eviction() {
+        let (mut vm, space, _clock) = vm_with_frames(4);
+        vm.touch(space, 0, true);
+        vm.writeback(space, 0);
+        vm.sync_space(space);
+        // Evicting it later is now clean.
+        vm.touch(space, 1, false);
+        vm.touch(space, 2, false);
+        vm.touch(space, 3, false);
+        vm.touch(space, 4, false); // evicts page 0
+        assert_eq!(vm.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn fault_charges_cpu_service_time() {
+        let clock = Clock::new();
+        let disk: Arc<dyn Device> = Arc::new(MemDevice::with_len(1 << 20));
+        let mut vm = SimVm::new(
+            clock.clone(),
+            4,
+            VmParams {
+                fault_service_cpu: SimTime::from_micros(700),
+                hit_cpu: SimTime::from_nanos(100),
+                evict_cpu: SimTime::ZERO,
+                pageout_cluster: 1,
+            },
+        );
+        let space = vm.add_space(disk, 0, 16);
+        vm.touch(space, 0, false);
+        assert_eq!(clock.cpu_time(), SimTime::from_micros(700));
+        vm.touch(space, 0, false);
+        assert_eq!(
+            clock.cpu_time(),
+            SimTime::from_micros(700) + SimTime::from_nanos(100)
+        );
+    }
+
+    #[test]
+    fn working_set_within_frames_stops_faulting() {
+        let (mut vm, space, _clock) = vm_with_frames(64);
+        for round in 0..10 {
+            for page in 0..64 {
+                vm.touch(space, page, true);
+            }
+            if round == 0 {
+                assert_eq!(vm.stats().faults, 64);
+            }
+        }
+        assert_eq!(vm.stats().faults, 64, "steady state: all hits");
+        assert_eq!(vm.stats().hits, 64 * 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside space")]
+    fn touching_beyond_the_space_panics() {
+        let (mut vm, space, _clock) = vm_with_frames(2);
+        vm.touch(space, 5000, false);
+    }
+}

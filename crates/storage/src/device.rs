@@ -1,0 +1,70 @@
+//! The [`Device`] trait.
+
+use std::sync::Arc;
+
+use crate::Result;
+
+/// A byte-addressable, synchronizable storage device.
+///
+/// This is the paper's notion of "a Unix file or a raw disk partition"
+/// (§3.3): positional reads and writes plus a synchronous flush whose return
+/// is the *only* durability point. RVM's permanence guarantee rests entirely
+/// on the contract of [`Device::sync`]:
+///
+/// * data from a `write_at` that completed *before* the last successful
+///   `sync` must survive a crash;
+/// * data written *after* the last `sync` may be lost, and a single write
+///   may be torn (a prefix persists).
+///
+/// Implementations must be safe to share across threads; RVM serializes
+/// conflicting accesses itself but may issue reads concurrently.
+pub trait Device: Send + Sync {
+    /// Returns the current length of the device in bytes.
+    fn len(&self) -> Result<u64>;
+
+    /// Returns `true` if the device has zero length.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`, filling `buf` exactly.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes all of `data` starting at `offset`.
+    ///
+    /// Writes beyond the end of the device must fail with
+    /// [`DeviceError::OutOfBounds`](crate::DeviceError::OutOfBounds);
+    /// devices are sized explicitly with [`Device::set_len`].
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Forces all completed writes to stable storage.
+    fn sync(&self) -> Result<()>;
+
+    /// Resizes the device, zero-filling any extension.
+    fn set_len(&self, len: u64) -> Result<()>;
+}
+
+/// A reference-counted trait object for any device.
+pub type SharedDevice = Arc<dyn Device>;
+
+impl<D: Device + ?Sized> Device for Arc<D> {
+    fn len(&self) -> Result<u64> {
+        (**self).len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        (**self).write_at(offset, data)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        (**self).set_len(len)
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type shared by all device implementations.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for device operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// An error from a storage device.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// An underlying operating-system I/O error.
+    Io(io::Error),
+    /// Access beyond the end of the device.
+    OutOfBounds {
+        /// Offset of the first byte of the rejected access.
+        offset: u64,
+        /// Length of the rejected access.
+        len: u64,
+        /// Current device length.
+        device_len: u64,
+    },
+    /// The device hit its planned crash point (see
+    /// [`FaultDevice`](crate::FaultDevice)); all subsequent operations fail
+    /// with this error.
+    Crashed,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Io(err) => write!(f, "device I/O error: {err}"),
+            DeviceError::OutOfBounds {
+                offset,
+                len,
+                device_len,
+            } => write!(
+                f,
+                "access [{offset}, {}) out of bounds for device of length {device_len}",
+                offset + len
+            ),
+            DeviceError::Crashed => write!(f, "device crashed (simulated)"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DeviceError {
+    fn from(err: io::Error) -> Self {
+        DeviceError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DeviceError::OutOfBounds {
+            offset: 10,
+            len: 4,
+            device_len: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "access [10, 14) out of bounds for device of length 12"
+        );
+        assert!(DeviceError::Crashed.to_string().contains("crashed"));
+        let io_err = DeviceError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error as _;
+        let e = DeviceError::from(io::Error::other("inner"));
+        assert!(e.source().is_some());
+        assert!(DeviceError::Crashed.source().is_none());
+    }
+}

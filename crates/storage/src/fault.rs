@@ -1,0 +1,301 @@
+//! Crash-injection wrapper used by the recovery test matrix.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Device, DeviceError, Result};
+
+/// What happens to writes issued after the last successful `sync` when the
+/// planned crash fires.
+///
+/// A real power failure may preserve any subset of unsynced writes; testing
+/// the two extremes — everything persisted in order with the final write
+/// torn, and everything lost — brackets the behaviours a correct write-ahead
+/// log must tolerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsyncedFate {
+    /// Every byte written before the crash point persists, in write order;
+    /// the write in flight at the crash point is torn (a prefix persists).
+    KeptInOrder,
+    /// All writes since the last successful `sync` are rolled back, as if
+    /// they never reached the platter.
+    Lost,
+}
+
+/// A plan describing when and how a [`FaultDevice`] crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Fire the crash once this many total bytes have been written through
+    /// the device (the triggering write is the one that crosses this count).
+    pub after_bytes: u64,
+    /// Fate of unsynced writes at the moment of the crash.
+    pub unsynced: UnsyncedFate,
+}
+
+impl CrashPlan {
+    /// A plan that crashes after `after_bytes` written, keeping all earlier
+    /// bytes (torn final write).
+    pub fn torn_at(after_bytes: u64) -> Self {
+        Self {
+            after_bytes,
+            unsynced: UnsyncedFate::KeptInOrder,
+        }
+    }
+
+    /// A plan that crashes after `after_bytes` written and loses everything
+    /// since the last sync.
+    pub fn lose_unsynced_at(after_bytes: u64) -> Self {
+        Self {
+            after_bytes,
+            unsynced: UnsyncedFate::Lost,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JournalEntry {
+    offset: u64,
+    old: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    bytes_written: u64,
+    crashed: bool,
+    /// Old contents of every range overwritten since the last sync, in write
+    /// order, so `UnsyncedFate::Lost` can roll the image back.
+    journal: Vec<JournalEntry>,
+}
+
+/// A [`Device`] wrapper that simulates a machine crash at a planned point.
+///
+/// Writes pass through to the inner device immediately; the wrapper records
+/// undo information so that, when the crash fires with
+/// [`UnsyncedFate::Lost`], every write since the last `sync` is rolled back
+/// on the inner device. After the crash every operation fails with
+/// [`DeviceError::Crashed`]; the *inner* device then holds exactly the
+/// post-crash durable image, ready to be handed to a fresh RVM instance for
+/// recovery.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rvm_storage::{CrashPlan, Device, DeviceError, FaultDevice, MemDevice};
+///
+/// let inner = Arc::new(MemDevice::with_len(8));
+/// let dev = FaultDevice::new(inner.clone(), CrashPlan::torn_at(6));
+/// dev.write_at(0, &[1, 2, 3, 4]).unwrap();
+/// // This write crosses the 6-byte budget: only its first 2 bytes persist.
+/// let err = dev.write_at(4, &[5, 6, 7, 8]).unwrap_err();
+/// assert!(matches!(err, DeviceError::Crashed));
+/// let mut image = [0u8; 8];
+/// inner.read_at(0, &mut image).unwrap();
+/// assert_eq!(image, [1, 2, 3, 4, 5, 6, 0, 0]);
+/// ```
+pub struct FaultDevice {
+    inner: Arc<dyn Device>,
+    plan: CrashPlan,
+    state: Mutex<FaultState>,
+}
+
+impl FaultDevice {
+    /// Wraps `inner` with the given crash plan.
+    pub fn new(inner: Arc<dyn Device>, plan: CrashPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                bytes_written: 0,
+                crashed: false,
+                journal: Vec::new(),
+            }),
+        }
+    }
+
+    /// Wraps `inner` with a plan that never fires, useful for recording the
+    /// total bytes a scenario writes before replaying it with crash points.
+    pub fn recording(inner: Arc<dyn Device>) -> Self {
+        Self::new(inner, CrashPlan::torn_at(u64::MAX))
+    }
+
+    /// Total bytes written through this device so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.state.lock().bytes_written
+    }
+
+    /// Returns `true` once the planned crash has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Returns the wrapped device (the post-crash durable image lives here).
+    pub fn inner(&self) -> Arc<dyn Device> {
+        self.inner.clone()
+    }
+
+    fn crash(&self, state: &mut FaultState) -> DeviceError {
+        if self.plan.unsynced == UnsyncedFate::Lost {
+            // Roll back in reverse order so overlapping writes restore the
+            // pre-sync image exactly.
+            while let Some(entry) = state.journal.pop() {
+                // A failure to roll back would leave a *more* adversarial
+                // image, which recovery must tolerate anyway; ignore it.
+                let _ = self.inner.write_at(entry.offset, &entry.old);
+            }
+        }
+        state.crashed = true;
+        DeviceError::Crashed
+    }
+}
+
+impl Device for FaultDevice {
+    fn len(&self) -> Result<u64> {
+        if self.state.lock().crashed {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        if self.state.lock().crashed {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(DeviceError::Crashed);
+        }
+        let remaining = self.plan.after_bytes.saturating_sub(state.bytes_written);
+        let persist_len = (data.len() as u64).min(remaining) as usize;
+
+        if persist_len > 0 {
+            let mut old = vec![0u8; persist_len];
+            self.inner.read_at(offset, &mut old)?;
+            self.inner.write_at(offset, &data[..persist_len])?;
+            state.bytes_written += persist_len as u64;
+            state.journal.push(JournalEntry { offset, old });
+        }
+
+        if (data.len() as u64) > remaining {
+            return Err(self.crash(&mut state));
+        }
+        if state.bytes_written >= self.plan.after_bytes {
+            return Err(self.crash(&mut state));
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.sync()?;
+        state.journal.clear();
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        if self.state.lock().crashed {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn image(dev: &Arc<MemDevice>) -> Vec<u8> {
+        dev.snapshot()
+    }
+
+    #[test]
+    fn recording_never_crashes() {
+        let inner = Arc::new(MemDevice::with_len(1024));
+        let dev = FaultDevice::recording(inner);
+        for i in 0..100 {
+            dev.write_at(i, &[i as u8]).unwrap();
+        }
+        assert_eq!(dev.bytes_written(), 100);
+        assert!(!dev.has_crashed());
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix() {
+        let inner = Arc::new(MemDevice::with_len(8));
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::torn_at(3));
+        let err = dev.write_at(0, &[1, 2, 3, 4, 5]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        assert_eq!(image(&inner), vec![1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn exact_budget_crashes_after_full_write() {
+        let inner = Arc::new(MemDevice::with_len(8));
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::torn_at(4));
+        let err = dev.write_at(0, &[1, 2, 3, 4]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        assert_eq!(image(&inner), vec![1, 2, 3, 4, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lost_mode_rolls_back_to_last_sync() {
+        let inner = Arc::new(MemDevice::with_len(8));
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::lose_unsynced_at(6));
+        dev.write_at(0, &[1, 1]).unwrap();
+        dev.sync().unwrap();
+        dev.write_at(2, &[2, 2]).unwrap();
+        // Crossing the budget: both unsynced writes must vanish.
+        let err = dev.write_at(4, &[3, 3, 3]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        assert_eq!(image(&inner), vec![1, 1, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lost_mode_handles_overlapping_writes() {
+        let inner = Arc::new(MemDevice::with_len(4));
+        // The budget counts every byte written, including pre-sync ones:
+        // 4 + 2 + 2 = 8, so the ninth byte (in the final write) crashes.
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::lose_unsynced_at(9));
+        dev.write_at(0, &[1, 1, 1, 1]).unwrap();
+        dev.sync().unwrap();
+        dev.write_at(0, &[2, 2]).unwrap();
+        dev.write_at(1, &[3, 3]).unwrap();
+        let err = dev.write_at(0, &[4, 4]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        assert_eq!(image(&inner), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn all_operations_fail_after_crash() {
+        let inner = Arc::new(MemDevice::with_len(4));
+        let dev = FaultDevice::new(inner, CrashPlan::torn_at(0));
+        assert!(dev.write_at(0, &[1]).is_err());
+        assert!(dev.has_crashed());
+        assert!(matches!(dev.read_at(0, &mut [0]), Err(DeviceError::Crashed)));
+        assert!(matches!(dev.sync(), Err(DeviceError::Crashed)));
+        assert!(matches!(dev.len(), Err(DeviceError::Crashed)));
+        assert!(matches!(dev.set_len(8), Err(DeviceError::Crashed)));
+    }
+
+    #[test]
+    fn sync_makes_writes_durable_in_lost_mode() {
+        let inner = Arc::new(MemDevice::with_len(4));
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::lose_unsynced_at(3));
+        dev.write_at(0, &[5, 5]).unwrap();
+        dev.sync().unwrap();
+        let err = dev.write_at(2, &[6, 6]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        // The synced bytes survive; the post-sync write is rolled back even
+        // though one of its bytes was within budget.
+        assert_eq!(image(&inner), vec![5, 5, 0, 0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Storage device abstraction for RVM.
+//!
+//! The paper (§3.3) lets a log or external data segment live in "a Unix file
+//! or on a raw disk partition", with permanence resting on the correct
+//! implementation of `fsync`. This crate captures exactly that contract as
+//! the [`Device`] trait, plus three implementations:
+//!
+//! * [`FileDevice`] — a real file, synced with `fdatasync`;
+//! * [`MemDevice`] — an in-memory image, handy for tests and simulation;
+//! * [`FaultDevice`] — a wrapper that models a machine crash: writes after
+//!   the last `sync` may be lost or torn, and every operation after the
+//!   planned crash point fails. This is the engine behind the crash-matrix
+//!   integration tests.
+//!
+//! The `simdisk` crate provides a fourth implementation that charges seek,
+//! rotation and transfer latency to a virtual clock.
+
+mod device;
+mod error;
+mod fault;
+mod file;
+mod mem;
+mod mirror;
+mod null;
+
+pub use device::{Device, SharedDevice};
+pub use error::{DeviceError, Result};
+pub use fault::{CrashPlan, FaultDevice, UnsyncedFate};
+pub use file::FileDevice;
+pub use mem::MemDevice;
+pub use mirror::MirrorDevice;
+pub use null::NullDevice;

@@ -1,0 +1,180 @@
+//! In-memory device.
+
+use parking_lot::RwLock;
+
+use crate::{Device, DeviceError, Result};
+
+/// A device backed by an in-memory byte image.
+///
+/// Useful for unit tests and for simulation backends; `sync` is a no-op
+/// because the image is always "durable" for the lifetime of the process.
+/// Cloning is not provided — share it via [`std::sync::Arc`] so all handles
+/// observe the same image, or snapshot it with [`MemDevice::snapshot`].
+///
+/// # Examples
+///
+/// ```
+/// use rvm_storage::{Device, MemDevice};
+///
+/// let dev = MemDevice::with_len(8);
+/// dev.write_at(2, b"abc").unwrap();
+/// let mut buf = [0u8; 3];
+/// dev.read_at(2, &mut buf).unwrap();
+/// assert_eq!(&buf, b"abc");
+/// ```
+#[derive(Debug, Default)]
+pub struct MemDevice {
+    image: RwLock<Vec<u8>>,
+}
+
+impl MemDevice {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a zero-filled device of the given length.
+    pub fn with_len(len: u64) -> Self {
+        Self {
+            image: RwLock::new(vec![0; len as usize]),
+        }
+    }
+
+    /// Creates a device from an existing image.
+    pub fn from_image(image: Vec<u8>) -> Self {
+        Self {
+            image: RwLock::new(image),
+        }
+    }
+
+    /// Returns a copy of the current image.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.image.read().clone()
+    }
+
+    /// Replaces the image wholesale (used by crash simulation to "reboot"
+    /// from a durable snapshot).
+    pub fn restore(&self, image: Vec<u8>) {
+        *self.image.write() = image;
+    }
+}
+
+fn check_bounds(offset: u64, len: usize, device_len: usize) -> Result<()> {
+    let end = offset
+        .checked_add(len as u64)
+        .ok_or(DeviceError::OutOfBounds {
+            offset,
+            len: len as u64,
+            device_len: device_len as u64,
+        })?;
+    if end > device_len as u64 {
+        return Err(DeviceError::OutOfBounds {
+            offset,
+            len: len as u64,
+            device_len: device_len as u64,
+        });
+    }
+    Ok(())
+}
+
+impl Device for MemDevice {
+    fn len(&self) -> Result<u64> {
+        Ok(self.image.read().len() as u64)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let image = self.image.read();
+        check_bounds(offset, buf.len(), image.len())?;
+        let start = offset as usize;
+        buf.copy_from_slice(&image[start..start + buf.len()]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut image = self.image.write();
+        check_bounds(offset, data.len(), image.len())?;
+        let start = offset as usize;
+        image[start..start + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.image.write().resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let dev = MemDevice::with_len(16);
+        dev.write_at(0, &[1, 2, 3, 4]).unwrap();
+        dev.write_at(12, &[9, 9, 9, 9]).unwrap();
+        let mut buf = [0u8; 16];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf[..4], [1, 2, 3, 4]);
+        assert_eq!(buf[12..], [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_rejected() {
+        let dev = MemDevice::with_len(4);
+        let err = dev.write_at(2, &[0; 4]).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfBounds { .. }));
+        let err = dev.read_at(5, &mut [0; 1]).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn offset_overflow_is_rejected() {
+        let dev = MemDevice::with_len(4);
+        let err = dev.write_at(u64::MAX, &[1]).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn set_len_extends_with_zeros() {
+        let dev = MemDevice::with_len(2);
+        dev.write_at(0, &[7, 7]).unwrap();
+        dev.set_len(4).unwrap();
+        let mut buf = [0xffu8; 4];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [7, 7, 0, 0]);
+        assert_eq!(dev.len().unwrap(), 4);
+    }
+
+    #[test]
+    fn set_len_truncates() {
+        let dev = MemDevice::with_len(8);
+        dev.set_len(2).unwrap();
+        assert_eq!(dev.len().unwrap(), 2);
+        assert!(dev.read_at(0, &mut [0; 3]).is_err());
+    }
+
+    #[test]
+    fn snapshot_and_restore() {
+        let dev = MemDevice::with_len(4);
+        dev.write_at(0, &[1, 2, 3, 4]).unwrap();
+        let snap = dev.snapshot();
+        dev.write_at(0, &[9, 9, 9, 9]).unwrap();
+        dev.restore(snap);
+        let mut buf = [0u8; 4];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let dev = MemDevice::new();
+        assert!(dev.is_empty().unwrap());
+        dev.set_len(1).unwrap();
+        assert!(!dev.is_empty().unwrap());
+    }
+}

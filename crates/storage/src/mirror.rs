@@ -1,0 +1,240 @@
+//! Media-failure resilience by mirroring (the layer *below* RVM in the
+//! paper's Figure 2).
+//!
+//! §3.1: "Our final simplification was to factor out resiliency to media
+//! failure. Standard techniques such as mirroring can be used to achieve
+//! such resiliency. Our expectation is that this functionality will most
+//! likely be implemented in the device driver of a mirrored disk."
+//!
+//! [`MirrorDevice`] is that device driver: writes go to every replica,
+//! reads are served by the first replica that still answers, and a
+//! replica that fails is dropped from service (fail-stop). RVM stacks on
+//! top unchanged — exactly the layering the paper prescribes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::{Device, DeviceError, Result};
+
+struct Replica {
+    dev: Arc<dyn Device>,
+    alive: AtomicBool,
+}
+
+/// A device mirrored over two or more replicas.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use rvm_storage::{Device, MemDevice, MirrorDevice};
+///
+/// let a = Arc::new(MemDevice::with_len(1024));
+/// let b = Arc::new(MemDevice::with_len(1024));
+/// let mirror = MirrorDevice::new(vec![a.clone(), b.clone()]).unwrap();
+/// mirror.write_at(0, b"both").unwrap();
+/// let mut buf = [0u8; 4];
+/// b.read_at(0, &mut buf).unwrap();
+/// assert_eq!(&buf, b"both");
+/// ```
+pub struct MirrorDevice {
+    replicas: Vec<Replica>,
+}
+
+impl MirrorDevice {
+    /// Builds a mirror over the replicas, which must all have the same
+    /// length.
+    pub fn new(devices: Vec<Arc<dyn Device>>) -> Result<MirrorDevice> {
+        if devices.is_empty() {
+            return Err(DeviceError::Io(std::io::Error::other(
+                "a mirror needs at least one replica",
+            )));
+        }
+        let len = devices[0].len()?;
+        for dev in &devices[1..] {
+            if dev.len()? != len {
+                return Err(DeviceError::Io(std::io::Error::other(
+                    "mirror replicas must have equal lengths",
+                )));
+            }
+        }
+        Ok(MirrorDevice {
+            replicas: devices
+                .into_iter()
+                .map(|dev| Replica {
+                    dev,
+                    alive: AtomicBool::new(true),
+                })
+                .collect(),
+        })
+    }
+
+    /// Number of replicas still in service.
+    pub fn alive_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Marks a replica as failed (for tests and administrative action);
+    /// it will no longer be read from or written to.
+    pub fn fail_replica(&self, index: usize) {
+        if let Some(r) = self.replicas.get(index) {
+            r.alive.store(false, Ordering::Release);
+        }
+    }
+
+    fn for_each_alive(&self, mut f: impl FnMut(&Arc<dyn Device>) -> Result<()>) -> Result<()> {
+        let mut any = false;
+        for replica in &self.replicas {
+            if !replica.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            match f(&replica.dev) {
+                Ok(()) => any = true,
+                Err(DeviceError::OutOfBounds { offset, len, device_len }) => {
+                    // Bounds errors are deterministic, not media failures.
+                    return Err(DeviceError::OutOfBounds { offset, len, device_len });
+                }
+                Err(_) => replica.alive.store(false, Ordering::Release),
+            }
+        }
+        if any {
+            Ok(())
+        } else {
+            Err(DeviceError::Io(std::io::Error::other(
+                "all mirror replicas have failed",
+            )))
+        }
+    }
+}
+
+impl Device for MirrorDevice {
+    fn len(&self) -> Result<u64> {
+        for replica in &self.replicas {
+            if replica.alive.load(Ordering::Acquire) {
+                if let Ok(len) = replica.dev.len() {
+                    return Ok(len);
+                }
+                replica.alive.store(false, Ordering::Release);
+            }
+        }
+        Err(DeviceError::Io(std::io::Error::other(
+            "all mirror replicas have failed",
+        )))
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        for replica in &self.replicas {
+            if !replica.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            match replica.dev.read_at(offset, buf) {
+                Ok(()) => return Ok(()),
+                Err(DeviceError::OutOfBounds { offset, len, device_len }) => {
+                    return Err(DeviceError::OutOfBounds { offset, len, device_len })
+                }
+                Err(_) => replica.alive.store(false, Ordering::Release),
+            }
+        }
+        Err(DeviceError::Io(std::io::Error::other(
+            "all mirror replicas have failed",
+        )))
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        self.for_each_alive(|dev| dev.write_at(offset, data))
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.for_each_alive(|dev| dev.sync())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.for_each_alive(|dev| dev.set_len(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrashPlan, FaultDevice, MemDevice};
+
+    fn two_way() -> (MirrorDevice, Arc<MemDevice>, Arc<MemDevice>) {
+        let a = Arc::new(MemDevice::with_len(1024));
+        let b = Arc::new(MemDevice::with_len(1024));
+        let m = MirrorDevice::new(vec![a.clone(), b.clone()]).unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn writes_reach_every_replica() {
+        let (m, a, b) = two_way();
+        m.write_at(10, b"mirrored").unwrap();
+        m.sync().unwrap();
+        let mut buf = [0u8; 8];
+        a.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"mirrored");
+        b.read_at(10, &mut buf).unwrap();
+        assert_eq!(&buf, b"mirrored");
+    }
+
+    #[test]
+    fn reads_survive_a_replica_failure() {
+        let (m, _a, _b) = two_way();
+        m.write_at(0, b"safe").unwrap();
+        m.fail_replica(0);
+        assert_eq!(m.alive_replicas(), 1);
+        let mut buf = [0u8; 4];
+        m.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"safe");
+        // Writes keep going to the survivor.
+        m.write_at(8, b"more").unwrap();
+        assert_eq!(m.alive_replicas(), 1);
+    }
+
+    #[test]
+    fn failing_replica_is_dropped_automatically() {
+        let a: Arc<dyn Device> = Arc::new(FaultDevice::new(
+            Arc::new(MemDevice::with_len(1024)),
+            CrashPlan::torn_at(8),
+        ));
+        let b = Arc::new(MemDevice::with_len(1024));
+        let m = MirrorDevice::new(vec![a, b.clone()]).unwrap();
+        m.write_at(0, &[1; 8]).unwrap(); // replica 0 crashes here
+        assert_eq!(m.alive_replicas(), 1);
+        m.write_at(8, &[2; 8]).unwrap();
+        let mut buf = [0u8; 8];
+        b.read_at(8, &mut buf).unwrap();
+        assert_eq!(buf, [2; 8]);
+    }
+
+    #[test]
+    fn all_replicas_failed_is_an_error() {
+        let (m, _a, _b) = two_way();
+        m.fail_replica(0);
+        m.fail_replica(1);
+        assert!(m.write_at(0, &[1]).is_err());
+        assert!(m.read_at(0, &mut [0]).is_err());
+        assert!(m.len().is_err());
+    }
+
+    #[test]
+    fn bounds_errors_are_not_media_failures() {
+        let (m, _a, _b) = two_way();
+        assert!(matches!(
+            m.write_at(2000, &[1]),
+            Err(DeviceError::OutOfBounds { .. })
+        ));
+        assert_eq!(m.alive_replicas(), 2, "no replica dropped");
+    }
+
+    #[test]
+    fn mismatched_lengths_are_rejected() {
+        let a: Arc<dyn Device> = Arc::new(MemDevice::with_len(1024));
+        let b: Arc<dyn Device> = Arc::new(MemDevice::with_len(2048));
+        assert!(MirrorDevice::new(vec![a, b]).is_err());
+        assert!(MirrorDevice::new(vec![]).is_err());
+    }
+}

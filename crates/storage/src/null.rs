@@ -1,0 +1,88 @@
+//! A latency-modeling sink device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Device, DeviceError, Result};
+
+/// A device that discards writes and reads back zeros.
+///
+/// Simulations that only care about *latency* (which the `simdisk` wrapper
+/// charges) and not contents — paging files, modelled backing stores — use
+/// this to avoid allocating hundreds of megabytes of images. Do **not**
+/// back an RVM log with it: the log must read back what it wrote.
+#[derive(Debug)]
+pub struct NullDevice {
+    len: AtomicU64,
+}
+
+impl NullDevice {
+    /// Creates a sink of the given nominal length.
+    pub fn new(len: u64) -> Self {
+        Self {
+            len: AtomicU64::new(len),
+        }
+    }
+}
+
+impl Device for NullDevice {
+    fn len(&self) -> Result<u64> {
+        Ok(self.len.load(Ordering::Relaxed))
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let len = self.len.load(Ordering::Relaxed);
+        if offset.checked_add(buf.len() as u64).is_none_or(|e| e > len) {
+            return Err(DeviceError::OutOfBounds {
+                offset,
+                len: buf.len() as u64,
+                device_len: len,
+            });
+        }
+        buf.fill(0);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let len = self.len.load(Ordering::Relaxed);
+        if offset.checked_add(data.len() as u64).is_none_or(|e| e > len) {
+            return Err(DeviceError::OutOfBounds {
+                offset,
+                len: data.len() as u64,
+                device_len: len,
+            });
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        self.len.store(len, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_zeros_and_discards_writes() {
+        let dev = NullDevice::new(1024);
+        dev.write_at(0, &[1, 2, 3]).unwrap();
+        let mut buf = [9u8; 3];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 0, 0]);
+    }
+
+    #[test]
+    fn bounds_and_resize() {
+        let dev = NullDevice::new(10);
+        assert!(dev.write_at(8, &[0; 4]).is_err());
+        dev.set_len(20).unwrap();
+        assert!(dev.write_at(8, &[0; 4]).is_ok());
+        assert_eq!(dev.len().unwrap(), 20);
+    }
+}

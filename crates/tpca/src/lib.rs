@@ -1,0 +1,326 @@
+//! The TPC-A benchmark variant of §7.1.1.
+//!
+//! "The TPC-A benchmark is stated in terms of a hypothetical bank with one
+//! or more branches, multiple tellers per branch, and many customer
+//! accounts per branch. A transaction updates a randomly chosen account,
+//! updates branch and teller balances, and appends a history record to an
+//! audit trail."
+//!
+//! In the paper's variant all data structures live in recoverable memory:
+//! accounts are 128-byte records, audit-trail entries 64-byte records, and
+//! each of those two arrays "occupies close to half the total recoverable
+//! memory"; teller and branch balances are insignificant. The audit trail
+//! is accessed sequentially with wraparound. The pattern of account
+//! accesses is the benchmark's second parameter:
+//!
+//! * **sequential** — the best case for paging;
+//! * **random** — uniform over all accounts, the worst case;
+//! * **localized** — 70 % of transactions update accounts on 5 % of the
+//!   pages, 25 % on a different 15 %, and 5 % on the remaining 80 %,
+//!   uniform within each set.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Size of one account record.
+pub const ACCOUNT_SIZE: u64 = 128;
+/// Size of one audit-trail record.
+pub const AUDIT_SIZE: u64 = 64;
+/// Size of one teller record.
+pub const TELLER_SIZE: u64 = 128;
+/// Size of one branch record.
+pub const BRANCH_SIZE: u64 = 128;
+/// Tellers per branch.
+pub const NUM_TELLERS: u64 = 10;
+/// Branches.
+pub const NUM_BRANCHES: u64 = 1;
+/// Page size assumed by the locality pattern (accounts per page = 32).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Account access pattern (§7.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Accounts accessed in array order with wraparound.
+    Sequential,
+    /// Uniformly random accounts.
+    Random,
+    /// The 70/25/5 over 5 %/15 %/80 % page mixture.
+    Localized,
+}
+
+impl AccessPattern {
+    /// All three patterns, in the order the paper's tables list them.
+    pub const ALL: [AccessPattern; 3] = [
+        AccessPattern::Sequential,
+        AccessPattern::Random,
+        AccessPattern::Localized,
+    ];
+
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPattern::Sequential => "Sequential",
+            AccessPattern::Random => "Random",
+            AccessPattern::Localized => "Localized",
+        }
+    }
+}
+
+/// Byte layout of the benchmark's recoverable memory.
+///
+/// Offsets are stable across runs so RVM and the Camelot model see
+/// identical traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcaLayout {
+    /// Number of customer accounts.
+    pub num_accounts: u64,
+    /// Number of audit-trail slots (same byte volume as the accounts).
+    pub num_audit_slots: u64,
+}
+
+impl TpcaLayout {
+    /// Builds the layout for `num_accounts` accounts.
+    pub fn new(num_accounts: u64) -> Self {
+        Self {
+            num_accounts,
+            // "Each of these data structures occupies close to half the
+            // total recoverable memory."
+            num_audit_slots: num_accounts * ACCOUNT_SIZE / AUDIT_SIZE,
+        }
+    }
+
+    /// Offset of account `i`.
+    pub fn account_offset(&self, i: u64) -> u64 {
+        debug_assert!(i < self.num_accounts);
+        i * ACCOUNT_SIZE
+    }
+
+    /// Offset of the teller array.
+    pub fn tellers_offset(&self) -> u64 {
+        self.num_accounts * ACCOUNT_SIZE
+    }
+
+    /// Offset of teller `t`.
+    pub fn teller_offset(&self, t: u64) -> u64 {
+        self.tellers_offset() + (t % NUM_TELLERS) * TELLER_SIZE
+    }
+
+    /// Offset of the branch record.
+    pub fn branch_offset(&self) -> u64 {
+        self.tellers_offset() + NUM_TELLERS * TELLER_SIZE
+    }
+
+    /// Offset of the audit trail.
+    pub fn audit_offset(&self) -> u64 {
+        self.branch_offset() + NUM_BRANCHES * BRANCH_SIZE
+    }
+
+    /// Offset of audit slot `i` (callers wrap `i` by
+    /// [`TpcaLayout::num_audit_slots`]).
+    pub fn audit_slot_offset(&self, i: u64) -> u64 {
+        self.audit_offset() + (i % self.num_audit_slots) * AUDIT_SIZE
+    }
+
+    /// Total bytes of recoverable memory, rounded up to a page multiple.
+    pub fn total_len(&self) -> u64 {
+        let raw = self.audit_offset() + self.num_audit_slots * AUDIT_SIZE;
+        raw.div_ceil(PAGE_SIZE) * PAGE_SIZE
+    }
+}
+
+/// One generated transaction: which account, teller and audit slot to
+/// update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcaTxn {
+    /// Account index to debit/credit.
+    pub account: u64,
+    /// Teller index.
+    pub teller: u64,
+    /// Audit slot (pre-wrapped).
+    pub audit_slot: u64,
+}
+
+/// Deterministic transaction stream for one benchmark configuration.
+pub struct TpcaWorkload {
+    layout: TpcaLayout,
+    pattern: AccessPattern,
+    rng: StdRng,
+    counter: u64,
+    /// Page-set boundaries for the localized pattern, in account pages.
+    hot_pages: u64,
+    warm_pages: u64,
+    total_pages: u64,
+}
+
+impl TpcaWorkload {
+    /// Creates a stream over `layout` with the given pattern and seed.
+    pub fn new(layout: TpcaLayout, pattern: AccessPattern, seed: u64) -> Self {
+        let total_pages = (layout.num_accounts * ACCOUNT_SIZE).div_ceil(PAGE_SIZE);
+        let hot_pages = (total_pages * 5 / 100).max(1);
+        let warm_pages = (total_pages * 15 / 100).max(1);
+        Self {
+            layout,
+            pattern,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            hot_pages,
+            warm_pages,
+            total_pages,
+        }
+    }
+
+    /// The layout this stream was built over.
+    pub fn layout(&self) -> TpcaLayout {
+        self.layout
+    }
+
+    fn account_in_pages(&mut self, first_page: u64, num_pages: u64) -> u64 {
+        let accounts_per_page = PAGE_SIZE / ACCOUNT_SIZE;
+        let page = first_page + self.rng.random_range(0..num_pages);
+        let account = page * accounts_per_page + self.rng.random_range(0..accounts_per_page);
+        account.min(self.layout.num_accounts - 1)
+    }
+
+    /// Generates the next transaction.
+    pub fn next_txn(&mut self) -> TpcaTxn {
+        let n = self.layout.num_accounts;
+        let account = match self.pattern {
+            AccessPattern::Sequential => self.counter % n,
+            AccessPattern::Random => self.rng.random_range(0..n),
+            AccessPattern::Localized => {
+                let p: u32 = self.rng.random_range(0..100);
+                if p < 70 {
+                    self.account_in_pages(0, self.hot_pages)
+                } else if p < 95 {
+                    self.account_in_pages(self.hot_pages, self.warm_pages)
+                } else {
+                    let cold_first = self.hot_pages + self.warm_pages;
+                    let cold = self.total_pages.saturating_sub(cold_first).max(1);
+                    self.account_in_pages(cold_first.min(self.total_pages - 1), cold)
+                }
+            }
+        };
+        let txn = TpcaTxn {
+            account,
+            teller: self.counter % NUM_TELLERS,
+            audit_slot: self.counter % self.layout.num_audit_slots,
+        };
+        self.counter += 1;
+        txn
+    }
+}
+
+/// The account-array sizes of Table 1: 32 Ki accounts (Rmem/Pmem = 12.5 %)
+/// up to 448 Ki (175 %) in steps of 32 Ki, on the paper's 64 MB machine.
+pub fn table1_account_sizes() -> Vec<u64> {
+    (1..=14).map(|k| k * 32 * 1024).collect()
+}
+
+/// Rmem/Pmem percentage for a row of Table 1 on a 64 MB machine.
+pub fn rmem_pmem_percent(num_accounts: u64) -> f64 {
+    let layout = TpcaLayout::new(num_accounts);
+    layout.total_len() as f64 / (64.0 * 1024.0 * 1024.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_halves_match_the_paper() {
+        let layout = TpcaLayout::new(32 * 1024);
+        let accounts_bytes = layout.num_accounts * ACCOUNT_SIZE;
+        let audit_bytes = layout.num_audit_slots * AUDIT_SIZE;
+        assert_eq!(accounts_bytes, audit_bytes);
+        // 32 Ki accounts -> 4 MiB + 4 MiB ≈ 8 MiB = 12.5 % of 64 MB.
+        let pct = rmem_pmem_percent(32 * 1024);
+        assert!((12.4..12.7).contains(&pct), "got {pct}");
+        let pct = rmem_pmem_percent(448 * 1024);
+        assert!((174.0..176.0).contains(&pct), "got {pct}");
+    }
+
+    #[test]
+    fn offsets_are_disjoint_and_ordered() {
+        let l = TpcaLayout::new(1024);
+        assert!(l.account_offset(1023) + ACCOUNT_SIZE <= l.tellers_offset());
+        assert!(l.teller_offset(9) + TELLER_SIZE <= l.branch_offset());
+        assert!(l.branch_offset() + BRANCH_SIZE <= l.audit_offset());
+        assert!(l.audit_slot_offset(l.num_audit_slots - 1) + AUDIT_SIZE <= l.total_len());
+        assert_eq!(l.total_len() % PAGE_SIZE, 0);
+    }
+
+    #[test]
+    fn sequential_pattern_wraps() {
+        let l = TpcaLayout::new(64);
+        let mut w = TpcaWorkload::new(l, AccessPattern::Sequential, 1);
+        let accounts: Vec<u64> = (0..130).map(|_| w.next_txn().account).collect();
+        assert_eq!(accounts[0], 0);
+        assert_eq!(accounts[63], 63);
+        assert_eq!(accounts[64], 0, "wraps around");
+        assert_eq!(accounts[129], 1);
+    }
+
+    #[test]
+    fn random_pattern_covers_the_space() {
+        let l = TpcaLayout::new(1024);
+        let mut w = TpcaWorkload::new(l, AccessPattern::Random, 42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let t = w.next_txn();
+            assert!(t.account < 1024);
+            seen.insert(t.account);
+        }
+        assert!(seen.len() > 900, "uniform draw covers most accounts");
+    }
+
+    #[test]
+    fn localized_pattern_concentrates_on_hot_pages() {
+        let l = TpcaLayout::new(32 * 1024); // 1024 account pages
+        let mut w = TpcaWorkload::new(l, AccessPattern::Localized, 7);
+        let hot_pages = 1024 * 5 / 100; // 51
+        let mut hot = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = w.next_txn();
+            let page = t.account * ACCOUNT_SIZE / PAGE_SIZE;
+            if page < hot_pages as u64 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        assert!((0.65..0.75).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn audit_slots_advance_sequentially_with_wraparound() {
+        let l = TpcaLayout::new(64);
+        let mut w = TpcaWorkload::new(l, AccessPattern::Random, 3);
+        let slots: Vec<u64> = (0..l.num_audit_slots + 2)
+            .map(|_| w.next_txn().audit_slot)
+            .collect();
+        assert_eq!(slots[0], 0);
+        assert_eq!(slots[1], 1);
+        assert_eq!(slots[l.num_audit_slots as usize], 0, "wraps");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let l = TpcaLayout::new(4096);
+        let mut a = TpcaWorkload::new(l, AccessPattern::Random, 99);
+        let mut b = TpcaWorkload::new(l, AccessPattern::Random, 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+        let mut c = TpcaWorkload::new(l, AccessPattern::Random, 100);
+        let differs = (0..100).any(|_| a.next_txn() != c.next_txn());
+        assert!(differs);
+    }
+
+    #[test]
+    fn table1_sizes_span_the_sweep() {
+        let sizes = table1_account_sizes();
+        assert_eq!(sizes.len(), 14);
+        assert_eq!(sizes[0], 32768);
+        assert_eq!(sizes[13], 458752);
+    }
+}

@@ -1,0 +1,123 @@
+//! A miniature TPC-A bank on recoverable memory — the workload of the
+//! paper's section 7.1, as an application.
+//!
+//! Accounts are 128-byte records; every transfer updates two accounts,
+//! the branch balance, and appends an audit record, all in one atomic
+//! transaction. An invalid transfer aborts and leaves no trace.
+//!
+//! Run with: `cargo run -p rvm-examples --bin bank`
+
+use std::sync::Arc;
+
+use rvm::{CommitMode, Options, Region, RegionDescriptor, Rvm, Transaction, TxnMode, PAGE_SIZE};
+use rvm_storage::MemDevice;
+
+const ACCOUNTS: u64 = 64;
+const ACCOUNT_SIZE: u64 = 128;
+const AUDIT_BASE: u64 = ACCOUNTS * ACCOUNT_SIZE;
+const AUDIT_SIZE: u64 = 64;
+const BRANCH_OFF: u64 = AUDIT_BASE + 64 * AUDIT_SIZE;
+
+struct Bank {
+    rvm: Rvm,
+    region: Region,
+}
+
+#[derive(Debug)]
+enum BankError {
+    InsufficientFunds { account: u64, balance: i64, amount: i64 },
+    Rvm(rvm::RvmError),
+}
+
+impl From<rvm::RvmError> for BankError {
+    fn from(e: rvm::RvmError) -> Self {
+        BankError::Rvm(e)
+    }
+}
+
+impl Bank {
+    fn open() -> rvm::Result<Bank> {
+        let rvm = Rvm::initialize(
+            Options::new(Arc::new(MemDevice::with_len(4 << 20))).create_if_empty()
+                .resolver(rvm::segment::MemResolver::new().into_resolver()),
+        )?;
+        let region = rvm.map(&RegionDescriptor::new("bank", 0, 4 * PAGE_SIZE))?;
+        Ok(Bank { rvm, region })
+    }
+
+    fn balance(&self, account: u64) -> rvm::Result<i64> {
+        Ok(self.region.get_u64(account * ACCOUNT_SIZE)? as i64)
+    }
+
+    fn set_balance(&self, txn: &mut Transaction, account: u64, v: i64) -> rvm::Result<()> {
+        self.region.put_u64(txn, account * ACCOUNT_SIZE, v as u64)
+    }
+
+    fn audit(&self, txn: &mut Transaction, serial: u64, text: &str) -> rvm::Result<()> {
+        let slot = AUDIT_BASE + (serial % 64) * AUDIT_SIZE;
+        let mut rec = [0u8; AUDIT_SIZE as usize];
+        let bytes = text.as_bytes();
+        rec[..bytes.len().min(64)].copy_from_slice(&bytes[..bytes.len().min(64)]);
+        self.region.write(txn, slot, &rec)
+    }
+
+    /// The atomic transfer: all four updates or none.
+    fn transfer(&self, serial: u64, from: u64, to: u64, amount: i64) -> Result<(), BankError> {
+        let mut txn = self.rvm.begin_transaction(TxnMode::Restore)?;
+        let from_balance = self.balance(from)?;
+        if from_balance < amount {
+            // Abort: the old values come back, nothing reaches the log.
+            txn.abort()?;
+            return Err(BankError::InsufficientFunds {
+                account: from,
+                balance: from_balance,
+                amount,
+            });
+        }
+        self.set_balance(&mut txn, from, from_balance - amount)?;
+        let to_balance = self.balance(to)?;
+        self.set_balance(&mut txn, to, to_balance + amount)?;
+        let branch = self.region.get_u64(BRANCH_OFF)?;
+        self.region.put_u64(&mut txn, BRANCH_OFF, branch + 1)?;
+        self.audit(&mut txn, serial, &format!("xfer {amount} {from}->{to}"))?;
+        txn.commit(CommitMode::Flush)?;
+        Ok(())
+    }
+}
+
+fn main() {
+    let bank = Bank::open().expect("open bank");
+
+    // Seed two accounts.
+    {
+        let mut txn = bank.rvm.begin_transaction(TxnMode::Restore).unwrap();
+        bank.set_balance(&mut txn, 1, 1000).unwrap();
+        bank.set_balance(&mut txn, 2, 50).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    println!("opening balances: acct1={} acct2={}", bank.balance(1).unwrap(), bank.balance(2).unwrap());
+
+    bank.transfer(1, 1, 2, 300).expect("transfer succeeds");
+    println!("after 300 transfer: acct1={} acct2={}", bank.balance(1).unwrap(), bank.balance(2).unwrap());
+
+    match bank.transfer(2, 2, 1, 10_000) {
+        Err(BankError::InsufficientFunds { account, balance, amount }) => {
+            println!("rejected: account {account} holds {balance}, cannot send {amount}");
+        }
+        Err(BankError::Rvm(e)) => panic!("unexpected RVM error: {e}"),
+        Ok(()) => panic!("transfer should have been rejected"),
+    }
+    println!(
+        "after rejected transfer: acct1={} acct2={} (unchanged)",
+        bank.balance(1).unwrap(),
+        bank.balance(2).unwrap()
+    );
+
+    let q = bank.rvm.query();
+    println!(
+        "stats: {} committed, {} aborted, {} bytes logged",
+        q.stats.txns_committed, q.stats.txns_aborted, q.stats.bytes_logged
+    );
+    assert_eq!(bank.balance(1).unwrap(), 700);
+    assert_eq!(bank.balance(2).unwrap(), 350);
+}

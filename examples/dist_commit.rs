@@ -1,0 +1,98 @@
+//! Two-phase commit over RVM (§8): two bank branches on separate RVM
+//! instances, a coordinator with a durable decision log, and a
+//! subordinate crash between the phases.
+//!
+//! Run with: `cargo run -p rvm-examples --bin dist_commit`
+
+use std::sync::Arc;
+
+use rvm::segment::MemResolver;
+use rvm::{Options, Rvm, PAGE_SIZE};
+use rvm_dist::{Coordinator, GlobalTxnId, Outcome, Subordinate, Update, Vote};
+use rvm_storage::MemDevice;
+
+struct NodeWorld {
+    log: Arc<MemDevice>,
+    segs: MemResolver,
+}
+
+impl NodeWorld {
+    fn new() -> Self {
+        Self {
+            log: Arc::new(MemDevice::with_len(2 << 20)),
+            segs: MemResolver::new(),
+        }
+    }
+
+    fn boot(&self) -> Rvm {
+        Rvm::initialize(
+            Options::new(self.log.clone())
+                .resolver(self.segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .expect("boot node")
+    }
+}
+
+fn upd(offset: u64, data: &[u8]) -> Update {
+    Update { offset, data: data.to_vec() }
+}
+
+fn main() {
+    let world_a = NodeWorld::new();
+    let world_b = NodeWorld::new();
+    let world_c = NodeWorld::new();
+
+    println!("== a successful distributed transfer ==");
+    {
+        let branch_a = Subordinate::new(world_a.boot(), PAGE_SIZE).expect("branch A");
+        let branch_b = Subordinate::new(world_b.boot(), PAGE_SIZE).expect("branch B");
+        let coordinator = Coordinator::new(world_c.boot()).expect("coordinator");
+
+        let outcome = coordinator
+            .run(
+                GlobalTxnId(1),
+                &[
+                    (&branch_a, vec![upd(0, &500u64.to_le_bytes())]),
+                    (&branch_b, vec![upd(0, &500u64.to_le_bytes())]),
+                ],
+            )
+            .expect("2pc run");
+        println!("gid 1 -> {outcome:?}");
+        assert_eq!(outcome, Outcome::Commit);
+
+        println!("== a subordinate crashes between the phases ==");
+        // Phase 1 happens...
+        let vote = branch_a
+            .prepare(GlobalTxnId(2), &[upd(64, b"in-doubt!")])
+            .expect("prepare");
+        assert_eq!(vote, Vote::Yes);
+        // ...the coordinator decides commit (durably)...
+        let _ = coordinator.run(GlobalTxnId(2), &[]).expect("decision only");
+        // ...but branch A never hears it: crash.
+        std::mem::forget(branch_a);
+    }
+
+    println!("== branch A restarts and resolves its in-doubt transaction ==");
+    {
+        let branch_a = Subordinate::new(world_a.boot(), PAGE_SIZE).expect("rebooted A");
+        let coordinator = Coordinator::new(world_c.boot()).expect("rebooted coordinator");
+        let in_doubt = branch_a.in_doubt();
+        println!("in doubt after crash: {in_doubt:?}");
+        assert_eq!(in_doubt, vec![GlobalTxnId(2)]);
+
+        // The recovery upcall to the coordinator's durable decision log.
+        branch_a
+            .recover_with(|gid| coordinator.decision(gid))
+            .expect("recovery");
+        assert!(branch_a.in_doubt().is_empty());
+        let value = branch_a.data().read_vec(64, 9).expect("read");
+        println!("recovered value at 64: {:?}", String::from_utf8_lossy(&value));
+        assert_eq!(&value, b"in-doubt!");
+        // And the earlier committed transfer is still there.
+        let balance = branch_a.data().get_u64(0).expect("balance");
+        assert_eq!(balance, 500);
+        println!("branch A balance: {balance}");
+    }
+    println!("ok: prepared state survived the crash and resolved to commit.");
+}

@@ -1,0 +1,114 @@
+//! A persistent linked structure: the recoverable allocator plus the
+//! segment loader's stable pointers (§4.1's layered packages together).
+//!
+//! A linked list of log entries lives entirely in recoverable memory;
+//! its links are [`PersistentPtr`]s that stay meaningful across process
+//! lifetimes because the loader maps the segment at the same virtual
+//! base every time.
+//!
+//! Run with: `cargo run -p rvm-examples --bin persistent_heap`
+
+use std::sync::Arc;
+
+use rvm::segment::MemResolver;
+use rvm::{CommitMode, Options, Rvm, TxnMode};
+use rvm_alloc::RvmHeap;
+use rvm_loader::{Loader, PersistentPtr};
+use rvm_storage::MemDevice;
+
+/// Node layout: `next: PersistentPtr (8) | len: u64 (8) | bytes`.
+const NODE_HEADER: u64 = 16;
+/// Head pointer lives at a fixed offset past the heap header.
+const HEAD_SLOT_SIZE: u64 = 8;
+
+fn push(
+    rvm: &Rvm,
+    loader: &Loader,
+    heap: &RvmHeap,
+    seg: &rvm_loader::LoadedSegment,
+    head_slot: u64,
+    text: &str,
+) -> rvm::Result<()> {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+    let node = heap.alloc(&seg.region, &mut txn, NODE_HEADER + text.len() as u64)?;
+    let old_head = PersistentPtr(seg.region.get_u64(head_slot)?);
+    seg.region.put_u64(&mut txn, node, old_head.0)?;
+    seg.region.put_u64(&mut txn, node + 8, text.len() as u64)?;
+    seg.region.write(&mut txn, node + NODE_HEADER, text.as_bytes())?;
+    // Store the *stable* address in the head slot.
+    loader.write_ptr(&mut txn, seg.ptr_to(head_slot), &seg.ptr_to(node).0.to_le_bytes())?;
+    txn.commit(CommitMode::Flush)?;
+    Ok(())
+}
+
+fn walk(loader: &Loader, seg: &rvm_loader::LoadedSegment, head_slot: u64) -> rvm::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut ptr = PersistentPtr(seg.region.get_u64(head_slot)?);
+    while !ptr.is_null() {
+        let header = loader.read_ptr(ptr, NODE_HEADER)?;
+        let next = u64::from_le_bytes(header[0..8].try_into().unwrap());
+        let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let (segref, offset) = loader.resolve(ptr).expect("live pointer");
+        let text = segref.region.read_vec(offset + NODE_HEADER, len)?;
+        out.push(String::from_utf8_lossy(&text).into_owned());
+        ptr = PersistentPtr(next);
+    }
+    Ok(out)
+}
+
+fn main() -> rvm::Result<()> {
+    let log = Arc::new(MemDevice::with_len(4 << 20));
+    let segments = MemResolver::new();
+    let heap_len = 64 * rvm::PAGE_SIZE;
+    let boot = |log: &Arc<MemDevice>, segs: &MemResolver| -> rvm::Result<Rvm> {
+        Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+    };
+
+    // Incarnation 1: format the heap, push some entries.
+    let head_slot;
+    {
+        let rvm = boot(&log, &segments)?;
+        let mut loader = Loader::open(&rvm, "loadmap")?;
+        let seg = loader.load(&rvm, "journal", heap_len)?;
+        let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+        let heap = RvmHeap::format(&seg.region, &mut txn)?;
+        // Reserve the head slot as a real allocation so the heap never
+        // hands it out again.
+        head_slot = heap.alloc(&seg.region, &mut txn, HEAD_SLOT_SIZE)?;
+        seg.region.put_u64(&mut txn, head_slot, 0)?;
+        txn.commit(CommitMode::Flush)?;
+
+        push(&rvm, &loader, &heap, &seg, head_slot, "first entry")?;
+        push(&rvm, &loader, &heap, &seg, head_slot, "second entry")?;
+        println!("incarnation 1 wrote: {:?}", walk(&loader, &seg, head_slot)?);
+        rvm.terminate()?;
+    }
+
+    // Incarnation 2: reopen and keep appending — the stored pointers
+    // still resolve because the loader reuses the same stable base.
+    {
+        let rvm = boot(&log, &segments)?;
+        let mut loader = Loader::open(&rvm, "loadmap")?;
+        let seg = loader.load(&rvm, "journal", heap_len)?;
+        let heap = RvmHeap::open(&seg.region)?;
+        push(&rvm, &loader, &heap, &seg, head_slot, "third entry (new life)")?;
+        let entries = walk(&loader, &seg, head_slot)?;
+        println!("incarnation 2 reads: {entries:?}");
+        assert_eq!(
+            entries,
+            vec!["third entry (new life)", "second entry", "first entry"]
+        );
+        let stats = heap.stats(&seg.region)?;
+        println!(
+            "heap: {} allocation(s), {} byte(s) used of {}",
+            stats.allocations, stats.used_bytes, stats.total_bytes
+        );
+        rvm.terminate()?;
+    }
+    println!("ok: linked structure and its pointers survived the restart.");
+    Ok(())
+}

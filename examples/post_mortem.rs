@@ -1,0 +1,60 @@
+//! Transparent logging as a debugging technique (§6): when a persistent
+//! structure is found corrupted, the saved log shows the full history of
+//! modifications that led there.
+//!
+//! Run with: `cargo run -p rvm-examples --bin post_mortem`
+
+use std::sync::Arc;
+
+use rvm::segment::MemResolver;
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+use rvm_logtool::{format_entry, LogInspector};
+use rvm_storage::MemDevice;
+
+fn main() -> rvm::Result<()> {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+
+    // A buggy application: several modules update a reference count at
+    // offset 256; one of them (transaction 4) writes garbage.
+    {
+        let rvm = Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        )?;
+        let region = rvm.map(&RegionDescriptor::new("objects", 0, PAGE_SIZE))?;
+        for step in 1..=5u64 {
+            let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+            let value = if step == 4 { 0xDEAD_BEEF } else { step };
+            region.put_u64(&mut txn, 256, value)?;
+            region.put_u64(&mut txn, 512, step * 10)?; // unrelated field
+            txn.commit(CommitMode::Flush)?;
+        }
+        // The operator notices the corruption and saves a copy of the
+        // log *before truncation* — here, by just crashing.
+        std::mem::forget(rvm);
+    }
+
+    println!("corruption reported at objects[256..264]; inspecting the saved log:");
+    let inspector = LogInspector::open(log.clone())?;
+    println!("{}", inspector.summary()?);
+
+    println!("history of objects[256..264]:");
+    let mut culprit = None;
+    for entry in inspector.history("objects", 256, 8)? {
+        println!("  {}", format_entry(&entry));
+        let value = u64::from_le_bytes(entry.data[..8].try_into().unwrap());
+        if value == 0xDEAD_BEEF {
+            culprit = Some(entry.tid);
+        }
+    }
+    let tid = culprit.expect("the corrupting write is in the log");
+    println!("=> transaction {tid} wrote 0xDEADBEEF; that code path is the bug.");
+
+    // The backward scan (Figure 5's reverse displacements) reads the
+    // same story newest-first.
+    let newest = inspector.records_backward()?;
+    println!("newest record in the log: seq {}", newest[0].1.seq);
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Multi-threaded use: the paper's RVM is "implemented to be
+//! multi-threaded and to function correctly in the presence of true
+//! parallelism" (§3.1) while leaving serializability to the application.
+//! These tests drive concurrent transactions on disjoint data (the
+//! application-level discipline) and check library-level consistency.
+
+mod common {
+    include!("lib.rs");
+}
+
+use std::sync::Arc;
+
+use common::World;
+use rvm::{CommitMode, RegionDescriptor, Rvm, Tuning, TxnMode, PAGE_SIZE};
+
+#[test]
+fn concurrent_transactions_on_disjoint_slots() {
+    let world = World::new(4 << 20);
+    let rvm = Arc::new(world.boot());
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 8 * PAGE_SIZE))
+        .unwrap();
+
+    let threads: Vec<_> = (0..8u64)
+        .map(|t| {
+            let rvm = rvm.clone();
+            let region = region.clone();
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                    let off = t * PAGE_SIZE + (i % 8) * 256;
+                    region
+                        .write(&mut txn, off, &[(t * 50 + i) as u8; 256])
+                        .unwrap();
+                    txn.commit(CommitMode::Flush).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = rvm.stats();
+    assert_eq!(stats.txns_committed, 400);
+    assert_eq!(rvm.query().active_transactions, 0);
+
+    // Reboot: every thread's final writes are durable.
+    drop(region);
+    drop(Arc::try_unwrap(rvm).ok().expect("sole owner"));
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 8 * PAGE_SIZE))
+        .unwrap();
+    for t in 0..8u64 {
+        for slot in 0..8u64 {
+            let i = if 48 + slot < 50 { 48 + slot } else { 40 + slot };
+            let off = t * PAGE_SIZE + slot * 256;
+            assert_eq!(
+                region.read_vec(off, 4).unwrap(),
+                vec![(t * 50 + i) as u8; 4],
+                "thread {t} slot {slot}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_commit_modes_under_concurrency() {
+    let world = World::new(4 << 20);
+    let rvm = Arc::new(world.boot());
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let rvm = rvm.clone();
+            let region = region.clone();
+            std::thread::spawn(move || {
+                for i in 0..60u64 {
+                    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                    region
+                        .put_u64(&mut txn, t * PAGE_SIZE + (i % 32) * 8, i)
+                        .unwrap();
+                    let mode = if i % 3 == 0 {
+                        CommitMode::Flush
+                    } else {
+                        CommitMode::NoFlush
+                    };
+                    txn.commit(mode).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    rvm.flush().unwrap();
+    assert_eq!(rvm.stats().txns_committed, 240);
+    assert_eq!(rvm.query().spooled_transactions, 0);
+}
+
+#[test]
+fn concurrent_commits_with_background_truncation() {
+    let world = World::new(96 * 1024);
+    let rvm = Arc::new(world.boot_tuned(Tuning {
+        background_truncation: true,
+        truncation_threshold: 0.3,
+        ..Tuning::default()
+    }));
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let rvm = rvm.clone();
+            let region = region.clone();
+            std::thread::spawn(move || {
+                for i in 0..80u64 {
+                    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                    region
+                        .write(&mut txn, t * PAGE_SIZE + (i % 4) * 1024, &[i as u8; 1024])
+                        .unwrap();
+                    txn.commit(CommitMode::Flush).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    // The background thread must have kept the log bounded.
+    let q = rvm.query();
+    assert!(q.log.utilization < 0.9, "utilization {}", q.log.utilization);
+    assert_eq!(q.stats.txns_committed, 320);
+    Arc::try_unwrap(rvm).ok().expect("sole owner").terminate().unwrap();
+}
+
+#[test]
+fn aborting_threads_do_not_disturb_committers() {
+    let world = World::new(2 << 20);
+    let rvm = Arc::new(world.boot());
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+        .unwrap();
+    let committer = {
+        let rvm = rvm.clone();
+        let region = region.clone();
+        std::thread::spawn(move || {
+            for i in 0..100u64 {
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                region.put_u64(&mut txn, (i % 64) * 8, i + 1).unwrap();
+                txn.commit(CommitMode::Flush).unwrap();
+            }
+        })
+    };
+    let aborter = {
+        let rvm = rvm.clone();
+        let region = region.clone();
+        std::thread::spawn(move || {
+            for i in 0..100u64 {
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                region
+                    .put_u64(&mut txn, PAGE_SIZE + (i % 64) * 8, 0xBAD)
+                    .unwrap();
+                txn.abort().unwrap();
+            }
+        })
+    };
+    committer.join().unwrap();
+    aborter.join().unwrap();
+    let stats = rvm.stats();
+    assert_eq!(stats.txns_committed, 100);
+    assert_eq!(stats.txns_aborted, 100);
+    // The aborter's page is untouched.
+    for slot in 0..64u64 {
+        assert_eq!(region.get_u64(PAGE_SIZE + slot * 8).unwrap(), 0);
+    }
+}
+
+#[test]
+fn query_is_safe_under_concurrent_load() {
+    let world = World::new(2 << 20);
+    let rvm = Arc::new(world.boot());
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let worker = {
+        let rvm = rvm.clone();
+        let region = region.clone();
+        std::thread::spawn(move || {
+            for i in 0..200u64 {
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                region.put_u64(&mut txn, (i % 16) * 8, i).unwrap();
+                txn.commit(CommitMode::NoFlush).unwrap();
+            }
+            rvm.flush().unwrap();
+        })
+    };
+    let watcher = {
+        let rvm = rvm.clone();
+        std::thread::spawn(move || {
+            let mut last_committed = 0;
+            for _ in 0..500 {
+                let q = rvm.query();
+                assert!(q.stats.txns_committed >= last_committed, "monotone");
+                last_committed = q.stats.txns_committed;
+            }
+        })
+    };
+    worker.join().unwrap();
+    watcher.join().unwrap();
+}

@@ -1,0 +1,279 @@
+//! The crash-point matrix: a deterministic workload is run against a
+//! fault-injecting log device that crashes after N bytes written, for a
+//! sweep of N and both unsynced-write fates. After every crash the world
+//! reboots from the surviving image and must satisfy the WAL contract:
+//!
+//! * every transaction whose flush-mode commit *returned* is present;
+//! * the recovered state equals the state after some prefix of commits
+//!   (atomicity: no transaction is half-applied);
+//! * recovery is idempotent.
+
+mod common {
+    include!("lib.rs");
+}
+
+use std::sync::Arc;
+
+use common::World;
+use rvm::{CommitMode, Options, Region, RegionDescriptor, Rvm, TxnMode, PAGE_SIZE};
+use rvm_storage::{CrashPlan, Device, FaultDevice, MemDevice};
+
+const SLOTS: u64 = 16;
+const SLOT_SIZE: u64 = 64;
+/// Offset where each transaction records its own index.
+const INDEX_OFF: u64 = 2048;
+
+/// Runs transaction `i` of the canonical workload: fill slot `i % SLOTS`
+/// with byte `i` and record `i` at INDEX_OFF, all in one transaction.
+fn run_txn(rvm: &Rvm, region: &Region, i: u64) -> rvm::Result<()> {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+    region.write(&mut txn, (i % SLOTS) * SLOT_SIZE, &[i as u8; SLOT_SIZE as usize])?;
+    region.put_u64(&mut txn, INDEX_OFF, i)?;
+    txn.commit(CommitMode::Flush)
+}
+
+/// Asserts the region equals the state after transactions `1..=k`.
+fn assert_state_is_prefix(region: &Region, k: u64) {
+    assert_eq!(region.get_u64(INDEX_OFF).unwrap(), k, "recorded index");
+    for slot in 0..SLOTS {
+        // The latest transaction <= k that wrote this slot.
+        let expect: u8 = (1..=k)
+            .rev()
+            .find(|i| i % SLOTS == slot)
+            .map(|i| i as u8)
+            .unwrap_or(0);
+        let got = region.read_vec(slot * SLOT_SIZE, SLOT_SIZE).unwrap();
+        assert_eq!(
+            got,
+            vec![expect; SLOT_SIZE as usize],
+            "slot {slot} after prefix {k}"
+        );
+    }
+}
+
+/// Runs the workload against a crash plan; returns (acked commits,
+/// post-crash durable log image is left in `inner`).
+fn run_until_crash(inner: Arc<MemDevice>, segments: &rvm::segment::MemResolver, plan: CrashPlan) -> u64 {
+    let fault = Arc::new(FaultDevice::new(inner, plan));
+    let rvm = match Rvm::initialize(
+        Options::new(fault.clone())
+            .resolver(segments.clone().into_resolver())
+            .create_if_empty(),
+    ) {
+        Ok(rvm) => rvm,
+        Err(_) => return 0, // crashed during create/recovery: nothing acked
+    };
+    let region = match rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)) {
+        Ok(r) => r,
+        Err(_) => {
+            std::mem::forget(rvm);
+            return 0;
+        }
+    };
+    let mut acked = 0u64;
+    for i in 1..=60u64 {
+        match run_txn(&rvm, &region, i) {
+            Ok(()) => acked = i,
+            Err(_) => break,
+        }
+    }
+    // The machine is dead: no destructors.
+    std::mem::forget(rvm);
+    acked
+}
+
+fn crash_matrix(unsynced_lost: bool) {
+    // First, record how many bytes the full scenario writes.
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        for i in 1..=60 {
+            run_txn(&rvm, &region, i).unwrap();
+        }
+        rvm.terminate().unwrap();
+    }
+    let total_bytes = {
+        // Re-run against a recording FaultDevice to count bytes.
+        let segments = rvm::segment::MemResolver::new();
+        let inner = Arc::new(MemDevice::with_len(1 << 20));
+        let fault = Arc::new(FaultDevice::recording(inner));
+        let rvm = Rvm::initialize(
+            Options::new(fault.clone())
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        for i in 1..=60 {
+            run_txn(&rvm, &region, i).unwrap();
+        }
+        let n = fault.bytes_written();
+        rvm.terminate().unwrap();
+        n
+    };
+    assert!(total_bytes > 60 * 512, "sanity: {total_bytes}");
+
+    // Sweep crash points across the whole run.
+    let step = (total_bytes / 97).max(1); // a prime-ish sample of points
+    let mut points_checked = 0;
+    let mut crash_at = step / 2;
+    while crash_at < total_bytes {
+        let segments = rvm::segment::MemResolver::new();
+        let inner = Arc::new(MemDevice::with_len(1 << 20));
+        let plan = if unsynced_lost {
+            CrashPlan::lose_unsynced_at(crash_at)
+        } else {
+            CrashPlan::torn_at(crash_at)
+        };
+        let acked = run_until_crash(inner.clone(), &segments, plan);
+
+        // Reboot from the surviving image.
+        let rvm = Rvm::initialize(
+            Options::new(inner.clone())
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap_or_else(|e| panic!("recovery failed at crash point {crash_at}: {e}"));
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let recovered = region.get_u64(INDEX_OFF).unwrap();
+        assert!(
+            recovered >= acked,
+            "crash at {crash_at}: acked {acked} but recovered only {recovered}"
+        );
+        assert!(recovered <= 60, "crash at {crash_at}");
+        assert_state_is_prefix(&region, recovered);
+        points_checked += 1;
+        crash_at += step;
+    }
+    assert!(points_checked > 60, "checked {points_checked} crash points");
+}
+
+#[test]
+fn crash_matrix_with_torn_writes() {
+    crash_matrix(false);
+}
+
+#[test]
+fn crash_matrix_with_lost_unsynced_writes() {
+    crash_matrix(true);
+}
+
+#[test]
+fn recovery_is_idempotent_after_a_crash() {
+    let segments = rvm::segment::MemResolver::new();
+    let inner = Arc::new(MemDevice::with_len(1 << 20));
+    // Formatting + the first status write consume ~25 KB before the
+    // first record; crash a few transactions in.
+    let acked = run_until_crash(
+        inner.clone(),
+        &segments,
+        CrashPlan::torn_at(60_000),
+    );
+    assert!(acked > 0);
+
+    // First recovery.
+    let boot = |img: Arc<MemDevice>| {
+        Rvm::initialize(
+            Options::new(img)
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap()
+    };
+    let rvm = boot(inner.clone());
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let first = region.get_u64(INDEX_OFF).unwrap();
+    let snapshot: Vec<u8> = segments.get("seg").unwrap().snapshot();
+    std::mem::forget(rvm); // crash immediately after recovery
+
+    // Second recovery over the same image must land in the same state.
+    let rvm = boot(inner);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_eq!(region.get_u64(INDEX_OFF).unwrap(), first);
+    assert_eq!(segments.get("seg").unwrap().snapshot(), snapshot);
+}
+
+#[test]
+fn crash_during_spool_flush_preserves_commit_order_prefix() {
+    // No-flush commits build up in the spool; the crash hits mid-flush.
+    // Whatever survives must be a *prefix* of the commit order: seeing
+    // transaction i implies seeing every j < i that wrote the log before
+    // it.
+    for crash_at in [600u64, 2000, 4000, 8000, 16000] {
+        let segments = rvm::segment::MemResolver::new();
+        let inner = Arc::new(MemDevice::with_len(1 << 20));
+        let fault = Arc::new(FaultDevice::new(inner.clone(), CrashPlan::torn_at(crash_at)));
+        {
+            let rvm = match Rvm::initialize(
+                Options::new(fault.clone())
+                    .resolver(segments.clone().into_resolver())
+                    .create_if_empty(),
+            ) {
+                Ok(rvm) => rvm,
+                Err(_) => continue,
+            };
+            let Ok(region) = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)) else {
+                std::mem::forget(rvm);
+                continue;
+            };
+            for i in 1..=20u64 {
+                let Ok(mut txn) = rvm.begin_transaction(TxnMode::Restore) else {
+                    break;
+                };
+                if region.put_u64(&mut txn, i * 8, i).is_err() {
+                    break;
+                }
+                if txn.commit(CommitMode::NoFlush).is_err() {
+                    break;
+                }
+            }
+            let _ = rvm.flush(); // may crash here
+            std::mem::forget(rvm);
+        }
+
+        let rvm = Rvm::initialize(
+            Options::new(inner)
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        // Find the highest surviving transaction, then require all lower
+        // ones to be present too.
+        let mut highest = 0;
+        for i in 1..=20u64 {
+            if region.get_u64(i * 8).unwrap() == i {
+                highest = i;
+            }
+        }
+        for i in 1..=highest {
+            assert_eq!(
+                region.get_u64(i * 8).unwrap(),
+                i,
+                "crash at {crash_at}: transaction {i} missing below survivor {highest}"
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_data_survives_even_when_log_is_reused() {
+    // Commit, truncate (data reaches the segment), crash, recover with an
+    // empty log: the segment alone must carry the state.
+    let world = World::new(64 * 1024);
+    {
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        for i in 1..=10 {
+            run_txn(&rvm, &region, i).unwrap();
+        }
+        rvm.truncate().unwrap();
+        assert_eq!(rvm.query().log.used, 0);
+        std::mem::forget(rvm);
+    }
+    let rvm = world.boot();
+    assert_eq!(rvm.recovery_report().records_replayed, 0);
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    assert_state_is_prefix(&region, 10);
+}

@@ -1,0 +1,540 @@
+//! Property-based tests (proptest) over the core invariants:
+//! interval arithmetic, record codecs, crash-prefix semantics,
+//! optimization transparency, and allocator disjointness.
+
+mod common {
+    include!("lib.rs");
+}
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use common::World;
+use proptest::prelude::*;
+use rvm::log::record::{encode_txn, parse_record, RecordRange};
+use rvm::log::status::StatusBlock;
+use rvm::ranges::{ByteRange, IntervalMap, RangeSet};
+use rvm::segment::{MemResolver, SegmentId, SegmentInfo};
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, Tuning, TxnMode, PAGE_SIZE};
+use rvm_storage::{CrashPlan, FaultDevice, MemDevice};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RangeSet against a naive per-byte model: coverage identical, the
+    /// `newly` report exactly the bytes that were new, and the set stays
+    /// coalesced.
+    #[test]
+    fn rangeset_matches_naive_model(ops in prop::collection::vec((0u64..500, 1u64..60), 1..40)) {
+        let mut set = RangeSet::new();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for (start, len) in ops {
+            let newly = set.insert(ByteRange::at(start, len));
+            let mut newly_bytes: BTreeSet<u64> = BTreeSet::new();
+            for r in &newly {
+                for b in r.start..r.end {
+                    prop_assert!(newly_bytes.insert(b), "newly ranges overlap");
+                }
+            }
+            for b in start..start + len {
+                let was_new = model.insert(b);
+                prop_assert_eq!(was_new, newly_bytes.contains(&b), "byte {}", b);
+            }
+        }
+        // Coverage identical.
+        let covered: BTreeSet<u64> = set
+            .iter()
+            .flat_map(|r| r.start..r.end)
+            .collect();
+        prop_assert_eq!(&covered, &model);
+        // Coalesced: consecutive ranges have gaps.
+        let ranges: Vec<ByteRange> = set.iter().collect();
+        for pair in ranges.windows(2) {
+            prop_assert!(pair[0].end < pair[1].start);
+        }
+        prop_assert_eq!(set.total_len(), model.len() as u64);
+    }
+
+    /// IntervalMap newest-wins equals a naive reverse-apply model.
+    #[test]
+    fn interval_map_matches_naive_model(writes in prop::collection::vec((0u64..300, prop::collection::vec(any::<u8>(), 1..40)), 1..20)) {
+        // Newest first into the map...
+        let mut map = IntervalMap::new();
+        for (start, data) in writes.iter().rev() {
+            map.insert_if_uncovered(*start, data);
+        }
+        // ...equals applying oldest first over an array.
+        let mut model = vec![0u8; 400];
+        for (start, data) in &writes {
+            model[*start as usize..*start as usize + data.len()].copy_from_slice(data);
+        }
+        let mut got = vec![0u8; 400];
+        map.overlay_onto(0, &mut got);
+        // Bytes never written stay 0 in both.
+        prop_assert_eq!(got, model);
+    }
+
+    /// Record encode/decode round-trips arbitrary range sets.
+    #[test]
+    fn record_codec_round_trips(
+        seq in 1u64..u64::MAX / 2,
+        tid in any::<u64>(),
+        ranges in prop::collection::vec(
+            (0u32..8, 0u64..1_000_000, prop::collection::vec(any::<u8>(), 0..300)),
+            0..8
+        )
+    ) {
+        let ranges: Vec<RecordRange> = ranges
+            .into_iter()
+            .map(|(seg, offset, data)| RecordRange {
+                seg: SegmentId::new(seg),
+                offset,
+                data,
+            })
+            .collect();
+        let buf = encode_txn(seq, tid, &ranges);
+        prop_assert_eq!(buf.len() % 512, 0);
+        let (header, decoded) = parse_record(&buf).expect("valid record parses");
+        prop_assert_eq!(header.seq, seq);
+        let decoded = decoded.expect("txn record");
+        prop_assert_eq!(decoded.tid, tid);
+        prop_assert_eq!(decoded.ranges, ranges);
+    }
+
+    /// A bit flip anywhere in the live portion of a record is detected.
+    #[test]
+    fn record_corruption_is_always_detected(
+        data in prop::collection::vec(any::<u8>(), 1..200),
+        flip_pos in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8
+    ) {
+        let ranges = vec![RecordRange { seg: SegmentId::new(0), offset: 64, data }];
+        let mut buf = encode_txn(5, 9, &ranges);
+        let header = rvm::log::record::parse_header(&buf).unwrap();
+        let live = 40 + header.payload_len as usize; // header + payload
+        let pos = flip_pos.index(live);
+        buf[pos] ^= 1 << flip_bit;
+        prop_assert!(parse_record(&buf).is_none(), "flip at {} undetected", pos);
+    }
+
+    /// Status blocks round-trip arbitrary segment tables.
+    #[test]
+    fn status_block_round_trips(
+        head in 0u64..1_000_000,
+        used in 0u64..1_000_000,
+        names in prop::collection::vec("[a-z]{1,24}", 0..10)
+    ) {
+        let mut sb = StatusBlock::fresh(1 << 20);
+        sb.head = head;
+        sb.tail = head + used;
+        for (i, name) in names.iter().enumerate() {
+            sb.segments.push(SegmentInfo {
+                id: SegmentId::new(i as u32),
+                name: name.clone(),
+                min_len: i as u64 * 4096,
+            });
+        }
+        let decoded = StatusBlock::decode(&sb.encode()).expect("round trip");
+        prop_assert_eq!(decoded, sb);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-prefix property with randomized workloads: after a crash at
+    /// an arbitrary byte budget, recovery yields the state after some
+    /// prefix of the committed transactions, and every acked commit is
+    /// included.
+    #[test]
+    fn random_workload_crash_yields_a_commit_prefix(
+        writes in prop::collection::vec((0u64..(PAGE_SIZE - 64), 1u64..64, any::<u8>()), 1..25),
+        crash_frac in 0.0f64..1.0
+    ) {
+        // Dry run to find the total byte volume.
+        let total = {
+            let segments = MemResolver::new();
+            let inner = Arc::new(MemDevice::with_len(1 << 20));
+            let fault = Arc::new(FaultDevice::recording(inner));
+            let rvm = Rvm::initialize(
+                Options::new(fault.clone())
+                    .resolver(segments.clone().into_resolver())
+                    .create_if_empty(),
+            ).unwrap();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            for (i, (off, len, byte)) in writes.iter().enumerate() {
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                region.write(&mut txn, *off, &vec![*byte; *len as usize]).unwrap();
+                region.put_u64(&mut txn, PAGE_SIZE - 8, i as u64 + 1).unwrap();
+                txn.commit(CommitMode::Flush).unwrap();
+            }
+            let n = fault.bytes_written();
+            rvm.terminate().unwrap();
+            n
+        };
+        let crash_at = (total as f64 * crash_frac) as u64;
+
+        // Crash run.
+        let segments = MemResolver::new();
+        let inner = Arc::new(MemDevice::with_len(1 << 20));
+        let fault = Arc::new(FaultDevice::new(inner.clone(), CrashPlan::torn_at(crash_at)));
+        let mut acked = 0u64;
+        (|| {
+            let rvm = Rvm::initialize(
+                Options::new(fault.clone())
+                    .resolver(segments.clone().into_resolver())
+                    .create_if_empty(),
+            ).ok()?;
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).ok()?;
+            for (i, (off, len, byte)) in writes.iter().enumerate() {
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).ok()?;
+                region.write(&mut txn, *off, &vec![*byte; *len as usize]).ok()?;
+                region.put_u64(&mut txn, PAGE_SIZE - 8, i as u64 + 1).ok()?;
+                txn.commit(CommitMode::Flush).ok()?;
+                acked = i as u64 + 1;
+            }
+            std::mem::forget(rvm);
+            Some(())
+        })();
+
+        // Recover and compare against replaying the recovered prefix.
+        let rvm = Rvm::initialize(
+            Options::new(inner)
+                .resolver(segments.clone().into_resolver())
+                .create_if_empty(),
+        ).unwrap();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let k = region.get_u64(PAGE_SIZE - 8).unwrap();
+        prop_assert!(k >= acked, "acked {} recovered {}", acked, k);
+        prop_assert!(k <= writes.len() as u64);
+        let mut model = vec![0u8; PAGE_SIZE as usize];
+        for (off, len, byte) in writes.iter().take(k as usize) {
+            model[*off as usize..(*off + *len) as usize].fill(*byte);
+        }
+        model[(PAGE_SIZE - 8) as usize..].copy_from_slice(&k.to_le_bytes());
+        let got = region.read_vec(0, PAGE_SIZE).unwrap();
+        prop_assert_eq!(got, model);
+    }
+
+    /// Inter-transaction optimization never changes recovered state.
+    #[test]
+    fn inter_optimization_is_semantically_transparent(
+        writes in prop::collection::vec((0u64..8, 8u64..200, any::<u8>()), 1..30)
+    ) {
+        let mut images = Vec::new();
+        for inter in [true, false] {
+            let world = World::new(1 << 20);
+            {
+                let rvm = world.boot_tuned(Tuning {
+                    inter_optimization: inter,
+                    ..Tuning::default()
+                });
+                let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+                for (obj, len, byte) in &writes {
+                    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                    region.write(&mut txn, obj * 256, &vec![*byte; *len as usize]).unwrap();
+                    txn.commit(CommitMode::NoFlush).unwrap();
+                }
+                rvm.flush().unwrap();
+                std::mem::forget(rvm); // crash
+            }
+            let rvm = world.boot();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            images.push(region.read_vec(0, PAGE_SIZE).unwrap());
+        }
+        prop_assert_eq!(&images[0], &images[1]);
+    }
+
+    /// Allocator churn: live allocations never overlap and keep their
+    /// contents byte-exact.
+    #[test]
+    fn allocator_never_overlaps(ops in prop::collection::vec((any::<bool>(), 1u64..400, any::<u8>()), 1..60)) {
+        use rvm_alloc::RvmHeap;
+        let world = World::new(4 << 20);
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("heap", 0, 32 * PAGE_SIZE)).unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let heap = RvmHeap::format(&region, &mut txn).unwrap();
+        let mut live: Vec<(u64, u64, u8)> = Vec::new();
+        for (i, (do_free, size, tag)) in ops.into_iter().enumerate() {
+            if do_free && !live.is_empty() {
+                let (off, _, _) = live.remove(i % live.len());
+                heap.free(&region, &mut txn, off).unwrap();
+            } else if let Ok(off) = heap.alloc(&region, &mut txn, size) {
+                region.write(&mut txn, off, &vec![tag; size as usize]).unwrap();
+                // No overlap with any live allocation.
+                for (o, s, _) in &live {
+                    prop_assert!(off + size <= *o || *o + *s <= off,
+                        "[{},{}) overlaps [{},{})", off, off + size, o, o + s);
+                }
+                live.push((off, size, tag));
+            }
+        }
+        for (off, size, tag) in &live {
+            prop_assert_eq!(region.read_vec(*off, *size).unwrap(), vec![*tag; *size as usize]);
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WAL wraparound invariant: any sequence of appends and truncations
+    /// leaves a log whose forward scan returns exactly the un-truncated
+    /// suffix of appended records, in order.
+    #[test]
+    fn wal_scan_always_returns_the_live_suffix(
+        ops in prop::collection::vec((any::<bool>(), 50u64..900), 1..60)
+    ) {
+        use rvm::log::record::RecordRange;
+        use rvm::log::status::LOG_AREA_START;
+        use rvm::log::wal::{scan_forward, Wal};
+        use std::sync::Arc as StdArc;
+
+        let area = 16 * 1024u64;
+        let dev: StdArc<dyn rvm_storage::Device> =
+            StdArc::new(MemDevice::with_len(LOG_AREA_START + area));
+        let mut wal = Wal::new(dev.clone(), area, 0, 0, 1, 1);
+        let mut live: Vec<u64> = Vec::new(); // tids of live records
+        let mut tid = 0u64;
+        for (truncate, len) in ops {
+            if truncate {
+                // Simulate a truncation consuming everything.
+                wal.advance_head(wal.tail(), wal.next_seq());
+                live.clear();
+            } else {
+                tid += 1;
+                let ranges = vec![RecordRange {
+                    seg: SegmentId::new(0),
+                    offset: tid * 8,
+                    data: vec![tid as u8; len as usize],
+                }];
+                match wal.append_txn(tid, &ranges) {
+                    Ok(_) => live.push(tid),
+                    Err(_) => {
+                        // Full: truncate and retry once (always fits then).
+                        wal.advance_head(wal.tail(), wal.next_seq());
+                        live.clear();
+                        wal.append_txn(tid, &ranges).unwrap();
+                        live.push(tid);
+                    }
+                }
+            }
+            let scan = scan_forward(dev.as_ref(), area, wal.head(), wal.seq_at_head(), None)
+                .unwrap();
+            let tids: Vec<u64> = scan.records.iter().map(|(_, r)| r.tid).collect();
+            prop_assert_eq!(&tids, &live);
+            prop_assert_eq!(scan.tail, wal.tail());
+            prop_assert_eq!(scan.next_seq, wal.next_seq());
+        }
+    }
+
+    /// Nested transactions against a flat model: an arbitrary tree of
+    /// enter/write/commit-child/abort-child operations produces exactly
+    /// the state of the equivalent model executed on a plain array.
+    #[test]
+    fn nested_transactions_match_a_flat_model(
+        ops in prop::collection::vec((0u8..4, 0u64..56, any::<u8>()), 1..50)
+    ) {
+        use rvm_nest::NestedTxn;
+
+        let world = World::new(1 << 20);
+        let rvm = world.boot();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
+
+        // Model: a stack of (array snapshot) per level.
+        let mut model = vec![0u8; 64 * 8];
+        let mut snapshots: Vec<Vec<u8>> = Vec::new();
+
+        for (op, slot, value) in ops {
+            match op {
+                0 => {
+                    txn.enter();
+                    snapshots.push(model.clone());
+                }
+                1 => {
+                    let data = vec![value; 8];
+                    txn.write(&region, slot * 8, &data).unwrap();
+                    model[(slot * 8) as usize..(slot * 8 + 8) as usize].fill(value);
+                }
+                2 => {
+                    if txn.depth() > 1 {
+                        txn.commit_child().unwrap();
+                        snapshots.pop();
+                    }
+                }
+                _ => {
+                    if txn.depth() > 1 {
+                        txn.abort_child().unwrap();
+                        model = snapshots.pop().unwrap();
+                    }
+                }
+            }
+            let got = region.read_vec(0, 64 * 8).unwrap();
+            prop_assert_eq!(&got, &model, "after op {}", op);
+        }
+        // Close any levels the op stream left open, committing them.
+        while txn.depth() > 1 {
+            txn.commit_child().unwrap();
+            snapshots.pop();
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+        prop_assert_eq!(region.read_vec(0, 64 * 8).unwrap(), model);
+    }
+
+    /// Intra-transaction optimization is semantically transparent: the
+    /// recovered state is identical with it on or off.
+    #[test]
+    fn intra_optimization_is_semantically_transparent(
+        writes in prop::collection::vec((0u64..480, 1u64..64, any::<u8>()), 1..20)
+    ) {
+        let mut images = Vec::new();
+        for intra in [true, false] {
+            let world = World::new(1 << 20);
+            {
+                let rvm = world.boot_tuned(Tuning {
+                    intra_optimization: intra,
+                    ..Tuning::default()
+                });
+                let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                for (off, len, byte) in &writes {
+                    // Redundant declaration then the write (write declares
+                    // again): classic defensive pattern.
+                    txn.set_range(&region, *off, *len).unwrap();
+                    region.write(&mut txn, *off, &vec![*byte; *len as usize]).unwrap();
+                }
+                txn.commit(CommitMode::Flush).unwrap();
+                std::mem::forget(rvm);
+            }
+            let rvm = world.boot();
+            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            images.push(region.read_vec(0, PAGE_SIZE).unwrap());
+        }
+        prop_assert_eq!(&images[0], &images[1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recoverable hash map against std's HashMap: arbitrary
+    /// put/remove sequences agree, and the committed result survives a
+    /// crash.
+    #[test]
+    fn recoverable_map_matches_std_hashmap(
+        ops in prop::collection::vec(
+            (any::<bool>(), 0u8..24, prop::collection::vec(any::<u8>(), 0..20)),
+            1..60
+        )
+    ) {
+        use rvm_alloc::RvmHeap;
+        use rvm_ds::RecoverableMap;
+        use std::collections::HashMap;
+
+        let world = World::new(4 << 20);
+        let base;
+        let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+        {
+            let rvm = world.boot();
+            let region = rvm
+                .map(&RegionDescriptor::new("meta", 0, 64 * PAGE_SIZE))
+                .unwrap();
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            let heap = RvmHeap::format(&region, &mut txn).unwrap();
+            let map = RecoverableMap::create(&region, &heap, &mut txn, 8).unwrap();
+            base = map.base();
+            for (remove, key_byte, value) in &ops {
+                let key = vec![*key_byte];
+                if *remove {
+                    let was = map.remove(&region, &heap, &mut txn, &key).unwrap();
+                    prop_assert_eq!(was, model.remove(&key).is_some());
+                } else {
+                    map.put(&region, &heap, &mut txn, &key, value).unwrap();
+                    model.insert(key, value.clone());
+                }
+                prop_assert_eq!(map.len(&region).unwrap(), model.len() as u64);
+            }
+            txn.commit(CommitMode::Flush).unwrap();
+            std::mem::forget(rvm); // crash
+        }
+        let rvm = world.boot();
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, 64 * PAGE_SIZE))
+            .unwrap();
+        let map = RecoverableMap::open(&region, base).unwrap();
+        let mut got = map.entries(&region).unwrap();
+        got.sort();
+        let mut want: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The GC heap: an arbitrary DAG built through root slots survives a
+    /// collection with exactly the reachable objects intact.
+    #[test]
+    fn gc_preserves_exactly_the_reachable_graph(
+        objects in prop::collection::vec(
+            (prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1u8..255),
+            1..30
+        ),
+        root_picks in prop::collection::vec(any::<prop::sample::Index>(), 1..5)
+    ) {
+        use rvm_gc::{ObjRef, PersistentHeap};
+
+        let world = World::new(8 << 20);
+        let rvm = world.boot();
+        let heap = PersistentHeap::open(&rvm, "heap", 512 * 1024).unwrap();
+
+        // Build objects whose refs point at earlier objects (a DAG).
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let mut handles: Vec<ObjRef> = Vec::new();
+        for (ref_picks, tag) in &objects {
+            let refs: Vec<ObjRef> = ref_picks
+                .iter()
+                .filter(|_| !handles.is_empty())
+                .map(|ix| handles[ix.index(handles.len())])
+                .collect();
+            let h = heap.alloc(&mut txn, &refs, &[*tag]).unwrap();
+            handles.push(h);
+        }
+        // Pick roots.
+        let mut root_tags = Vec::new();
+        for (slot, pick) in root_picks.iter().enumerate() {
+            let h = handles[pick.index(handles.len())];
+            heap.set_root(&mut txn, slot as u64, h).unwrap();
+            root_tags.push(h);
+        }
+        txn.commit(CommitMode::Flush).unwrap();
+
+        // Model: the reachable multiset of tags via DFS over offsets.
+        fn reach(heap: &PersistentHeap, at: ObjRef, seen: &mut std::collections::HashSet<u64>, tags: &mut Vec<u8>) {
+            if at.is_null() || !seen.insert(at.raw()) {
+                return;
+            }
+            tags.push(heap.payload(at).unwrap()[0]);
+            for r in heap.refs(at).unwrap() {
+                reach(heap, r, seen, tags);
+            }
+        }
+        let mut want = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..root_picks.len() as u64 {
+            reach(&heap, heap.root(slot).unwrap(), &mut seen, &mut want);
+        }
+        want.sort_unstable();
+
+        let (live, _) = heap.collect(&rvm).unwrap();
+        prop_assert_eq!(live as usize, want.len());
+
+        let mut got = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..root_picks.len() as u64 {
+            reach(&heap, heap.root(slot).unwrap(), &mut seen, &mut got);
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,275 @@
+//! Truncation under load: wraparound, threshold triggering, incremental
+//! truncation and its epoch fallback, and crashes racing truncation.
+
+mod common {
+    include!("lib.rs");
+}
+
+use common::World;
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, TruncationMode, Tuning, TxnMode, PAGE_SIZE};
+
+#[test]
+fn log_wraps_many_times_under_sustained_load() {
+    // ~16 KiB of record area; each txn consumes ~1 KiB of log.
+    let world = World::new(40 * 1024);
+    let rvm = world.boot_tuned(Tuning {
+        truncation_threshold: 0.6,
+        ..Tuning::default()
+    });
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+        .unwrap();
+    for i in 0..500u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region
+            .write(&mut txn, (i % 8) * 512, &[(i % 251) as u8; 512])
+            .unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(stats.epoch_truncations >= 10, "{stats:?}");
+    drop(rvm);
+
+    // Everything still consistent after reboot.
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+        .unwrap();
+    for slot in 0..8u64 {
+        // The last writer of slot s was the largest i < 500 with i%8 == s.
+        let i = if 496 + slot < 500 { 496 + slot } else { 488 + slot };
+        assert_eq!(
+            region.read_vec(slot * 512, 4).unwrap(),
+            vec![(i % 251) as u8; 4],
+            "slot {slot}"
+        );
+    }
+}
+
+#[test]
+fn explicit_truncate_empties_the_log_and_applies_data() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    for i in 0..20u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, i * 100, &[7; 100]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    assert!(rvm.query().log.used > 0);
+    rvm.truncate().unwrap();
+    assert_eq!(rvm.query().log.used, 0);
+    let seg = world.segments.get("seg").unwrap();
+    let mut buf = vec![0u8; 100];
+    use rvm_storage::Device;
+    seg.read_at(500, &mut buf).unwrap();
+    assert_eq!(buf, vec![7; 100]);
+}
+
+#[test]
+fn incremental_mode_sustains_load_and_recovers() {
+    let world = World::new(128 * 1024);
+    let rvm = world.boot_tuned(Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.25,
+        incremental_reclaim_bytes: 16 * 1024,
+        ..Tuning::default()
+    });
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 16 * PAGE_SIZE))
+        .unwrap();
+    for i in 0..400u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        let off = (i % 16) * PAGE_SIZE + (i % 4) * 600;
+        region.write(&mut txn, off, &[(i % 251) as u8; 600]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(stats.pages_written_incremental > 0, "{stats:?}");
+    drop(rvm);
+
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 16 * PAGE_SIZE))
+        .unwrap();
+    for j in 0..16u64 {
+        let i = 384 + j;
+        let off = (i % 16) * PAGE_SIZE + (i % 4) * 600;
+        assert_eq!(
+            region.read_vec(off, 4).unwrap(),
+            vec![(i % 251) as u8; 4],
+            "txn {i}"
+        );
+    }
+}
+
+#[test]
+fn incremental_blocked_by_long_transaction_falls_back_to_epoch() {
+    let world = World::new(48 * 1024);
+    let rvm = world.boot_tuned(Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.2,
+        incremental_reclaim_bytes: u64::MAX,
+        ..Tuning::default()
+    });
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+
+    // Pin page 0 with a long-running transaction, then hammer commits to
+    // the same page until the log is critical: RVM must revert to epoch
+    // truncation rather than fill the log.
+    let mut long_txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    long_txn.set_range(&region, 0, 8).unwrap();
+    for i in 0..60u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 64 + (i % 8) * 128, &[3; 128]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(
+        stats.epoch_truncations > 0,
+        "epoch fallback must fire: {stats:?}"
+    );
+    long_txn.commit(CommitMode::Flush).unwrap();
+}
+
+#[test]
+fn unmapped_region_in_queue_falls_back_to_epoch() {
+    let world = World::new(64 * 1024);
+    let rvm = world.boot_tuned(Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.9, // no automatic triggering
+        ..Tuning::default()
+    });
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[1; 64]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    rvm.unmap(&region).unwrap();
+    drop(region);
+
+    // Force an incremental pass via the public truncate (epoch) path is
+    // not what we want; instead shrink the threshold and commit to
+    // another region so truncation runs with the dead descriptor queued.
+    let other = rvm.map(&RegionDescriptor::new("seg2", 0, PAGE_SIZE)).unwrap();
+    rvm.set_options(Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.0001,
+        ..Tuning::default()
+    });
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    other.write(&mut txn, 0, &[2; 64]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    assert!(rvm.stats().epoch_truncations > 0);
+
+    // The unmapped region's committed data reached its segment.
+    use rvm_storage::Device;
+    let seg = world.segments.get("seg").unwrap();
+    let mut buf = [0u8; 4];
+    seg.read_at(0, &mut buf).unwrap();
+    assert_eq!(buf, [1; 4]);
+}
+
+#[test]
+fn truncation_after_no_flush_commits_requires_flush_first() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[9; 32]).unwrap();
+    txn.commit(CommitMode::NoFlush).unwrap();
+
+    // Paper semantics: truncate covers the write-ahead log only; the
+    // spooled commit is untouched.
+    rvm.truncate().unwrap();
+    assert_eq!(rvm.query().spooled_transactions, 1);
+    use rvm_storage::Device;
+    let seg = world.segments.get("seg").unwrap();
+    let mut buf = [0u8; 4];
+    seg.read_at(0, &mut buf).unwrap();
+    assert_eq!(buf, [0; 4], "spooled data must not reach the segment");
+
+    rvm.flush().unwrap();
+    rvm.truncate().unwrap();
+    seg.read_at(0, &mut buf).unwrap();
+    assert_eq!(buf, [9; 4]);
+}
+
+#[test]
+fn crash_mid_truncation_is_recoverable() {
+    use rvm_storage::{CrashPlan, FaultDevice, MemDevice};
+    use std::sync::Arc;
+
+    // Drive a workload whose truncation writes through a fault device on
+    // the *segment* side; crashes during segment application must leave
+    // the log intact so recovery replays.
+    for crash_at in [2000u64, 6000, 12000] {
+        let log = Arc::new(MemDevice::with_len(64 * 1024));
+        let seg_inner = Arc::new(MemDevice::with_len(PAGE_SIZE));
+        let seg_fault = Arc::new(FaultDevice::new(seg_inner.clone(), CrashPlan::torn_at(crash_at)));
+        let seg_for_resolver = seg_fault.clone();
+        let resolver: rvm::segment::DeviceResolver = Arc::new(move |_n, min| {
+            use rvm_storage::Device;
+            if seg_for_resolver.as_ref().len().unwrap_or(0) < min {
+                seg_for_resolver.as_ref().set_len(min)?;
+            }
+            Ok(seg_for_resolver.clone() as Arc<dyn rvm_storage::Device>)
+        });
+        let mut committed = 0u64;
+        {
+            let rvm = Rvm::initialize(
+                Options::new(log.clone())
+                    .resolver(resolver)
+                    .tuning(Tuning {
+                        truncation_threshold: 0.15,
+                        ..Tuning::default()
+                    })
+                    .create_if_empty(),
+            )
+            .unwrap();
+            let Ok(region) = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)) else {
+                std::mem::forget(rvm);
+                continue;
+            };
+            for i in 1..=40u64 {
+                let Ok(mut txn) = rvm.begin_transaction(TxnMode::Restore) else { break };
+                if region.put_u64(&mut txn, (i % 16) * 8, i).is_err() {
+                    break;
+                }
+                match txn.commit(CommitMode::Flush) {
+                    Ok(()) => committed = i,
+                    Err(_) => break,
+                }
+            }
+            std::mem::forget(rvm);
+        }
+
+        // Reboot with the (possibly torn) segment image and intact log.
+        let seg_resolver = rvm::segment::MemResolver::new();
+        seg_resolver.resolve("seg", PAGE_SIZE).unwrap();
+        seg_resolver
+            .get("seg")
+            .unwrap()
+            .restore(seg_inner.snapshot());
+        let rvm = Rvm::initialize(
+            Options::new(log)
+                .resolver(seg_resolver.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let recovered: Vec<u64> = (0..16).map(|s| region.get_u64(s * 8).unwrap()).collect();
+        // Every acked transaction's slot holds a value >= what it wrote
+        // at its last update; full prefix semantics as in the crash
+        // matrix are guaranteed because the log survived.
+        for i in 1..=committed {
+            let slot = (i % 16) as usize;
+            let latest_writer = (1..=committed).rev().find(|j| j % 16 == i % 16).unwrap();
+            assert_eq!(
+                recovered[slot], latest_writer,
+                "crash_at {crash_at}: slot {slot}"
+            );
+        }
+    }
+}

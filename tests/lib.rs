@@ -1,0 +1,44 @@
+// Shared helpers for the workspace integration tests, `include!`d into
+// each test binary as `mod common`.
+
+use std::sync::Arc;
+
+use rvm::segment::MemResolver;
+use rvm::{Options, Rvm, Tuning};
+use rvm_storage::MemDevice;
+
+/// A self-contained world: one in-memory log plus shared segments, both
+/// surviving simulated reboots.
+pub struct World {
+    /// The log device.
+    pub log: Arc<MemDevice>,
+    /// Shared named segments.
+    pub segments: MemResolver,
+}
+
+impl World {
+    /// Creates a world with a log of `log_len` bytes.
+    pub fn new(log_len: u64) -> Self {
+        Self {
+            log: Arc::new(MemDevice::with_len(log_len)),
+            segments: MemResolver::new(),
+        }
+    }
+
+    /// Options bound to this world's devices.
+    pub fn options(&self) -> Options {
+        Options::new(self.log.clone())
+            .resolver(self.segments.clone().into_resolver())
+            .create_if_empty()
+    }
+
+    /// Boots an RVM instance (running recovery).
+    pub fn boot(&self) -> Rvm {
+        Rvm::initialize(self.options()).expect("initialize")
+    }
+
+    /// Boots with specific tuning.
+    pub fn boot_tuned(&self, tuning: Tuning) -> Rvm {
+        Rvm::initialize(self.options().tuning(tuning)).expect("initialize")
+    }
+}
