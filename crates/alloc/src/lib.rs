@@ -335,7 +335,9 @@ mod tests {
             } else {
                 let off = heap.alloc(&region, &mut txn, size).unwrap();
                 let tag = (i % 251) as u8;
-                region.write(&mut txn, off, &vec![tag; size as usize]).unwrap();
+                region
+                    .write(&mut txn, off, &vec![tag; size as usize])
+                    .unwrap();
                 live.push((off, size, tag));
             }
         }
@@ -438,7 +440,9 @@ mod tests {
     fn coalesce_merges_adjacent_free_blocks() {
         let (rvm, region, heap) = formatted();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-        let offs: Vec<u64> = (0..8).map(|_| heap.alloc(&region, &mut txn, 100).unwrap()).collect();
+        let offs: Vec<u64> = (0..8)
+            .map(|_| heap.alloc(&region, &mut txn, 100).unwrap())
+            .collect();
         for &o in &offs {
             heap.free(&region, &mut txn, o).unwrap();
         }

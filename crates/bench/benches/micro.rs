@@ -68,7 +68,9 @@ fn bench_commit(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-                region.write(&mut txn, (i * len) % (8 * PAGE_SIZE), &data).unwrap();
+                region
+                    .write(&mut txn, (i * len) % (8 * PAGE_SIZE), &data)
+                    .unwrap();
                 txn.commit(CommitMode::Flush).unwrap();
                 i += 1;
             });
@@ -79,7 +81,9 @@ fn bench_commit(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-                region.write(&mut txn, (i * len) % (8 * PAGE_SIZE), &data).unwrap();
+                region
+                    .write(&mut txn, (i * len) % (8 * PAGE_SIZE), &data)
+                    .unwrap();
                 txn.commit(CommitMode::NoFlush).unwrap();
                 i += 1;
             });
@@ -146,7 +150,9 @@ fn bench_recovery(c: &mut Criterion) {
                 },
                 |(log, segs)| {
                     Rvm::initialize(
-                        Options::new(log).resolver(segs.into_resolver()).create_if_empty(),
+                        Options::new(log)
+                            .resolver(segs.into_resolver())
+                            .create_if_empty(),
                     )
                     .unwrap()
                 },

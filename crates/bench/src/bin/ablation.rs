@@ -207,7 +207,10 @@ fn mode_ablation() {
         .unwrap();
 
     // Flush vs no-flush commit latency.
-    for (label, mode) in [("flush", CommitMode::Flush), ("no-flush", CommitMode::NoFlush)] {
+    for (label, mode) in [
+        ("flush", CommitMode::Flush),
+        ("no-flush", CommitMode::NoFlush),
+    ] {
         let before = clock.snapshot();
         let n = 200u64;
         for i in 0..n {
@@ -243,10 +246,7 @@ fn map_latency_ablation() {
         let before = clock.snapshot();
         // A 12 MiB region on the 1990s data disk.
         let region = rvm
-            .map_with(
-                &RegionDescriptor::new("seg", 0, 3072 * PAGE_SIZE),
-                policy,
-            )
+            .map_with(&RegionDescriptor::new("seg", 0, 3072 * PAGE_SIZE), policy)
             .unwrap();
         let map_latency = (clock.snapshot() - before).total;
         let before = clock.snapshot();

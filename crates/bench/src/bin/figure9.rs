@@ -68,10 +68,26 @@ fn main() {
         "Rmem/Pmem (percent)",
         "amortized CPU milliseconds per transaction",
         &[
-            Series { label: "RVM Sequential", marker: 'R', points: data[0].clone() },
-            Series { label: "RVM Random", marker: 'r', points: data[1].clone() },
-            Series { label: "Camelot Sequential", marker: 'C', points: data[3].clone() },
-            Series { label: "Camelot Random", marker: 'c', points: data[4].clone() },
+            Series {
+                label: "RVM Sequential",
+                marker: 'R',
+                points: data[0].clone(),
+            },
+            Series {
+                label: "RVM Random",
+                marker: 'r',
+                points: data[1].clone(),
+            },
+            Series {
+                label: "Camelot Sequential",
+                marker: 'C',
+                points: data[3].clone(),
+            },
+            Series {
+                label: "Camelot Random",
+                marker: 'c',
+                points: data[4].clone(),
+            },
         ],
         70,
         24,
@@ -82,8 +98,16 @@ fn main() {
         "Rmem/Pmem (percent)",
         "amortized CPU milliseconds per transaction",
         &[
-            Series { label: "RVM Localized", marker: 'R', points: data[2].clone() },
-            Series { label: "Camelot Localized", marker: 'C', points: data[5].clone() },
+            Series {
+                label: "RVM Localized",
+                marker: 'R',
+                points: data[2].clone(),
+            },
+            Series {
+                label: "Camelot Localized",
+                marker: 'C',
+                points: data[5].clone(),
+            },
         ],
         70,
         24,

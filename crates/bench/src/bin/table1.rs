@@ -36,7 +36,10 @@ fn main() {
         i += 1;
     }
 
-    println!("Table 1: Transactional Throughput (txn/s), mean (sd) of {} trials", cfg.trials);
+    println!(
+        "Table 1: Transactional Throughput (txn/s), mean (sd) of {} trials",
+        cfg.trials
+    );
     println!(
         "Benchmark: TPC-A variant (Section 7.1.1), {} transactions per trial",
         cfg.txns_per_trial

@@ -33,7 +33,16 @@ fn main() {
     println!();
     println!(
         "{:>8} {:>7} | {:>7} {:>12} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
-        "Machine", "Type", "Txns", "BytesToLog", "Intra%", "paper", "Inter%", "paper", "Total%", "paper"
+        "Machine",
+        "Type",
+        "Txns",
+        "BytesToLog",
+        "Intra%",
+        "paper",
+        "Inter%",
+        "paper",
+        "Total%",
+        "paper"
     );
     println!("{}", "-".repeat(110));
     for (profile, paper) in profiles().iter().zip(PAPER_TABLE2.iter()) {

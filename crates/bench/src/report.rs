@@ -46,10 +46,10 @@ pub fn ascii_plot(
     let mut grid = vec![vec![' '; width]; height];
     for s in series {
         for &(x, y) in &s.points {
-            let col = (((x - x_min) / (x_max - x_min).max(1e-12)) * (width - 1) as f64).round()
-                as usize;
-            let row = (((y_max - y) / (y_max - y_min).max(1e-12)) * (height - 1) as f64).round()
-                as usize;
+            let col =
+                (((x - x_min) / (x_max - x_min).max(1e-12)) * (width - 1) as f64).round() as usize;
+            let row =
+                (((y_max - y) / (y_max - y_min).max(1e-12)) * (height - 1) as f64).round() as usize;
             let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
             // First series wins on collision; later markers show as '+'.
             *cell = if *cell == ' ' { s.marker } else { '+' };

@@ -159,13 +159,16 @@ impl TpcaSystem for RvmTpca {
         // The real transaction.
         let mut rec = [0u8; 128];
         rec[..8].copy_from_slice(&self.counter.to_le_bytes());
-        let mut txn = self
-            .rvm
-            .begin_transaction(TxnMode::Restore)
-            .expect("begin");
-        self.region.write(&mut txn, account_off, &rec).expect("account");
-        self.region.write(&mut txn, teller_off, &rec).expect("teller");
-        self.region.write(&mut txn, branch_off, &rec).expect("branch");
+        let mut txn = self.rvm.begin_transaction(TxnMode::Restore).expect("begin");
+        self.region
+            .write(&mut txn, account_off, &rec)
+            .expect("account");
+        self.region
+            .write(&mut txn, teller_off, &rec)
+            .expect("teller");
+        self.region
+            .write(&mut txn, branch_off, &rec)
+            .expect("branch");
         self.region
             .write(&mut txn, audit_off, &rec[..64])
             .expect("audit");

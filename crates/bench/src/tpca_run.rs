@@ -159,17 +159,12 @@ pub fn run_cell(
             let seed = 0xC0DA + trial as u64 * 7919 + accounts;
             match kind {
                 SystemKind::Rvm => {
-                    let mut sys = RvmTpca::new(
-                        &cfg.machine,
-                        cfg.rvm_model.clone(),
-                        &cfg.log,
-                        accounts,
-                    );
+                    let mut sys =
+                        RvmTpca::new(&cfg.machine, cfg.rvm_model.clone(), &cfg.log, accounts);
                     run_trial(&mut sys, layout, pattern, cfg.txns_per_trial, seed)
                 }
                 SystemKind::Camelot => {
-                    let mut sys =
-                        CamelotTpca::new(&cfg.machine, cfg.camelot.clone(), accounts);
+                    let mut sys = CamelotTpca::new(&cfg.machine, cfg.camelot.clone(), accounts);
                     run_trial(&mut sys, layout, pattern, cfg.txns_per_trial, seed)
                 }
             }

@@ -418,7 +418,9 @@ mod tests {
         // A crude LCG for deterministic "random" offsets.
         let mut x = 12345u64;
         for _ in 0..2400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let account = (x >> 33) % (region / 128);
             one_txn(&mut rnd, account * 128);
         }

@@ -33,6 +33,8 @@ typedef enum {
     RVM_EIO = 11,
     RVM_ETERMINATED = 12,
     RVM_EPANIC = 13,
+    RVM_EPOISONED = 14,      /* instance poisoned by unrecoverable I/O */
+    RVM_EIO_TRANSIENT = 15,  /* transient fault exhausted its retries */
 } rvm_return_t;
 
 #define RVM_RESTORE 0     /* begin_transaction restore_mode values */

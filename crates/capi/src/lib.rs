@@ -67,6 +67,12 @@ pub enum RvmReturn {
     RvmETerminated = 12,
     /// A panic was caught at the FFI boundary (library bug).
     RvmEPanic = 13,
+    /// The instance is poisoned after an unrecoverable I/O failure; only
+    /// reads and `rvm_query` remain usable.
+    RvmEPoisoned = 14,
+    /// A transient device fault exhausted its retry budget; the operation
+    /// may succeed if reissued on a fresh instance.
+    RvmEIoTransient = 15,
 }
 
 /// `restore_mode` values for [`rvm_begin_transaction`].
@@ -80,6 +86,7 @@ pub const RVM_NO_FLUSH: c_int = 1;
 
 fn map_err(e: &RvmError) -> RvmReturn {
     match e {
+        RvmError::Device(d) if d.is_transient() => RvmReturn::RvmEIoTransient,
         RvmError::Device(_) => RvmReturn::RvmEIo,
         RvmError::BadLog(_) => RvmReturn::RvmELog,
         RvmError::LogFull { .. } => RvmReturn::RvmELogFull,
@@ -91,6 +98,7 @@ fn map_err(e: &RvmError) -> RvmReturn {
         RvmError::TransactionEnded => RvmReturn::RvmETidEnded,
         RvmError::TransactionsOutstanding(_) => RvmReturn::RvmETxnsOutstanding,
         RvmError::Terminated => RvmReturn::RvmETerminated,
+        RvmError::Poisoned => RvmReturn::RvmEPoisoned,
     }
 }
 
@@ -584,6 +592,8 @@ pub extern "C" fn rvm_strerror(code: RvmReturn) -> *const c_char {
         RvmReturn::RvmEIo => b"device I/O error\0",
         RvmReturn::RvmETerminated => b"library terminated\0",
         RvmReturn::RvmEPanic => b"internal panic\0",
+        RvmReturn::RvmEPoisoned => b"instance poisoned by unrecoverable I/O failure\0",
+        RvmReturn::RvmEIoTransient => b"transient device fault exhausted retries\0",
     };
     s.as_ptr() as *const c_char
 }
@@ -740,7 +750,13 @@ mod tests {
                 RvmReturn::RvmEInvalid
             );
             assert_eq!(
-                rvm_map(std::ptr::null_mut(), std::ptr::null(), 0, 0, std::ptr::null_mut()),
+                rvm_map(
+                    std::ptr::null_mut(),
+                    std::ptr::null(),
+                    0,
+                    0,
+                    std::ptr::null_mut()
+                ),
                 RvmReturn::RvmEInvalid
             );
             assert_eq!(rvm_flush(std::ptr::null_mut()), RvmReturn::RvmEInvalid);
@@ -773,6 +789,8 @@ mod tests {
             RvmReturn::RvmEIo,
             RvmReturn::RvmETerminated,
             RvmReturn::RvmEPanic,
+            RvmReturn::RvmEPoisoned,
+            RvmReturn::RvmEIoTransient,
         ] {
             let p = rvm_strerror(code);
             assert!(!p.is_null());
@@ -796,7 +814,10 @@ mod tests {
             rvm_begin_transaction(h, RVM_RESTORE, &mut tid);
             rvm_set_range(tid, r, 0, 4);
             rvm_region_base(r).write_bytes(0x5A, 4);
-            assert_eq!(rvm_end_transaction(tid, RVM_NO_FLUSH), RvmReturn::RvmSuccess);
+            assert_eq!(
+                rvm_end_transaction(tid, RVM_NO_FLUSH),
+                RvmReturn::RvmSuccess
+            );
             rvm_free_tid(tid);
             let mut q = RvmQuery::default();
             rvm_query(h, &mut q);

@@ -84,29 +84,155 @@ pub struct PaperRow {
 
 /// The paper's Table 2, verbatim.
 pub const PAPER_TABLE2: [PaperRow; 9] = [
-    PaperRow { name: "grieg", txns: 267_224, bytes: 289_215_032, intra_pct: 20.7, inter_pct: 0.0 },
-    PaperRow { name: "haydn", txns: 483_978, bytes: 661_612_324, intra_pct: 21.5, inter_pct: 0.0 },
-    PaperRow { name: "wagner", txns: 248_169, bytes: 264_557_372, intra_pct: 20.9, inter_pct: 0.0 },
-    PaperRow { name: "mozart", txns: 34_744, bytes: 9_039_008, intra_pct: 41.6, inter_pct: 26.7 },
-    PaperRow { name: "ives", txns: 21_013, bytes: 6_842_648, intra_pct: 31.2, inter_pct: 22.0 },
-    PaperRow { name: "verdi", txns: 21_907, bytes: 5_789_696, intra_pct: 28.1, inter_pct: 20.9 },
-    PaperRow { name: "bach", txns: 26_209, bytes: 10_787_736, intra_pct: 25.8, inter_pct: 21.9 },
-    PaperRow { name: "purcell", txns: 76_491, bytes: 12_247_508, intra_pct: 41.3, inter_pct: 36.2 },
-    PaperRow { name: "berlioz", txns: 101_168, bytes: 14_918_736, intra_pct: 17.3, inter_pct: 64.3 },
+    PaperRow {
+        name: "grieg",
+        txns: 267_224,
+        bytes: 289_215_032,
+        intra_pct: 20.7,
+        inter_pct: 0.0,
+    },
+    PaperRow {
+        name: "haydn",
+        txns: 483_978,
+        bytes: 661_612_324,
+        intra_pct: 21.5,
+        inter_pct: 0.0,
+    },
+    PaperRow {
+        name: "wagner",
+        txns: 248_169,
+        bytes: 264_557_372,
+        intra_pct: 20.9,
+        inter_pct: 0.0,
+    },
+    PaperRow {
+        name: "mozart",
+        txns: 34_744,
+        bytes: 9_039_008,
+        intra_pct: 41.6,
+        inter_pct: 26.7,
+    },
+    PaperRow {
+        name: "ives",
+        txns: 21_013,
+        bytes: 6_842_648,
+        intra_pct: 31.2,
+        inter_pct: 22.0,
+    },
+    PaperRow {
+        name: "verdi",
+        txns: 21_907,
+        bytes: 5_789_696,
+        intra_pct: 28.1,
+        inter_pct: 20.9,
+    },
+    PaperRow {
+        name: "bach",
+        txns: 26_209,
+        bytes: 10_787_736,
+        intra_pct: 25.8,
+        inter_pct: 21.9,
+    },
+    PaperRow {
+        name: "purcell",
+        txns: 76_491,
+        bytes: 12_247_508,
+        intra_pct: 41.3,
+        inter_pct: 36.2,
+    },
+    PaperRow {
+        name: "berlioz",
+        txns: 101_168,
+        bytes: 14_918_736,
+        intra_pct: 17.3,
+        inter_pct: 64.3,
+    },
 ];
 
 /// Calibrated per-machine profiles (servers first, like the paper).
 pub fn profiles() -> Vec<MachineProfile> {
     vec![
-        MachineProfile { name: "grieg", kind: MachineKind::Server, txns: 267_224 / SCALE, obj_size: 960, dup_intensity: 0.30, burst_mean: 1.0, flush_every: 0 },
-        MachineProfile { name: "haydn", kind: MachineKind::Server, txns: 483_978 / SCALE, obj_size: 1248, dup_intensity: 0.32, burst_mean: 1.0, flush_every: 0 },
-        MachineProfile { name: "wagner", kind: MachineKind::Server, txns: 248_169 / SCALE, obj_size: 944, dup_intensity: 0.31, burst_mean: 1.0, flush_every: 0 },
-        MachineProfile { name: "mozart", kind: MachineKind::Client, txns: 34_744 / SCALE, obj_size: 224, dup_intensity: 1.05, burst_mean: 2.0, flush_every: 64 },
-        MachineProfile { name: "ives", kind: MachineKind::Client, txns: 21_013 / SCALE, obj_size: 288, dup_intensity: 0.62, burst_mean: 1.45, flush_every: 64 },
-        MachineProfile { name: "verdi", kind: MachineKind::Client, txns: 21_907 / SCALE, obj_size: 240, dup_intensity: 0.55, burst_mean: 1.4, flush_every: 64 },
-        MachineProfile { name: "bach", kind: MachineKind::Client, txns: 26_209 / SCALE, obj_size: 368, dup_intensity: 0.44, burst_mean: 1.42, flush_every: 64 },
-        MachineProfile { name: "purcell", kind: MachineKind::Client, txns: 76_491 / SCALE, obj_size: 144, dup_intensity: 1.30, burst_mean: 3.1, flush_every: 64 },
-        MachineProfile { name: "berlioz", kind: MachineKind::Client, txns: 101_168 / SCALE, obj_size: 128, dup_intensity: 0.45, burst_mean: 7.5, flush_every: 64 },
+        MachineProfile {
+            name: "grieg",
+            kind: MachineKind::Server,
+            txns: 267_224 / SCALE,
+            obj_size: 960,
+            dup_intensity: 0.30,
+            burst_mean: 1.0,
+            flush_every: 0,
+        },
+        MachineProfile {
+            name: "haydn",
+            kind: MachineKind::Server,
+            txns: 483_978 / SCALE,
+            obj_size: 1248,
+            dup_intensity: 0.32,
+            burst_mean: 1.0,
+            flush_every: 0,
+        },
+        MachineProfile {
+            name: "wagner",
+            kind: MachineKind::Server,
+            txns: 248_169 / SCALE,
+            obj_size: 944,
+            dup_intensity: 0.31,
+            burst_mean: 1.0,
+            flush_every: 0,
+        },
+        MachineProfile {
+            name: "mozart",
+            kind: MachineKind::Client,
+            txns: 34_744 / SCALE,
+            obj_size: 224,
+            dup_intensity: 1.05,
+            burst_mean: 2.0,
+            flush_every: 64,
+        },
+        MachineProfile {
+            name: "ives",
+            kind: MachineKind::Client,
+            txns: 21_013 / SCALE,
+            obj_size: 288,
+            dup_intensity: 0.62,
+            burst_mean: 1.45,
+            flush_every: 64,
+        },
+        MachineProfile {
+            name: "verdi",
+            kind: MachineKind::Client,
+            txns: 21_907 / SCALE,
+            obj_size: 240,
+            dup_intensity: 0.55,
+            burst_mean: 1.4,
+            flush_every: 64,
+        },
+        MachineProfile {
+            name: "bach",
+            kind: MachineKind::Client,
+            txns: 26_209 / SCALE,
+            obj_size: 368,
+            dup_intensity: 0.44,
+            burst_mean: 1.42,
+            flush_every: 64,
+        },
+        MachineProfile {
+            name: "purcell",
+            kind: MachineKind::Client,
+            txns: 76_491 / SCALE,
+            obj_size: 144,
+            dup_intensity: 1.30,
+            burst_mean: 3.1,
+            flush_every: 64,
+        },
+        MachineProfile {
+            name: "berlioz",
+            kind: MachineKind::Client,
+            txns: 101_168 / SCALE,
+            obj_size: 128,
+            dup_intensity: 0.45,
+            burst_mean: 7.5,
+            flush_every: 64,
+        },
     ]
 }
 
@@ -177,7 +303,10 @@ pub fn run_machine(profile: &MachineProfile, seed: u64) -> MachineRow {
                 burst_step += 1;
                 // The directory block grows a little with each entry; a
                 // later rewrite covers all earlier ones.
-                (burst_obj, (profile.obj_size + burst_step * 8).min(profile.obj_size * 2))
+                (
+                    burst_obj,
+                    (profile.obj_size + burst_step * 8).min(profile.obj_size * 2),
+                )
             }
         };
         let base = obj * profile.obj_size * 2;
@@ -203,7 +332,8 @@ pub fn run_machine(profile: &MachineProfile, seed: u64) -> MachineRow {
         txn.commit(mode).expect("commit");
         committed += 1;
 
-        if profile.kind == MachineKind::Client && profile.flush_every > 0
+        if profile.kind == MachineKind::Client
+            && profile.flush_every > 0
             && committed % profile.flush_every == 0
         {
             rvm.flush().expect("flush");

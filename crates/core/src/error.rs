@@ -58,6 +58,14 @@ pub enum RvmError {
     TransactionsOutstanding(u64),
     /// The library instance has been terminated.
     Terminated,
+    /// The library instance is poisoned: an unrecoverable I/O failure was
+    /// hit on the commit or truncation path after retries were exhausted.
+    /// In-memory log cursors were rolled back so they never diverge from
+    /// the durable image; reads of mapped regions still work, but
+    /// `begin_transaction`, commit, `flush`, and truncation all fail fast
+    /// with this error. Recover by re-running `Rvm::initialize` over the
+    /// surviving log image.
+    Poisoned,
 }
 
 impl fmt::Display for RvmError {
@@ -93,6 +101,10 @@ impl fmt::Display for RvmError {
                 write!(f, "cannot terminate: {n} transaction(s) outstanding")
             }
             RvmError::Terminated => write!(f, "RVM instance has been terminated"),
+            RvmError::Poisoned => write!(
+                f,
+                "RVM instance is poisoned after an unrecoverable I/O failure"
+            ),
         }
     }
 }

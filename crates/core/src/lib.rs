@@ -65,6 +65,11 @@
 //!   switchable for ablation.
 //! * No-restore and no-flush transaction modes, `flush`/`truncate` log
 //!   control, `query`/`set_options` introspection and tuning.
+//! * Transient-fault tolerance: bounded retry with deterministic backoff
+//!   at every device touchpoint ([`RetryPolicy`]), and fail-fast
+//!   *poisoning* ([`RvmError::Poisoned`]) when an unrecoverable I/O
+//!   failure lands mid-commit, keeping in-memory cursors and the durable
+//!   image consistent.
 //!
 //! Layered packages live in sibling crates, as the paper suggests (§8):
 //! `rvm-alloc` (recoverable heap), `rvm-loader` (segment loader),
@@ -78,6 +83,7 @@ pub mod query;
 pub mod ranges;
 pub mod recovery;
 mod region;
+mod retry;
 mod rvm;
 pub mod segment;
 mod spool;
@@ -91,6 +97,7 @@ pub use options::{CommitMode, LoadPolicy, Options, TruncationMode, Tuning, TxnMo
 pub use query::{LogInfo, QueryInfo};
 pub use recovery::RecoveryReport;
 pub use region::{Region, RegionDescriptor};
+pub use retry::{thread_sleeper, BackoffSleeper, RetryPolicy};
 pub use rvm::Rvm;
 pub use stats::StatsSnapshot;
 pub use txn::Transaction;

@@ -152,7 +152,13 @@ fn get_u64(buf: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(buf[at..at + 8].try_into().expect("slice length checked"))
 }
 
-fn encode(kind: RecordKind, seq: u64, tid: u64, ranges: &[RecordRange], payload_len: u64) -> Vec<u8> {
+fn encode(
+    kind: RecordKind,
+    seq: u64,
+    tid: u64,
+    ranges: &[RecordRange],
+    payload_len: u64,
+) -> Vec<u8> {
     let total = padded_len(payload_len) as usize;
     let mut buf = vec![0u8; total];
 

@@ -273,9 +273,15 @@ mod tests {
     #[test]
     fn lookups() {
         let sb = sample();
-        assert_eq!(sb.segment_by_name("accounts").unwrap().id, SegmentId::new(1));
+        assert_eq!(
+            sb.segment_by_name("accounts").unwrap().id,
+            SegmentId::new(1)
+        );
         assert!(sb.segment_by_name("missing").is_none());
-        assert_eq!(sb.segment_by_id(SegmentId::new(0)).unwrap().name, "/data/seg0");
+        assert_eq!(
+            sb.segment_by_id(SegmentId::new(0)).unwrap().name,
+            "/data/seg0"
+        );
     }
 
     #[test]
@@ -298,11 +304,64 @@ mod tests {
         let mut sb = read_status(&dev).unwrap();
         sb.head = 512;
         write_status(&dev, &mut sb).unwrap(); // seq 2 -> copy A
-        // Corrupt copy A, as a torn write would.
+                                              // Corrupt copy A, as a torn write would.
         dev.write_at(STATUS_A_OFFSET + 100, &[0xFF; 8]).unwrap();
         let got = read_status(&dev).unwrap();
         assert_eq!(got.seq, 1, "falls back to copy B");
         assert_eq!(got.head, 0);
+    }
+
+    fn raw_copy(dev: &MemDevice, offset: u64) -> Option<StatusBlock> {
+        let mut buf = vec![0u8; STATUS_BLOCK_SIZE as usize];
+        dev.read_at(offset, &mut buf).unwrap();
+        StatusBlock::decode(&buf)
+    }
+
+    #[test]
+    fn write_status_alternates_copies() {
+        let dev = MemDevice::with_len(LOG_AREA_START + 4096);
+        format_log(&dev).unwrap();
+        let mut sb = read_status(&dev).unwrap();
+        for i in 0..6u64 {
+            sb.head = 1000 + i;
+            write_status(&dev, &mut sb).unwrap();
+            let a = raw_copy(&dev, STATUS_A_OFFSET).unwrap();
+            let b = raw_copy(&dev, STATUS_B_OFFSET).unwrap();
+            // Even seqs land in copy A, odd in copy B; the other copy
+            // still holds the immediately preceding write.
+            let (newer, older) = if sb.seq % 2 == 0 { (a, b) } else { (b, a) };
+            assert_eq!(newer.seq, sb.seq);
+            assert_eq!(newer.head, 1000 + i);
+            assert_eq!(older.seq, sb.seq - 1);
+        }
+    }
+
+    #[test]
+    fn torn_write_never_loses_both_copies() {
+        // Whichever copy a torn status write destroys, the previous
+        // status survives, because alternation targets the copy the last
+        // write did *not*.
+        for torn_copy in 0..2u64 {
+            let dev = MemDevice::with_len(LOG_AREA_START + 4096);
+            format_log(&dev).unwrap();
+            let mut sb = read_status(&dev).unwrap();
+            // Advance until the next write lands on the copy we tear.
+            while (sb.seq + 1) % 2 != torn_copy {
+                write_status(&dev, &mut sb).unwrap();
+            }
+            let prev = read_status(&dev).unwrap();
+            sb.head = 12_345;
+            write_status(&dev, &mut sb).unwrap();
+            let target = if torn_copy == 0 {
+                STATUS_A_OFFSET
+            } else {
+                STATUS_B_OFFSET
+            };
+            dev.write_at(target + 64, &[0xAB; 16]).unwrap();
+            let got = read_status(&dev).unwrap();
+            assert_eq!(got.seq, prev.seq, "previous status survives");
+            assert_eq!(got.head, prev.head);
+        }
     }
 
     #[test]

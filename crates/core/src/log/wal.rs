@@ -52,7 +52,14 @@ pub struct Wal {
 impl Wal {
     /// Creates a writer over `dev` with geometry and positions from the
     /// status block / recovery.
-    pub fn new(dev: Arc<dyn Device>, area_len: u64, head: u64, tail: u64, seq_at_head: u64, next_seq: u64) -> Self {
+    pub fn new(
+        dev: Arc<dyn Device>,
+        area_len: u64,
+        head: u64,
+        tail: u64,
+        seq_at_head: u64,
+        next_seq: u64,
+    ) -> Self {
         debug_assert!(head <= tail && tail - head <= area_len);
         Self {
             dev,
@@ -133,6 +140,23 @@ impl Wal {
     /// error is [`RvmError::LogFull`] with `capacity` set to the free
     /// space — callers distinguish by comparing against [`Wal::capacity`].
     pub fn append_txn(&mut self, tid: u64, ranges: &[RecordRange]) -> Result<AppendInfo> {
+        // A failed append must leave the in-memory cursors exactly where
+        // they were: if the pad record persisted but the txn record did
+        // not (or either write failed outright), an advanced `tail` /
+        // `next_seq` would diverge from what a recovery scan of the
+        // durable image accepts. Restoring both makes a failed append
+        // harmless — a healed device can simply re-append, rewriting the
+        // identical pad bytes.
+        let (tail0, seq0) = (self.tail, self.next_seq);
+        let result = self.append_txn_inner(tid, ranges);
+        if result.is_err() {
+            self.tail = tail0;
+            self.next_seq = seq0;
+        }
+        result
+    }
+
+    fn append_txn_inner(&mut self, tid: u64, ranges: &[RecordRange]) -> Result<AppendInfo> {
         let padded = record::txn_record_size(ranges.iter().map(|r| r.data.len() as u64));
         if padded > self.area_len {
             return Err(RvmError::LogFull {
@@ -344,7 +368,9 @@ mod tests {
     fn append_then_scan_round_trips() {
         let mut wal = mk_wal(1 << 16);
         let a = wal.append_txn(1, &[range(0, 0, 0xAA, 100)]).unwrap();
-        let b = wal.append_txn(2, &[range(0, 100, 0xBB, 50), range(1, 0, 0xCC, 10)]).unwrap();
+        let b = wal
+            .append_txn(2, &[range(0, 100, 0xBB, 50), range(1, 0, 0xCC, 10)])
+            .unwrap();
         wal.force().unwrap();
         assert_eq!(a.seq, 1);
         assert_eq!(b.seq, 2);
@@ -449,8 +475,7 @@ mod tests {
         wal.append_txn(1, &[range(0, 0, 1, 10)]).unwrap();
         let split = wal.tail();
         wal.append_txn(2, &[range(0, 0, 2, 10)]).unwrap();
-        let scan =
-            scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, Some(split)).unwrap();
+        let scan = scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, Some(split)).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.tail, split);
     }
@@ -472,11 +497,71 @@ mod tests {
     }
 
     #[test]
+    fn failed_append_restores_cursors() {
+        use rvm_storage::{FaultOp, FlakyDevice, FlakyFault};
+        let area = 8 * LOG_BLOCK;
+        let mem = Arc::new(MemDevice::with_len(LOG_AREA_START + area));
+        // Fail the 4th write: txn 1 and 2 are writes 1-2, the pad at the
+        // lap end is write 3, and the wrapped txn-3 record is write 4 —
+        // the exact "pad persisted, record not" divergence window.
+        let dev = Arc::new(FlakyDevice::new(
+            Arc::clone(&mem),
+            vec![FlakyFault::transient(FaultOp::Write, 4)],
+        ));
+        let mut wal = Wal::new(dev, area, 0, 0, 1, 1);
+        wal.append_txn(1, &[range(0, 0, 1, 1000)]).unwrap();
+        wal.append_txn(2, &[range(0, 0, 2, 1000)]).unwrap();
+        wal.advance_head(3 * LOG_BLOCK, 2);
+        let (tail0, seq0) = (wal.tail(), wal.next_seq());
+        let err = wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap_err();
+        assert!(matches!(err, RvmError::Device(_)));
+        assert_eq!(wal.tail(), tail0, "tail restored after failed append");
+        assert_eq!(wal.next_seq(), seq0, "next_seq restored");
+        // The device healed; re-appending succeeds (pad is rewritten
+        // byte-identically) and the log scans clean.
+        let info = wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap();
+        assert_eq!(info.offset, 8 * LOG_BLOCK, "record starts on next lap");
+        let scan = scan_forward(
+            wal.device().as_ref(),
+            wal.capacity(),
+            wal.head(),
+            wal.seq_at_head(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].1.tid, 3);
+        assert_eq!(scan.tail, wal.tail());
+        assert_eq!(scan.next_seq, wal.next_seq());
+    }
+
+    #[test]
+    fn failed_pad_write_restores_cursors() {
+        use rvm_storage::{FaultOp, FlakyDevice, FlakyFault};
+        let area = 8 * LOG_BLOCK;
+        let mem = Arc::new(MemDevice::with_len(LOG_AREA_START + area));
+        // Write 3 is the pad record itself.
+        let dev = Arc::new(FlakyDevice::new(
+            mem,
+            vec![FlakyFault::transient(FaultOp::Write, 3)],
+        ));
+        let mut wal = Wal::new(dev, area, 0, 0, 1, 1);
+        wal.append_txn(1, &[range(0, 0, 1, 1000)]).unwrap();
+        wal.append_txn(2, &[range(0, 0, 2, 1000)]).unwrap();
+        wal.advance_head(3 * LOG_BLOCK, 2);
+        let (tail0, seq0) = (wal.tail(), wal.next_seq());
+        assert!(wal.append_txn(3, &[range(0, 0, 3, 1000)]).is_err());
+        assert_eq!((wal.tail(), wal.next_seq()), (tail0, seq0));
+        wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap();
+    }
+
+    #[test]
     fn backward_scan_matches_forward_scan() {
         let area = 16 * LOG_BLOCK;
         let mut wal = mk_wal(area);
         for tid in 1..=5u64 {
-            wal.append_txn(tid, &[range(0, tid * 8, tid as u8, 100)]).unwrap();
+            wal.append_txn(tid, &[range(0, tid * 8, tid as u8, 100)])
+                .unwrap();
         }
         let forward = scan_forward(wal.device().as_ref(), area, 0, 1, None).unwrap();
         let mut backward = scan_backward(

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use rvm_storage::Device;
 
+use crate::retry::{thread_sleeper, BackoffSleeper, RetryPolicy};
 use crate::segment::{file_resolver, DeviceResolver};
 
 /// Region page size; mappings must be multiples of this and page-aligned
@@ -121,6 +122,12 @@ pub struct Options {
     /// If the log device is not yet an RVM log, format it (equivalent to
     /// calling `create_log` first).
     pub create_if_empty: bool,
+    /// Bounded retry of transient device faults at every touchpoint.
+    pub retry: RetryPolicy,
+    /// How retry backoff sleeps. Defaults to a real thread sleep; tests
+    /// inject a closure that charges a simulated clock so retries are
+    /// instant.
+    pub retry_sleeper: BackoffSleeper,
 }
 
 impl Options {
@@ -132,6 +139,8 @@ impl Options {
             resolver: file_resolver(),
             tuning: Tuning::default(),
             create_if_empty: false,
+            retry: RetryPolicy::default(),
+            retry_sleeper: thread_sleeper(),
         }
     }
 
@@ -150,6 +159,18 @@ impl Options {
     /// Formats the log automatically if the device is not an RVM log.
     pub fn create_if_empty(mut self) -> Self {
         self.create_if_empty = true;
+        self
+    }
+
+    /// Replaces the transient-fault retry policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the backoff sleeper (tests: charge a simulated clock).
+    pub fn retry_sleeper(mut self, sleeper: BackoffSleeper) -> Self {
+        self.retry_sleeper = sleeper;
         self
     }
 }
@@ -179,5 +200,15 @@ mod tests {
             .create_if_empty();
         assert!(opts.create_if_empty);
         assert_eq!(opts.tuning.truncation_threshold, 0.8);
+    }
+
+    #[test]
+    fn retry_builder_chains() {
+        let opts = Options::new(Arc::new(MemDevice::with_len(1 << 20)))
+            .retry_policy(RetryPolicy::none())
+            .retry_sleeper(Arc::new(|_| {}));
+        assert_eq!(opts.retry.max_retries, 0);
+        let defaults = Options::new(Arc::new(MemDevice::with_len(1 << 20)));
+        assert_eq!(defaults.retry, RetryPolicy::default());
     }
 }

@@ -32,6 +32,9 @@ pub struct QueryInfo {
     pub queued_pages: usize,
     /// Log geometry.
     pub log: LogInfo,
+    /// Whether the instance is poisoned (see
+    /// [`RvmError::Poisoned`](crate::RvmError::Poisoned)).
+    pub poisoned: bool,
     /// Operation counters.
     pub stats: StatsSnapshot,
 }

@@ -210,7 +210,11 @@ mod tests {
         let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
         assert_eq!(rec.report.segments_updated, 2);
         let mut buf = [0u8; 8];
-        resolver.get("segB").unwrap().read_at(100, &mut buf).unwrap();
+        resolver
+            .get("segB")
+            .unwrap()
+            .read_at(100, &mut buf)
+            .unwrap();
         assert_eq!(buf, [9; 8]);
     }
 

@@ -92,8 +92,7 @@ unsafe impl Sync for RegionMemory {}
 impl RegionMemory {
     pub(crate) fn alloc(len: usize) -> Self {
         assert!(len > 0, "regions are never empty");
-        let layout =
-            Layout::from_size_align(len, PAGE_SIZE as usize).expect("valid region layout");
+        let layout = Layout::from_size_align(len, PAGE_SIZE as usize).expect("valid region layout");
         // SAFETY: layout has non-zero size (asserted above).
         let raw = unsafe { alloc_zeroed(layout) };
         let ptr = NonNull::new(raw).expect("region allocation failed");
@@ -116,7 +115,11 @@ impl RegionMemory {
         // SAFETY: bounds guaranteed by the caller; regions of distinct
         // allocations never overlap.
         unsafe {
-            std::ptr::copy_nonoverlapping(self.ptr.as_ptr().add(offset), buf.as_mut_ptr(), buf.len());
+            std::ptr::copy_nonoverlapping(
+                self.ptr.as_ptr().add(offset),
+                buf.as_mut_ptr(),
+                buf.len(),
+            );
         }
     }
 
@@ -221,8 +224,7 @@ impl RegionInner {
                 let page_off = page as u64 * PAGE_SIZE;
                 let page_len = PAGE_SIZE.min(self.len - page_off) as usize;
                 let mut buf = vec![0u8; page_len];
-                self.seg_dev
-                    .read_at(self.seg_offset + page_off, &mut buf)?;
+                self.seg_dev.read_at(self.seg_offset + page_off, &mut buf)?;
                 let _guard = self.mem_lock.write();
                 // SAFETY: exclusive lock held; bounds derived from the
                 // region length.
@@ -474,7 +476,9 @@ mod tests {
             .is_ok());
         assert!(RegionDescriptor::new("s", 0, 0).validate().is_err());
         assert!(RegionDescriptor::new("s", 0, 100).validate().is_err());
-        assert!(RegionDescriptor::new("s", 100, PAGE_SIZE).validate().is_err());
+        assert!(RegionDescriptor::new("s", 100, PAGE_SIZE)
+            .validate()
+            .is_err());
     }
 
     #[test]

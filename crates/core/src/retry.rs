@@ -1,0 +1,253 @@
+//! Bounded retry of transient device failures.
+//!
+//! Every device touchpoint in the library — log append and force,
+//! status-block writes, segment writes during recovery and truncation —
+//! goes through a [`Retrier`]: an operation that fails with a *transient*
+//! error (per [`rvm_storage::DeviceError::is_transient`]) is retried up to
+//! [`RetryPolicy::max_retries`] times with deterministic linear backoff.
+//! The backoff sleeps through an injectable [`BackoffSleeper`], so tests
+//! charge a simulated clock instead of wall time and run instantly.
+//!
+//! When retries exhaust — or the error was never transient — the failure
+//! propagates and the caller decides whether the instance must be
+//! poisoned (see `RvmError::Poisoned`).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rvm_storage::Device;
+
+use crate::segment::DeviceResolver;
+use crate::stats::FaultCounters;
+
+/// Sleeps for a backoff interval. The default sleeps the OS thread;
+/// tests inject a closure that charges a `simclock::Clock` instead.
+pub type BackoffSleeper = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// A sleeper that blocks the calling thread for real.
+pub fn thread_sleeper() -> BackoffSleeper {
+    Arc::new(|d: Duration| {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    })
+}
+
+/// Bounded-retry policy for transient device faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure; 0 disables retry entirely.
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` (1-based) sleeps `backoff * n` —
+    /// deterministic linear backoff, no jitter, so schedules replay.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure propagates immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// Executes device operations under a [`RetryPolicy`], charging the
+/// shared [`FaultCounters`].
+#[derive(Clone)]
+pub(crate) struct Retrier {
+    policy: RetryPolicy,
+    sleeper: BackoffSleeper,
+    counters: Arc<FaultCounters>,
+}
+
+impl Retrier {
+    pub(crate) fn new(
+        policy: RetryPolicy,
+        sleeper: BackoffSleeper,
+        counters: Arc<FaultCounters>,
+    ) -> Self {
+        Retrier {
+            policy,
+            sleeper,
+            counters,
+        }
+    }
+
+    /// Runs `f`, retrying transient failures per the policy.
+    pub(crate) fn run<T>(
+        &self,
+        mut f: impl FnMut() -> rvm_storage::Result<T>,
+    ) -> rvm_storage::Result<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match f() {
+                Ok(v) => {
+                    if attempt > 0 {
+                        self.counters
+                            .transient_faults_healed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.counters.io_retries.fetch_add(1, Ordering::Relaxed);
+                    (self.sleeper)(self.policy.backoff * attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A [`Device`] wrapper that retries transient failures of every
+/// operation. This is what `Rvm::initialize` wraps the log device (and,
+/// via [`retry_resolver`], every segment device) in.
+pub(crate) struct RetryDevice {
+    inner: Arc<dyn Device>,
+    retrier: Retrier,
+}
+
+impl RetryDevice {
+    pub(crate) fn new(inner: Arc<dyn Device>, retrier: Retrier) -> Self {
+        RetryDevice { inner, retrier }
+    }
+}
+
+impl Device for RetryDevice {
+    fn len(&self) -> rvm_storage::Result<u64> {
+        self.retrier.run(|| self.inner.len())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> rvm_storage::Result<()> {
+        self.retrier.run(|| self.inner.read_at(offset, buf))
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> rvm_storage::Result<()> {
+        self.retrier.run(|| self.inner.write_at(offset, buf))
+    }
+
+    fn sync(&self) -> rvm_storage::Result<()> {
+        self.retrier.run(|| self.inner.sync())
+    }
+
+    fn set_len(&self, len: u64) -> rvm_storage::Result<()> {
+        self.retrier.run(|| self.inner.set_len(len))
+    }
+}
+
+/// Wraps a resolver so every device it hands out retries transient
+/// failures. Covers segment writes in recovery and truncation.
+pub(crate) fn retry_resolver(inner: DeviceResolver, retrier: Retrier) -> DeviceResolver {
+    Arc::new(move |name: &str, min_len: u64| {
+        let dev = inner(name, min_len)?;
+        Ok(Arc::new(RetryDevice::new(dev, retrier.clone())) as Arc<dyn Device>)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::DeviceError;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    fn retrier(policy: RetryPolicy) -> (Retrier, Arc<FaultCounters>, Arc<Mutex<Vec<Duration>>>) {
+        let counters = Arc::new(FaultCounters::default());
+        let sleeps = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&sleeps);
+        let sleeper: BackoffSleeper = Arc::new(move |d| s2.lock().unwrap().push(d));
+        (
+            Retrier::new(policy, sleeper, Arc::clone(&counters)),
+            counters,
+            sleeps,
+        )
+    }
+
+    fn flaky_op(fail_first: u64, transient: bool) -> impl FnMut() -> rvm_storage::Result<u64> {
+        let calls = AtomicU64::new(0);
+        move || {
+            let n = calls.fetch_add(1, Ordering::Relaxed);
+            if n < fail_first {
+                Err(DeviceError::Injected {
+                    op: rvm_storage::FaultOp::Write,
+                    transient,
+                })
+            } else {
+                Ok(n)
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fault_heals_within_budget() {
+        let (r, counters, sleeps) = retrier(RetryPolicy::default());
+        let v = r.run(flaky_op(2, true)).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(counters.io_retries.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.transient_faults_healed.load(Ordering::Relaxed), 1);
+        // Linear backoff: base * 1, base * 2.
+        let base = RetryPolicy::default().backoff;
+        assert_eq!(*sleeps.lock().unwrap(), vec![base, base * 2]);
+    }
+
+    #[test]
+    fn budget_exhaustion_propagates() {
+        let (r, counters, _) = retrier(RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        });
+        let err = r.run(flaky_op(10, true)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(counters.io_retries.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.transient_faults_healed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn permanent_fault_is_not_retried() {
+        let (r, counters, _) = retrier(RetryPolicy::default());
+        let err = r.run(flaky_op(1, false)).unwrap_err();
+        assert!(!err.is_transient());
+        assert_eq!(counters.io_retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_retry() {
+        let (r, counters, _) = retrier(RetryPolicy::none());
+        assert!(r.run(flaky_op(1, true)).is_err());
+        assert_eq!(counters.io_retries.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn retry_device_heals_flaky_writes() {
+        use rvm_storage::{FaultOp, FlakyDevice, FlakyFault, MemDevice};
+        let mem = Arc::new(MemDevice::with_len(4096));
+        let flaky = Arc::new(FlakyDevice::new(
+            Arc::clone(&mem),
+            vec![
+                FlakyFault::transient(FaultOp::Write, 1),
+                FlakyFault::transient(FaultOp::Sync, 1),
+            ],
+        ));
+        let (r, counters, _) = retrier(RetryPolicy::default());
+        let dev = RetryDevice::new(flaky, r);
+        dev.write_at(0, b"hello").unwrap();
+        dev.sync().unwrap();
+        let mut buf = [0u8; 5];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(counters.transient_faults_healed.load(Ordering::Relaxed), 2);
+    }
+}

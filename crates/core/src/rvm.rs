@@ -18,6 +18,7 @@ use crate::query::{LogInfo, QueryInfo};
 use crate::ranges::{ByteRange, IntervalMap};
 use crate::recovery::{recover, RecoveryReport};
 use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
+use crate::retry::{retry_resolver, Retrier, RetryDevice};
 use crate::segment::{DeviceResolver, SegmentId, SegmentInfo};
 use crate::spool::{Spool, SpooledTxn};
 use crate::stats::{Stats, StatsSnapshot};
@@ -54,6 +55,9 @@ pub(crate) struct RvmShared {
     next_region_id: AtomicU64,
     pub(crate) active_txns: AtomicU64,
     terminated: AtomicBool,
+    /// Set when an unrecoverable I/O failure left the durable image ahead
+    /// of what callers were told; see [`RvmError::Poisoned`].
+    poisoned: AtomicBool,
     bg_wakeup: Mutex<bool>,
     bg_condvar: Condvar,
 }
@@ -102,7 +106,18 @@ impl Rvm {
     /// Initializes the library over an existing (or, with
     /// [`Options::create_if_empty`], fresh) log and runs crash recovery.
     pub fn initialize(options: Options) -> Result<Self> {
-        let dev = options.log.clone();
+        // Every device touchpoint — the log and every resolved segment,
+        // including those recovery writes to below — goes through the
+        // bounded-retry layer. The counters live in `stats` so retries
+        // during recovery are visible in the first `query`.
+        let stats = Stats::default();
+        let retrier = Retrier::new(
+            options.retry,
+            options.retry_sleeper.clone(),
+            stats.fault.clone(),
+        );
+        let dev: Arc<dyn Device> = Arc::new(RetryDevice::new(options.log.clone(), retrier.clone()));
+        let resolver = retry_resolver(options.resolver.clone(), retrier);
         let status = match read_status(dev.as_ref()) {
             Ok(s) => s,
             Err(_) if options.create_if_empty => format_log(dev.as_ref())?,
@@ -116,7 +131,7 @@ impl Rvm {
             )));
         }
 
-        let recovered = recover(&dev, status, &options.resolver)?;
+        let recovered = recover(&dev, status, &resolver)?;
         let status = recovered.status;
         let wal = Wal::new(
             dev.clone(),
@@ -129,9 +144,9 @@ impl Rvm {
 
         let shared = Arc::new(RvmShared {
             dev,
-            resolver: options.resolver,
+            resolver,
             tuning: RwLock::new(options.tuning.clone()),
-            stats: Stats::default(),
+            stats,
             core: Mutex::new(Core {
                 wal,
                 status_seq: status.seq,
@@ -146,6 +161,7 @@ impl Rvm {
             next_region_id: AtomicU64::new(1),
             active_txns: AtomicU64::new(0),
             terminated: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             bg_wakeup: Mutex::new(false),
             bg_condvar: Condvar::new(),
         });
@@ -177,9 +193,18 @@ impl Rvm {
     fn check_live(&self) -> Result<()> {
         if self.shared.terminated.load(Ordering::Acquire) {
             Err(RvmError::Terminated)
+        } else if self.shared.poisoned.load(Ordering::Acquire) {
+            Err(RvmError::Poisoned)
         } else {
             Ok(())
         }
+    }
+
+    /// Whether the instance is poisoned (see [`RvmError::Poisoned`]).
+    /// Reads of already-mapped regions keep working on a poisoned
+    /// instance; everything that touches the log fails fast.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.poisoned.load(Ordering::Acquire)
     }
 
     /// Maps a region of an external data segment into recoverable memory
@@ -240,11 +265,7 @@ impl Rvm {
                 if new_range.start < existing.end && existing.start < new_range.end {
                     return Err(RvmError::BadMapping(format!(
                         "[{}, {}) of '{}' overlaps the mapped region [{}, {})",
-                        new_range.start,
-                        new_range.end,
-                        desc.segment,
-                        existing.start,
-                        existing.end
+                        new_range.start, new_range.end, desc.segment, existing.start, existing.end
                     )));
                 }
             }
@@ -253,15 +274,18 @@ impl Rvm {
         let min_len = desc.offset + desc.len;
         let seg_dev = self.shared.segment_device(&mut core, seg_id, min_len)?;
         if status_dirty {
-            shared.write_status_locked(&mut core)?;
+            let r = shared.write_status_locked(&mut core);
+            shared.guard_io(r)?;
         }
 
         // Guarantee the mapped image is the committed one: if live log
         // records or spooled commits reference this segment, reflect them
         // into the device first.
         if core.segs_in_log.contains(&seg_id.as_u32()) || core.spool.references(seg_id) {
-            shared.flush_spool_locked(&mut core)?;
-            shared.epoch_truncate_locked(&mut core)?;
+            let r = shared.flush_spool_locked(&mut core);
+            shared.guard_io(r)?;
+            let r = shared.epoch_truncate_locked(&mut core);
+            shared.guard_io(r)?;
         }
 
         let inner = Arc::new(RegionInner {
@@ -278,9 +302,7 @@ impl Rvm {
             page_vector: Mutex::new(PageVector::new(desc.len)),
             unloaded: Mutex::new(match policy {
                 LoadPolicy::Eager => None,
-                LoadPolicy::OnDemand => {
-                    Some(vec![true; desc.len.div_ceil(PAGE_SIZE) as usize])
-                }
+                LoadPolicy::OnDemand => Some(vec![true; desc.len.div_ceil(PAGE_SIZE) as usize]),
             }),
         });
         if policy == LoadPolicy::Eager {
@@ -316,7 +338,8 @@ impl Rvm {
     pub fn flush(&self) -> Result<()> {
         self.check_live()?;
         let mut core = self.shared.core.lock();
-        self.shared.flush_spool_locked(&mut core)
+        let r = self.shared.flush_spool_locked(&mut core);
+        self.shared.guard_io(r)
     }
 
     /// Applies every committed change in the write-ahead log to its data
@@ -326,7 +349,8 @@ impl Rvm {
     pub fn truncate(&self) -> Result<()> {
         self.check_live()?;
         let mut core = self.shared.core.lock();
-        self.shared.epoch_truncate_locked(&mut core)?;
+        let r = self.shared.epoch_truncate_locked(&mut core);
+        self.shared.guard_io(r)?;
         Ok(())
     }
 
@@ -356,6 +380,7 @@ impl Rvm {
                 capacity: core.wal.capacity(),
                 utilization: core.wal.utilization(),
             },
+            poisoned: self.shared.poisoned.load(Ordering::Acquire),
             stats: self.shared.stats.snapshot(),
         }
     }
@@ -390,9 +415,17 @@ impl Rvm {
         if let Some(handle) = self.bg_thread.take() {
             let _ = handle.join();
         }
+        // A poisoned instance must not touch the durable image again: the
+        // surviving log already holds the committed prefix, and a final
+        // status write could advance past records that never made it out.
+        if self.shared.poisoned.load(Ordering::Acquire) {
+            return Err(RvmError::Poisoned);
+        }
         let mut core = self.shared.core.lock();
-        self.shared.flush_spool_locked(&mut core)?;
-        self.shared.write_status_locked(&mut core)?;
+        let r = self.shared.flush_spool_locked(&mut core);
+        self.shared.guard_io(r)?;
+        let r = self.shared.write_status_locked(&mut core);
+        self.shared.guard_io(r)?;
         Ok(())
     }
 }
@@ -407,12 +440,37 @@ impl Drop for Rvm {
 impl std::fmt::Debug for Rvm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Rvm")
-            .field("terminated", &self.shared.terminated.load(Ordering::Relaxed))
+            .field(
+                "terminated",
+                &self.shared.terminated.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
 
 impl RvmShared {
+    /// Marks the instance poisoned (idempotent; counts once).
+    fn poison(&self) {
+        if !self.poisoned.swap(true, Ordering::AcqRel) {
+            self.stats
+                .fault
+                .poisonings
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Poisons the instance if `result` is a device failure that reached
+    /// here — by construction, one that survived the retry layer, so the
+    /// durable image can no longer be trusted to match in-memory state.
+    /// Non-device errors (`LogFull`, mapping errors, ...) pass through:
+    /// they leave the log consistent and the instance usable.
+    fn guard_io<T>(&self, result: Result<T>) -> Result<T> {
+        if let Err(RvmError::Device(_)) = &result {
+            self.poison();
+        }
+        result
+    }
+
     /// Resolves (and caches) the device backing a segment.
     fn segment_device(
         &self,
@@ -490,8 +548,12 @@ impl RvmShared {
         mode: CommitMode,
     ) -> Result<()> {
         if self.terminated.load(Ordering::Acquire) {
-            txn.release();
+            txn.rollback();
             return Err(RvmError::Terminated);
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            txn.rollback();
+            return Err(RvmError::Poisoned);
         }
         let tuning = self.tuning.read().clone();
         let stats = &self.stats;
@@ -536,10 +598,27 @@ impl RvmShared {
             let mut core = self.core.lock();
             match mode {
                 CommitMode::Flush => {
-                    // Preserve commit order in the durable log.
-                    self.flush_spool_locked(&mut core)?;
-                    let info = self.append_with_space(&mut core, txn.tid, &ranges)?;
-                    core.wal.force()?;
+                    // Preserve commit order in the durable log. A device
+                    // failure anywhere in here — after retries — poisons
+                    // the instance: `append_txn` has already rolled the
+                    // WAL cursors back, and no later commit may run over
+                    // an image whose true durable tail is unknown (a
+                    // failed force leaves even successfully appended
+                    // records unacknowledged).
+                    let append = (|| -> Result<AppendInfo> {
+                        self.flush_spool_locked(&mut core)?;
+                        let info = self.append_with_space(&mut core, txn.tid, &ranges)?;
+                        core.wal.force()?;
+                        Ok(info)
+                    })();
+                    let info = match self.guard_io(append) {
+                        Ok(info) => info,
+                        Err(e) => {
+                            drop(core);
+                            txn.rollback();
+                            return Err(e);
+                        }
+                    };
                     stats.add(&stats.log_forces, 1);
                     stats.add(&stats.bytes_logged, info.record_bytes);
                     stats.add(&stats.flush_commits, 1);
@@ -585,7 +664,12 @@ impl RvmShared {
                     stats.add(&stats.bytes_saved_inter, saved);
                     stats.add(&stats.no_flush_commits, 1);
                     if core.spool.bytes() > tuning.spool_max_bytes {
-                        self.flush_spool_locked(&mut core)?;
+                        let r = self.flush_spool_locked(&mut core);
+                        if let Err(e) = self.guard_io(r) {
+                            drop(core);
+                            txn.rollback();
+                            return Err(e);
+                        }
                     }
                 }
             }
@@ -785,7 +869,9 @@ impl RvmShared {
                 let page_off = *page as u64 * PAGE_SIZE;
                 let len = PAGE_SIZE.min(region.len - page_off);
                 let buf = region.read_bytes(page_off, len);
-                region.seg_dev.write_at(region.seg_offset + page_off, &buf)?;
+                region
+                    .seg_dev
+                    .write_at(region.seg_offset + page_off, &buf)?;
             }
             let mut synced: Vec<u64> = Vec::new();
             for (region, _) in &batch {
@@ -820,21 +906,28 @@ impl RvmShared {
 
     /// Runs the configured truncation mechanism once.
     pub(crate) fn truncate_per_mode(&self, core: &mut Core, tuning: &Tuning) -> Result<()> {
-        match tuning.truncation_mode {
-            crate::options::TruncationMode::Epoch => {
-                self.epoch_truncate_locked(core)?;
-            }
-            crate::options::TruncationMode::Incremental => {
-                let reclaimed =
-                    self.incremental_truncate_locked(core, tuning.incremental_reclaim_bytes)?;
-                // Blocked with space critical: revert to epoch truncation.
-                let critical = (tuning.truncation_threshold + 0.3).min(0.95);
-                if reclaimed == 0 && core.wal.utilization() > critical {
+        // Threshold-triggered truncation (inline or on the background
+        // thread) swallows errors at its call sites, so the poison
+        // transition must happen here or a failed truncation would go
+        // entirely unnoticed.
+        let result = (|| -> Result<()> {
+            match tuning.truncation_mode {
+                crate::options::TruncationMode::Epoch => {
                     self.epoch_truncate_locked(core)?;
                 }
+                crate::options::TruncationMode::Incremental => {
+                    let reclaimed =
+                        self.incremental_truncate_locked(core, tuning.incremental_reclaim_bytes)?;
+                    // Blocked with space critical: revert to epoch truncation.
+                    let critical = (tuning.truncation_threshold + 0.3).min(0.95);
+                    if reclaimed == 0 && core.wal.utilization() > critical {
+                        self.epoch_truncate_locked(core)?;
+                    }
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })();
+        self.guard_io(result)
     }
 
     fn request_truncation(&self, tuning: &Tuning) {

@@ -70,6 +70,27 @@ pub fn file_resolver() -> DeviceResolver {
     })
 }
 
+/// Wraps a resolver so every device it hands out injects faults from one
+/// shared [`FaultClock`](rvm_storage::FaultClock) schedule.
+///
+/// This is the fault-injection hook for *segment* devices: recovery and
+/// truncation resolve segments through the `Rvm` instance's resolver, so
+/// wrapping it puts their writes on the same operation clock as a wrapped
+/// log device — which is how the crash-during-recovery matrix places a
+/// crash after the K-th device operation anywhere in the system.
+pub fn flaky_resolver(
+    inner: DeviceResolver,
+    clock: Arc<rvm_storage::FaultClock>,
+) -> DeviceResolver {
+    Arc::new(move |name: &str, min_len: u64| {
+        let dev = inner(name, min_len)?;
+        Ok(Arc::new(rvm_storage::FlakyDevice::with_clock(
+            dev,
+            Arc::clone(&clock),
+        )) as Arc<dyn Device>)
+    })
+}
+
 /// A resolver over named in-memory devices, for tests and simulation.
 ///
 /// All segments resolved through clones of one `MemResolver` share the same
@@ -88,7 +109,8 @@ pub fn file_resolver() -> DeviceResolver {
 /// ```
 #[derive(Clone, Default)]
 pub struct MemResolver {
-    devices: Arc<parking_lot::Mutex<std::collections::HashMap<String, Arc<rvm_storage::MemDevice>>>>,
+    devices:
+        Arc<parking_lot::Mutex<std::collections::HashMap<String, Arc<rvm_storage::MemDevice>>>>,
 }
 
 impl MemResolver {
@@ -152,6 +174,16 @@ mod tests {
         assert_eq!(a.len().unwrap(), 10);
         let b = r.resolve("x", 100).unwrap();
         assert_eq!(b.len().unwrap(), 100);
+    }
+
+    #[test]
+    fn flaky_resolver_injects_on_resolved_devices() {
+        use rvm_storage::{FaultClock, FaultOp, FlakyFault};
+        let clock = FaultClock::new(vec![FlakyFault::transient(FaultOp::Write, 1)]);
+        let r = flaky_resolver(MemResolver::new().into_resolver(), clock);
+        let dev = r("x", 64).unwrap();
+        assert!(dev.write_at(0, &[1]).unwrap_err().is_transient());
+        dev.write_at(0, &[1]).unwrap();
     }
 
     #[test]

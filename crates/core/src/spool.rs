@@ -93,9 +93,9 @@ impl Spool {
             }
             self.txns.retain(|old| {
                 let subsumed = old.ranges.iter().all(|r| {
-                    coverage
-                        .get(&r.seg.as_u32())
-                        .is_some_and(|set| set.covers(&ByteRange::at(r.offset, r.data.len() as u64)))
+                    coverage.get(&r.seg.as_u32()).is_some_and(|set| {
+                        set.covers(&ByteRange::at(r.offset, r.data.len() as u64))
+                    })
                 });
                 if subsumed {
                     saved += old.record_bytes;

@@ -6,6 +6,23 @@
 //! and the optimization ablations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fault-tolerance counters, shared with the retry layer.
+///
+/// These live behind an `Arc` because the retry wrappers around the log
+/// device and segment resolver are built before the `Rvm` instance that
+/// owns the [`Stats`] — both sides update the same cells.
+#[derive(Debug, Default)]
+pub(crate) struct FaultCounters {
+    /// Device operations retried after a transient failure.
+    pub(crate) io_retries: AtomicU64,
+    /// Device operations that ultimately succeeded after one or more
+    /// transient failures.
+    pub(crate) transient_faults_healed: AtomicU64,
+    /// Times an instance transitioned to the poisoned state.
+    pub(crate) poisonings: AtomicU64,
+}
 
 /// Live counters, updated atomically by the library.
 #[derive(Debug, Default)]
@@ -35,6 +52,7 @@ pub struct Stats {
     pub(crate) truncation_bytes_applied: AtomicU64,
     pub(crate) incremental_steps: AtomicU64,
     pub(crate) pages_written_incremental: AtomicU64,
+    pub(crate) fault: Arc<FaultCounters>,
 }
 
 impl Stats {
@@ -62,6 +80,9 @@ impl Stats {
             truncation_bytes_applied: self.truncation_bytes_applied.load(Ordering::Relaxed),
             incremental_steps: self.incremental_steps.load(Ordering::Relaxed),
             pages_written_incremental: self.pages_written_incremental.load(Ordering::Relaxed),
+            io_retries: self.fault.io_retries.load(Ordering::Relaxed),
+            transient_faults_healed: self.fault.transient_faults_healed.load(Ordering::Relaxed),
+            poisonings: self.fault.poisonings.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +124,12 @@ pub struct StatsSnapshot {
     pub incremental_steps: u64,
     /// Pages written to segments by incremental truncation.
     pub pages_written_incremental: u64,
+    /// Device operations retried after a transient failure.
+    pub io_retries: u64,
+    /// Device operations that succeeded after transient failure(s).
+    pub transient_faults_healed: u64,
+    /// Times the instance transitioned to the poisoned state.
+    pub poisonings: u64,
 }
 
 impl StatsSnapshot {
@@ -148,12 +175,18 @@ impl StatsSnapshot {
             log_forces: self.log_forces - earlier.log_forces,
             spool_flushes: self.spool_flushes - earlier.spool_flushes,
             epoch_truncations: self.epoch_truncations - earlier.epoch_truncations,
-            truncation_bytes_scanned: self.truncation_bytes_scanned - earlier.truncation_bytes_scanned,
-            truncation_ranges_applied: self.truncation_ranges_applied - earlier.truncation_ranges_applied,
-            truncation_bytes_applied: self.truncation_bytes_applied - earlier.truncation_bytes_applied,
+            truncation_bytes_scanned: self.truncation_bytes_scanned
+                - earlier.truncation_bytes_scanned,
+            truncation_ranges_applied: self.truncation_ranges_applied
+                - earlier.truncation_ranges_applied,
+            truncation_bytes_applied: self.truncation_bytes_applied
+                - earlier.truncation_bytes_applied,
             incremental_steps: self.incremental_steps - earlier.incremental_steps,
             pages_written_incremental: self.pages_written_incremental
                 - earlier.pages_written_incremental,
+            io_retries: self.io_retries - earlier.io_retries,
+            transient_faults_healed: self.transient_faults_healed - earlier.transient_faults_healed,
+            poisonings: self.poisonings - earlier.poisonings,
         }
     }
 }

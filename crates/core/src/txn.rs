@@ -184,6 +184,17 @@ impl Transaction {
         }
     }
 
+    /// Rolls a failed commit back: old values are restored (restore mode)
+    /// and bookkeeping released, leaving memory as if the transaction had
+    /// aborted. The caller was told the commit failed, so memory must not
+    /// keep the modifications it was never promised.
+    pub(crate) fn rollback(&mut self) {
+        if self.mode == TxnMode::Restore {
+            self.restore_old_values();
+        }
+        self.release();
+    }
+
     /// Restores captured old values (newest capture last, restored first;
     /// captures are disjoint, so order is immaterial but kept reversed for
     /// clarity).

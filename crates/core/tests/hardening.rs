@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use rvm::segment::MemResolver;
-use rvm::{
-    CommitMode, Options, RegionDescriptor, Rvm, RvmError, Tuning, TxnMode, PAGE_SIZE,
-};
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, RvmError, Tuning, TxnMode, PAGE_SIZE};
 use rvm_storage::{Device, MemDevice};
 
 fn world() -> (Arc<MemDevice>, MemResolver) {
@@ -73,7 +71,7 @@ fn wire_format_golden_values() {
 
 #[test]
 fn status_area_layout_is_stable() {
-    use rvm::log::status::{LOG_AREA_START, STATUS_A_OFFSET, STATUS_B_OFFSET, STATUS_BLOCK_SIZE};
+    use rvm::log::status::{LOG_AREA_START, STATUS_A_OFFSET, STATUS_BLOCK_SIZE, STATUS_B_OFFSET};
     assert_eq!(STATUS_BLOCK_SIZE, 8192);
     assert_eq!(STATUS_A_OFFSET, 0);
     assert_eq!(STATUS_B_OFFSET, 8192);
@@ -91,7 +89,9 @@ fn spool_max_bytes_triggers_automatic_flush() {
             ..Tuning::default()
         },
     );
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     // Each no-flush commit spools ~600+ record bytes; the fourth must
     // push past 2000 and auto-flush.
     for i in 0..4u64 {
@@ -108,7 +108,9 @@ fn spool_max_bytes_triggers_automatic_flush() {
 fn set_options_changes_behaviour_at_runtime() {
     let (log, segs) = world();
     let rvm = boot(&log, &segs);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
 
     // Intra optimization on: duplicates coalesce.
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
@@ -126,7 +128,11 @@ fn set_options_changes_behaviour_at_runtime() {
     txn.set_range(&region, 0, 100).unwrap();
     txn.set_range(&region, 0, 100).unwrap();
     txn.commit(CommitMode::Flush).unwrap();
-    assert_eq!(rvm.stats().bytes_saved_intra, saved_before, "no new savings");
+    assert_eq!(
+        rvm.stats().bytes_saved_intra,
+        saved_before,
+        "no new savings"
+    );
 }
 
 #[test]
@@ -149,7 +155,11 @@ fn many_segments_fill_and_overflow_the_table() {
 
     // The instance keeps working on existing segments.
     let region = rvm
-        .map(&RegionDescriptor::new("segment-0000-xxxxxxxxxxxxxxxxxxxxxxxx", PAGE_SIZE, PAGE_SIZE))
+        .map(&RegionDescriptor::new(
+            "segment-0000-xxxxxxxxxxxxxxxxxxxxxxxx",
+            PAGE_SIZE,
+            PAGE_SIZE,
+        ))
         .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[1; 8]).unwrap();
@@ -229,7 +239,9 @@ fn query_region_page_accounting() {
 fn zero_length_reads_and_writes_are_fine() {
     let (log, segs) = world();
     let rvm = boot(&log, &segs);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 100, &[]).unwrap();
     txn.set_range(&region, 100, 0).unwrap();
@@ -267,7 +279,9 @@ fn transactions_spanning_the_whole_region_commit() {
 fn interleaved_transactions_commit_independently() {
     let (log, segs) = world();
     let rvm = boot(&log, &segs);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
 
     let mut t1 = rvm.begin_transaction(TxnMode::Restore).unwrap();
     let mut t2 = rvm.begin_transaction(TxnMode::Restore).unwrap();
@@ -307,7 +321,9 @@ fn rvm_log_on_a_mirrored_device_survives_replica_failure() {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, 0, b"before failure").unwrap();
         txn.commit(CommitMode::Flush).unwrap();
@@ -328,7 +344,9 @@ fn rvm_log_on_a_mirrored_device_survives_replica_failure() {
     )
     .unwrap();
     assert_eq!(rvm.recovery_report().records_replayed, 2);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(0, 14).unwrap(), b"before failure");
     assert_eq!(region.read_vec(64, 13).unwrap(), b"after failure");
 }

@@ -44,7 +44,9 @@ fn committed_data_survives_a_reboot() {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, 10, b"durable").unwrap();
         txn.commit(CommitMode::Flush).unwrap();
@@ -54,7 +56,9 @@ fn committed_data_survives_a_reboot() {
     }
     let rvm = world.boot();
     assert_eq!(rvm.recovery_report().records_replayed, 1);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(10, 7).unwrap(), b"durable");
 }
 
@@ -62,7 +66,9 @@ fn committed_data_survives_a_reboot() {
 fn abort_restores_old_values() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
 
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[7; 64]).unwrap();
@@ -82,7 +88,9 @@ fn abort_restores_old_values() {
 fn dropping_a_transaction_aborts_it() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, 0, &[5; 16]).unwrap();
@@ -96,7 +104,9 @@ fn dropping_a_transaction_aborts_it() {
 fn no_restore_transactions_cannot_abort() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::NoRestore).unwrap();
     region.write(&mut txn, 0, &[1; 8]).unwrap();
     let err = txn.abort().unwrap_err();
@@ -112,7 +122,9 @@ fn no_flush_commits_are_lost_on_crash_without_flush() {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, 0, b"lazy").unwrap();
         txn.commit(CommitMode::NoFlush).unwrap();
@@ -122,7 +134,9 @@ fn no_flush_commits_are_lost_on_crash_without_flush() {
     }
     let rvm = world.boot();
     assert_eq!(rvm.recovery_report().records_replayed, 0);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(0, 4).unwrap(), vec![0; 4]);
 }
 
@@ -131,7 +145,9 @@ fn flush_bounds_the_persistence_of_no_flush_commits() {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         for i in 0..5u8 {
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
             region.write(&mut txn, i as u64 * 8, &[i + 1; 8]).unwrap();
@@ -143,7 +159,9 @@ fn flush_bounds_the_persistence_of_no_flush_commits() {
     }
     let rvm = world.boot();
     assert_eq!(rvm.recovery_report().records_replayed, 5);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     for i in 0..5u8 {
         assert_eq!(region.read_vec(i as u64 * 8, 8).unwrap(), vec![i + 1; 8]);
     }
@@ -153,7 +171,9 @@ fn flush_bounds_the_persistence_of_no_flush_commits() {
 fn truncate_applies_the_log_to_segments() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[3; 128]).unwrap();
     txn.commit(CommitMode::Flush).unwrap();
@@ -276,7 +296,9 @@ fn incremental_truncation_blocks_on_uncommitted_pages() {
 fn optimization_statistics_track_savings() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
 
     // Intra: the same range declared three times logs once.
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
@@ -310,7 +332,9 @@ fn optimizations_can_be_disabled() {
         ..Tuning::default()
     };
     let rvm = world.boot_tuned(tuning);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     txn.set_range(&region, 0, 100).unwrap();
     txn.set_range(&region, 0, 100).unwrap();
@@ -353,7 +377,9 @@ fn mapping_rules_are_enforced() {
 fn unmap_requires_quiescence_and_remap_sees_committed_state() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
 
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[8; 32]).unwrap();
@@ -368,7 +394,9 @@ fn unmap_requires_quiescence_and_remap_sees_committed_state() {
     assert!(matches!(region.read_vec(0, 4), Err(RvmError::Unmapped)));
 
     // Remap: the committed (but never truncated) data must be visible.
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(0, 32).unwrap(), vec![8; 32]);
 }
 
@@ -376,12 +404,16 @@ fn unmap_requires_quiescence_and_remap_sees_committed_state() {
 fn remap_sees_spooled_no_flush_state() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[4; 16]).unwrap();
     txn.commit(CommitMode::NoFlush).unwrap();
     rvm.unmap(&region).unwrap();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(0, 16).unwrap(), vec![4; 16]);
 }
 
@@ -389,7 +421,9 @@ fn remap_sees_spooled_no_flush_state() {
 fn pointer_api_round_trips() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let base = region.base_ptr();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     // SAFETY: single-threaded test; the pointer stays within the region.
@@ -411,7 +445,9 @@ fn pointer_api_round_trips() {
 fn bounds_are_enforced() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     assert!(matches!(
         txn.set_range(&region, PAGE_SIZE - 4, 8),
@@ -425,8 +461,12 @@ fn bounds_are_enforced() {
 fn multi_region_transactions_commit_atomically() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let a = rvm.map(&RegionDescriptor::new("segA", 0, PAGE_SIZE)).unwrap();
-    let b = rvm.map(&RegionDescriptor::new("segB", 0, PAGE_SIZE)).unwrap();
+    let a = rvm
+        .map(&RegionDescriptor::new("segA", 0, PAGE_SIZE))
+        .unwrap();
+    let b = rvm
+        .map(&RegionDescriptor::new("segB", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     a.write(&mut txn, 0, &[1; 8]).unwrap();
     b.write(&mut txn, 0, &[2; 8]).unwrap();
@@ -435,8 +475,12 @@ fn multi_region_transactions_commit_atomically() {
 
     let rvm = world.boot();
     assert_eq!(rvm.recovery_report().segments_updated, 2);
-    let a = rvm.map(&RegionDescriptor::new("segA", 0, PAGE_SIZE)).unwrap();
-    let b = rvm.map(&RegionDescriptor::new("segB", 0, PAGE_SIZE)).unwrap();
+    let a = rvm
+        .map(&RegionDescriptor::new("segA", 0, PAGE_SIZE))
+        .unwrap();
+    let b = rvm
+        .map(&RegionDescriptor::new("segB", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(a.read_vec(0, 8).unwrap(), vec![1; 8]);
     assert_eq!(b.read_vec(0, 8).unwrap(), vec![2; 8]);
 }
@@ -445,7 +489,9 @@ fn multi_region_transactions_commit_atomically() {
 fn terminate_rejects_outstanding_transactions() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[1]).unwrap();
     assert!(matches!(
@@ -459,14 +505,18 @@ fn terminate_flushes_the_spool() {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, 0, b"clean").unwrap();
         txn.commit(CommitMode::NoFlush).unwrap();
         rvm.terminate().unwrap();
     }
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.read_vec(0, 5).unwrap(), b"clean");
 }
 
@@ -479,10 +529,14 @@ fn background_truncation_reclaims_space() {
         ..Tuning::default()
     };
     let rvm = world.boot_tuned(tuning);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     for i in 0..40u64 {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-        region.write(&mut txn, (i % 4) * 512, &[i as u8; 512]).unwrap();
+        region
+            .write(&mut txn, (i % 4) * 512, &[i as u8; 512])
+            .unwrap();
         txn.commit(CommitMode::Flush).unwrap();
     }
     // Give the background thread a moment.
@@ -498,7 +552,9 @@ fn background_truncation_reclaims_space() {
 fn query_reports_consistent_state() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let q0 = rvm.query();
     assert_eq!(q0.mapped_regions, 1);
     assert_eq!(q0.log.used, 0);
@@ -519,7 +575,9 @@ fn query_reports_consistent_state() {
 fn operations_fail_after_terminate_marker() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     drop(rvm);
     // The region handle outlives the instance; reads still work (memory is
     // alive) but the mapping is simply stale — no UB, no panic.
@@ -589,10 +647,14 @@ mod on_demand {
         // segment.
         {
             let rvm = world.boot();
-            let region = rvm.map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE)).unwrap();
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+                .unwrap();
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
             region.write(&mut txn, 0, b"page zero").unwrap();
-            region.write(&mut txn, 3 * PAGE_SIZE + 5, b"page three").unwrap();
+            region
+                .write(&mut txn, 3 * PAGE_SIZE + 5, b"page three")
+                .unwrap();
             txn.commit(CommitMode::Flush).unwrap();
             rvm.terminate().unwrap();
         }
@@ -605,7 +667,10 @@ mod on_demand {
             .unwrap();
         assert!(!region.is_fully_loaded());
         assert_eq!(region.read_vec(0, 9).unwrap(), b"page zero");
-        assert_eq!(region.read_vec(3 * PAGE_SIZE + 5, 10).unwrap(), b"page three");
+        assert_eq!(
+            region.read_vec(3 * PAGE_SIZE + 5, 10).unwrap(),
+            b"page three"
+        );
         assert!(!region.is_fully_loaded(), "pages 1-2 still pending");
         region.prefetch(0, 4 * PAGE_SIZE).unwrap();
         assert!(region.is_fully_loaded());
@@ -616,7 +681,9 @@ mod on_demand {
         let world = World::new(1 << 20);
         {
             let rvm = world.boot();
-            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+                .unwrap();
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
             region.write(&mut txn, 100, &[7; 32]).unwrap();
             txn.commit(CommitMode::Flush).unwrap();
@@ -624,7 +691,10 @@ mod on_demand {
         }
         let rvm = world.boot();
         let region = rvm
-            .map_with(&RegionDescriptor::new("seg", 0, PAGE_SIZE), LoadPolicy::OnDemand)
+            .map_with(
+                &RegionDescriptor::new("seg", 0, PAGE_SIZE),
+                LoadPolicy::OnDemand,
+            )
             .unwrap();
         // The very first touch is a transactional write: the old-value
         // capture must see the *committed* image, not zeros.
@@ -640,23 +710,35 @@ mod on_demand {
         {
             let rvm = world.boot();
             let region = rvm
-                .map_with(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE), LoadPolicy::OnDemand)
+                .map_with(
+                    &RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE),
+                    LoadPolicy::OnDemand,
+                )
                 .unwrap();
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-            region.write(&mut txn, PAGE_SIZE + 10, b"lazy but durable").unwrap();
+            region
+                .write(&mut txn, PAGE_SIZE + 10, b"lazy but durable")
+                .unwrap();
             txn.commit(CommitMode::Flush).unwrap();
             std::mem::forget(rvm);
         }
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE)).unwrap();
-        assert_eq!(region.read_vec(PAGE_SIZE + 10, 16).unwrap(), b"lazy but durable");
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, 2 * PAGE_SIZE))
+            .unwrap();
+        assert_eq!(
+            region.read_vec(PAGE_SIZE + 10, 16).unwrap(),
+            b"lazy but durable"
+        );
     }
 
     #[test]
     fn eager_regions_report_fully_loaded() {
         let world = World::new(1 << 20);
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         assert!(region.is_fully_loaded());
         region.prefetch(0, PAGE_SIZE).unwrap();
     }

@@ -1,6 +1,6 @@
 //! A recoverable chained hash map.
 
-use rvm::{Region, Result, Rvm, RvmError, Transaction, TxnMode, CommitMode};
+use rvm::{CommitMode, Region, Result, Rvm, RvmError, Transaction, TxnMode};
 use rvm_alloc::RvmHeap;
 
 const MAGIC: u64 = 0x5256_4D44_534D_5031; // "RVMDSMP1"
@@ -396,8 +396,14 @@ mod tests {
         let heap = RvmHeap::format(&region, &mut txn).unwrap();
         let map = RecoverableMap::create(&region, &heap, &mut txn, 1).unwrap();
         for i in 0..20u32 {
-            map.put(&region, &heap, &mut txn, format!("k{i}").as_bytes(), &[i as u8])
-                .unwrap();
+            map.put(
+                &region,
+                &heap,
+                &mut txn,
+                format!("k{i}").as_bytes(),
+                &[i as u8],
+            )
+            .unwrap();
         }
         // Remove from the middle of the chain.
         map.remove(&region, &heap, &mut txn, b"k10").unwrap();

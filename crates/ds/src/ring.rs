@@ -58,7 +58,9 @@ impl RingLog {
     /// Opens an existing ring at `base`.
     pub fn open(region: &Region, base: u64) -> Result<RingLog> {
         if region.get_u64(base + hdr::MAGIC)? != MAGIC {
-            return Err(RvmError::BadMapping("no ring log at this offset".to_owned()));
+            return Err(RvmError::BadMapping(
+                "no ring log at this offset".to_owned(),
+            ));
         }
         Ok(RingLog { base })
     }

@@ -25,7 +25,9 @@
 //! through the root table, exactly as the stable heap of O'Toole et al.
 //! reached its data through stable roots.
 
-use rvm::{CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE};
+use rvm::{
+    CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE,
+};
 
 const META_MAGIC: u64 = 0x5256_4D47_4348_5031; // "RVMGCHP1"
 /// Number of root slots in the meta region.
@@ -118,12 +120,7 @@ impl PersistentHeap {
 
     /// Allocates an object with `refs` reference slots and `payload`
     /// bytes, inside `txn`.
-    pub fn alloc(
-        &self,
-        txn: &mut Transaction,
-        refs: &[ObjRef],
-        payload: &[u8],
-    ) -> Result<ObjRef> {
+    pub fn alloc(&self, txn: &mut Transaction, refs: &[ObjRef], payload: &[u8]) -> Result<ObjRef> {
         let size = OBJ_HEADER + refs.len() as u64 * 8 + payload.len() as u64;
         let at = self.meta.get_u64(meta::ALLOC)?;
         if at + size > self.space_len {
@@ -237,11 +234,11 @@ impl PersistentHeap {
 
         // Evacuate an object, returning its to-space offset.
         let evacuate = |obj: u64,
-                            txn: &mut Transaction,
-                            forwarded: &mut std::collections::HashMap<u64, u64>,
-                            scan_queue: &mut Vec<u64>,
-                            to_alloc: &mut u64,
-                            live: &mut u64|
+                        txn: &mut Transaction,
+                        forwarded: &mut std::collections::HashMap<u64, u64>,
+                        scan_queue: &mut Vec<u64>,
+                        to_alloc: &mut u64,
+                        live: &mut u64|
          -> Result<u64> {
             if obj == 0 {
                 return Ok(0);
@@ -265,7 +262,14 @@ impl PersistentHeap {
         // Roots.
         for slot in 0..NUM_ROOTS {
             let r = self.meta.get_u64(meta::ROOTS + slot * 8)?;
-            let f = evacuate(r, &mut txn, &mut forwarded, &mut scan_queue, &mut to_alloc, &mut live)?;
+            let f = evacuate(
+                r,
+                &mut txn,
+                &mut forwarded,
+                &mut scan_queue,
+                &mut to_alloc,
+                &mut live,
+            )?;
             self.meta.put_u64(&mut txn, meta::ROOTS + slot * 8, f)?;
         }
         // Breadth-first scan of evacuated objects, forwarding their refs.
@@ -327,7 +331,9 @@ mod tests {
         let heap = PersistentHeap::open(&rvm, "heap", 64 * 1024).unwrap();
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         let leaf = heap.alloc(&mut txn, &[], b"leaf").unwrap();
-        let node = heap.alloc(&mut txn, &[leaf, ObjRef::NULL], b"node").unwrap();
+        let node = heap
+            .alloc(&mut txn, &[leaf, ObjRef::NULL], b"node")
+            .unwrap();
         heap.set_root(&mut txn, 0, node).unwrap();
         txn.commit(CommitMode::Flush).unwrap();
 
@@ -452,7 +458,9 @@ mod tests {
             // Scribble into to-space as a partial evacuation would.
             let to = &heap.spaces[1];
             to.write(&mut gc_txn, 8, &[0xEE; 64]).unwrap();
-            heap.meta.put_u64(&mut gc_txn, super::meta::CURRENT, 1).unwrap();
+            heap.meta
+                .put_u64(&mut gc_txn, super::meta::CURRENT, 1)
+                .unwrap();
             drop(gc_txn); // aborted
         }
         assert_eq!(heap.payload(heap.root(0).unwrap()).unwrap(), b"stable");

@@ -16,7 +16,9 @@
 
 use std::collections::HashMap;
 
-use rvm::{CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE};
+use rvm::{
+    CommitMode, Region, RegionDescriptor, Result, Rvm, RvmError, Transaction, TxnMode, PAGE_SIZE,
+};
 
 const MAGIC: u64 = 0x5256_4D4C_4F41_4431; // "RVMLOAD1"
 /// Segments get bases `BASE_ORIGIN + index * BASE_STRIDE`.
@@ -243,7 +245,10 @@ mod tests {
         let rvm = boot(&log, &segs);
         let mut loader = Loader::open(&rvm, "loadmap").unwrap();
         assert_eq!(loader.entries().len(), 2);
-        assert_eq!(loader.load(&rvm, "segB", 2 * PAGE_SIZE).unwrap().base, base_b);
+        assert_eq!(
+            loader.load(&rvm, "segB", 2 * PAGE_SIZE).unwrap().base,
+            base_b
+        );
         assert_eq!(loader.load(&rvm, "segA", PAGE_SIZE).unwrap().base, base_a);
     }
 
@@ -300,7 +305,10 @@ mod tests {
         assert!(loader.resolve(PersistentPtr::NULL).is_none());
         assert!(loader.resolve(PersistentPtr(123)).is_none());
         assert!(loader.resolve(seg.ptr_to(0)).is_some());
-        assert!(loader.resolve(seg.ptr_to(PAGE_SIZE)).is_none(), "one past end");
+        assert!(
+            loader.resolve(seg.ptr_to(PAGE_SIZE)).is_none(),
+            "one past end"
+        );
     }
 
     #[test]

@@ -4,7 +4,12 @@
 //! rvmlog <log-file> summary
 //! rvmlog <log-file> records [--backward]
 //! rvmlog <log-file> history <segment> <offset> <len>
+//! rvmlog <log-file> doctor
 //! ```
+//!
+//! `doctor` is a read-only damage scan: it reports torn/short records,
+//! sequence gaps, and corrupt status copies, and exits non-zero if the
+//! log is damaged. It never mutates the image.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -16,6 +21,7 @@ fn usage() -> ! {
     eprintln!("usage: rvmlog <log-file> summary");
     eprintln!("       rvmlog <log-file> records [--backward]");
     eprintln!("       rvmlog <log-file> history <segment> <offset> <len>");
+    eprintln!("       rvmlog <log-file> doctor");
     exit(2);
 }
 
@@ -56,7 +62,12 @@ fn main() {
                         rec.ranges.len()
                     );
                     for r in &rec.ranges {
-                        println!("    {}[{}..{})", r.seg, r.offset, r.offset + r.data.len() as u64);
+                        println!(
+                            "    {}[{}..{})",
+                            r.seg,
+                            r.offset,
+                            r.offset + r.data.len() as u64
+                        );
                     }
                 }
             })
@@ -70,6 +81,12 @@ fn main() {
                 }
             })
         }
+        "doctor" => inspector.doctor().map(|report| {
+            print!("{}", report.render());
+            if report.is_damaged() {
+                exit(1);
+            }
+        }),
         _ => usage(),
     };
     if let Err(e) = result {

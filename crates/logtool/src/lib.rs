@@ -12,8 +12,10 @@
 
 use std::sync::Arc;
 
-use rvm::log::record::TxnRecord;
-use rvm::log::status::{read_status, StatusBlock};
+use rvm::log::record::{parse_header, TxnRecord, HEADER_SIZE};
+use rvm::log::status::{
+    read_status, StatusBlock, LOG_AREA_START, STATUS_A_OFFSET, STATUS_BLOCK_SIZE, STATUS_B_OFFSET,
+};
 use rvm::log::wal::{scan_backward, scan_forward};
 use rvm::segment::SegmentId;
 use rvm::{Result, RvmError};
@@ -36,6 +38,64 @@ pub struct HistoryEntry {
     pub offset: u64,
     /// The new value written.
     pub data: Vec<u8>,
+}
+
+/// What [`LogInspector::doctor`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoctorReport {
+    /// Record-area length.
+    pub area_len: u64,
+    /// Logical head per the status block.
+    pub head: u64,
+    /// Tail the status block records (a hint; may trail the true tail).
+    pub status_tail: u64,
+    /// Tail the forward scan actually reached.
+    pub scanned_tail: u64,
+    /// Sequence number the next record should carry.
+    pub next_seq: u64,
+    /// Valid committed records found.
+    pub live_records: usize,
+    /// Pad records found.
+    pub pads: u64,
+    /// Validity of status copies A and B.
+    pub status_copies_valid: [bool; 2],
+    /// Damage findings; empty means the log is healthy.
+    pub findings: Vec<String>,
+}
+
+impl DoctorReport {
+    /// Whether any damage was found.
+    pub fn is_damaged(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Human-readable report, as `rvmlog doctor` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "log: area {} bytes, head {}, scanned tail {} (status tail {}), {} live record(s), {} pad(s)\n",
+            self.area_len,
+            self.head,
+            self.scanned_tail,
+            self.status_tail,
+            self.live_records,
+            self.pads
+        ));
+        let word = |ok: bool| if ok { "valid" } else { "CORRUPT" };
+        out.push_str(&format!(
+            "status copies: A {}, B {}\n",
+            word(self.status_copies_valid[0]),
+            word(self.status_copies_valid[1])
+        ));
+        if self.findings.is_empty() {
+            out.push_str("no damage found\n");
+        } else {
+            for f in &self.findings {
+                out.push_str(&format!("DAMAGE: {f}\n"));
+            }
+        }
+        out
+    }
 }
 
 /// A read-only view over an RVM log.
@@ -114,6 +174,112 @@ impl LogInspector {
         Ok(out)
     }
 
+    /// Read-only damage scan: walks the live record area, classifies what
+    /// terminated it, and checks both status copies — without writing a
+    /// byte.
+    pub fn doctor(&self) -> Result<DoctorReport> {
+        let mut status_copies_valid = [false; 2];
+        let mut findings = Vec::new();
+        for (i, off) in [STATUS_A_OFFSET, STATUS_B_OFFSET].iter().enumerate() {
+            let mut buf = vec![0u8; STATUS_BLOCK_SIZE as usize];
+            if self.dev.read_at(*off, &mut buf).is_ok() && StatusBlock::decode(&buf).is_some() {
+                status_copies_valid[i] = true;
+            } else {
+                findings.push(format!(
+                    "status copy {} is corrupt (the other copy carries the log)",
+                    ['A', 'B'][i]
+                ));
+            }
+        }
+
+        let area_len = self.status.area_len;
+        let head = self.status.head;
+        let scan = scan_forward(
+            self.dev.as_ref(),
+            area_len,
+            head,
+            self.status.seq_at_head,
+            None,
+        )?;
+
+        if scan.tail < self.status.tail {
+            findings.push(format!(
+                "log ends at offset {} but the status block records tail {}: \
+                 {} byte(s) of committed log are unreadable",
+                scan.tail,
+                self.status.tail,
+                self.status.tail - scan.tail
+            ));
+        }
+
+        // Classify what stopped the scan. (A scan that consumed the whole
+        // area stopped for capacity, not damage.)
+        if scan.tail - head < area_len {
+            let phys = LOG_AREA_START + scan.tail % area_len;
+            let mut header_buf = [0u8; HEADER_SIZE as usize];
+            self.dev.read_at(phys, &mut header_buf)?;
+            match parse_header(&header_buf) {
+                None if header_buf.iter().all(|&b| b == 0) => {
+                    // Clean end: never-written space.
+                }
+                None => {
+                    // Not a header. On the first lap the area beyond the
+                    // tail has never held records, so bytes here mean a
+                    // torn write; on later laps they may be stale data
+                    // from an earlier lap, which is normal.
+                    if scan.tail < area_len {
+                        findings.push(format!(
+                            "torn/short record at offset {}: bytes present but no valid header",
+                            scan.tail
+                        ));
+                    }
+                }
+                Some(h) if h.seq == scan.next_seq => {
+                    let lap_remaining = area_len - scan.tail % area_len;
+                    let padded = h.padded_len();
+                    if padded > lap_remaining || scan.tail - head + padded > area_len {
+                        findings.push(format!(
+                            "short record at offset {}: header (seq {}) claims {} bytes, \
+                             more than the {} that remain",
+                            scan.tail,
+                            h.seq,
+                            padded,
+                            lap_remaining.min(area_len - (scan.tail - head))
+                        ));
+                    } else {
+                        findings.push(format!(
+                            "torn record at offset {}: valid header (seq {}, tid {}) \
+                             but the payload fails its checksum",
+                            scan.tail, h.seq, h.tid
+                        ));
+                    }
+                }
+                Some(h) if h.seq > scan.next_seq => {
+                    findings.push(format!(
+                        "sequence gap at offset {}: expected seq {}, found seq {}",
+                        scan.tail, scan.next_seq, h.seq
+                    ));
+                }
+                Some(_) => {
+                    // A record with an older seq: stale data from a
+                    // previous lap — a clean end.
+                }
+            }
+        }
+
+        Ok(DoctorReport {
+            area_len,
+            head,
+            status_tail: self.status.tail,
+            scanned_tail: scan.tail,
+            next_seq: scan.next_seq,
+            live_records: scan.records.len(),
+            pads: scan.pads,
+            status_copies_valid,
+            findings,
+        })
+    }
+
     /// A human-readable summary of the log.
     pub fn summary(&self) -> Result<String> {
         let records = self.records()?;
@@ -187,7 +353,9 @@ mod tests {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("meta", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, PAGE_SIZE))
+            .unwrap();
         for i in 0..5u8 {
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
             region.write(&mut txn, 100, &[i; 8]).unwrap();
@@ -240,6 +408,84 @@ mod tests {
         let mut bwd = inspector.records_backward().unwrap();
         bwd.reverse();
         assert_eq!(fwd, bwd);
+    }
+
+    /// Like [`history_world`] but terminated cleanly, so the status block
+    /// records the true tail.
+    fn terminated_world() -> Arc<MemDevice> {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let rvm = Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(MemResolver::new().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, PAGE_SIZE))
+            .unwrap();
+        for i in 0..3u8 {
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            region.write(&mut txn, 64, &[i; 8]).unwrap();
+            txn.commit(CommitMode::Flush).unwrap();
+        }
+        rvm.terminate().unwrap();
+        log
+    }
+
+    #[test]
+    fn doctor_passes_clean_log() {
+        let log = history_world();
+        let report = LogInspector::open(log).unwrap().doctor().unwrap();
+        assert!(!report.is_damaged(), "{:?}", report.findings);
+        assert_eq!(report.live_records, 5);
+        assert_eq!(report.status_copies_valid, [true, true]);
+        assert!(report.render().contains("no damage found"));
+    }
+
+    #[test]
+    fn doctor_reports_torn_record() {
+        let log = history_world();
+        let inspector = LogInspector::open(log.clone()).unwrap();
+        let (off, _) = inspector.records().unwrap()[2];
+        // Corrupt the third record's payload; its header stays intact.
+        log.write_at(LOG_AREA_START + off + HEADER_SIZE + 5, &[0xEE; 8])
+            .unwrap();
+        let report = LogInspector::open(log).unwrap().doctor().unwrap();
+        assert!(report.is_damaged());
+        assert_eq!(report.live_records, 2, "scan stops before the damage");
+        assert!(
+            report.findings.iter().any(|f| f.contains("torn record")),
+            "{:?}",
+            report.findings
+        );
+        assert!(report.render().contains("DAMAGE"));
+    }
+
+    #[test]
+    fn doctor_detects_unreadable_committed_log() {
+        let log = terminated_world();
+        // Wipe the start of the record area; the status block still
+        // promises records up to its recorded tail.
+        log.write_at(LOG_AREA_START, &vec![0u8; 512]).unwrap();
+        let report = LogInspector::open(log).unwrap().doctor().unwrap();
+        assert!(report.is_damaged());
+        assert!(report.status_tail > report.scanned_tail);
+        assert!(
+            report.findings.iter().any(|f| f.contains("unreadable")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn doctor_flags_corrupt_status_copy() {
+        let log = history_world();
+        log.write_at(STATUS_A_OFFSET + 32, &[0xFF; 4]).unwrap();
+        // Copy B still opens the log.
+        let report = LogInspector::open(log).unwrap().doctor().unwrap();
+        assert!(report.is_damaged());
+        assert_eq!(report.status_copies_valid, [false, true]);
+        assert_eq!(report.live_records, 5, "records themselves are fine");
     }
 
     #[test]

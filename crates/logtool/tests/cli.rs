@@ -16,7 +16,11 @@ fn build_log(dir: &std::path::Path) -> std::path::PathBuf {
     let log = Arc::new(FileDevice::open_or_create(&log_path, 1 << 20).unwrap());
     let rvm = Rvm::initialize(Options::new(log).create_if_empty()).unwrap();
     let region = rvm
-        .map(&RegionDescriptor::new(seg_path.to_str().unwrap(), 0, PAGE_SIZE))
+        .map(&RegionDescriptor::new(
+            seg_path.to_str().unwrap(),
+            0,
+            PAGE_SIZE,
+        ))
         .unwrap();
     for i in 0..3u64 {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
@@ -70,10 +74,54 @@ fn summary_records_and_history_subcommands() {
 }
 
 #[test]
+fn doctor_subcommand_reports_damage() {
+    let dir = std::env::temp_dir().join(format!("rvmlog-doctor-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = build_log(&dir);
+
+    // A healthy log: exit 0, no damage reported.
+    let out = rvmlog().arg(&log_path).arg("doctor").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("no damage found"), "{text}");
+    assert!(text.contains("3 live record(s)"), "{text}");
+
+    // Corrupt the second record's payload (the record area starts at
+    // 16384; record 0 occupies the first block).
+    let before = std::fs::read(&log_path).unwrap();
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log_path)
+            .unwrap();
+        f.seek(SeekFrom::Start(16384 + 512 + 48)).unwrap();
+        f.write_all(&[0xEE; 8]).unwrap();
+    }
+    let out = rvmlog().arg(&log_path).arg("doctor").output().unwrap();
+    assert!(!out.status.success(), "damage must exit non-zero: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DAMAGE"), "{text}");
+    assert!(text.contains("torn record"), "{text}");
+
+    // Doctor never mutates the image.
+    let after = std::fs::read(&log_path).unwrap();
+    let mut expected = before;
+    expected[16384 + 512 + 48..16384 + 512 + 56].copy_from_slice(&[0xEE; 8]);
+    assert_eq!(after, expected, "doctor is read-only");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = rvmlog().output().unwrap();
     assert!(!out.status.success());
-    let out = rvmlog().arg("/nonexistent").arg("summary").output().unwrap();
+    let out = rvmlog()
+        .arg("/nonexistent")
+        .arg("summary")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
     assert!(text.contains("cannot open"), "{text}");

@@ -116,11 +116,15 @@ impl NestedTxn {
         let old = region.read_vec(offset, len)?;
         let txn = self.inner.as_mut().expect("active");
         let out = region.modify(txn, offset, len, f)?;
-        self.frames.last_mut().expect("top frame").undo.push(UndoRecord {
-            region: region.clone(),
-            offset,
-            old,
-        });
+        self.frames
+            .last_mut()
+            .expect("top frame")
+            .undo
+            .push(UndoRecord {
+                region: region.clone(),
+                offset,
+                old,
+            });
         Ok(out)
     }
 
@@ -204,7 +208,9 @@ mod tests {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         (rvm, region)
     }
 
@@ -288,8 +294,10 @@ mod tests {
         let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
         txn.write(&region, 0, &[10; 4]).unwrap();
         txn.enter();
-        txn.modify(&region, 0, 4, |bytes| bytes.iter_mut().for_each(|b| *b += 1))
-            .unwrap();
+        txn.modify(&region, 0, 4, |bytes| {
+            bytes.iter_mut().for_each(|b| *b += 1)
+        })
+        .unwrap();
         assert_eq!(region.read_vec(0, 4).unwrap(), vec![11; 4]);
         txn.abort_child().unwrap();
         assert_eq!(region.read_vec(0, 4).unwrap(), vec![10; 4]);
@@ -307,7 +315,9 @@ mod tests {
                     .create_if_empty(),
             )
             .unwrap();
-            let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+                .unwrap();
             let mut txn = NestedTxn::begin(&rvm, TxnMode::Restore).unwrap();
             txn.write(&region, 0, &[1; 8]).unwrap();
             txn.enter();
@@ -323,7 +333,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rvm.recovery_report().records_replayed, 0);
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         assert_eq!(region.read_vec(0, 16).unwrap(), vec![0; 16]);
     }
 }

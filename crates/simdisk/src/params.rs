@@ -97,7 +97,9 @@ impl DiskParams {
 
     /// Media transfer time for `len` bytes.
     pub fn transfer_time(&self, len: u64) -> SimTime {
-        SimTime::from_nanos((len as u128 * 1_000_000_000 / self.transfer_bytes_per_sec as u128) as u64)
+        SimTime::from_nanos(
+            (len as u128 * 1_000_000_000 / self.transfer_bytes_per_sec as u128) as u64,
+        )
     }
 }
 

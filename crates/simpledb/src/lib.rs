@@ -292,7 +292,8 @@ mod tests {
         {
             let db = SimpleDb::open(ckpt.clone(), log.clone()).unwrap();
             for i in 0..20u32 {
-                db.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+                db.put(format!("k{i}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
             }
             db.checkpoint().unwrap();
             db.put(b"post", b"ckpt").unwrap();

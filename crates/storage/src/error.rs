@@ -6,6 +6,27 @@ use std::io;
 /// Result alias for device operations.
 pub type Result<T> = std::result::Result<T, DeviceError>;
 
+/// The device operation an injected fault fired on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// A positional read.
+    Read,
+    /// A positional write.
+    Write,
+    /// A synchronous flush.
+    Sync,
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Sync => "sync",
+        })
+    }
+}
+
 /// An error from a storage device.
 #[derive(Debug)]
 pub enum DeviceError {
@@ -24,6 +45,32 @@ pub enum DeviceError {
     /// [`FaultDevice`](crate::FaultDevice)); all subsequent operations fail
     /// with this error.
     Crashed,
+    /// A fault injected by a [`FlakyDevice`](crate::FlakyDevice) schedule.
+    Injected {
+        /// The operation the fault fired on.
+        op: FaultOp,
+        /// Whether a retry of the same operation may succeed.
+        transient: bool,
+    },
+}
+
+impl DeviceError {
+    /// Returns `true` if retrying the failed operation may succeed.
+    ///
+    /// This is the taxonomy a bounded retry policy keys on: injected
+    /// transient faults and the retryable `io::ErrorKind`s are transient;
+    /// out-of-bounds accesses, simulated crashes, permanent injected
+    /// faults, and all other OS errors are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DeviceError::Injected { transient, .. } => *transient,
+            DeviceError::Io(err) => matches!(
+                err.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            DeviceError::OutOfBounds { .. } | DeviceError::Crashed => false,
+        }
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -40,6 +87,10 @@ impl fmt::Display for DeviceError {
                 offset + len
             ),
             DeviceError::Crashed => write!(f, "device crashed (simulated)"),
+            DeviceError::Injected { op, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "injected {kind} fault on {op}")
+            }
         }
     }
 }
@@ -77,6 +128,34 @@ mod tests {
         assert!(DeviceError::Crashed.to_string().contains("crashed"));
         let io_err = DeviceError::from(io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn transient_taxonomy() {
+        assert!(DeviceError::Injected {
+            op: FaultOp::Write,
+            transient: true
+        }
+        .is_transient());
+        assert!(!DeviceError::Injected {
+            op: FaultOp::Sync,
+            transient: false
+        }
+        .is_transient());
+        assert!(DeviceError::from(io::Error::from(io::ErrorKind::Interrupted)).is_transient());
+        assert!(!DeviceError::from(io::Error::other("boom")).is_transient());
+        assert!(!DeviceError::Crashed.is_transient());
+        assert!(!DeviceError::OutOfBounds {
+            offset: 0,
+            len: 1,
+            device_len: 0
+        }
+        .is_transient());
+        let e = DeviceError::Injected {
+            op: FaultOp::Read,
+            transient: true,
+        };
+        assert_eq!(e.to_string(), "injected transient fault on read");
     }
 
     #[test]

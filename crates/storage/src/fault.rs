@@ -280,7 +280,10 @@ mod tests {
         let dev = FaultDevice::new(inner, CrashPlan::torn_at(0));
         assert!(dev.write_at(0, &[1]).is_err());
         assert!(dev.has_crashed());
-        assert!(matches!(dev.read_at(0, &mut [0]), Err(DeviceError::Crashed)));
+        assert!(matches!(
+            dev.read_at(0, &mut [0]),
+            Err(DeviceError::Crashed)
+        ));
         assert!(matches!(dev.sync(), Err(DeviceError::Crashed)));
         assert!(matches!(dev.len(), Err(DeviceError::Crashed)));
         assert!(matches!(dev.set_len(8), Err(DeviceError::Crashed)));

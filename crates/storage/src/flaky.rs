@@ -1,0 +1,427 @@
+//! A device wrapper that injects faults on a deterministic schedule.
+//!
+//! [`FlakyDevice`] complements [`FaultDevice`](crate::FaultDevice): where
+//! `FaultDevice` models a single planned crash with torn writes and lost
+//! unsynced data, `FlakyDevice` models *flaky* hardware — the Nth read,
+//! write, or sync fails with a transient or permanent
+//! [`DeviceError::Injected`], optionally for a run of K consecutive
+//! operations before healing. Schedules are either explicit
+//! ([`FlakyFault`] lists) or pseudo-random from a seed, so every failure
+//! scenario replays bit-for-bit.
+//!
+//! The fault schedule lives in a shared [`FaultClock`] so several wrapped
+//! devices (e.g. a log device plus every segment device resolved during
+//! recovery) can count operations against one global sequence — that is
+//! what lets a crash-matrix sweep place a crash after the K-th device
+//! operation *anywhere* in the system.
+
+use std::sync::{Arc, Mutex};
+
+use crate::device::Device;
+use crate::error::{DeviceError, FaultOp, Result};
+
+/// What an injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with a transient error; a retry may succeed.
+    Transient,
+    /// The operation fails with a permanent error; retries keep failing.
+    Permanent,
+    /// The clock crashes: this and every later operation fails with
+    /// [`DeviceError::Crashed`].
+    Crash,
+}
+
+/// One scheduled fault: fail `count` operations starting at the `nth`
+/// matching operation (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct FlakyFault {
+    /// Operation to match, or `None` to count every operation on the clock.
+    pub op: Option<FaultOp>,
+    /// 1-based index of the first matching operation that fails.
+    pub nth: u64,
+    /// Number of consecutive matching operations that fail.
+    pub count: u64,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+impl FlakyFault {
+    /// Fail the `nth` operation of kind `op` with a transient error.
+    pub fn transient(op: FaultOp, nth: u64) -> Self {
+        Self::transient_run(op, nth, 1)
+    }
+
+    /// Fail `count` consecutive operations of kind `op` starting at the
+    /// `nth`, each with a transient error (the device "heals" after).
+    pub fn transient_run(op: FaultOp, nth: u64, count: u64) -> Self {
+        FlakyFault {
+            op: Some(op),
+            nth,
+            count,
+            kind: FaultKind::Transient,
+        }
+    }
+
+    /// Fail the `nth` operation of kind `op` with a permanent error.
+    pub fn permanent(op: FaultOp, nth: u64) -> Self {
+        FlakyFault {
+            op: Some(op),
+            nth,
+            count: u64::MAX,
+            kind: FaultKind::Permanent,
+        }
+    }
+
+    /// Crash on the `nth` operation of kind `op`.
+    pub fn crash(op: FaultOp, nth: u64) -> Self {
+        FlakyFault {
+            op: Some(op),
+            nth,
+            count: u64::MAX,
+            kind: FaultKind::Crash,
+        }
+    }
+
+    /// Crash on the `nth` operation of *any* kind, counted across every
+    /// device sharing the clock. The workhorse of crash-matrix sweeps.
+    pub fn crash_after_ops(nth: u64) -> Self {
+        FlakyFault {
+            op: None,
+            nth,
+            count: u64::MAX,
+            kind: FaultKind::Crash,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClockState {
+    faults: Vec<FlakyFault>,
+    /// Per-op counters, indexed by `FaultOp as usize`.
+    seen: [u64; 3],
+    /// Total operations across all ops.
+    total: u64,
+    /// xorshift64* state for seeded mode.
+    rng: u64,
+    /// In seeded mode, per-mille probability that any operation fails
+    /// with a transient fault.
+    per_mille: u32,
+    seeded: bool,
+    crashed: bool,
+    /// Number of faults injected so far (all kinds).
+    injected: u64,
+}
+
+fn op_index(op: FaultOp) -> usize {
+    match op {
+        FaultOp::Read => 0,
+        FaultOp::Write => 1,
+        FaultOp::Sync => 2,
+    }
+}
+
+/// Shared fault schedule; see the [module docs](self).
+#[derive(Debug)]
+pub struct FaultClock {
+    state: Mutex<ClockState>,
+}
+
+impl FaultClock {
+    /// A clock with an explicit fault schedule.
+    pub fn new(faults: Vec<FlakyFault>) -> Arc<Self> {
+        Arc::new(FaultClock {
+            state: Mutex::new(ClockState {
+                faults,
+                seen: [0; 3],
+                total: 0,
+                rng: 0,
+                per_mille: 0,
+                seeded: false,
+                crashed: false,
+                injected: 0,
+            }),
+        })
+    }
+
+    /// A clock that fails each operation with probability
+    /// `fail_per_mille`/1000, pseudo-randomly from `seed` (xorshift64*),
+    /// always with a transient fault.
+    pub fn seeded(seed: u64, fail_per_mille: u32) -> Arc<Self> {
+        Arc::new(FaultClock {
+            state: Mutex::new(ClockState {
+                faults: Vec::new(),
+                seen: [0; 3],
+                total: 0,
+                rng: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+                per_mille: fail_per_mille.min(1000),
+                seeded: true,
+                crashed: false,
+                injected: 0,
+            }),
+        })
+    }
+
+    /// Total operations admitted or failed so far, across all ops.
+    pub fn total_ops(&self) -> u64 {
+        self.state.lock().unwrap().total
+    }
+
+    /// Operations of each kind seen so far, as `(reads, writes, syncs)`.
+    pub fn ops_seen(&self) -> (u64, u64, u64) {
+        let s = self.state.lock().unwrap();
+        (s.seen[0], s.seen[1], s.seen[2])
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().unwrap().injected
+    }
+
+    /// Whether the clock has hit a crash fault.
+    pub fn has_crashed(&self) -> bool {
+        self.state.lock().unwrap().crashed
+    }
+
+    /// Record one operation of kind `op` and decide its fate.
+    fn admit(&self, op: FaultOp) -> Result<()> {
+        let mut s = self.state.lock().unwrap();
+        if s.crashed {
+            return Err(DeviceError::Crashed);
+        }
+        s.seen[op_index(op)] += 1;
+        s.total += 1;
+
+        let mut verdict: Option<FaultKind> = None;
+        for f in &s.faults {
+            let n = match f.op {
+                Some(fop) if fop == op => s.seen[op_index(op)],
+                Some(_) => continue,
+                None => s.total,
+            };
+            if n >= f.nth && n - f.nth < f.count {
+                verdict = Some(f.kind);
+                break;
+            }
+        }
+        if verdict.is_none() && s.seeded && s.per_mille > 0 {
+            // xorshift64*
+            let mut x = s.rng;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            s.rng = x;
+            let roll = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 32) % 1000;
+            if (roll as u32) < s.per_mille {
+                verdict = Some(FaultKind::Transient);
+            }
+        }
+
+        match verdict {
+            None => Ok(()),
+            Some(kind) => {
+                s.injected += 1;
+                match kind {
+                    FaultKind::Transient => Err(DeviceError::Injected {
+                        op,
+                        transient: true,
+                    }),
+                    FaultKind::Permanent => Err(DeviceError::Injected {
+                        op,
+                        transient: false,
+                    }),
+                    FaultKind::Crash => {
+                        s.crashed = true;
+                        Err(DeviceError::Crashed)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`Device`] wrapper that injects faults per a [`FaultClock`] schedule.
+///
+/// Failed operations are fail-stop: a failed `write_at` writes nothing,
+/// a failed `sync` flushes nothing. (Torn writes are `FaultDevice`'s
+/// department.) `len`, `is_empty`, and `set_len` never inject faults but
+/// do fail once the clock has crashed.
+#[derive(Debug)]
+pub struct FlakyDevice<D: ?Sized> {
+    inner: Arc<D>,
+    clock: Arc<FaultClock>,
+}
+
+impl<D: Device + ?Sized> FlakyDevice<D> {
+    /// Wrap `inner` with an explicit fault schedule.
+    pub fn new(inner: Arc<D>, faults: Vec<FlakyFault>) -> Self {
+        FlakyDevice {
+            inner,
+            clock: FaultClock::new(faults),
+        }
+    }
+
+    /// Wrap `inner` with a seeded pseudo-random schedule; see
+    /// [`FaultClock::seeded`].
+    pub fn seeded(inner: Arc<D>, seed: u64, fail_per_mille: u32) -> Self {
+        FlakyDevice {
+            inner,
+            clock: FaultClock::seeded(seed, fail_per_mille),
+        }
+    }
+
+    /// Wrap `inner` with an existing (possibly shared) clock.
+    pub fn with_clock(inner: Arc<D>, clock: Arc<FaultClock>) -> Self {
+        FlakyDevice { inner, clock }
+    }
+
+    /// The fault clock driving this device.
+    pub fn clock(&self) -> Arc<FaultClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> Arc<D> {
+        Arc::clone(&self.inner)
+    }
+}
+
+impl<D: Device + ?Sized> Device for FlakyDevice<D> {
+    fn len(&self) -> Result<u64> {
+        if self.clock.has_crashed() {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.clock.admit(FaultOp::Read)?;
+        self.inner.read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.clock.admit(FaultOp::Write)?;
+        self.inner.write_at(offset, buf)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.clock.admit(FaultOp::Sync)?;
+        self.inner.sync()
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        if self.clock.has_crashed() {
+            return Err(DeviceError::Crashed);
+        }
+        self.inner.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+
+    fn dev(faults: Vec<FlakyFault>) -> FlakyDevice<MemDevice> {
+        FlakyDevice::new(Arc::new(MemDevice::with_len(4096)), faults)
+    }
+
+    #[test]
+    fn nth_write_fails_then_heals() {
+        let d = dev(vec![FlakyFault::transient(FaultOp::Write, 2)]);
+        d.write_at(0, b"one").unwrap();
+        let err = d.write_at(0, b"two").unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::Injected {
+                op: FaultOp::Write,
+                transient: true
+            }
+        ));
+        // Failed write wrote nothing.
+        let mut buf = [0u8; 3];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"one");
+        // Healed: the next write succeeds.
+        d.write_at(0, b"two").unwrap();
+        assert_eq!(d.clock().injected(), 1);
+    }
+
+    #[test]
+    fn transient_run_heals_after_count() {
+        let d = dev(vec![FlakyFault::transient_run(FaultOp::Sync, 1, 3)]);
+        for _ in 0..3 {
+            assert!(d.sync().unwrap_err().is_transient());
+        }
+        d.sync().unwrap();
+        assert_eq!(d.clock().injected(), 3);
+    }
+
+    #[test]
+    fn permanent_fault_never_heals() {
+        let d = dev(vec![FlakyFault::permanent(FaultOp::Read, 1)]);
+        let mut buf = [0u8; 1];
+        for _ in 0..5 {
+            let err = d.read_at(0, &mut buf).unwrap_err();
+            assert!(!err.is_transient());
+        }
+        // Other ops unaffected.
+        d.write_at(0, b"x").unwrap();
+    }
+
+    #[test]
+    fn crash_after_total_ops_sticks() {
+        let d = dev(vec![FlakyFault::crash_after_ops(3)]);
+        let mut buf = [0u8; 1];
+        d.write_at(0, b"a").unwrap();
+        d.read_at(0, &mut buf).unwrap();
+        assert!(matches!(d.sync().unwrap_err(), DeviceError::Crashed));
+        assert!(d.clock().has_crashed());
+        assert!(matches!(
+            d.write_at(0, b"b").unwrap_err(),
+            DeviceError::Crashed
+        ));
+        assert!(matches!(d.set_len(8192).unwrap_err(), DeviceError::Crashed));
+    }
+
+    #[test]
+    fn shared_clock_counts_across_devices() {
+        let clock = FaultClock::new(vec![FlakyFault::crash_after_ops(2)]);
+        let a = FlakyDevice::with_clock(Arc::new(MemDevice::with_len(4096)), Arc::clone(&clock));
+        let b = FlakyDevice::with_clock(Arc::new(MemDevice::with_len(4096)), Arc::clone(&clock));
+        a.write_at(0, b"x").unwrap();
+        assert!(matches!(
+            b.write_at(0, b"y").unwrap_err(),
+            DeviceError::Crashed
+        ));
+        assert_eq!(clock.total_ops(), 2);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let run = |seed| {
+            let d = FlakyDevice::seeded(Arc::new(MemDevice::with_len(4096)), seed, 300);
+            let mut outcomes = Vec::new();
+            for i in 0..64 {
+                outcomes.push(d.write_at(i % 8, b"z").is_ok());
+            }
+            outcomes
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+        let d = FlakyDevice::seeded(Arc::new(MemDevice::with_len(4096)), 7, 1000);
+        assert!(d.sync().unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn ops_seen_counts_per_kind() {
+        let d = dev(vec![]);
+        let mut buf = [0u8; 1];
+        d.write_at(0, b"a").unwrap();
+        d.write_at(1, b"b").unwrap();
+        d.read_at(0, &mut buf).unwrap();
+        d.sync().unwrap();
+        assert_eq!(d.clock().ops_seen(), (1, 2, 1));
+        assert_eq!(d.clock().total_ops(), 4);
+    }
+}

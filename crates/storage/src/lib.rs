@@ -11,22 +11,29 @@
 //!   the last `sync` may be lost or torn, and every operation after the
 //!   planned crash point fails. This is the engine behind the crash-matrix
 //!   integration tests.
+//! * [`FlakyDevice`] — a wrapper that models flaky hardware: the Nth
+//!   read/write/sync fails with a transient or permanent
+//!   [`DeviceError::Injected`], on an explicit or seeded schedule. This is
+//!   the engine behind the transient-fault and crash-during-recovery
+//!   sweeps.
 //!
-//! The `simdisk` crate provides a fourth implementation that charges seek,
+//! The `simdisk` crate provides a further implementation that charges seek,
 //! rotation and transfer latency to a virtual clock.
 
 mod device;
 mod error;
 mod fault;
 mod file;
+mod flaky;
 mod mem;
 mod mirror;
 mod null;
 
 pub use device::{Device, SharedDevice};
-pub use error::{DeviceError, Result};
+pub use error::{DeviceError, FaultOp, Result};
 pub use fault::{CrashPlan, FaultDevice, UnsyncedFate};
 pub use file::FileDevice;
+pub use flaky::{FaultClock, FaultKind, FlakyDevice, FlakyFault};
 pub use mem::MemDevice;
 pub use mirror::MirrorDevice;
 pub use null::NullDevice;

@@ -93,9 +93,17 @@ impl MirrorDevice {
             }
             match f(&replica.dev) {
                 Ok(()) => any = true,
-                Err(DeviceError::OutOfBounds { offset, len, device_len }) => {
+                Err(DeviceError::OutOfBounds {
+                    offset,
+                    len,
+                    device_len,
+                }) => {
                     // Bounds errors are deterministic, not media failures.
-                    return Err(DeviceError::OutOfBounds { offset, len, device_len });
+                    return Err(DeviceError::OutOfBounds {
+                        offset,
+                        len,
+                        device_len,
+                    });
                 }
                 Err(_) => replica.alive.store(false, Ordering::Release),
             }
@@ -132,8 +140,16 @@ impl Device for MirrorDevice {
             }
             match replica.dev.read_at(offset, buf) {
                 Ok(()) => return Ok(()),
-                Err(DeviceError::OutOfBounds { offset, len, device_len }) => {
-                    return Err(DeviceError::OutOfBounds { offset, len, device_len })
+                Err(DeviceError::OutOfBounds {
+                    offset,
+                    len,
+                    device_len,
+                }) => {
+                    return Err(DeviceError::OutOfBounds {
+                        offset,
+                        len,
+                        device_len,
+                    })
                 }
                 Err(_) => replica.alive.store(false, Ordering::Release),
             }

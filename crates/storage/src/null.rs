@@ -44,7 +44,10 @@ impl Device for NullDevice {
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
         let len = self.len.load(Ordering::Relaxed);
-        if offset.checked_add(data.len() as u64).is_none_or(|e| e > len) {
+        if offset
+            .checked_add(data.len() as u64)
+            .is_none_or(|e| e > len)
+        {
             return Err(DeviceError::OutOfBounds {
                 offset,
                 len: data.len() as u64,

@@ -25,7 +25,11 @@ struct Bank {
 
 #[derive(Debug)]
 enum BankError {
-    InsufficientFunds { account: u64, balance: i64, amount: i64 },
+    InsufficientFunds {
+        account: u64,
+        balance: i64,
+        amount: i64,
+    },
     Rvm(rvm::RvmError),
 }
 
@@ -38,7 +42,8 @@ impl From<rvm::RvmError> for BankError {
 impl Bank {
     fn open() -> rvm::Result<Bank> {
         let rvm = Rvm::initialize(
-            Options::new(Arc::new(MemDevice::with_len(4 << 20))).create_if_empty()
+            Options::new(Arc::new(MemDevice::with_len(4 << 20)))
+                .create_if_empty()
                 .resolver(rvm::segment::MemResolver::new().into_resolver()),
         )?;
         let region = rvm.map(&RegionDescriptor::new("bank", 0, 4 * PAGE_SIZE))?;
@@ -95,13 +100,25 @@ fn main() {
         bank.set_balance(&mut txn, 2, 50).unwrap();
         txn.commit(CommitMode::Flush).unwrap();
     }
-    println!("opening balances: acct1={} acct2={}", bank.balance(1).unwrap(), bank.balance(2).unwrap());
+    println!(
+        "opening balances: acct1={} acct2={}",
+        bank.balance(1).unwrap(),
+        bank.balance(2).unwrap()
+    );
 
     bank.transfer(1, 1, 2, 300).expect("transfer succeeds");
-    println!("after 300 transfer: acct1={} acct2={}", bank.balance(1).unwrap(), bank.balance(2).unwrap());
+    println!(
+        "after 300 transfer: acct1={} acct2={}",
+        bank.balance(1).unwrap(),
+        bank.balance(2).unwrap()
+    );
 
     match bank.transfer(2, 2, 1, 10_000) {
-        Err(BankError::InsufficientFunds { account, balance, amount }) => {
+        Err(BankError::InsufficientFunds {
+            account,
+            balance,
+            amount,
+        }) => {
             println!("rejected: account {account} holds {balance}, cannot send {amount}");
         }
         Err(BankError::Rvm(e)) => panic!("unexpected RVM error: {e}"),

@@ -35,7 +35,10 @@ impl NodeWorld {
 }
 
 fn upd(offset: u64, data: &[u8]) -> Update {
-    Update { offset, data: data.to_vec() }
+    Update {
+        offset,
+        data: data.to_vec(),
+    }
 }
 
 fn main() {
@@ -87,7 +90,10 @@ fn main() {
             .expect("recovery");
         assert!(branch_a.in_doubt().is_empty());
         let value = branch_a.data().read_vec(64, 9).expect("read");
-        println!("recovered value at 64: {:?}", String::from_utf8_lossy(&value));
+        println!(
+            "recovered value at 64: {:?}",
+            String::from_utf8_lossy(&value)
+        );
         assert_eq!(&value, b"in-doubt!");
         // And the earlier committed transfer is still there.
         let balance = branch_a.data().get_u64(0).expect("balance");

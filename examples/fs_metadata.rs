@@ -103,9 +103,7 @@ fn main() -> rvm::Result<()> {
         let q = store.rvm.query();
         println!(
             "{} no-flush commit(s) spooled ({} bytes), {} saved by inter-txn optimization",
-            q.spooled_transactions,
-            q.spool_bytes,
-            q.stats.bytes_saved_inter
+            q.spooled_transactions, q.spool_bytes, q.stats.bytes_saved_inter
         );
 
         // Bounded persistence: one explicit flush makes it all durable.
@@ -129,7 +127,10 @@ fn main() -> rvm::Result<()> {
         println!("/ -> {root:?}");
         let (_, docs) = root.iter().find(|(n, _)| n == "docs").expect("docs dir");
         let listing = store.list(*docs)?;
-        println!("/docs -> {:?}", listing.iter().map(|(n, _)| n).collect::<Vec<_>>());
+        println!(
+            "/docs -> {:?}",
+            listing.iter().map(|(n, _)| n).collect::<Vec<_>>()
+        );
         assert_eq!(listing.len(), 4);
     }
     println!("ok: directory tree survived the restart.");

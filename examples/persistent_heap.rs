@@ -34,14 +34,23 @@ fn push(
     let old_head = PersistentPtr(seg.region.get_u64(head_slot)?);
     seg.region.put_u64(&mut txn, node, old_head.0)?;
     seg.region.put_u64(&mut txn, node + 8, text.len() as u64)?;
-    seg.region.write(&mut txn, node + NODE_HEADER, text.as_bytes())?;
+    seg.region
+        .write(&mut txn, node + NODE_HEADER, text.as_bytes())?;
     // Store the *stable* address in the head slot.
-    loader.write_ptr(&mut txn, seg.ptr_to(head_slot), &seg.ptr_to(node).0.to_le_bytes())?;
+    loader.write_ptr(
+        &mut txn,
+        seg.ptr_to(head_slot),
+        &seg.ptr_to(node).0.to_le_bytes(),
+    )?;
     txn.commit(CommitMode::Flush)?;
     Ok(())
 }
 
-fn walk(loader: &Loader, seg: &rvm_loader::LoadedSegment, head_slot: u64) -> rvm::Result<Vec<String>> {
+fn walk(
+    loader: &Loader,
+    seg: &rvm_loader::LoadedSegment,
+    head_slot: u64,
+) -> rvm::Result<Vec<String>> {
     let mut out = Vec::new();
     let mut ptr = PersistentPtr(seg.region.get_u64(head_slot)?);
     while !ptr.is_null() {
@@ -95,7 +104,14 @@ fn main() -> rvm::Result<()> {
         let mut loader = Loader::open(&rvm, "loadmap")?;
         let seg = loader.load(&rvm, "journal", heap_len)?;
         let heap = RvmHeap::open(&seg.region)?;
-        push(&rvm, &loader, &heap, &seg, head_slot, "third entry (new life)")?;
+        push(
+            &rvm,
+            &loader,
+            &heap,
+            &seg,
+            head_slot,
+            "third entry (new life)",
+        )?;
         let entries = walk(&loader, &seg, head_slot)?;
         println!("incarnation 2 reads: {entries:?}");
         assert_eq!(

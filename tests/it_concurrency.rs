@@ -132,7 +132,11 @@ fn concurrent_commits_with_background_truncation() {
     let q = rvm.query();
     assert!(q.log.utilization < 0.9, "utilization {}", q.log.utilization);
     assert_eq!(q.stats.txns_committed, 320);
-    Arc::try_unwrap(rvm).ok().expect("sole owner").terminate().unwrap();
+    Arc::try_unwrap(rvm)
+        .ok()
+        .expect("sole owner")
+        .terminate()
+        .unwrap();
 }
 
 #[test]
@@ -181,7 +185,9 @@ fn aborting_threads_do_not_disturb_committers() {
 fn query_is_safe_under_concurrent_load() {
     let world = World::new(2 << 20);
     let rvm = Arc::new(world.boot());
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let worker = {
         let rvm = rvm.clone();
         let region = region.clone();

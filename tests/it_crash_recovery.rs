@@ -27,7 +27,11 @@ const INDEX_OFF: u64 = 2048;
 /// with byte `i` and record `i` at INDEX_OFF, all in one transaction.
 fn run_txn(rvm: &Rvm, region: &Region, i: u64) -> rvm::Result<()> {
     let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
-    region.write(&mut txn, (i % SLOTS) * SLOT_SIZE, &[i as u8; SLOT_SIZE as usize])?;
+    region.write(
+        &mut txn,
+        (i % SLOTS) * SLOT_SIZE,
+        &[i as u8; SLOT_SIZE as usize],
+    )?;
     region.put_u64(&mut txn, INDEX_OFF, i)?;
     txn.commit(CommitMode::Flush)
 }
@@ -53,7 +57,11 @@ fn assert_state_is_prefix(region: &Region, k: u64) {
 
 /// Runs the workload against a crash plan; returns (acked commits,
 /// post-crash durable log image is left in `inner`).
-fn run_until_crash(inner: Arc<MemDevice>, segments: &rvm::segment::MemResolver, plan: CrashPlan) -> u64 {
+fn run_until_crash(
+    inner: Arc<MemDevice>,
+    segments: &rvm::segment::MemResolver,
+    plan: CrashPlan,
+) -> u64 {
     let fault = Arc::new(FaultDevice::new(inner, plan));
     let rvm = match Rvm::initialize(
         Options::new(fault.clone())
@@ -87,7 +95,9 @@ fn crash_matrix(unsynced_lost: bool) {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         for i in 1..=60 {
             run_txn(&rvm, &region, i).unwrap();
         }
@@ -104,7 +114,9 @@ fn crash_matrix(unsynced_lost: bool) {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         for i in 1..=60 {
             run_txn(&rvm, &region, i).unwrap();
         }
@@ -135,7 +147,9 @@ fn crash_matrix(unsynced_lost: bool) {
                 .create_if_empty(),
         )
         .unwrap_or_else(|e| panic!("recovery failed at crash point {crash_at}: {e}"));
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let recovered = region.get_u64(INDEX_OFF).unwrap();
         assert!(
             recovered >= acked,
@@ -165,11 +179,7 @@ fn recovery_is_idempotent_after_a_crash() {
     let inner = Arc::new(MemDevice::with_len(1 << 20));
     // Formatting + the first status write consume ~25 KB before the
     // first record; crash a few transactions in.
-    let acked = run_until_crash(
-        inner.clone(),
-        &segments,
-        CrashPlan::torn_at(60_000),
-    );
+    let acked = run_until_crash(inner.clone(), &segments, CrashPlan::torn_at(60_000));
     assert!(acked > 0);
 
     // First recovery.
@@ -182,14 +192,18 @@ fn recovery_is_idempotent_after_a_crash() {
         .unwrap()
     };
     let rvm = boot(inner.clone());
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let first = region.get_u64(INDEX_OFF).unwrap();
     let snapshot: Vec<u8> = segments.get("seg").unwrap().snapshot();
     std::mem::forget(rvm); // crash immediately after recovery
 
     // Second recovery over the same image must land in the same state.
     let rvm = boot(inner);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_eq!(region.get_u64(INDEX_OFF).unwrap(), first);
     assert_eq!(segments.get("seg").unwrap().snapshot(), snapshot);
 }
@@ -203,7 +217,10 @@ fn crash_during_spool_flush_preserves_commit_order_prefix() {
     for crash_at in [600u64, 2000, 4000, 8000, 16000] {
         let segments = rvm::segment::MemResolver::new();
         let inner = Arc::new(MemDevice::with_len(1 << 20));
-        let fault = Arc::new(FaultDevice::new(inner.clone(), CrashPlan::torn_at(crash_at)));
+        let fault = Arc::new(FaultDevice::new(
+            inner.clone(),
+            CrashPlan::torn_at(crash_at),
+        ));
         {
             let rvm = match Rvm::initialize(
                 Options::new(fault.clone())
@@ -238,7 +255,9 @@ fn crash_during_spool_flush_preserves_commit_order_prefix() {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         // Find the highest surviving transaction, then require all lower
         // ones to be present too.
         let mut highest = 0;
@@ -264,7 +283,9 @@ fn segment_data_survives_even_when_log_is_reused() {
     let world = World::new(64 * 1024);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         for i in 1..=10 {
             run_txn(&rvm, &region, i).unwrap();
         }
@@ -274,6 +295,8 @@ fn segment_data_survives_even_when_log_is_reused() {
     }
     let rvm = world.boot();
     assert_eq!(rvm.recovery_report().records_replayed, 0);
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     assert_state_is_prefix(&region, 10);
 }

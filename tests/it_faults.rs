@@ -1,0 +1,409 @@
+//! The transient-fault matrix: a deterministic workload runs against a
+//! flaky log device (and flaky segment devices) whose Nth operations
+//! fail on a scripted or seeded schedule. The library's contract under
+//! injected faults:
+//!
+//! * transient faults within the retry budget *heal* — every commit
+//!   succeeds and the final state is identical to a fault-free run,
+//!   with the healing visible in the stats counters;
+//! * faults that exhaust the budget (or permanent faults) *poison* the
+//!   instance: mutating operations fail fast with `RvmError::Poisoned`,
+//!   reads of mapped regions keep working, and a fresh `initialize`
+//!   over the same devices recovers every acknowledged commit;
+//! * a crash at *any* device operation during recovery or truncation
+//!   leaves an image from which re-recovery reaches the full committed
+//!   state, idempotently.
+
+mod common {
+    include!("lib.rs");
+}
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use common::World;
+use rvm::segment::{flaky_resolver, MemResolver};
+use rvm::{
+    BackoffSleeper, CommitMode, Options, Region, RegionDescriptor, RetryPolicy, Rvm, RvmError,
+    TxnMode, PAGE_SIZE,
+};
+use rvm_storage::{FaultClock, FaultOp, FlakyDevice, FlakyFault, MemDevice};
+
+const SLOTS: u64 = 16;
+const SLOT_SIZE: u64 = 64;
+/// Offset where each transaction records its own index.
+const INDEX_OFF: u64 = 2048;
+
+/// Runs transaction `i` of the canonical workload: fill slot `i % SLOTS`
+/// with byte `i` and record `i` at INDEX_OFF, all in one transaction.
+fn run_txn(rvm: &Rvm, region: &Region, i: u64) -> rvm::Result<()> {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+    region.write(
+        &mut txn,
+        (i % SLOTS) * SLOT_SIZE,
+        &[i as u8; SLOT_SIZE as usize],
+    )?;
+    region.put_u64(&mut txn, INDEX_OFF, i)?;
+    txn.commit(CommitMode::Flush)
+}
+
+/// Asserts the region equals the state after transactions `1..=k`.
+fn assert_state_is_prefix(region: &Region, k: u64) {
+    assert_eq!(region.get_u64(INDEX_OFF).unwrap(), k, "recorded index");
+    for slot in 0..SLOTS {
+        let expect: u8 = (1..=k)
+            .rev()
+            .find(|i| i % SLOTS == slot)
+            .map(|i| i as u8)
+            .unwrap_or(0);
+        let got = region.read_vec(slot * SLOT_SIZE, SLOT_SIZE).unwrap();
+        assert_eq!(
+            got,
+            vec![expect; SLOT_SIZE as usize],
+            "slot {slot} after prefix {k}"
+        );
+    }
+}
+
+/// A sleeper that records the requested backoffs instead of sleeping, so
+/// fault tests run instantly.
+fn recording_sleeper() -> (BackoffSleeper, Arc<Mutex<Vec<Duration>>>) {
+    let sleeps = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&sleeps);
+    (Arc::new(move |d| s2.lock().unwrap().push(d)), sleeps)
+}
+
+fn descriptor() -> RegionDescriptor {
+    RegionDescriptor::new("seg", 0, PAGE_SIZE)
+}
+
+/// Options for a flaky world: the log and every resolved segment device
+/// share one fault clock, and retry backoff is instant.
+fn flaky_options(
+    log: &Arc<MemDevice>,
+    segments: &MemResolver,
+    clock: &Arc<FaultClock>,
+    sleeper: BackoffSleeper,
+) -> Options {
+    Options::new(Arc::new(FlakyDevice::with_clock(
+        Arc::clone(log),
+        Arc::clone(clock),
+    )))
+    .resolver(flaky_resolver(
+        segments.clone().into_resolver(),
+        Arc::clone(clock),
+    ))
+    .retry_sleeper(sleeper)
+    .create_if_empty()
+}
+
+/// Options over the bare devices (the "repaired hardware" reboot).
+fn clean_options(log: &Arc<MemDevice>, segments: &MemResolver) -> Options {
+    Options::new(log.clone())
+        .resolver(segments.clone().into_resolver())
+        .create_if_empty()
+}
+
+#[test]
+fn transient_faults_heal_and_state_matches_fault_free_run() {
+    const N: u64 = 25;
+
+    // Fault-free reference run.
+    let reference = {
+        let world = World::new(1 << 20);
+        let rvm = world.boot();
+        let region = rvm.map(&descriptor()).unwrap();
+        for i in 1..=N {
+            run_txn(&rvm, &region, i).unwrap();
+        }
+        let snap = region.read_vec(0, PAGE_SIZE).unwrap();
+        rvm.terminate().unwrap();
+        snap
+    };
+
+    // The same run over a flaky log + flaky segments: transient faults
+    // sprinkled across reads, writes, and syncs, every run shorter than
+    // the default retry budget.
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let clock = FaultClock::new(vec![
+        FlakyFault::transient(FaultOp::Read, 1),
+        FlakyFault::transient(FaultOp::Write, 3),
+        FlakyFault::transient(FaultOp::Sync, 2),
+        FlakyFault::transient_run(FaultOp::Write, 12, 2),
+        FlakyFault::transient_run(FaultOp::Sync, 9, 3),
+        FlakyFault::transient(FaultOp::Write, 31),
+    ]);
+    let (sleeper, sleeps) = recording_sleeper();
+    let rvm = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    for i in 1..=N {
+        run_txn(&rvm, &region, i).unwrap_or_else(|e| panic!("txn {i} failed to heal: {e}"));
+    }
+    assert_state_is_prefix(&region, N);
+    assert_eq!(region.read_vec(0, PAGE_SIZE).unwrap(), reference);
+
+    let q = rvm.query();
+    assert!(!q.poisoned);
+    assert!(q.stats.io_retries >= clock.injected(), "{q:?}");
+    assert!(q.stats.transient_faults_healed > 0, "{q:?}");
+    assert_eq!(q.stats.poisonings, 0, "{q:?}");
+    assert!(clock.injected() > 0, "schedule never fired");
+    assert!(
+        !sleeps.lock().unwrap().is_empty(),
+        "backoff went through the injected sleeper"
+    );
+    rvm.terminate().unwrap();
+
+    // The durable image is also identical to the fault-free run.
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    assert_eq!(region.read_vec(0, PAGE_SIZE).unwrap(), reference);
+}
+
+#[test]
+fn exhausted_retries_poison_the_instance_and_recovery_rescues_commits() {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    // From the 30th log/segment write on, every write fails; the retry
+    // budget (3) cannot outlast the run, so some commit must poison.
+    let clock = FaultClock::new(vec![FlakyFault::transient_run(FaultOp::Write, 30, 1_000)]);
+    let (sleeper, _) = recording_sleeper();
+    let rvm = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+
+    let mut acked = 0u64;
+    let mut failure = None;
+    for i in 1..=40u64 {
+        match run_txn(&rvm, &region, i) {
+            Ok(()) => acked = i,
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    let failure = failure.expect("the write fault never hit a commit");
+    assert!(acked > 0, "no transaction committed before the fault");
+    assert!(
+        matches!(failure, RvmError::Device(_)),
+        "commit failed with {failure}"
+    );
+
+    // Poisoned: mutating entry points fail fast, before touching devices.
+    assert!(rvm.is_poisoned());
+    assert!(matches!(
+        rvm.begin_transaction(TxnMode::Restore),
+        Err(RvmError::Poisoned)
+    ));
+    assert!(matches!(rvm.flush(), Err(RvmError::Poisoned)));
+    assert!(matches!(rvm.truncate(), Err(RvmError::Poisoned)));
+    assert!(matches!(rvm.map(&descriptor()), Err(RvmError::Poisoned)));
+
+    // Reads of the mapped region keep working.
+    assert_state_is_prefix(&region, acked);
+
+    let q = rvm.query();
+    assert!(q.poisoned);
+    assert_eq!(q.stats.poisonings, 1);
+    assert!(q.stats.io_retries >= u64::from(RetryPolicy::default().max_retries));
+
+    // Shutdown refuses to touch the durable image.
+    assert!(matches!(rvm.terminate(), Err(RvmError::Poisoned)));
+
+    // A fresh instance over the same devices recovers every acknowledged
+    // commit.
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    let recovered = region.get_u64(INDEX_OFF).unwrap();
+    assert!(recovered >= acked, "acked {acked}, recovered {recovered}");
+    assert_state_is_prefix(&region, recovered);
+    assert!(!rvm.is_poisoned());
+    rvm.terminate().unwrap();
+}
+
+/// Builds a log + segments image holding `n` acknowledged commits whose
+/// owner crashed without terminating (the log is un-truncated).
+fn build_crashed_image(n: u64) -> (Arc<MemDevice>, MemResolver) {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    for i in 1..=n {
+        run_txn(&rvm, &region, i).unwrap();
+    }
+    std::mem::forget(rvm); // the machine dies: no destructors
+    (log, segments)
+}
+
+#[test]
+fn crash_during_recovery_matrix_re_recovers_idempotently() {
+    const N: u64 = 20;
+
+    // Count the device operations a recovery (initialize + map) performs,
+    // with the log and all segment devices on one shared clock.
+    let (log, segments) = build_crashed_image(N);
+    let clock = FaultClock::new(vec![]);
+    let (sleeper, _) = recording_sleeper();
+    let rvm = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    assert_state_is_prefix(&region, N);
+    let total_ops = clock.total_ops();
+    std::mem::forget(rvm);
+    assert!(total_ops > 0);
+
+    // Crash recovery at every single device operation.
+    for k in 1..=total_ops {
+        let (log, segments) = build_crashed_image(N);
+        let clock = FaultClock::new(vec![FlakyFault::crash_after_ops(k)]);
+        let (sleeper, _) = recording_sleeper();
+        match Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
+            Ok(rvm) => {
+                // The crash lands during map (or just after); either way
+                // this incarnation is dead.
+                let _ = rvm.map(&descriptor());
+                std::mem::forget(rvm);
+            }
+            Err(_) => {}
+        }
+        assert!(clock.has_crashed(), "crash op {k} never fired");
+
+        // Re-recovery over the surviving image reaches the full committed
+        // state...
+        let rvm = Rvm::initialize(clean_options(&log, &segments))
+            .unwrap_or_else(|e| panic!("re-recovery failed after crash at op {k}: {e}"));
+        let region = rvm.map(&descriptor()).unwrap();
+        assert_eq!(
+            region.get_u64(INDEX_OFF).unwrap(),
+            N,
+            "crash at recovery op {k} lost committed transactions"
+        );
+        assert_state_is_prefix(&region, N);
+        let seg_snap = segments.get("seg").unwrap().snapshot();
+        std::mem::forget(rvm); // crash again immediately after recovery
+
+        // ...and is idempotent: a third recovery lands in the same state.
+        let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+        let region = rvm.map(&descriptor()).unwrap();
+        assert_eq!(region.get_u64(INDEX_OFF).unwrap(), N);
+        assert_eq!(
+            segments.get("seg").unwrap().snapshot(),
+            seg_snap,
+            "recovery after crash op {k} is not idempotent"
+        );
+    }
+}
+
+#[test]
+fn crash_during_truncation_matrix_preserves_all_commits() {
+    const N: u64 = 20;
+
+    // Baseline: count the operation window occupied by an explicit
+    // truncation after N commits.
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let clock = FaultClock::new(vec![]);
+    let (sleeper, _) = recording_sleeper();
+    let rvm = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    for i in 1..=N {
+        run_txn(&rvm, &region, i).unwrap();
+    }
+    let ops_before = clock.total_ops();
+    rvm.truncate().unwrap();
+    let ops_after = clock.total_ops();
+    rvm.terminate().unwrap();
+    assert!(ops_after > ops_before, "truncation performed no device ops");
+
+    // Crash at every operation inside the truncation window.
+    for k in (ops_before + 1)..=ops_after {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let segments = MemResolver::new();
+        let clock = FaultClock::new(vec![FlakyFault::crash_after_ops(k)]);
+        let (sleeper, _) = recording_sleeper();
+        let rvm = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)).unwrap();
+        let region = rvm.map(&descriptor()).unwrap();
+        for i in 1..=N {
+            run_txn(&rvm, &region, i)
+                .unwrap_or_else(|e| panic!("txn {i} failed before crash op {k}: {e}"));
+        }
+        let err = rvm.truncate().unwrap_err();
+        assert!(
+            matches!(err, RvmError::Device(_)),
+            "crash op {k}: truncate failed with {err}"
+        );
+        assert!(rvm.is_poisoned(), "crash op {k} did not poison");
+        std::mem::forget(rvm);
+
+        // Reboot from the torn image: every acknowledged commit survives.
+        let rvm = Rvm::initialize(clean_options(&log, &segments))
+            .unwrap_or_else(|e| panic!("recovery failed after truncation crash at op {k}: {e}"));
+        let region = rvm.map(&descriptor()).unwrap();
+        assert_eq!(
+            region.get_u64(INDEX_OFF).unwrap(),
+            N,
+            "truncation crash at op {k} lost committed transactions"
+        );
+        assert_state_is_prefix(&region, N);
+    }
+}
+
+#[test]
+fn seeded_fault_storms_either_heal_or_poison_recoverably() {
+    const N: u64 = 25;
+    for per_mille in [30u32, 400] {
+        for seed in 1..=4u64 {
+            let log = Arc::new(MemDevice::with_len(1 << 20));
+            let segments = MemResolver::new();
+            let clock = FaultClock::seeded(seed, per_mille);
+            let (sleeper, _) = recording_sleeper();
+            let tag = format!("seed {seed} @ {per_mille}\u{2030}");
+
+            let mut acked = 0u64;
+            let mut clean_exit = false;
+            match Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
+                Ok(rvm) => {
+                    if let Ok(region) = rvm.map(&descriptor()) {
+                        for i in 1..=N {
+                            match run_txn(&rvm, &region, i) {
+                                Ok(()) => acked = i,
+                                Err(e) => {
+                                    assert!(
+                                        rvm.is_poisoned(),
+                                        "{tag}: commit failed ({e}) without poisoning"
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if acked == N {
+                        // terminate consumes the instance whether or not it
+                        // succeeds; the durable image must stay recoverable.
+                        clean_exit = rvm.terminate().is_ok();
+                    } else {
+                        std::mem::forget(rvm);
+                    }
+                }
+                Err(_) => {} // initialization itself was flooded: acked == 0
+            }
+
+            // Whatever happened, a fresh instance over the bare devices
+            // recovers a prefix containing every acknowledged commit.
+            let rvm = Rvm::initialize(clean_options(&log, &segments))
+                .unwrap_or_else(|e| panic!("{tag}: recovery failed: {e}"));
+            let region = rvm.map(&descriptor()).unwrap();
+            let recovered = region.get_u64(INDEX_OFF).unwrap();
+            assert!(
+                recovered >= acked,
+                "{tag}: acked {acked} but recovered {recovered}"
+            );
+            assert!(recovered <= N, "{tag}");
+            assert_state_is_prefix(&region, recovered);
+            if clean_exit {
+                assert_eq!(recovered, N, "{tag}: clean run lost state");
+            }
+            rvm.terminate().unwrap();
+        }
+    }
+}

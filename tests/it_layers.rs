@@ -165,7 +165,8 @@ fn simpledb_and_rvm_agree_on_recovered_contents() {
     {
         let db = simpledb::SimpleDb::open(ckpt.clone(), dlog.clone()).unwrap();
         for i in 0..10u32 {
-            db.put(format!("k{i}").as_bytes(), &i.to_le_bytes()).unwrap();
+            db.put(format!("k{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
         }
     }
     let world = World::new(1 << 20);
@@ -194,7 +195,9 @@ fn logtool_reads_a_live_application_log() {
     let world = World::new(1 << 20);
     {
         let rvm = world.boot();
-        let region = rvm.map(&RegionDescriptor::new("app", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("app", 0, PAGE_SIZE))
+            .unwrap();
         for i in 0..4u64 {
             let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
             region.put_u64(&mut txn, 8 * i, i).unwrap();
@@ -238,9 +241,7 @@ fn full_stack_metadata_server_lifecycle() {
 
         // A file object in the GC heap, indexed by name in the map, with
         // an audit record.
-        let file = objheap
-            .alloc(&mut txn, &[], b"file contents v1")
-            .unwrap();
+        let file = objheap.alloc(&mut txn, &[], b"file contents v1").unwrap();
         objheap.set_root(&mut txn, 0, file).unwrap();
         map.put(
             &seg.region,
@@ -250,7 +251,8 @@ fn full_stack_metadata_server_lifecycle() {
             &0u64.to_le_bytes(), // root slot index
         )
         .unwrap();
-        ring.append(&seg.region, &mut txn, b"create /etc/passwd").unwrap();
+        ring.append(&seg.region, &mut txn, b"create /etc/passwd")
+            .unwrap();
         txn.commit(CommitMode::Flush).unwrap();
 
         // Collect garbage in the object heap, then crash.

@@ -21,7 +21,10 @@ fn log_force_bound_holds() {
     let cell = run_cell(SystemKind::Rvm, 32 * 1024, AccessPattern::Sequential, &cfg);
     let tps = cell.mean_tps();
     assert!(tps < 57.5, "cannot beat the log-force bound: {tps}");
-    assert!(tps > 57.5 * 0.80, "best case within ~15-20% of bound: {tps}");
+    assert!(
+        tps > 57.5 * 0.80,
+        "best case within ~15-20% of bound: {tps}"
+    );
 }
 
 #[test]
@@ -45,10 +48,25 @@ fn camelot_is_locality_sensitive_at_small_sizes_and_rvm_is_not() {
     // sequential to localized to random; RVM's barely moves.
     let cfg = quick_cfg();
     let accounts = 32 * 1024;
-    let cam_seq = run_cell(SystemKind::Camelot, accounts, AccessPattern::Sequential, &cfg).mean_tps();
-    let cam_loc = run_cell(SystemKind::Camelot, accounts, AccessPattern::Localized, &cfg).mean_tps();
+    let cam_seq = run_cell(
+        SystemKind::Camelot,
+        accounts,
+        AccessPattern::Sequential,
+        &cfg,
+    )
+    .mean_tps();
+    let cam_loc = run_cell(
+        SystemKind::Camelot,
+        accounts,
+        AccessPattern::Localized,
+        &cfg,
+    )
+    .mean_tps();
     let cam_rnd = run_cell(SystemKind::Camelot, accounts, AccessPattern::Random, &cfg).mean_tps();
-    assert!(cam_seq > cam_loc && cam_loc > cam_rnd, "{cam_seq} > {cam_loc} > {cam_rnd}");
+    assert!(
+        cam_seq > cam_loc && cam_loc > cam_rnd,
+        "{cam_seq} > {cam_loc} > {cam_rnd}"
+    );
     assert!(cam_rnd < cam_seq * 0.95, "sensitivity is material");
 
     let rvm_seq = run_cell(SystemKind::Rvm, accounts, AccessPattern::Sequential, &cfg).mean_tps();
@@ -75,7 +93,13 @@ fn cpu_per_transaction_ratio_matches_figure_9() {
     // "RVM requires about half the CPU usage of Camelot" (sequential).
     let cfg = quick_cfg();
     let rvm = run_cell(SystemKind::Rvm, 32 * 1024, AccessPattern::Sequential, &cfg).mean_cpu();
-    let cam = run_cell(SystemKind::Camelot, 32 * 1024, AccessPattern::Sequential, &cfg).mean_cpu();
+    let cam = run_cell(
+        SystemKind::Camelot,
+        32 * 1024,
+        AccessPattern::Sequential,
+        &cfg,
+    )
+    .mean_cpu();
     let ratio = cam / rvm;
     assert!(
         (1.5..3.0).contains(&ratio),

@@ -37,7 +37,11 @@ fn log_wraps_many_times_under_sustained_load() {
         .unwrap();
     for slot in 0..8u64 {
         // The last writer of slot s was the largest i < 500 with i%8 == s.
-        let i = if 496 + slot < 500 { 496 + slot } else { 488 + slot };
+        let i = if 496 + slot < 500 {
+            496 + slot
+        } else {
+            488 + slot
+        };
         assert_eq!(
             region.read_vec(slot * 512, 4).unwrap(),
             vec![(i % 251) as u8; 4],
@@ -50,7 +54,9 @@ fn log_wraps_many_times_under_sustained_load() {
 fn explicit_truncate_empties_the_log_and_applies_data() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     for i in 0..20u64 {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         region.write(&mut txn, i * 100, &[7; 100]).unwrap();
@@ -81,7 +87,9 @@ fn incremental_mode_sustains_load_and_recovers() {
     for i in 0..400u64 {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
         let off = (i % 16) * PAGE_SIZE + (i % 4) * 600;
-        region.write(&mut txn, off, &[(i % 251) as u8; 600]).unwrap();
+        region
+            .write(&mut txn, off, &[(i % 251) as u8; 600])
+            .unwrap();
         txn.commit(CommitMode::Flush).unwrap();
     }
     let stats = rvm.stats();
@@ -123,7 +131,9 @@ fn incremental_blocked_by_long_transaction_falls_back_to_epoch() {
     long_txn.set_range(&region, 0, 8).unwrap();
     for i in 0..60u64 {
         let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-        region.write(&mut txn, 64 + (i % 8) * 128, &[3; 128]).unwrap();
+        region
+            .write(&mut txn, 64 + (i % 8) * 128, &[3; 128])
+            .unwrap();
         txn.commit(CommitMode::Flush).unwrap();
     }
     let stats = rvm.stats();
@@ -142,7 +152,9 @@ fn unmapped_region_in_queue_falls_back_to_epoch() {
         truncation_threshold: 0.9, // no automatic triggering
         ..Tuning::default()
     });
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[1; 64]).unwrap();
     txn.commit(CommitMode::Flush).unwrap();
@@ -152,7 +164,9 @@ fn unmapped_region_in_queue_falls_back_to_epoch() {
     // Force an incremental pass via the public truncate (epoch) path is
     // not what we want; instead shrink the threshold and commit to
     // another region so truncation runs with the dead descriptor queued.
-    let other = rvm.map(&RegionDescriptor::new("seg2", 0, PAGE_SIZE)).unwrap();
+    let other = rvm
+        .map(&RegionDescriptor::new("seg2", 0, PAGE_SIZE))
+        .unwrap();
     rvm.set_options(Tuning {
         truncation_mode: TruncationMode::Incremental,
         truncation_threshold: 0.0001,
@@ -175,7 +189,9 @@ fn unmapped_region_in_queue_falls_back_to_epoch() {
 fn truncation_after_no_flush_commits_requires_flush_first() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
-    let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[9; 32]).unwrap();
     txn.commit(CommitMode::NoFlush).unwrap();
@@ -207,7 +223,10 @@ fn crash_mid_truncation_is_recoverable() {
     for crash_at in [2000u64, 6000, 12000] {
         let log = Arc::new(MemDevice::with_len(64 * 1024));
         let seg_inner = Arc::new(MemDevice::with_len(PAGE_SIZE));
-        let seg_fault = Arc::new(FaultDevice::new(seg_inner.clone(), CrashPlan::torn_at(crash_at)));
+        let seg_fault = Arc::new(FaultDevice::new(
+            seg_inner.clone(),
+            CrashPlan::torn_at(crash_at),
+        ));
         let seg_for_resolver = seg_fault.clone();
         let resolver: rvm::segment::DeviceResolver = Arc::new(move |_n, min| {
             use rvm_storage::Device;
@@ -233,7 +252,9 @@ fn crash_mid_truncation_is_recoverable() {
                 continue;
             };
             for i in 1..=40u64 {
-                let Ok(mut txn) = rvm.begin_transaction(TxnMode::Restore) else { break };
+                let Ok(mut txn) = rvm.begin_transaction(TxnMode::Restore) else {
+                    break;
+                };
                 if region.put_u64(&mut txn, (i % 16) * 8, i).is_err() {
                     break;
                 }
@@ -258,7 +279,9 @@ fn crash_mid_truncation_is_recoverable() {
                 .create_if_empty(),
         )
         .unwrap();
-        let region = rvm.map(&RegionDescriptor::new("seg", 0, PAGE_SIZE)).unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
         let recovered: Vec<u64> = (0..16).map(|s| region.get_u64(s * 8).unwrap()).collect();
         // Every acked transaction's slot holds a value >= what it wrote
         // at its last update; full prefix semantics as in the crash
