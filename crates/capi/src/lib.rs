@@ -91,7 +91,7 @@ fn map_err(e: &RvmError) -> RvmReturn {
         RvmError::BadLog(_) => RvmReturn::RvmELog,
         RvmError::LogFull { .. } => RvmReturn::RvmELogFull,
         RvmError::BadMapping(_) | RvmError::SegmentTableFull => RvmReturn::RvmEMapping,
-        RvmError::OutOfRange { .. } => RvmReturn::RvmERange,
+        RvmError::OutOfRange { .. } | RvmError::EmptyRange { .. } => RvmReturn::RvmERange,
         RvmError::Unmapped => RvmReturn::RvmENotMapped,
         RvmError::RegionBusy { .. } => RvmReturn::RvmEBusy,
         RvmError::CannotAbortNoRestore => RvmReturn::RvmENoRestore,
@@ -720,11 +720,19 @@ mod tests {
             rvm_free_tid(tid);
             assert_eq!(base.read(), 0, "abort restored the zero image");
 
-            // Range errors.
+            // Range errors: past the end and zero-length alike.
             let mut tid2: *mut TidHandle = std::ptr::null_mut();
             rvm_begin_transaction(h, RVM_RESTORE, &mut tid2);
             assert_eq!(rvm_set_range(tid2, r, 4000, 200), RvmReturn::RvmERange);
+            assert_eq!(rvm_set_range(tid2, r, 100, 0), RvmReturn::RvmERange);
             assert_eq!(rvm_end_transaction(tid2, RVM_FLUSH), RvmReturn::RvmSuccess);
+            // Declaring against an ended transaction is refused — the C
+            // library's use-after-end bug, reported instead of ignored.
+            assert_eq!(rvm_set_range(tid2, r, 0, 4), RvmReturn::RvmETidEnded);
+            assert_eq!(
+                rvm_set_range_ptr(tid2, r, rvm_region_base(r), 4),
+                RvmReturn::RvmETidEnded
+            );
             rvm_free_tid(tid2);
 
             // No-restore abort is refused.

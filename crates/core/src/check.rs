@@ -1,0 +1,221 @@
+//! Debug-mode contract checking: unlogged-write and range-conflict
+//! detection.
+//!
+//! §4.2's correctness contract rests entirely on the programmer calling
+//! `set_range` before every mutation of recoverable memory; §6 reports
+//! that when they forget, "the result is disastrous" — the committed
+//! image silently diverges from virtual memory. §7 muses that VM page
+//! protection could catch the mistake. This module is that safety net,
+//! implemented one level up, without kernel help (in the spirit of the
+//! whole library):
+//!
+//! * **Unlogged-write detection** — `begin_transaction` snapshots every
+//!   fully loaded mapped region; commit diffs current memory against the
+//!   snapshot and subtracts the union of declared `set_range` intervals
+//!   (this transaction's and every other live transaction's). Whatever
+//!   differs outside that union was mutated behind RVM's back.
+//! * **Range-conflict detection** — overlapping `set_range` declarations
+//!   from concurrent uncommitted transactions are flagged. RVM itself
+//!   deliberately provides no serializability (§3.1), so an overlap is
+//!   not an RVM error — but it is almost always a locking bug in the
+//!   layer above, and the checker is where such bugs surface.
+//!
+//! Violations are recorded as [`CheckViolation`] values surfaced through
+//! `query`, counted in the stats block, and — with
+//! [`Tuning::panic_on_violation`](crate::Tuning) — turned into panics so
+//! tests die at the first contract breach.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ranges::ByteRange;
+
+/// A detected violation of the RVM programming contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckViolation {
+    /// Bytes of a mapped region changed during a transaction without any
+    /// `set_range` covering them: the forgotten-`set_range` bug of §6.
+    /// On commit these bytes are *not* logged — after a crash the
+    /// recovered image would silently lose them.
+    UnloggedWrite {
+        /// The transaction whose commit exposed the mutation.
+        tid: u64,
+        /// Name of the region's backing segment.
+        segment: String,
+        /// Offset of the undeclared mutation within the region.
+        offset: u64,
+        /// Length of the undeclared mutation.
+        len: u64,
+    },
+    /// Two concurrent uncommitted transactions declared overlapping
+    /// ranges — last committer wins, which is almost never what the
+    /// (missing) locking layer above RVM intended.
+    RangeConflict {
+        /// The transaction making the later declaration.
+        tid: u64,
+        /// The transaction holding the earlier overlapping declaration.
+        other_tid: u64,
+        /// Name of the region's backing segment.
+        segment: String,
+        /// Start of the overlap within the region.
+        offset: u64,
+        /// Length of the overlap.
+        len: u64,
+    },
+}
+
+impl fmt::Display for CheckViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckViolation::UnloggedWrite {
+                tid,
+                segment,
+                offset,
+                len,
+            } => write!(
+                f,
+                "unlogged write: txn {tid} committed while '{segment}'[{offset}..{}) \
+                 changed without a covering set_range",
+                offset + len
+            ),
+            CheckViolation::RangeConflict {
+                tid,
+                other_tid,
+                segment,
+                offset,
+                len,
+            } => write!(
+                f,
+                "range conflict: txn {tid} and txn {other_tid} both declared \
+                 '{segment}'[{offset}..{})",
+                offset + len
+            ),
+        }
+    }
+}
+
+/// Library-internal checker state, guarded by one mutex in `RvmShared`.
+///
+/// Lock order: `regions` (RwLock) → this mutex → region `mem_lock`s.
+#[derive(Default)]
+pub(crate) struct CheckState {
+    /// Per-transaction snapshots of every mapped region's bytes, taken at
+    /// `begin_transaction` while unlogged-write detection is on, keyed
+    /// `tid → region id → image`. Refreshed over a transaction's declared
+    /// ranges when it ends, so concurrent committed writes never read as
+    /// unlogged.
+    pub(crate) snapshots: HashMap<u64, HashMap<u64, Vec<u8>>>,
+    /// Live `set_range` declarations per region id, as `(tid, range)`
+    /// pairs — the conflict-detection index and the diff exclusion set.
+    pub(crate) declared: HashMap<u64, Vec<(u64, ByteRange)>>,
+    /// Violations recorded so far (also counted in the stats block).
+    pub(crate) violations: Vec<CheckViolation>,
+}
+
+/// Maximal byte intervals where `old` and `new` differ. The inputs have
+/// equal length (both are images of the same region).
+pub(crate) fn diff_intervals(old: &[u8], new: &[u8]) -> Vec<ByteRange> {
+    debug_assert_eq!(old.len(), new.len());
+    let mut out = Vec::new();
+    let mut run_start: Option<usize> = None;
+    for i in 0..old.len().min(new.len()) {
+        match (old[i] == new[i], run_start) {
+            (false, None) => run_start = Some(i),
+            (true, Some(s)) => {
+                out.push(ByteRange::at(s as u64, (i - s) as u64));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        out.push(ByteRange::at(s as u64, (old.len() - s) as u64));
+    }
+    out
+}
+
+/// Subtracts a sorted, disjoint list of `allowed` ranges from `range`,
+/// returning the uncovered remainder in order.
+pub(crate) fn subtract_ranges(range: ByteRange, allowed: &[ByteRange]) -> Vec<ByteRange> {
+    let mut out = Vec::new();
+    let mut cursor = range.start;
+    for a in allowed {
+        if a.end <= cursor {
+            continue;
+        }
+        if a.start >= range.end {
+            break;
+        }
+        if a.start > cursor {
+            out.push(ByteRange::at(cursor, a.start.min(range.end) - cursor));
+        }
+        cursor = cursor.max(a.end);
+        if cursor >= range.end {
+            return out;
+        }
+    }
+    if cursor < range.end {
+        out.push(ByteRange::at(cursor, range.end - cursor));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, end: u64) -> ByteRange {
+        ByteRange::at(start, end - start)
+    }
+
+    #[test]
+    fn diff_finds_maximal_runs() {
+        assert!(diff_intervals(&[0; 8], &[0; 8]).is_empty());
+        assert_eq!(
+            diff_intervals(&[0, 0, 1, 1, 0, 1, 0, 0], &[0, 0, 2, 2, 0, 2, 0, 0]),
+            vec![r(2, 4), r(5, 6)]
+        );
+        // Runs touching either edge close correctly.
+        assert_eq!(
+            diff_intervals(&[1, 0, 0, 1], &[2, 0, 0, 2]),
+            vec![r(0, 1), r(3, 4)]
+        );
+    }
+
+    #[test]
+    fn subtraction_covers_all_cases() {
+        // No exclusions: everything remains.
+        assert_eq!(subtract_ranges(r(10, 20), &[]), vec![r(10, 20)]);
+        // Full coverage: nothing remains.
+        assert!(subtract_ranges(r(10, 20), &[r(0, 32)]).is_empty());
+        // Hole in the middle.
+        assert_eq!(
+            subtract_ranges(r(10, 20), &[r(12, 15)]),
+            vec![r(10, 12), r(15, 20)]
+        );
+        // Clipping at both edges plus an irrelevant range.
+        assert_eq!(
+            subtract_ranges(r(10, 20), &[r(0, 11), r(18, 40), r(50, 60)]),
+            vec![r(11, 18)]
+        );
+    }
+
+    #[test]
+    fn violations_render_their_geometry() {
+        let v = CheckViolation::UnloggedWrite {
+            tid: 7,
+            segment: "seg".into(),
+            offset: 100,
+            len: 8,
+        };
+        assert!(v.to_string().contains("[100..108)"), "{v}");
+        let c = CheckViolation::RangeConflict {
+            tid: 2,
+            other_tid: 1,
+            segment: "seg".into(),
+            offset: 0,
+            len: 4,
+        };
+        assert!(c.to_string().contains("txn 2 and txn 1"), "{c}");
+    }
+}

@@ -41,6 +41,14 @@ pub enum RvmError {
         /// The region's length.
         region_len: u64,
     },
+    /// A zero-length range was passed to `set_range`/`set_range_ptr`. An
+    /// empty declaration is always a bug — it logs nothing, protects
+    /// nothing, and usually means a length computation went wrong — so it
+    /// is rejected eagerly rather than silently accepted.
+    EmptyRange {
+        /// The offset the empty range was declared at.
+        offset: u64,
+    },
     /// The operation needs a mapped region but the region was unmapped.
     Unmapped,
     /// `unmap` was called while transactions with uncommitted changes to
@@ -88,6 +96,9 @@ impl fmt::Display for RvmError {
                 "range [{offset}, {}) outside region of length {region_len}",
                 offset + len
             ),
+            RvmError::EmptyRange { offset } => {
+                write!(f, "zero-length range declared at offset {offset}")
+            }
             RvmError::Unmapped => write!(f, "region is not mapped"),
             RvmError::RegionBusy { uncommitted } => write!(
                 f,

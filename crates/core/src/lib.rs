@@ -75,6 +75,7 @@
 //! `rvm-alloc` (recoverable heap), `rvm-loader` (segment loader),
 //! `rvm-nest` (nesting), `rvm-dist` (two-phase commit).
 
+mod check;
 pub mod crc;
 mod error;
 pub mod log;
@@ -91,6 +92,7 @@ pub mod stats;
 mod truncation;
 mod txn;
 
+pub use check::CheckViolation;
 pub use crc::crc32;
 pub use error::{Result, RvmError};
 pub use options::{CommitMode, LoadPolicy, Options, TruncationMode, Tuning, TxnMode, PAGE_SIZE};

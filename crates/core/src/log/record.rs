@@ -211,7 +211,7 @@ pub fn encode_txn(seq: u64, tid: u64, ranges: &[RecordRange]) -> Vec<u8> {
 /// Panics if `total_len` is not a valid pad size.
 pub fn encode_pad(seq: u64, total_len: u64) -> Vec<u8> {
     assert!(
-        total_len >= MIN_RECORD_SIZE && total_len % LOG_BLOCK == 0,
+        total_len >= MIN_RECORD_SIZE && total_len.is_multiple_of(LOG_BLOCK),
         "invalid pad length {total_len}"
     );
     let payload = total_len - HEADER_SIZE - TRAILER_SIZE;
@@ -250,7 +250,7 @@ pub fn parse_trailer(buf: &[u8]) -> Option<TrailerInfo> {
         return None;
     }
     let padded = get_u64(buf, 16);
-    if padded == 0 || padded % LOG_BLOCK != 0 {
+    if padded == 0 || !padded.is_multiple_of(LOG_BLOCK) {
         return None;
     }
     Some(TrailerInfo {

@@ -191,7 +191,7 @@ pub fn read_status(dev: &dyn Device) -> Result<StatusBlock> {
 /// sequence number and syncs the device.
 pub fn write_status(dev: &dyn Device, status: &mut StatusBlock) -> Result<()> {
     status.seq += 1;
-    let offset = if status.seq % 2 == 0 {
+    let offset = if status.seq.is_multiple_of(2) {
         STATUS_A_OFFSET
     } else {
         STATUS_B_OFFSET

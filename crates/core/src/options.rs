@@ -90,6 +90,23 @@ pub struct Tuning {
     pub spool_max_bytes: u64,
     /// Bytes of log space an incremental-truncation run tries to reclaim.
     pub incremental_reclaim_bytes: u64,
+    /// Detect mutations of mapped regions that no `set_range` declared —
+    /// the §4.2 contract violation whose "result is disastrous" (§6).
+    /// Each `begin_transaction` snapshots the mapped regions and each
+    /// commit diffs memory against the declared write set; mutations
+    /// outside it are reported as
+    /// [`CheckViolation`](crate::CheckViolation)s through `query`.
+    /// Expensive (a full region copy per active transaction): a debugging
+    /// mode, off by default.
+    pub check_unlogged_writes: bool,
+    /// Flag overlapping `set_range` declarations from concurrent
+    /// uncommitted transactions — the data-race class the paper leaves to
+    /// the serializability layer above RVM (§3.1). Off by default.
+    pub check_range_conflicts: bool,
+    /// Panic the offending thread when a check violation is detected,
+    /// instead of only recording it. For tests and debugging sessions
+    /// that want to die at the first contract breach.
+    pub panic_on_violation: bool,
 }
 
 impl Default for Tuning {
@@ -102,6 +119,9 @@ impl Default for Tuning {
             inter_optimization: true,
             spool_max_bytes: 4 << 20,
             incremental_reclaim_bytes: 256 << 10,
+            check_unlogged_writes: false,
+            check_range_conflicts: false,
+            panic_on_violation: false,
         }
     }
 }

@@ -58,7 +58,10 @@ impl RegionDescriptor {
     }
 
     pub(crate) fn validate(&self) -> Result<()> {
-        if self.len == 0 || self.len % PAGE_SIZE != 0 || self.offset % PAGE_SIZE != 0 {
+        if self.len == 0
+            || !self.len.is_multiple_of(PAGE_SIZE)
+            || !self.offset.is_multiple_of(PAGE_SIZE)
+        {
             return Err(RvmError::BadMapping(format!(
                 "region [{}, {}) of '{}' is not page-aligned (page size {})",
                 self.offset,
@@ -103,17 +106,31 @@ impl RegionMemory {
         self.ptr.as_ptr()
     }
 
-    /// Copies `buf.len()` bytes out of the block at `offset`.
+    /// Validates `[offset, offset + len)` against the block, in release
+    /// builds too — an out-of-bounds raw-memory access must never be one
+    /// `debug_assert!` away from undefined behaviour.
+    fn check(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(RvmError::OutOfRange {
+                offset: offset as u64,
+                len: len as u64,
+                region_len: self.len as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Copies `buf.len()` bytes out of the block at `offset`, failing on
+    /// out-of-bounds ranges.
     ///
     /// # Safety
     ///
     /// The caller must hold the region's lock (shared suffices) or
-    /// otherwise guarantee no concurrent writer overlaps the range, and
-    /// `offset + buf.len() <= self.len()`.
-    pub(crate) unsafe fn copy_out(&self, offset: usize, buf: &mut [u8]) {
-        debug_assert!(offset + buf.len() <= self.len);
-        // SAFETY: bounds guaranteed by the caller; regions of distinct
-        // allocations never overlap.
+    /// otherwise guarantee no concurrent writer overlaps the range.
+    pub(crate) unsafe fn copy_out(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.check(offset, buf.len())?;
+        // SAFETY: bounds checked above; regions of distinct allocations
+        // never overlap.
         unsafe {
             std::ptr::copy_nonoverlapping(
                 self.ptr.as_ptr().add(offset),
@@ -121,33 +138,38 @@ impl RegionMemory {
                 buf.len(),
             );
         }
+        Ok(())
     }
 
-    /// Copies `data` into the block at `offset`.
+    /// Copies `data` into the block at `offset`, failing on out-of-bounds
+    /// ranges.
     ///
     /// # Safety
     ///
     /// The caller must hold the region's lock exclusively (or otherwise
-    /// exclude all concurrent access to the range), and
-    /// `offset + data.len() <= self.len()`.
-    pub(crate) unsafe fn copy_in(&self, offset: usize, data: &[u8]) {
-        debug_assert!(offset + data.len() <= self.len);
-        // SAFETY: bounds guaranteed by the caller.
+    /// exclude all concurrent access to the range).
+    pub(crate) unsafe fn copy_in(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.check(offset, data.len())?;
+        // SAFETY: bounds checked above.
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.as_ptr().add(offset), data.len());
         }
+        Ok(())
     }
 
-    /// Returns a mutable slice over `[offset, offset + len)`.
+    /// Returns a mutable slice over `[offset, offset + len)`, failing on
+    /// out-of-bounds ranges.
     ///
     /// # Safety
     ///
     /// The caller must hold the region's lock exclusively for the lifetime
-    /// of the slice and guarantee the bounds.
-    pub(crate) unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [u8] {
-        debug_assert!(offset + len <= self.len);
-        // SAFETY: exclusivity and bounds guaranteed by the caller.
-        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset), len) }
+    /// of the slice.
+    #[allow(clippy::mut_from_ref)] // exclusivity comes from the mem_lock, not &mut self
+    pub(crate) unsafe fn slice_mut(&self, offset: usize, len: usize) -> Result<&mut [u8]> {
+        self.check(offset, len)?;
+        // SAFETY: exclusivity guaranteed by the caller; bounds checked
+        // above.
+        Ok(unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr().add(offset), len) })
     }
 }
 
@@ -204,7 +226,7 @@ impl RegionInner {
     pub(crate) fn load_from_segment(&self) -> Result<()> {
         let _guard = self.mem_lock.write();
         // SAFETY: exclusive lock held; the slice covers the whole block.
-        let buf = unsafe { self.mem.slice_mut(0, self.len as usize) };
+        let buf = unsafe { self.mem.slice_mut(0, self.len as usize) }?;
         self.seg_dev.read_at(self.seg_offset, buf)?;
         *self.unloaded.lock() = None;
         Ok(())
@@ -228,7 +250,7 @@ impl RegionInner {
                 let _guard = self.mem_lock.write();
                 // SAFETY: exclusive lock held; bounds derived from the
                 // region length.
-                unsafe { self.mem.copy_in(page_off as usize, &buf) };
+                unsafe { self.mem.copy_in(page_off as usize, &buf) }?;
                 pending[page] = false;
             }
         }
@@ -249,7 +271,8 @@ impl RegionInner {
         let _guard = self.mem_lock.read();
         let mut buf = vec![0u8; len as usize];
         // SAFETY: shared lock held; caller validated bounds.
-        unsafe { self.mem.copy_out(offset as usize, &mut buf) };
+        unsafe { self.mem.copy_out(offset as usize, &mut buf) }
+            .expect("read_bytes callers validate bounds");
         buf
     }
 
@@ -258,7 +281,8 @@ impl RegionInner {
     pub(crate) fn write_bytes(&self, offset: u64, data: &[u8]) {
         let _guard = self.mem_lock.write();
         // SAFETY: exclusive lock held; caller validated bounds.
-        unsafe { self.mem.copy_in(offset as usize, data) };
+        unsafe { self.mem.copy_in(offset as usize, data) }
+            .expect("write_bytes callers validate bounds");
     }
 }
 
@@ -325,7 +349,7 @@ impl Region {
         self.inner.ensure_loaded(offset, buf.len() as u64)?;
         let _guard = self.inner.mem_lock.read();
         // SAFETY: shared lock held and bounds checked above.
-        unsafe { self.inner.mem.copy_out(offset as usize, buf) };
+        unsafe { self.inner.mem.copy_out(offset as usize, buf) }?;
         Ok(())
     }
 
@@ -371,7 +395,7 @@ impl Region {
         txn.set_range(self, offset, data.len() as u64)?;
         let _guard = self.inner.mem_lock.write();
         // SAFETY: exclusive lock held; set_range validated the bounds.
-        unsafe { self.inner.mem.copy_in(offset as usize, data) };
+        unsafe { self.inner.mem.copy_in(offset as usize, data) }?;
         Ok(())
     }
 
@@ -397,7 +421,7 @@ impl Region {
         txn.set_range(self, offset, len)?;
         let _guard = self.inner.mem_lock.write();
         // SAFETY: exclusive lock held; set_range validated the bounds.
-        let slice = unsafe { self.inner.mem.slice_mut(offset as usize, len as usize) };
+        let slice = unsafe { self.inner.mem.slice_mut(offset as usize, len as usize) }?;
         Ok(f(slice))
     }
 
@@ -487,7 +511,7 @@ mod tests {
         assert_eq!(mem.as_ptr() as usize % PAGE_SIZE as usize, 0);
         let mut buf = vec![0xFFu8; PAGE_SIZE as usize * 2];
         // SAFETY: sole owner, bounds exact.
-        unsafe { mem.copy_out(0, &mut buf) };
+        unsafe { mem.copy_out(0, &mut buf) }.unwrap();
         assert!(buf.iter().all(|&b| b == 0));
     }
 
@@ -496,15 +520,39 @@ mod tests {
         let mem = RegionMemory::alloc(PAGE_SIZE as usize);
         // SAFETY: sole owner, bounds checked by construction.
         unsafe {
-            mem.copy_in(100, &[1, 2, 3]);
+            mem.copy_in(100, &[1, 2, 3]).unwrap();
             let mut buf = [0u8; 3];
-            mem.copy_out(100, &mut buf);
+            mem.copy_out(100, &mut buf).unwrap();
             assert_eq!(buf, [1, 2, 3]);
-            let slice = mem.slice_mut(100, 3);
+            let slice = mem.slice_mut(100, 3).unwrap();
             slice[1] = 9;
             let mut buf = [0u8; 3];
-            mem.copy_out(100, &mut buf);
+            mem.copy_out(100, &mut buf).unwrap();
             assert_eq!(buf, [1, 9, 3]);
+        }
+    }
+
+    #[test]
+    fn memory_bounds_are_checked_in_all_builds() {
+        let mem = RegionMemory::alloc(PAGE_SIZE as usize);
+        let mut buf = [0u8; 8];
+        // SAFETY: sole owner; the point is that bad bounds come back as
+        // errors rather than debug-only assertions.
+        unsafe {
+            assert!(matches!(
+                mem.copy_out(PAGE_SIZE as usize - 4, &mut buf),
+                Err(RvmError::OutOfRange { .. })
+            ));
+            assert!(matches!(
+                mem.copy_in(PAGE_SIZE as usize, &[1]),
+                Err(RvmError::OutOfRange { .. })
+            ));
+            assert!(matches!(
+                mem.slice_mut(usize::MAX, 2),
+                Err(RvmError::OutOfRange { .. })
+            ));
+            // Exactly-at-the-edge accesses remain fine.
+            assert!(mem.copy_in(PAGE_SIZE as usize - 1, &[7]).is_ok());
         }
     }
 }

@@ -9,13 +9,14 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rvm_storage::Device;
 
+use crate::check::{self, CheckState, CheckViolation};
 use crate::error::{Result, RvmError};
 use crate::log::record::{self, RecordRange};
 use crate::log::status::{format_log, read_status, write_status, StatusBlock, LOG_AREA_START};
 use crate::log::wal::{scan_forward, AppendInfo, Wal};
 use crate::options::{CommitMode, LoadPolicy, Options, Tuning, TxnMode, PAGE_SIZE};
 use crate::query::{LogInfo, QueryInfo};
-use crate::ranges::{ByteRange, IntervalMap};
+use crate::ranges::{ByteRange, IntervalMap, RangeSet};
 use crate::recovery::{recover, RecoveryReport};
 use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
 use crate::retry::{retry_resolver, Retrier, RetryDevice};
@@ -24,7 +25,7 @@ use crate::spool::{Spool, SpooledTxn};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::truncation::page_vector::PageVector;
 use crate::truncation::PageQueue;
-use crate::txn::Transaction;
+use crate::txn::{Transaction, TxnRegion};
 
 /// Pages written per incremental-truncation sync batch.
 const INCREMENTAL_BATCH_PAGES: usize = 32;
@@ -51,6 +52,10 @@ pub(crate) struct RvmShared {
     pub(crate) stats: Stats,
     core: Mutex<Core>,
     regions: RwLock<HashMap<u64, Arc<RegionInner>>>,
+    /// Debug-mode checker state (snapshots, declared ranges, violations).
+    /// Lock order: `regions` → `check` → region memory locks; never taken
+    /// while holding `core`.
+    check: Mutex<CheckState>,
     next_tid: AtomicU64,
     next_region_id: AtomicU64,
     pub(crate) active_txns: AtomicU64,
@@ -157,6 +162,7 @@ impl Rvm {
                 segs_in_log: HashSet::new(),
             }),
             regions: RwLock::new(HashMap::new()),
+            check: Mutex::new(CheckState::default()),
             next_tid: AtomicU64::new(1),
             next_region_id: AtomicU64::new(1),
             active_txns: AtomicU64::new(0),
@@ -331,7 +337,11 @@ impl Rvm {
         self.check_live()?;
         self.shared.active_txns.fetch_add(1, Ordering::AcqRel);
         let tid = self.shared.next_tid.fetch_add(1, Ordering::Relaxed);
-        Ok(Transaction::new(tid, mode, self.shared.clone()))
+        let txn = Transaction::new(tid, mode, self.shared.clone());
+        if self.shared.tuning.read().check_unlogged_writes {
+            self.shared.snapshot_for_check(tid);
+        }
+        Ok(txn)
     }
 
     /// Forces all spooled no-flush commits to the log (§4.2 `flush`).
@@ -366,6 +376,7 @@ impl Rvm {
 
     /// Library-wide information (§4.2 `query`).
     pub fn query(&self) -> QueryInfo {
+        let check_violations = self.shared.check.lock().violations.clone();
         let core = self.shared.core.lock();
         QueryInfo {
             active_transactions: self.shared.active_txns.load(Ordering::Acquire),
@@ -381,6 +392,7 @@ impl Rvm {
                 utilization: core.wal.utilization(),
             },
             poisoned: self.shared.poisoned.load(Ordering::Acquire),
+            check_violations,
             stats: self.shared.stats.snapshot(),
         }
     }
@@ -541,6 +553,201 @@ impl RvmShared {
         }
     }
 
+    /// `begin_transaction` hook: snapshots every fully loaded mapped
+    /// region for the commit-time unlogged-write diff. On-demand regions
+    /// still holding unfetched pages are skipped — a page fetch mutates
+    /// memory without any transaction writing it, which the diff would
+    /// misread as an unlogged write.
+    fn snapshot_for_check(&self, tid: u64) {
+        let regions = self.regions.read();
+        let mut snaps = HashMap::new();
+        for (id, region) in regions.iter() {
+            if region.unloaded.lock().is_some() {
+                continue;
+            }
+            snaps.insert(*id, region.read_bytes(0, region.len));
+        }
+        self.check.lock().snapshots.insert(tid, snaps);
+    }
+
+    /// Commit-time unlogged-write check: diffs each snapshotted region
+    /// against current memory and subtracts every declared `set_range`
+    /// interval — this transaction's own write set plus every other live
+    /// transaction's (their commits will log those bytes). Whatever
+    /// remains changed behind RVM's back (§6's forgotten-`set_range`
+    /// disaster) and is recorded as a [`CheckViolation`].
+    fn run_commit_check(&self, txn: &Transaction) {
+        let (enabled, panic_on) = {
+            let t = self.tuning.read();
+            (t.check_unlogged_writes, t.panic_on_violation)
+        };
+        let regions = self.regions.read();
+        let mut state = self.check.lock();
+        let Some(snaps) = state.snapshots.remove(&txn.tid) else {
+            return;
+        };
+        if !enabled {
+            // Checking was turned off mid-transaction; drop the snapshot.
+            return;
+        }
+        let mut found = Vec::new();
+        let mut refresh: Vec<(u64, ByteRange, Vec<u8>)> = Vec::new();
+        for (region_id, old) in &snaps {
+            let Some(region) = regions.get(region_id) else {
+                continue; // unmapped since begin_transaction
+            };
+            let current = region.read_bytes(0, region.len);
+            let mut allowed = RangeSet::new();
+            if let Some(txn_region) = txn.regions.get(region_id) {
+                for r in txn_region.ranges.iter() {
+                    allowed.insert(r);
+                }
+            }
+            if let Some(declared) = state.declared.get(region_id) {
+                for (tid, r) in declared {
+                    if *tid != txn.tid {
+                        allowed.insert(*r);
+                    }
+                }
+            }
+            let allowed: Vec<ByteRange> = allowed.iter().collect();
+            for d in check::diff_intervals(old, &current) {
+                for bad in check::subtract_ranges(d, &allowed) {
+                    found.push(CheckViolation::UnloggedWrite {
+                        tid: txn.tid,
+                        segment: region.seg_name.clone(),
+                        offset: bad.start,
+                        len: bad.len(),
+                    });
+                    let bytes = current[bad.start as usize..bad.end as usize].to_vec();
+                    refresh.push((*region_id, bad, bytes));
+                }
+            }
+        }
+        // Fold the offending bytes into the other live snapshots so one
+        // unlogged write is reported once, not once per open transaction.
+        for (region_id, bad, bytes) in refresh {
+            for snaps in state.snapshots.values_mut() {
+                if let Some(img) = snaps.get_mut(&region_id) {
+                    img[bad.start as usize..bad.end as usize].copy_from_slice(&bytes);
+                }
+            }
+        }
+        self.record_check_violations(&mut state, found, panic_on);
+    }
+
+    /// `set_range` hook: records the declaration for the diff exclusion
+    /// set and, with conflict checking on, flags overlaps with other live
+    /// transactions' declarations (§3.1's punted data-race class).
+    pub(crate) fn check_declared_range(
+        &self,
+        tid: u64,
+        region: &Arc<RegionInner>,
+        range: ByteRange,
+    ) {
+        let (track, conflicts, panic_on) = {
+            let t = self.tuning.read();
+            (
+                t.check_unlogged_writes || t.check_range_conflicts,
+                t.check_range_conflicts,
+                t.panic_on_violation,
+            )
+        };
+        if !track {
+            return;
+        }
+        let mut state = self.check.lock();
+        let found = {
+            let entries = state.declared.entry(region.id).or_default();
+            let mut found = Vec::new();
+            if conflicts {
+                for (other, r) in entries.iter() {
+                    if *other != tid && r.start < range.end && range.start < r.end {
+                        let start = range.start.max(r.start);
+                        let end = range.end.min(r.end);
+                        found.push(CheckViolation::RangeConflict {
+                            tid,
+                            other_tid: *other,
+                            segment: region.seg_name.clone(),
+                            offset: start,
+                            len: end - start,
+                        });
+                    }
+                }
+            }
+            entries.push((tid, range));
+            found
+        };
+        self.record_check_violations(&mut state, found, panic_on);
+    }
+
+    /// Transaction-end hook (commit, abort, or drop): refreshes the other
+    /// live snapshots over this transaction's declared ranges — those
+    /// bytes are now either committed or restored, and must not read as
+    /// unlogged at someone else's commit — then forgets the transaction.
+    pub(crate) fn check_txn_ended(&self, tid: u64, regions: &HashMap<u64, TxnRegion>) {
+        let mut state = self.check.lock();
+        if state.snapshots.is_empty() && state.declared.is_empty() {
+            return;
+        }
+        for (region_id, txn_region) in regions {
+            if state.snapshots.values().any(|m| m.contains_key(region_id)) {
+                for r in txn_region.ranges.iter() {
+                    let bytes = txn_region.region.read_bytes(r.start, r.len());
+                    for snaps in state.snapshots.values_mut() {
+                        if let Some(img) = snaps.get_mut(region_id) {
+                            img[r.start as usize..r.end as usize].copy_from_slice(&bytes);
+                        }
+                    }
+                }
+            }
+            let empty = if let Some(entries) = state.declared.get_mut(region_id) {
+                entries.retain(|(t, _)| *t != tid);
+                entries.is_empty()
+            } else {
+                false
+            };
+            if empty {
+                state.declared.remove(region_id);
+            }
+        }
+        state.snapshots.remove(&tid);
+    }
+
+    /// Counts, stores, and (with `panic_on_violation`) panics on check
+    /// violations.
+    fn record_check_violations(
+        &self,
+        state: &mut CheckState,
+        found: Vec<CheckViolation>,
+        panic_on: bool,
+    ) {
+        if found.is_empty() {
+            return;
+        }
+        for v in &found {
+            match v {
+                CheckViolation::UnloggedWrite { .. } => {
+                    self.stats.add(&self.stats.check_unlogged_writes, 1)
+                }
+                CheckViolation::RangeConflict { .. } => {
+                    self.stats.add(&self.stats.check_range_conflicts, 1)
+                }
+            }
+        }
+        let msg = panic_on.then(|| {
+            found
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        });
+        state.violations.extend(found);
+        if let Some(msg) = msg {
+            panic!("rvm check violation: {msg}");
+        }
+    }
+
     /// Commits a transaction; called from [`Transaction::commit`].
     pub(crate) fn commit_txn(
         self: &Arc<Self>,
@@ -555,6 +762,7 @@ impl RvmShared {
             txn.rollback();
             return Err(RvmError::Poisoned);
         }
+        self.run_commit_check(txn);
         let tuning = self.tuning.read().clone();
         let stats = &self.stats;
 

@@ -91,15 +91,22 @@ impl Transaction {
     /// In restore mode the current contents are captured so an abort can
     /// undo the changes; duplicate, overlapping, and adjacent declarations
     /// are coalesced (§5.2) and each byte is captured at most once.
+    ///
+    /// # Errors
+    ///
+    /// Arguments are validated eagerly: a zero-length range is rejected
+    /// with [`RvmError::EmptyRange`] (it declares nothing and almost
+    /// always means a length computation went wrong), and a range
+    /// extending past the region with [`RvmError::OutOfRange`].
     pub fn set_range(&mut self, region: &Region, offset: u64, len: u64) -> Result<()> {
         if self.ended {
             return Err(RvmError::TransactionEnded);
         }
         region.inner.check_mapped()?;
-        region.inner.check_bounds(offset, len)?;
         if len == 0 {
-            return Ok(());
+            return Err(RvmError::EmptyRange { offset });
         }
+        region.inner.check_bounds(offset, len)?;
         // On-demand regions must hold the committed image before old
         // values are captured or new ones written.
         region.inner.ensure_loaded(offset, len)?;
@@ -131,6 +138,9 @@ impl Transaction {
                 pv.inc_uncommitted(page);
             }
         }
+        drop(pv);
+        self.shared
+            .check_declared_range(self.tid, &entry.region, range);
         Ok(())
     }
 
@@ -208,6 +218,7 @@ impl Transaction {
 
     /// Releases page references and per-region transaction counts.
     pub(crate) fn release(&mut self) {
+        self.shared.check_txn_ended(self.tid, &self.regions);
         for txn_region in self.regions.values() {
             let mut pv = txn_region.region.page_vector.lock();
             for &page in &txn_region.touched_pages {

@@ -236,15 +236,25 @@ fn query_region_page_accounting() {
 }
 
 #[test]
-fn zero_length_reads_and_writes_are_fine() {
+fn zero_length_reads_are_fine_but_writes_are_rejected() {
     let (log, segs) = world();
     let rvm = boot(&log, &segs);
     let region = rvm
         .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
         .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
-    region.write(&mut txn, 100, &[]).unwrap();
-    txn.set_range(&region, 100, 0).unwrap();
+    // A zero-length declaration declares nothing and almost always means
+    // a length computation went wrong: rejected eagerly, by name.
+    assert!(matches!(
+        region.write(&mut txn, 100, &[]),
+        Err(RvmError::EmptyRange { offset: 100 })
+    ));
+    assert!(matches!(
+        txn.set_range(&region, 100, 0),
+        Err(RvmError::EmptyRange { offset: 100 })
+    ));
+    // The rejection is non-destructive: the transaction still works.
+    region.write(&mut txn, 100, &[7; 4]).unwrap();
     txn.commit(CommitMode::Flush).unwrap();
     assert_eq!(region.read_vec(100, 0).unwrap(), Vec::<u8>::new());
     // Edge of the region is readable at zero length.

@@ -458,6 +458,56 @@ fn bounds_are_enforced() {
 }
 
 #[test]
+fn zero_length_declarations_are_rejected_at_both_entry_points() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    assert!(matches!(
+        txn.set_range(&region, 40, 0),
+        Err(RvmError::EmptyRange { offset: 40 })
+    ));
+    // SAFETY: base + 40 is within the mapped region.
+    let ptr = unsafe { region.base_ptr().add(40) };
+    assert!(matches!(
+        txn.set_range_ptr(&region, ptr, 0),
+        Err(RvmError::EmptyRange { offset: 40 })
+    ));
+    // The emptiness check fires first, even off the end of the region.
+    assert!(matches!(
+        txn.set_range(&region, PAGE_SIZE + 1, 0),
+        Err(RvmError::EmptyRange { .. })
+    ));
+    // Nothing was declared, so the commit logs nothing.
+    txn.commit(CommitMode::Flush).unwrap();
+    assert_eq!(rvm.query().stats.bytes_set_range_gross, 0);
+}
+
+#[test]
+fn no_restore_abort_error_still_releases_the_transaction() {
+    let world = World::new(1 << 20);
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
+    // §4.2: abort of a no-restore transaction is an error by contract —
+    // memory cannot be rewound. The error must not leak bookkeeping:
+    // a later transaction and termination proceed normally.
+    let mut txn = rvm.begin_transaction(TxnMode::NoRestore).unwrap();
+    region.write(&mut txn, 0, &[0xAA; 16]).unwrap();
+    assert!(matches!(txn.abort(), Err(RvmError::CannotAbortNoRestore)));
+    assert_eq!(region.uncommitted_transactions(), 0);
+
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, 0, &[0xBB; 16]).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+    assert_eq!(region.read_vec(0, 16).unwrap(), vec![0xBB; 16]);
+    rvm.terminate().unwrap();
+}
+
+#[test]
 fn multi_region_transactions_commit_atomically() {
     let world = World::new(1 << 20);
     let rvm = world.boot();

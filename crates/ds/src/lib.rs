@@ -21,5 +21,5 @@
 mod map;
 mod ring;
 
-pub use map::{MapStats, RecoverableMap};
+pub use map::{put_durably, MapStats, RecoverableMap};
 pub use ring::RingLog;

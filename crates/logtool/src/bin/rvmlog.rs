@@ -5,11 +5,17 @@
 //! rvmlog <log-file> records [--backward]
 //! rvmlog <log-file> history <segment> <offset> <len>
 //! rvmlog <log-file> doctor
+//! rvmlog <log-file> verify
 //! ```
 //!
 //! `doctor` is a read-only damage scan: it reports torn/short records,
 //! sequence gaps, and corrupt status copies, and exits non-zero if the
 //! log is damaged. It never mutates the image.
+//!
+//! `verify` goes further: it proves the structural invariants of the log
+//! format — reverse-displacement canonicality, forward/backward scan
+//! symmetry, dual-copy status agreement, recovery-tree idempotence — and
+//! exits non-zero on any violation, including ones `doctor` cannot see.
 
 use std::process::exit;
 use std::sync::Arc;
@@ -22,6 +28,7 @@ fn usage() -> ! {
     eprintln!("       rvmlog <log-file> records [--backward]");
     eprintln!("       rvmlog <log-file> history <segment> <offset> <len>");
     eprintln!("       rvmlog <log-file> doctor");
+    eprintln!("       rvmlog <log-file> verify");
     exit(2);
 }
 
@@ -84,6 +91,12 @@ fn main() {
         "doctor" => inspector.doctor().map(|report| {
             print!("{}", report.render());
             if report.is_damaged() {
+                exit(1);
+            }
+        }),
+        "verify" => inspector.verify().map(|report| {
+            print!("{}", report.render());
+            if !report.is_clean() {
                 exit(1);
             }
         }),

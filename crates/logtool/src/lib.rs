@@ -19,6 +19,7 @@ use rvm::log::status::{
 use rvm::log::wal::{scan_backward, scan_forward};
 use rvm::segment::SegmentId;
 use rvm::{Result, RvmError};
+pub use rvm_check::VerifyReport;
 use rvm_storage::Device;
 
 /// One modification of one range, as recorded in the log.
@@ -280,6 +281,15 @@ impl LogInspector {
         })
     }
 
+    /// Full WAL invariant verification (`rvmlog verify`): everything
+    /// [`LogInspector::doctor`] checks is about where the live log *ends*;
+    /// this additionally proves the structural invariants the format
+    /// promises — reverse-displacement canonicality, forward/backward scan
+    /// symmetry, status-copy agreement, and recovery-tree idempotence.
+    pub fn verify(&self) -> Result<VerifyReport> {
+        rvm_check::verify(&self.dev)
+    }
+
     /// A human-readable summary of the log.
     pub fn summary(&self) -> Result<String> {
         let records = self.records()?;
@@ -486,6 +496,50 @@ mod tests {
         assert!(report.is_damaged());
         assert_eq!(report.status_copies_valid, [false, true]);
         assert_eq!(report.live_records, 5, "records themselves are fine");
+    }
+
+    /// The acceptance pairing for `rvmlog verify`: corruption in the
+    /// unchecksummed padding between a record's body and trailer passes
+    /// `doctor` untouched (the forward scan never reads it) but breaks
+    /// the reverse-displacement canonicality invariant.
+    #[test]
+    fn verify_catches_padding_corruption_doctor_misses() {
+        let log = history_world();
+        let inspector = LogInspector::open(log.clone()).unwrap();
+        let (off, _) = inspector.records().unwrap()[1];
+        let mut header_buf = [0u8; HEADER_SIZE as usize];
+        log.read_at(LOG_AREA_START + off, &mut header_buf).unwrap();
+        let header = parse_header(&header_buf).unwrap();
+        let body_end = off + HEADER_SIZE + header.payload_len as u64;
+        log.write_at(LOG_AREA_START + body_end, &[0xBA, 0xD1])
+            .unwrap();
+
+        let inspector = LogInspector::open(log).unwrap();
+        let doctor = inspector.doctor().unwrap();
+        assert!(
+            !doctor.is_damaged(),
+            "doctor is blind to padding corruption: {:?}",
+            doctor.findings
+        );
+        let verify = inspector.verify().unwrap();
+        assert!(!verify.is_clean());
+        assert!(
+            verify
+                .findings
+                .iter()
+                .any(|f| f.contains("reverse-displacement block")),
+            "{:?}",
+            verify.findings
+        );
+    }
+
+    #[test]
+    fn verify_passes_clean_log() {
+        let log = history_world();
+        let report = LogInspector::open(log).unwrap().verify().unwrap();
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.live_records, 5);
+        assert!(report.render().contains("all invariants hold"));
     }
 
     #[test]

@@ -114,6 +114,42 @@ fn doctor_subcommand_reports_damage() {
 }
 
 #[test]
+fn verify_subcommand_convicts_what_doctor_acquits() {
+    let dir = std::env::temp_dir().join(format!("rvmlog-verify-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = build_log(&dir);
+
+    // A healthy log: exit 0, every invariant holds.
+    let out = rvmlog().arg(&log_path).arg("verify").output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all invariants hold"), "{text}");
+
+    // Poke the unchecksummed padding of the first record: its body is
+    // 40 (header) + 24 (range entry) + 8 (data) = 72 bytes, its padded
+    // extent one block, so byte 100 sits in the zero gap before the
+    // trailer. Both CRCs still verify.
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log_path)
+            .unwrap();
+        f.seek(SeekFrom::Start(16384 + 100)).unwrap();
+        f.write_all(&[0xBA]).unwrap();
+    }
+    let out = rvmlog().arg(&log_path).arg("doctor").output().unwrap();
+    assert!(out.status.success(), "doctor is blind to this: {out:?}");
+    let out = rvmlog().arg(&log_path).arg("verify").output().unwrap();
+    assert!(!out.status.success(), "verify must exit non-zero: {out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VIOLATION"), "{text}");
+    assert!(text.contains("reverse-displacement block"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = rvmlog().output().unwrap();
     assert!(!out.status.success());

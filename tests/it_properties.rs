@@ -384,6 +384,68 @@ proptest! {
         prop_assert_eq!(region.read_vec(0, 64 * 8).unwrap(), model);
     }
 
+    /// State-machine harness for the unlogged-write checker: arbitrary
+    /// *legal* histories — declared writes, commits, aborts, up to three
+    /// interleaved transactions — never trip the checker (panic mode makes
+    /// any false positive fatal), and the log left behind passes the full
+    /// WAL invariant verification.
+    #[test]
+    fn checker_never_fires_on_legal_histories(
+        ops in prop::collection::vec(
+            (0u8..4, any::<prop::sample::Index>(), 0u64..2, 0u64..(PAGE_SIZE - 64), 1u64..64, any::<u8>()),
+            1..60
+        )
+    ) {
+        let world = World::new(4 << 20);
+        let rvm = world.boot_tuned(Tuning {
+            check_unlogged_writes: true,
+            // Overlapping declarations across transactions are legal
+            // (serializability is the application's problem, §3.1).
+            check_range_conflicts: false,
+            panic_on_violation: true,
+            ..Tuning::default()
+        });
+        let regions = [
+            rvm.map(&RegionDescriptor::new("a", 0, PAGE_SIZE)).unwrap(),
+            rvm.map(&RegionDescriptor::new("b", 0, PAGE_SIZE)).unwrap(),
+        ];
+        let mut live: Vec<rvm::Transaction> = Vec::new();
+        for (op, pick, reg, offset, len, byte) in ops {
+            match op {
+                0 if live.len() < 3 => {
+                    live.push(rvm.begin_transaction(TxnMode::Restore).unwrap());
+                }
+                1 if !live.is_empty() => {
+                    let t = pick.index(live.len());
+                    regions[reg as usize]
+                        .write(&mut live[t], offset, &vec![byte; len as usize])
+                        .unwrap();
+                }
+                2 if !live.is_empty() => {
+                    let t = pick.index(live.len());
+                    live.remove(t).commit(CommitMode::Flush).unwrap();
+                }
+                3 if !live.is_empty() => {
+                    let t = pick.index(live.len());
+                    live.remove(t).abort().unwrap();
+                }
+                _ => {}
+            }
+        }
+        for txn in live {
+            txn.commit(CommitMode::Flush).unwrap();
+        }
+        let q = rvm.query();
+        prop_assert_eq!(q.stats.check_unlogged_writes, 0);
+        prop_assert!(q.check_violations.is_empty(), "{:?}", q.check_violations);
+
+        std::mem::forget(rvm);
+        let report = rvm_check::verify(
+            &(world.log.clone() as Arc<dyn rvm_storage::Device>),
+        ).unwrap();
+        prop_assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
     /// Intra-transaction optimization is semantically transparent: the
     /// recovered state is identical with it on or off.
     #[test]
