@@ -92,6 +92,20 @@ fn bench_commit(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_commit_overhead(c: &mut Criterion) {
+    // The fixed, pre-I/O cost of entering the commit path: an empty
+    // transaction commits nothing, so this isolates bookkeeping such as
+    // the per-commit `Tuning` read (a plain `Copy` read through the
+    // RwLock; this used to heap-clone the struct on every commit).
+    c.bench_function("commit_empty_no_flush", |b| {
+        let (rvm, _region) = world(64 << 20, 16);
+        b.iter(|| {
+            let txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+            txn.commit(CommitMode::NoFlush).unwrap();
+        });
+    });
+}
+
 fn bench_record_codec(c: &mut Criterion) {
     use rvm::log::record::{encode_txn, parse_record, RecordRange};
     use rvm::segment::SegmentId;
@@ -182,6 +196,7 @@ criterion_group!(
     benches,
     bench_set_range,
     bench_commit,
+    bench_commit_overhead,
     bench_record_codec,
     bench_recovery,
     bench_allocator

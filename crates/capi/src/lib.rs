@@ -518,6 +518,13 @@ pub struct RvmQuery {
     pub txns_committed: u64,
     /// Record bytes written to the log.
     pub bytes_logged: u64,
+    /// Log forces issued (shared across a group-commit batch).
+    pub log_forces: u64,
+    /// Flush-mode commits; `log_forces < flush_commits` means group
+    /// commit amortized forces.
+    pub flush_commits: u64,
+    /// Group-commit batches completed.
+    pub group_commit_batches: u64,
 }
 
 /// Fills `*out` with library state (the paper's `query`).
@@ -545,6 +552,9 @@ pub unsafe extern "C" fn rvm_query(handle: *mut RvmHandle, out: *mut RvmQuery) -
                 log_capacity: q.log.capacity,
                 txns_committed: q.stats.txns_committed,
                 bytes_logged: q.stats.bytes_logged,
+                log_forces: q.stats.log_forces,
+                flush_commits: q.stats.flush_commits,
+                group_commit_batches: q.stats.group_commit_batches,
             };
         }
         RvmReturn::RvmSuccess
@@ -667,6 +677,8 @@ mod tests {
             let mut q = RvmQuery::default();
             assert_eq!(rvm_query(h, &mut q), RvmReturn::RvmSuccess);
             assert_eq!(q.txns_committed, 1);
+            assert_eq!(q.flush_commits, 1);
+            assert_eq!(q.log_forces, 1, "a lone flush commit still forces once");
             rvm_free_region(r);
             std::mem::forget(Box::from_raw(h)); // crash: leak the Box
 

@@ -1,0 +1,77 @@
+//! Group commit: the leader/follower pipeline that amortizes log forces
+//! across concurrent flush-mode commits.
+//!
+//! The paper's throughput ceiling is the log force — 17.4 ms per force
+//! caps a serialized commit path at 57.4 txn/s (§7.1.2) — and one force
+//! per flush commit means N committer threads go no faster than one.
+//! Group commit is the classic WAL answer: committers serialize their
+//! records *outside* the core lock (already the case), park them in a
+//! queue, and the first committer to find no leader becomes one. The
+//! leader drains a bounded batch from the queue front, appends every
+//! member in queue order under the core lock, issues a **single**
+//! `wal.force()` for the whole group, and hands each member its own
+//! [`AppendInfo`](crate::log::wal::AppendInfo) through its slot before
+//! waking the batch.
+//!
+//! Lock order: the group lock is taken either alone or *after* a slot
+//! lock is released; the leader takes `core` while holding neither. Slot
+//! locks nest inside `group` (committer side) and inside `core` (leader
+//! side); no path acquires `group` or `core` while holding the other.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::Result;
+use crate::log::record::RecordRange;
+use crate::log::wal::AppendInfo;
+use crate::region::RegionInner;
+
+/// The payload a committer parks in the queue and the leader fills in.
+pub(crate) struct SlotWork {
+    /// The serialized new-value ranges, read by the leader's append.
+    pub(crate) ranges: Vec<RecordRange>,
+    /// Pages to mark dirty and enqueue for truncation on success.
+    pub(crate) region_pages: Vec<(Arc<RegionInner>, Vec<usize>)>,
+    /// Set by the leader when the batch completes; the committer takes it.
+    pub(crate) outcome: Option<Result<AppendInfo>>,
+    /// Whether the log crossed the truncation threshold after the batch.
+    pub(crate) over_threshold: bool,
+}
+
+/// One committer's pending flush-mode commit.
+pub(crate) struct GroupSlot {
+    pub(crate) tid: u64,
+    /// Unpadded record bytes this slot appends (for max-bytes batching).
+    pub(crate) record_bytes: u64,
+    pub(crate) work: Mutex<SlotWork>,
+}
+
+/// Queue state guarded by the group lock.
+#[derive(Default)]
+pub(crate) struct GroupState {
+    /// Waiting committers, oldest first; durable-log order follows queue
+    /// order because batches are drained from the front by one leader at
+    /// a time.
+    pub(crate) queue: VecDeque<Arc<GroupSlot>>,
+    /// Whether some committer currently holds leadership.
+    pub(crate) leader_active: bool,
+}
+
+/// The commit queue, its leadership flag, and the follower wakeup.
+pub(crate) struct GroupCommit {
+    pub(crate) state: Mutex<GroupState>,
+    /// Signalled after a leader publishes a batch's outcomes and releases
+    /// leadership; woken followers re-check their slot or take over.
+    pub(crate) wakeup: Condvar,
+}
+
+impl GroupCommit {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(GroupState::default()),
+            wakeup: Condvar::new(),
+        }
+    }
+}

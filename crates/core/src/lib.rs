@@ -70,6 +70,10 @@
 //!   *poisoning* ([`RvmError::Poisoned`]) when an unrecoverable I/O
 //!   failure lands mid-commit, keeping in-memory cursors and the durable
 //!   image consistent.
+//! * Group commit: concurrent flush-mode commits share a single log
+//!   force through a leader/follower commit queue
+//!   ([`Tuning::group_commit`], on by default), with per-batch statistics
+//!   surfaced via `query`.
 //!
 //! Layered packages live in sibling crates, as the paper suggests (§8):
 //! `rvm-alloc` (recoverable heap), `rvm-loader` (segment loader),
@@ -78,6 +82,7 @@
 mod check;
 pub mod crc;
 mod error;
+mod group;
 pub mod log;
 mod options;
 pub mod query;

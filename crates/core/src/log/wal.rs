@@ -39,6 +39,16 @@ pub struct AppendInfo {
     pub space_consumed: u64,
 }
 
+/// A snapshot of the append cursors, taken before a group-commit batch so
+/// a failed shared force can roll the whole group back at once (the
+/// multi-record extension of the single-append restore in
+/// [`Wal::append_txn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalCheckpoint {
+    tail: u64,
+    next_seq: u64,
+}
+
 /// The circular log writer.
 pub struct Wal {
     dev: Arc<dyn Device>,
@@ -208,6 +218,35 @@ impl Wal {
     pub fn force(&self) -> Result<()> {
         self.dev.sync()?;
         Ok(())
+    }
+
+    /// Captures the append cursors ahead of a group of appends.
+    pub fn checkpoint(&self) -> WalCheckpoint {
+        WalCheckpoint {
+            tail: self.tail,
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// Rolls the append cursors back to a [`WalCheckpoint`] after a group
+    /// of appends whose shared force failed: none of the group's records
+    /// were acknowledged, so the in-memory tail must not claim them. A
+    /// healed device can re-append from the checkpoint, rewriting the
+    /// identical bytes; a recovery scan of the durable image stops at the
+    /// same place because nothing past the checkpoint was forced.
+    ///
+    /// If truncation ran *between* the checkpoint and the failure (an
+    /// append mid-group made space), the head may have advanced past the
+    /// checkpointed tail; the records below it were already applied to
+    /// their segments and the checkpoint no longer names a valid cursor
+    /// state, so the rollback is skipped — callers poison the instance on
+    /// this path, which makes the stale cursors unreachable.
+    pub fn rollback_to(&mut self, ckpt: WalCheckpoint) {
+        debug_assert!(ckpt.tail <= self.tail && ckpt.next_seq <= self.next_seq);
+        if self.head <= ckpt.tail {
+            self.tail = ckpt.tail;
+            self.next_seq = ckpt.next_seq;
+        }
     }
 
     /// Moves the head forward after truncation has applied records below
@@ -553,6 +592,49 @@ mod tests {
         assert!(wal.append_txn(3, &[range(0, 0, 3, 1000)]).is_err());
         assert_eq!((wal.tail(), wal.next_seq()), (tail0, seq0));
         wal.append_txn(3, &[range(0, 0, 3, 1000)]).unwrap();
+    }
+
+    #[test]
+    fn group_rollback_restores_cursors_across_many_appends() {
+        let mut wal = mk_wal(1 << 16);
+        wal.append_txn(1, &[range(0, 0, 1, 100)]).unwrap();
+        let ckpt = wal.checkpoint();
+        let (tail0, seq0) = (wal.tail(), wal.next_seq());
+        // A "group" of three appends whose shared force never happened.
+        for tid in 2..=4u64 {
+            wal.append_txn(tid, &[range(0, tid * 8, tid as u8, 200)])
+                .unwrap();
+        }
+        assert!(wal.tail() > tail0);
+        wal.rollback_to(ckpt);
+        assert_eq!(wal.tail(), tail0, "tail restored to pre-group position");
+        assert_eq!(wal.next_seq(), seq0, "next_seq restored");
+        // Re-appending from the checkpoint rewrites the same offsets and
+        // sequence numbers; the log scans clean.
+        for tid in 2..=4u64 {
+            wal.append_txn(tid, &[range(0, tid * 8, tid as u8, 200)])
+                .unwrap();
+        }
+        let scan = scan_forward(wal.device().as_ref(), wal.capacity(), 0, 1, None).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.tail, wal.tail());
+        assert_eq!(scan.next_seq, wal.next_seq());
+    }
+
+    #[test]
+    fn group_rollback_is_skipped_when_head_passed_the_checkpoint() {
+        let mut wal = mk_wal(1 << 16);
+        wal.append_txn(1, &[range(0, 0, 1, 100)]).unwrap();
+        let ckpt = wal.checkpoint();
+        wal.append_txn(2, &[range(0, 8, 2, 100)]).unwrap();
+        // Truncation mid-group applied everything and moved the head past
+        // the checkpointed tail; rolling back now would put tail < head.
+        wal.advance_head(wal.tail(), wal.next_seq());
+        let (tail, seq) = (wal.tail(), wal.next_seq());
+        wal.rollback_to(ckpt);
+        assert_eq!(wal.tail(), tail, "rollback skipped: cursors unchanged");
+        assert_eq!(wal.next_seq(), seq);
+        assert!(wal.head() <= wal.tail(), "head/tail invariant holds");
     }
 
     #[test]

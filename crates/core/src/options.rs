@@ -73,7 +73,10 @@ pub enum TruncationMode {
 }
 
 /// Runtime tuning knobs (`set_options`).
-#[derive(Debug, Clone)]
+///
+/// All fields are scalars, so the struct is `Copy`: the commit path reads
+/// it by value instead of cloning through the lock.
+#[derive(Debug, Clone, Copy)]
 pub struct Tuning {
     /// Truncation triggers when log utilization exceeds this fraction.
     pub truncation_threshold: f64,
@@ -107,6 +110,22 @@ pub struct Tuning {
     /// instead of only recording it. For tests and debugging sessions
     /// that want to die at the first contract breach.
     pub panic_on_violation: bool,
+    /// Amortize log forces across concurrent flush-mode commits (group
+    /// commit): committers publish their serialized records to a queue,
+    /// one leader appends every waiting transaction and issues a single
+    /// force for the whole group. Durable-log order still matches commit
+    /// order; with one committer the path degenerates to a batch of one.
+    pub group_commit: bool,
+    /// Maximum transactions appended under one group-commit force.
+    pub group_commit_max_txns: usize,
+    /// Maximum record bytes appended under one group-commit force; a
+    /// batch closes before the transaction that would exceed it.
+    pub group_commit_max_bytes: u64,
+    /// Accumulation window in microseconds: a new leader waits this long
+    /// before draining the queue so concurrent committers can join its
+    /// batch. Zero (the default) batches only what lock contention
+    /// naturally accumulates, adding no latency to solo commits.
+    pub group_commit_wait_us: u64,
 }
 
 impl Default for Tuning {
@@ -122,6 +141,10 @@ impl Default for Tuning {
             check_unlogged_writes: false,
             check_range_conflicts: false,
             panic_on_violation: false,
+            group_commit: true,
+            group_commit_max_txns: 64,
+            group_commit_max_bytes: 8 << 20,
+            group_commit_wait_us: 0,
         }
     }
 }
@@ -208,6 +231,16 @@ mod tests {
         assert!((0.0..1.0).contains(&t.truncation_threshold));
         assert_eq!(TxnMode::default(), TxnMode::Restore);
         assert_eq!(CommitMode::default(), CommitMode::Flush);
+        assert!(t.group_commit, "group commit is on by default");
+        assert!(t.group_commit_max_txns >= 1);
+        assert!(t.group_commit_max_bytes > 0);
+        assert_eq!(t.group_commit_wait_us, 0, "solo commits pay no window");
+    }
+
+    #[test]
+    fn tuning_is_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Tuning>();
     }
 
     #[test]

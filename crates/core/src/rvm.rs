@@ -11,6 +11,7 @@ use rvm_storage::Device;
 
 use crate::check::{self, CheckState, CheckViolation};
 use crate::error::{Result, RvmError};
+use crate::group::{GroupCommit, GroupSlot, SlotWork};
 use crate::log::record::{self, RecordRange};
 use crate::log::status::{format_log, read_status, write_status, StatusBlock, LOG_AREA_START};
 use crate::log::wal::{scan_forward, AppendInfo, Wal};
@@ -22,7 +23,7 @@ use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
 use crate::retry::{retry_resolver, Retrier, RetryDevice};
 use crate::segment::{DeviceResolver, SegmentId, SegmentInfo};
 use crate::spool::{Spool, SpooledTxn};
-use crate::stats::{Stats, StatsSnapshot};
+use crate::stats::{batch_size_bucket, Stats, StatsSnapshot};
 use crate::truncation::page_vector::PageVector;
 use crate::truncation::PageQueue;
 use crate::txn::{Transaction, TxnRegion};
@@ -51,6 +52,9 @@ pub(crate) struct RvmShared {
     pub(crate) tuning: RwLock<Tuning>,
     pub(crate) stats: Stats,
     core: Mutex<Core>,
+    /// The group-commit queue (see [`crate::group`]). Its lock is never
+    /// held while acquiring `core` or vice versa.
+    group: GroupCommit,
     regions: RwLock<HashMap<u64, Arc<RegionInner>>>,
     /// Debug-mode checker state (snapshots, declared ranges, violations).
     /// Lock order: `regions` → `check` → region memory locks; never taken
@@ -150,7 +154,7 @@ impl Rvm {
         let shared = Arc::new(RvmShared {
             dev,
             resolver,
-            tuning: RwLock::new(options.tuning.clone()),
+            tuning: RwLock::new(options.tuning),
             stats,
             core: Mutex::new(Core {
                 wal,
@@ -161,6 +165,7 @@ impl Rvm {
                 page_queue: PageQueue::new(),
                 segs_in_log: HashSet::new(),
             }),
+            group: GroupCommit::new(),
             regions: RwLock::new(HashMap::new()),
             check: Mutex::new(CheckState::default()),
             next_tid: AtomicU64::new(1),
@@ -366,7 +371,7 @@ impl Rvm {
 
     /// Current tuning options.
     pub fn options(&self) -> Tuning {
-        self.shared.tuning.read().clone()
+        *self.shared.tuning.read()
     }
 
     /// Replaces the tuning options (§4.2 `set_options`).
@@ -763,7 +768,9 @@ impl RvmShared {
             return Err(RvmError::Poisoned);
         }
         self.run_commit_check(txn);
-        let tuning = self.tuning.read().clone();
+        // `Tuning` is `Copy`: a plain read through the lock, no per-commit
+        // heap clone.
+        let tuning = *self.tuning.read();
         let stats = &self.stats;
 
         // Read the new values out of recoverable memory *now* — "new-value
@@ -802,7 +809,21 @@ impl RvmShared {
         }
 
         let mut over_threshold = false;
-        if !ranges.is_empty() {
+        if !ranges.is_empty() && mode == CommitMode::Flush && tuning.group_commit {
+            // Group commit: park the serialized transaction in the
+            // commit queue and share one force with every concurrent
+            // flush committer (see `group_commit_enqueue`).
+            match self.group_commit_enqueue(txn.tid, ranges, region_pages, &tuning) {
+                Ok(over) => {
+                    stats.add(&stats.flush_commits, 1);
+                    over_threshold = over;
+                }
+                Err(e) => {
+                    txn.rollback();
+                    return Err(e);
+                }
+            }
+        } else if !ranges.is_empty() {
             let mut core = self.core.lock();
             match mode {
                 CommitMode::Flush => {
@@ -883,8 +904,24 @@ impl RvmShared {
             }
             over_threshold = core.wal.utilization() > tuning.truncation_threshold;
         } else {
-            // An empty transaction commits trivially; nothing reaches the
-            // log.
+            // An empty transaction logs nothing itself, but a flush-mode
+            // commit still promises that every commit that returned
+            // before it is durable — including spooled no-flush commits.
+            // Drain the spool exactly as a non-empty flush commit would
+            // (previously skipped, which silently weakened the flush
+            // guarantee to "durable except what the spool still holds").
+            if mode == CommitMode::Flush {
+                let mut core = self.core.lock();
+                if !core.spool.is_empty() {
+                    let r = self.flush_spool_locked(&mut core);
+                    if let Err(e) = self.guard_io(r) {
+                        drop(core);
+                        txn.rollback();
+                        return Err(e);
+                    }
+                    over_threshold = core.wal.utilization() > tuning.truncation_threshold;
+                }
+            }
             stats.add(
                 match mode {
                     CommitMode::Flush => &stats.flush_commits,
@@ -900,6 +937,220 @@ impl RvmShared {
             self.request_truncation(&tuning);
         }
         Ok(())
+    }
+
+    /// Group-commit committer side: parks the serialized transaction in
+    /// the commit queue, then either waits for a leader to commit it or
+    /// becomes the leader itself. Returns whether the log crossed the
+    /// truncation threshold (the caller triggers truncation outside the
+    /// locks, as the serialized path does).
+    ///
+    /// Leadership is a baton, not a thread: the first committer to find
+    /// no active leader takes it, runs one bounded batch via
+    /// [`RvmShared::group_leader_round`], releases it, and re-checks its
+    /// own slot. A committer whose slot was left out of a bounded batch
+    /// simply takes the baton next and leads the following batch, so
+    /// every enqueued transaction is committed after at most
+    /// `queue length / max_txns` rounds and durable-log order equals
+    /// queue order.
+    fn group_commit_enqueue(
+        self: &Arc<Self>,
+        tid: u64,
+        ranges: Vec<RecordRange>,
+        region_pages: Vec<(Arc<RegionInner>, Vec<usize>)>,
+        tuning: &Tuning,
+    ) -> Result<bool> {
+        let record_bytes = record::HEADER_SIZE
+            + ranges
+                .iter()
+                .map(|r| record::RANGE_ENTRY_SIZE + r.data.len() as u64)
+                .sum::<u64>()
+            + record::TRAILER_SIZE;
+        let slot = Arc::new(GroupSlot {
+            tid,
+            record_bytes,
+            work: Mutex::new(SlotWork {
+                ranges,
+                region_pages,
+                outcome: None,
+                over_threshold: false,
+            }),
+        });
+        self.group.state.lock().queue.push_back(slot.clone());
+        loop {
+            let mut gs = self.group.state.lock();
+            {
+                let mut work = slot.work.lock();
+                if let Some(outcome) = work.outcome.take() {
+                    let over = work.over_threshold;
+                    return outcome.map(|_| over);
+                }
+            }
+            if gs.leader_active {
+                // A leader is running (possibly carrying this slot in its
+                // batch); wait for it to publish and hand off.
+                self.group.wakeup.wait(&mut gs);
+                continue;
+            }
+            gs.leader_active = true;
+            drop(gs);
+            self.group_leader_round(tuning);
+            self.group.state.lock().leader_active = false;
+            self.group.wakeup.notify_all();
+        }
+    }
+
+    /// Group-commit leader side: one bounded batch. Drains up to
+    /// `group_commit_max_txns` / `group_commit_max_bytes` slots from the
+    /// queue front, appends them in order under the core lock, forces the
+    /// log **once**, does the per-member page bookkeeping, and publishes
+    /// each member's outcome into its slot. The caller releases
+    /// leadership and wakes the followers.
+    ///
+    /// Failure semantics extend the single-commit path to the batch: a
+    /// `LogFull` on one member fails only that member (nothing of it was
+    /// appended; the others still force and commit), while a device error
+    /// on any append, the spool drain, or the shared force fails the
+    /// *whole* batch — the WAL cursors are rolled back to the pre-group
+    /// checkpoint and the instance is poisoned, because records may sit
+    /// unacknowledged in the device's write-behind cache.
+    fn group_leader_round(self: &Arc<Self>, tuning: &Tuning) {
+        if tuning.group_commit_wait_us > 0 {
+            // Accumulation window: let concurrent committers join the
+            // batch. Wall-clock only; nothing is charged to a simulated
+            // clock, and no lock is held.
+            std::thread::sleep(std::time::Duration::from_micros(
+                tuning.group_commit_wait_us,
+            ));
+        }
+        let max_txns = tuning.group_commit_max_txns.max(1);
+        let batch: Vec<Arc<GroupSlot>> = {
+            let mut gs = self.group.state.lock();
+            let mut batch = Vec::new();
+            let mut bytes = 0u64;
+            while batch.len() < max_txns {
+                let Some(front) = gs.queue.front() else { break };
+                if !batch.is_empty() && bytes + front.record_bytes > tuning.group_commit_max_bytes {
+                    break;
+                }
+                bytes += front.record_bytes;
+                batch.push(gs.queue.pop_front().expect("front was Some"));
+            }
+            batch
+        };
+        if batch.is_empty() {
+            return;
+        }
+
+        let stats = &self.stats;
+        let mut core = self.core.lock();
+        if self.poisoned.load(Ordering::Acquire) {
+            // Poisoned between enqueue and leadership (e.g. by the
+            // previous batch): fail fast without touching the log.
+            drop(core);
+            for slot in &batch {
+                slot.work.lock().outcome = Some(Err(RvmError::Poisoned));
+            }
+            return;
+        }
+
+        let mut outcomes: Vec<Result<AppendInfo>> = Vec::with_capacity(batch.len());
+        let group_result: Result<()> = (|| {
+            self.flush_spool_locked(&mut core)?;
+            let ckpt = core.wal.checkpoint();
+            let mut appended_any = false;
+            for slot in &batch {
+                let work = slot.work.lock();
+                match self.append_with_space(&mut core, slot.tid, &work.ranges) {
+                    Ok(info) => {
+                        appended_any = true;
+                        outcomes.push(Ok(info));
+                    }
+                    Err(e @ RvmError::LogFull { .. }) => outcomes.push(Err(e)),
+                    Err(e) => {
+                        core.wal.rollback_to(ckpt);
+                        return Err(e);
+                    }
+                }
+            }
+            if appended_any {
+                if let Err(e) = core.wal.force() {
+                    core.wal.rollback_to(ckpt);
+                    return Err(e);
+                }
+            }
+            Ok(())
+        })();
+
+        match self.guard_io(group_result) {
+            Ok(()) => {
+                let successes = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+                if successes > 0 {
+                    stats.add(&stats.log_forces, 1);
+                    stats.add(&stats.group_commit_batches, 1);
+                    stats.add(&stats.group_commit_txns, successes);
+                    stats.add(
+                        &stats.group_commit_batch_sizes[batch_size_bucket(successes)],
+                        1,
+                    );
+                }
+                for (slot, outcome) in batch.iter().zip(&outcomes) {
+                    if let Ok(info) = outcome {
+                        let work = slot.work.lock();
+                        stats.add(&stats.bytes_logged, info.record_bytes);
+                        for (region, pages) in &work.region_pages {
+                            {
+                                let mut pv = region.page_vector.lock();
+                                for &p in pages {
+                                    pv.mark_page_dirty(p);
+                                }
+                            }
+                            for &p in pages {
+                                core.page_queue.enqueue(region, p, info.offset, info.seq);
+                            }
+                        }
+                        for r in &work.ranges {
+                            core.segs_in_log.insert(r.seg.as_u32());
+                        }
+                    }
+                }
+                let over = core.wal.utilization() > tuning.truncation_threshold;
+                drop(core);
+                for (slot, outcome) in batch.iter().zip(outcomes) {
+                    let mut work = slot.work.lock();
+                    work.over_threshold = over;
+                    work.outcome = Some(outcome);
+                }
+            }
+            Err(e) => {
+                drop(core);
+                // The whole batch failed. One member receives the
+                // original error (for a batch of one this is exactly the
+                // serialized path's behaviour); the rest observe the
+                // instance state the failure left behind: `Poisoned`
+                // after a device error, or a reconstructed `LogFull`
+                // when the spool drain ran out of log space (which
+                // leaves the instance healthy).
+                let log_full = match &e {
+                    RvmError::LogFull { needed, capacity } => Some((*needed, *capacity)),
+                    _ => None,
+                };
+                let mut original = Some(e);
+                let mut outcomes = outcomes.into_iter();
+                for slot in &batch {
+                    let result = match outcomes.next() {
+                        // This member individually ran out of log space
+                        // before the group failed; keep its own error.
+                        Some(Err(member_err)) => Err(member_err),
+                        _ => Err(original.take().unwrap_or_else(|| match log_full {
+                            Some((needed, capacity)) => RvmError::LogFull { needed, capacity },
+                            None => RvmError::Poisoned,
+                        })),
+                    };
+                    slot.work.lock().outcome = Some(result);
+                }
+            }
+        }
     }
 
     /// Writes every spooled record to the log and forces it once.
@@ -1171,7 +1422,7 @@ fn background_truncation_loop(shared: Weak<RvmShared>) {
         if strong.terminated.load(Ordering::Acquire) {
             return;
         }
-        let tuning = strong.tuning.read().clone();
+        let tuning = *strong.tuning.read();
         let mut core = strong.core.lock();
         if core.wal.utilization() > tuning.truncation_threshold {
             let _ = strong.truncate_per_mode(&mut core, &tuning);

@@ -8,6 +8,23 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Number of group-commit batch-size histogram buckets; see
+/// [`batch_size_bucket`].
+pub const GROUP_BATCH_BUCKETS: usize = 6;
+
+/// Maps a group-commit batch size to its histogram bucket: sizes 1, 2,
+/// 3–4, 5–8, 9–16, and 17+.
+pub fn batch_size_bucket(size: u64) -> usize {
+    match size {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
 /// Fault-tolerance counters, shared with the retry layer.
 ///
 /// These live behind an `Arc` because the retry wrappers around the log
@@ -42,6 +59,12 @@ pub struct Stats {
     /// Record bytes suppressed by inter-transaction optimization.
     pub(crate) bytes_saved_inter: AtomicU64,
     pub(crate) log_forces: AtomicU64,
+    /// Group-commit batches forced (each batch is one log force).
+    pub(crate) group_commit_batches: AtomicU64,
+    /// Flush-mode transactions committed through group-commit batches.
+    pub(crate) group_commit_txns: AtomicU64,
+    /// Batch-size histogram (additive buckets, so deltas stay field-wise).
+    pub(crate) group_commit_batch_sizes: [AtomicU64; GROUP_BATCH_BUCKETS],
     pub(crate) spool_flushes: AtomicU64,
     pub(crate) epoch_truncations: AtomicU64,
     /// Log bytes scanned by epoch truncation.
@@ -77,6 +100,11 @@ impl Stats {
             bytes_saved_intra: self.bytes_saved_intra.load(Ordering::Relaxed),
             bytes_saved_inter: self.bytes_saved_inter.load(Ordering::Relaxed),
             log_forces: self.log_forces.load(Ordering::Relaxed),
+            group_commit_batches: self.group_commit_batches.load(Ordering::Relaxed),
+            group_commit_txns: self.group_commit_txns.load(Ordering::Relaxed),
+            group_commit_batch_sizes: std::array::from_fn(|i| {
+                self.group_commit_batch_sizes[i].load(Ordering::Relaxed)
+            }),
             spool_flushes: self.spool_flushes.load(Ordering::Relaxed),
             epoch_truncations: self.epoch_truncations.load(Ordering::Relaxed),
             truncation_bytes_scanned: self.truncation_bytes_scanned.load(Ordering::Relaxed),
@@ -116,6 +144,13 @@ pub struct StatsSnapshot {
     pub bytes_saved_inter: u64,
     /// Synchronous log forces.
     pub log_forces: u64,
+    /// Group-commit batches forced (each batch is one log force).
+    pub group_commit_batches: u64,
+    /// Flush-mode transactions committed through group-commit batches.
+    pub group_commit_txns: u64,
+    /// Group-commit batch-size histogram: batches of size 1, 2, 3–4,
+    /// 5–8, 9–16, and 17+ (see [`batch_size_bucket`]).
+    pub group_commit_batch_sizes: [u64; GROUP_BATCH_BUCKETS],
     /// Spool flushes (each covers many no-flush commits).
     pub spool_flushes: u64,
     /// Completed epoch truncations.
@@ -172,6 +207,28 @@ impl StatsSnapshot {
         self.intra_savings_fraction() + self.inter_savings_fraction()
     }
 
+    /// Log forces per flush-mode commit: the amortization ratio group
+    /// commit exists to shrink. 1.0 means every flush commit paid its own
+    /// force; below 1.0 forces are being shared. In mixed workloads the
+    /// numerator also counts spool-flush forces, so read this on
+    /// flush-dominated runs (or on a `delta_since` window).
+    pub fn forces_per_flush_commit(&self) -> f64 {
+        if self.flush_commits == 0 {
+            0.0
+        } else {
+            self.log_forces as f64 / self.flush_commits as f64
+        }
+    }
+
+    /// Mean transactions per group-commit batch (0 when no batch ran).
+    pub fn mean_group_batch(&self) -> f64 {
+        if self.group_commit_batches == 0 {
+            0.0
+        } else {
+            self.group_commit_txns as f64 / self.group_commit_batches as f64
+        }
+    }
+
     /// Field-wise difference from an earlier snapshot.
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -185,6 +242,11 @@ impl StatsSnapshot {
             bytes_saved_intra: self.bytes_saved_intra - earlier.bytes_saved_intra,
             bytes_saved_inter: self.bytes_saved_inter - earlier.bytes_saved_inter,
             log_forces: self.log_forces - earlier.log_forces,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
+            group_commit_txns: self.group_commit_txns - earlier.group_commit_txns,
+            group_commit_batch_sizes: std::array::from_fn(|i| {
+                self.group_commit_batch_sizes[i] - earlier.group_commit_batch_sizes[i]
+            }),
             spool_flushes: self.spool_flushes - earlier.spool_flushes,
             epoch_truncations: self.epoch_truncations - earlier.epoch_truncations,
             truncation_bytes_scanned: self.truncation_bytes_scanned
@@ -239,5 +301,49 @@ mod tests {
         let d = stats.snapshot().delta_since(&s1);
         assert_eq!(d.txns_committed, 3);
         assert_eq!(d.bytes_logged, 0);
+    }
+
+    #[test]
+    fn batch_size_buckets_partition_the_sizes() {
+        assert_eq!(batch_size_bucket(1), 0);
+        assert_eq!(batch_size_bucket(2), 1);
+        assert_eq!(batch_size_bucket(3), 2);
+        assert_eq!(batch_size_bucket(4), 2);
+        assert_eq!(batch_size_bucket(5), 3);
+        assert_eq!(batch_size_bucket(8), 3);
+        assert_eq!(batch_size_bucket(9), 4);
+        assert_eq!(batch_size_bucket(16), 4);
+        assert_eq!(batch_size_bucket(17), 5);
+        assert_eq!(batch_size_bucket(1000), 5);
+    }
+
+    #[test]
+    fn group_histogram_deltas_are_field_wise() {
+        let stats = Stats::default();
+        stats.add(&stats.group_commit_batches, 2);
+        stats.add(&stats.group_commit_txns, 9);
+        stats.add(&stats.group_commit_batch_sizes[batch_size_bucket(1)], 1);
+        stats.add(&stats.group_commit_batch_sizes[batch_size_bucket(8)], 1);
+        let s1 = stats.snapshot();
+        stats.add(&stats.group_commit_batches, 1);
+        stats.add(&stats.group_commit_txns, 3);
+        stats.add(&stats.group_commit_batch_sizes[batch_size_bucket(3)], 1);
+        let d = stats.snapshot().delta_since(&s1);
+        assert_eq!(d.group_commit_batches, 1);
+        assert_eq!(d.group_commit_txns, 3);
+        assert_eq!(d.group_commit_batch_sizes, [0, 0, 1, 0, 0, 0]);
+        assert!((d.mean_group_batch() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amortization_ratio() {
+        let snap = StatsSnapshot {
+            flush_commits: 8,
+            log_forces: 2,
+            ..Default::default()
+        };
+        assert!((snap.forces_per_flush_commit() - 0.25).abs() < 1e-9);
+        assert_eq!(StatsSnapshot::default().forces_per_flush_commit(), 0.0);
+        assert_eq!(StatsSnapshot::default().mean_group_batch(), 0.0);
     }
 }

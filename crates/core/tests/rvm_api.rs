@@ -686,6 +686,44 @@ fn oversized_transaction_reports_log_full() {
 /// Status blocks take the first 16 KiB of the log device.
 const LOG_OVERHEAD: u64 = 16 * 1024;
 
+#[test]
+fn empty_flush_commit_drains_the_spool() {
+    // A flush-mode commit promises everything committed before it is
+    // durable — *including* spooled no-flush commits — even when the
+    // flush-mode transaction itself logged nothing. Regression test: the
+    // empty-commit fast path used to skip the spool drain entirely,
+    // silently weakening the guarantee.
+    let world = World::new(1 << 20);
+    {
+        let rvm = world.boot();
+        let region = rvm
+            .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+            .unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, 0, b"spooled payload").unwrap();
+        txn.commit(CommitMode::NoFlush).unwrap();
+        assert_eq!(rvm.query().spooled_transactions, 1);
+
+        // An empty transaction committed in flush mode: no ranges, but
+        // the spool must hit the log before commit returns.
+        let txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        let q = rvm.query();
+        assert_eq!(q.spooled_transactions, 0, "spool not drained");
+        assert!(q.stats.log_forces >= 1);
+        std::mem::forget(rvm); // crash: only the log survives
+    }
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
+    assert_eq!(
+        region.read_vec(0, 15).unwrap(),
+        b"spooled payload",
+        "no-flush commit was not durable after an empty flush commit"
+    );
+}
+
 mod on_demand {
     use super::*;
     use rvm::LoadPolicy;

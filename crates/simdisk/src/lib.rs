@@ -204,6 +204,7 @@ impl Device for SimDisk {
         for (start, end) in pending {
             cost += self.access_cost(&mut state, start, end - start, !first);
             first = false;
+            state.stats.sync_extents += 1;
         }
         if !cost.is_zero() {
             cost += self.params.controller_overhead;
@@ -283,6 +284,47 @@ mod tests {
         assert!(
             scattered.as_nanos() > 5 * one_extent.as_nanos(),
             "scattered {scattered} vs sequential {one_extent}"
+        );
+    }
+
+    #[test]
+    fn grouped_force_costs_one_seek_and_contiguous_transfer() {
+        // A group commit appends N records back to back and forces once.
+        // The model must charge that like a single sequential transfer —
+        // one coalesced extent, one seek — not N individual forces.
+        let (disk, clock) = disk_with(DiskParams::circa_1990());
+        disk.write_at(0, &[0u8; 64]).unwrap();
+        disk.sync().unwrap(); // park the head at the log tail
+        let parked = disk.stats();
+
+        let before = clock.snapshot();
+        for i in 0..8u64 {
+            disk.write_at(64 + i * 512, &[0u8; 512]).unwrap();
+        }
+        disk.sync().unwrap();
+        let grouped_ms = (clock.snapshot() - before).io.as_millis_f64();
+        let delta = disk.stats().delta_since(&parked);
+        assert_eq!(delta.syncs, 1);
+        assert_eq!(delta.sync_extents, 1, "contiguous appends must coalesce");
+        assert!(
+            (15.0..25.0).contains(&grouped_ms),
+            "a grouped force should cost about one ~17.4 ms force, got {grouped_ms}"
+        );
+
+        // The same eight records forced one at a time pay ~8 rotations.
+        let (disk2, clock2) = disk_with(DiskParams::circa_1990());
+        disk2.write_at(0, &[0u8; 64]).unwrap();
+        disk2.sync().unwrap();
+        let before = clock2.snapshot();
+        for i in 0..8u64 {
+            disk2.write_at(64 + i * 512, &[0u8; 512]).unwrap();
+            disk2.sync().unwrap();
+        }
+        let serial_ms = (clock2.snapshot() - before).io.as_millis_f64();
+        assert_eq!(disk2.stats().sync_extents, 1 + 8);
+        assert!(
+            serial_ms > 4.0 * grouped_ms,
+            "serialized forces ({serial_ms} ms) should dwarf one grouped force ({grouped_ms} ms)"
         );
     }
 

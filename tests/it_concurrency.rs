@@ -8,10 +8,11 @@ mod common {
     include!("lib.rs");
 }
 
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use common::World;
 use rvm::{CommitMode, RegionDescriptor, Rvm, Tuning, TxnMode, PAGE_SIZE};
+use rvm_storage::Device;
 
 #[test]
 fn concurrent_transactions_on_disjoint_slots() {
@@ -61,6 +62,79 @@ fn concurrent_transactions_on_disjoint_slots() {
                 "thread {t} slot {slot}"
             );
         }
+    }
+}
+
+#[test]
+fn group_commit_amortizes_forces_across_threads() {
+    const THREADS: u64 = 8;
+    const TXNS: u64 = 25;
+    let world = World::new(8 << 20);
+    let rvm = Arc::new(world.boot_tuned(Tuning {
+        // A 2 ms accumulation window makes batching deterministic enough
+        // to assert on: while a leader sleeps, the other seven threads
+        // reach the queue.
+        group_commit_wait_us: 2_000,
+        ..Tuning::default()
+    }));
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, THREADS * PAGE_SIZE))
+        .unwrap();
+    let barrier = Arc::new(Barrier::new(THREADS as usize));
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let rvm = rvm.clone();
+            let region = region.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..TXNS {
+                    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+                    region
+                        .put_u64(&mut txn, t * PAGE_SIZE + (i % 16) * 8, t * 1000 + i + 1)
+                        .unwrap();
+                    txn.commit(CommitMode::Flush).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // The amortization contract, via `query`: every commit flushed, but
+    // far fewer forces than commits.
+    let q = rvm.query();
+    assert_eq!(q.stats.flush_commits, THREADS * TXNS);
+    assert_eq!(q.stats.group_commit_txns, THREADS * TXNS);
+    assert!(q.stats.group_commit_batches >= 1);
+    assert!(
+        q.stats.log_forces < q.stats.flush_commits,
+        "forces {} not amortized over {} flush commits",
+        q.stats.log_forces,
+        q.stats.flush_commits
+    );
+    assert!(q.log_force_amortization() < 1.0);
+    assert!(q.mean_group_batch() > 1.0);
+
+    // Crash without terminating: the shared forces must have made every
+    // acknowledged commit durable, and the log must verify clean.
+    drop(region);
+    std::mem::forget(Arc::try_unwrap(rvm).ok().expect("sole owner"));
+    let report = rvm_check::verify(&(world.log.clone() as Arc<dyn Device>)).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, THREADS * PAGE_SIZE))
+        .unwrap();
+    for t in 0..THREADS {
+        // Thread t's last write to slot 8 was i == 24.
+        assert_eq!(
+            region.get_u64(t * PAGE_SIZE + 8 * 8).unwrap(),
+            t * 1000 + 25,
+            "thread {t} lost its final grouped commit"
+        );
     }
 }
 

@@ -18,14 +18,14 @@ mod common {
     include!("lib.rs");
 }
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
 use common::World;
 use rvm::segment::{flaky_resolver, MemResolver};
 use rvm::{
     BackoffSleeper, CommitMode, Options, Region, RegionDescriptor, RetryPolicy, Rvm, RvmError,
-    TxnMode, PAGE_SIZE,
+    Tuning, TxnMode, PAGE_SIZE,
 };
 use rvm_storage::{FaultClock, FaultOp, FlakyDevice, FlakyFault, MemDevice};
 
@@ -220,6 +220,174 @@ fn exhausted_retries_poison_the_instance_and_recovery_rescues_commits() {
     assert_state_is_prefix(&region, recovered);
     assert!(!rvm.is_poisoned());
     rvm.terminate().unwrap();
+}
+
+/// Tuning with a long group-commit accumulation window, so that
+/// barrier-released committers deterministically land in one batch.
+fn grouped_tuning() -> Tuning {
+    Tuning {
+        group_commit_wait_us: 100_000,
+        ..Tuning::default()
+    }
+}
+
+/// Runs the setup prefix of the group-fault scenario — initialize, map,
+/// one warm-up flush commit — against `options`, returning the instance
+/// and region. The prefix's device-operation counts are deterministic,
+/// which lets callers schedule a fault at the first group operation.
+fn group_setup(options: Options) -> (Arc<Rvm>, Region) {
+    let rvm = Arc::new(Rvm::initialize(options).unwrap());
+    let region = rvm.map(&descriptor()).unwrap();
+    run_txn(&rvm, &region, 1).unwrap(); // warm-up: slot 1 holds byte 1
+    (rvm, region)
+}
+
+/// Releases `n` threads into one flush commit each (thread `t` fills
+/// slot `t` with byte `10 + t`) and collects the per-thread results.
+fn run_group(rvm: &Arc<Rvm>, region: &Region, n: u64) -> Vec<rvm::Result<()>> {
+    let barrier = Arc::new(Barrier::new(n as usize));
+    let threads: Vec<_> = (0..n)
+        .map(|t| {
+            let rvm = Arc::clone(rvm);
+            let region = region.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut txn = rvm.begin_transaction(TxnMode::Restore)?;
+                region.write(&mut txn, t * SLOT_SIZE, &[10 + t as u8; SLOT_SIZE as usize])?;
+                txn.commit(CommitMode::Flush)
+            })
+        })
+        .collect();
+    threads.into_iter().map(|t| t.join().unwrap()).collect()
+}
+
+/// Asserts slot `t` holds `expected` in every byte.
+fn assert_slot(region: &Region, t: u64, expected: u8) {
+    assert_eq!(
+        region.read_vec(t * SLOT_SIZE, SLOT_SIZE).unwrap(),
+        vec![expected; SLOT_SIZE as usize],
+        "slot {t}"
+    );
+}
+
+#[test]
+fn failed_group_force_fails_every_member_and_poisons_once() {
+    const N: u64 = 4;
+
+    // Dry run: count device syncs consumed by the setup prefix. The next
+    // sync after that is the group's shared force.
+    let dry_syncs = {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let segments = MemResolver::new();
+        let clock = FaultClock::new(vec![]);
+        let (sleeper, _) = recording_sleeper();
+        let (rvm, _region) =
+            group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(grouped_tuning()));
+        let (_, _, syncs) = clock.ops_seen();
+        std::mem::forget(rvm);
+        syncs
+    };
+    assert!(dry_syncs > 0);
+
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let clock = FaultClock::new(vec![FlakyFault::permanent(FaultOp::Sync, dry_syncs + 1)]);
+    let (sleeper, _) = recording_sleeper();
+    let (rvm, region) =
+        group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(grouped_tuning()));
+
+    let results = run_group(&rvm, &region, N);
+
+    // The shared force failed: *every* member of the batch fails — none
+    // may report durability the log never achieved.
+    assert_eq!(
+        results.iter().filter(|r| r.is_ok()).count(),
+        0,
+        "a member of a failed group reported success: {results:?}"
+    );
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r, Err(RvmError::Device(_)))),
+        "no member surfaced the device error: {results:?}"
+    );
+    for r in &results {
+        assert!(
+            matches!(r, Err(RvmError::Device(_)) | Err(RvmError::Poisoned)),
+            "unexpected member outcome: {r:?}"
+        );
+    }
+
+    // One failure, one poisoning — not one per member.
+    assert!(rvm.is_poisoned());
+    assert_eq!(rvm.query().stats.poisonings, 1);
+
+    // Every member's in-memory state rolled back.
+    assert_slot(&region, 0, 0);
+    assert_slot(&region, 1, 1); // warm-up value, not 11
+    assert_slot(&region, 2, 0);
+    assert_slot(&region, 3, 0);
+
+    // Reboot on repaired hardware. The records were fully written before
+    // the force failed, so recovery replays the *whole* group — and must
+    // never replay a partial one.
+    std::mem::forget(rvm);
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    let replayed: Vec<bool> = (0..N)
+        .map(|t| region.read_vec(t * SLOT_SIZE, 1).unwrap()[0] == 10 + t as u8)
+        .collect();
+    assert!(
+        replayed.iter().all(|&p| p),
+        "sync-failure group must replay whole (records persisted): {replayed:?}"
+    );
+}
+
+#[test]
+fn failed_group_append_recovers_none_of_the_group() {
+    const N: u64 = 4;
+
+    // Dry run: count device writes in the setup prefix; the next write is
+    // the leader's first group append.
+    let dry_writes = {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let segments = MemResolver::new();
+        let clock = FaultClock::new(vec![]);
+        let (sleeper, _) = recording_sleeper();
+        let (rvm, _region) =
+            group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(grouped_tuning()));
+        let (_, writes, _) = clock.ops_seen();
+        std::mem::forget(rvm);
+        writes
+    };
+
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let clock = FaultClock::new(vec![FlakyFault::permanent(FaultOp::Write, dry_writes + 1)]);
+    let (sleeper, _) = recording_sleeper();
+    let (rvm, region) =
+        group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(grouped_tuning()));
+
+    let results = run_group(&rvm, &region, N);
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 0);
+    assert!(rvm.is_poisoned());
+    assert_eq!(rvm.query().stats.poisonings, 1);
+    std::mem::forget(rvm);
+
+    // No group record reached the device: recovery replays none of the
+    // group, and the warm-up commit survives untouched.
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    assert_state_is_prefix(&region, 1);
+    for t in 0..N {
+        let first = region.read_vec(t * SLOT_SIZE, 1).unwrap()[0];
+        assert_ne!(
+            first,
+            10 + t as u8,
+            "group member {t} leaked into the durable image"
+        );
+    }
 }
 
 /// Builds a log + segments image holding `n` acknowledged commits whose
