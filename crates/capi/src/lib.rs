@@ -525,6 +525,14 @@ pub struct RvmQuery {
     pub flush_commits: u64,
     /// Group-commit batches completed.
     pub group_commit_batches: u64,
+    /// Epochs truncated concurrently with forward processing.
+    pub epochs_truncated: u64,
+    /// Commits that completed while an epoch apply was running.
+    pub commits_during_truncation: u64,
+    /// Nanoseconds committers spent waiting on truncation for log space.
+    pub truncation_stall_ns: u64,
+    /// Nonzero while an epoch truncation is applying its frozen span.
+    pub truncation_in_flight: u64,
 }
 
 /// Fills `*out` with library state (the paper's `query`).
@@ -555,6 +563,10 @@ pub unsafe extern "C" fn rvm_query(handle: *mut RvmHandle, out: *mut RvmQuery) -
                 log_forces: q.stats.log_forces,
                 flush_commits: q.stats.flush_commits,
                 group_commit_batches: q.stats.group_commit_batches,
+                epochs_truncated: q.stats.epochs_truncated,
+                commits_during_truncation: q.stats.commits_during_truncation,
+                truncation_stall_ns: q.stats.truncation_stall_ns,
+                truncation_in_flight: u64::from(q.truncation_in_flight),
             };
         }
         RvmReturn::RvmSuccess
@@ -579,7 +591,9 @@ pub unsafe extern "C" fn rvm_terminate(handle: *mut RvmHandle) -> RvmReturn {
         let h = unsafe { Box::from_raw(handle) };
         match h.rvm.terminate() {
             Ok(()) => RvmReturn::RvmSuccess,
-            Err(e) => map_err(&e),
+            // The Rust API hands the instance back for a retry; the C
+            // contract releases the handle either way, so drop it here.
+            Err(failure) => map_err(&failure.error),
         }
     })
 }

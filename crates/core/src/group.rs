@@ -17,6 +17,28 @@
 //! lock is released; the leader takes `core` while holding neither. Slot
 //! locks nest inside `group` (committer side) and inside `core` (leader
 //! side); no path acquires `group` or `core` while holding the other.
+//!
+//! ## Interleaving with concurrent epoch truncation
+//!
+//! Epoch truncation releases the core lock while applying its frozen
+//! span, so a leader's batch can run *during* a truncation — that is the
+//! point of the concurrent protocol. Two consequences for the leader:
+//!
+//! * **Waiting happens inside `append_with_space`.** If the log cannot
+//!   fit the next record while an epoch is in flight, the append waits on
+//!   the `epoch_done` condvar (releasing `core`), then retries. The
+//!   leader never spins; its stall is bounded by the epoch apply, and is
+//!   measured in `truncation_stall_ns`.
+//! * **A released lock invalidates the batch checkpoint.** The leader
+//!   takes a WAL checkpoint before appending the batch so a mid-batch
+//!   append failure can roll the whole batch back. But if an append
+//!   waited (lock released and reacquired), another thread may have
+//!   appended records past the checkpoint; rolling back would destroy
+//!   *their* records. `Core::wait_generation` counts those releases: the
+//!   leader only rolls back if the generation is unchanged, and otherwise
+//!   leaves the partial batch in the log — harmless, since the failure
+//!   path poisons the instance anyway and recovery replays only complete,
+//!   committed records.
 
 use std::collections::VecDeque;
 use std::sync::Arc;

@@ -78,6 +78,33 @@
 //! Layered packages live in sibling crates, as the paper suggests (§8):
 //! `rvm-alloc` (recoverable heap), `rvm-loader` (segment loader),
 //! `rvm-nest` (nesting), `rvm-dist` (two-phase commit).
+//!
+//! ## Lock order (internal)
+//!
+//! The crate's locks form a single acquisition order; every code path
+//! acquires along it and never against it:
+//!
+//! 1. `RvmShared::core` — log cursors, page queue, segment cache. The
+//!    only lock a thread may *block* on with another of these held is
+//!    none: `core` is always taken first.
+//! 2. `RvmShared::regions` (read or write) — the region map.
+//! 3. Leaf locks, never held while acquiring any of the above:
+//!    per-region `page_vector` / memory locks, `RvmShared::check`
+//!    (debug-checker state), `RvmShared::bg_wakeup`, `Rvm::bg_thread`.
+//!
+//! Two non-obvious consequences:
+//!
+//! * `check` is a leaf: the checker must copy what it needs and release
+//!   `check` *before* anything that takes `core` (`query` historically
+//!   held `check` across its `core` acquisition while commit paths took
+//!   them in the opposite order — a lock-order inversion, fixed).
+//! * The group-commit queue locks (`group::CommitQueue`) are taken only
+//!   while `core` is *not* held; the leader acquires `core` after
+//!   claiming the batch.
+//!
+//! The `epoch_done` condvar waits on `core` itself (releasing it while
+//! parked), so epoch truncation never blocks commits while holding a
+//! second lock.
 
 mod check;
 pub mod crc;
@@ -105,6 +132,6 @@ pub use query::{LogInfo, QueryInfo};
 pub use recovery::RecoveryReport;
 pub use region::{Region, RegionDescriptor};
 pub use retry::{thread_sleeper, BackoffSleeper, RetryPolicy};
-pub use rvm::Rvm;
+pub use rvm::{Rvm, TerminateFailure};
 pub use stats::StatsSnapshot;
 pub use txn::Transaction;

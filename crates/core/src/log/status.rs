@@ -25,7 +25,11 @@ pub const STATUS_B_OFFSET: u64 = STATUS_BLOCK_SIZE;
 pub const LOG_AREA_START: u64 = 2 * STATUS_BLOCK_SIZE;
 
 const STATUS_MAGIC: u64 = 0x5256_4D53_5441_5431; // "RVMSTAT1"
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
+
+/// Byte offset of the segment table within a status copy. Bytes 68..84
+/// hold the in-flight epoch boundary (`epoch_end`, `epoch_next_seq`).
+const SEGMENT_TABLE_AT: usize = 84;
 
 /// Durable bookkeeping persisted in the status area.
 ///
@@ -47,6 +51,16 @@ pub struct StatusBlock {
     pub next_seq: u64,
     /// Length of the circular record area.
     pub area_len: u64,
+    /// Exclusive logical end of an epoch truncation that was in flight
+    /// when this status was written (0 = none). The span
+    /// `[head, epoch_end)` was being applied to data segments off-lock;
+    /// recovery treats it like any other live log prefix — scanning from
+    /// `head` re-applies it idempotently — so the field is a crash
+    /// *diagnostic*, not a correctness input.
+    pub epoch_end: u64,
+    /// `next_seq` the log had at `epoch_end` when the epoch was
+    /// snapshotted (0 = none).
+    pub epoch_next_seq: u64,
     /// The segment table.
     pub segments: Vec<SegmentInfo>,
 }
@@ -61,6 +75,8 @@ impl StatusBlock {
             seq_at_head: 1,
             next_seq: 1,
             area_len,
+            epoch_end: 0,
+            epoch_next_seq: 0,
             segments: Vec::new(),
         }
     }
@@ -92,7 +108,9 @@ impl StatusBlock {
         buf[48..56].copy_from_slice(&self.next_seq.to_le_bytes());
         buf[56..64].copy_from_slice(&self.area_len.to_le_bytes());
         buf[64..68].copy_from_slice(&(self.segments.len() as u32).to_le_bytes());
-        let mut at = 68;
+        buf[68..76].copy_from_slice(&self.epoch_end.to_le_bytes());
+        buf[76..84].copy_from_slice(&self.epoch_next_seq.to_le_bytes());
+        let mut at = SEGMENT_TABLE_AT;
         for seg in &self.segments {
             let name = seg.name.as_bytes();
             assert!(
@@ -127,7 +145,7 @@ impl StatusBlock {
         }
         let n_segments = u32::from_le_bytes(buf[64..68].try_into().unwrap()) as usize;
         let mut segments = Vec::with_capacity(n_segments);
-        let mut at = 68;
+        let mut at = SEGMENT_TABLE_AT;
         for _ in 0..n_segments {
             if at + 16 > crc_at {
                 return None;
@@ -153,6 +171,8 @@ impl StatusBlock {
             seq_at_head: get64(40),
             next_seq: get64(48),
             area_len: get64(56),
+            epoch_end: get64(68),
+            epoch_next_seq: get64(76),
             segments,
         })
     }
@@ -165,7 +185,8 @@ impl StatusBlock {
 
     /// Like [`StatusBlock::table_has_room`] but over a bare segment table.
     pub fn segments_fit(segments: &[SegmentInfo], extra_name_len: usize) -> bool {
-        let used: usize = 68 + segments.iter().map(|s| 16 + s.name.len()).sum::<usize>();
+        let used: usize =
+            SEGMENT_TABLE_AT + segments.iter().map(|s| 16 + s.name.len()).sum::<usize>();
         used + 16 + extra_name_len <= STATUS_BLOCK_SIZE as usize - 4
     }
 }
@@ -238,6 +259,8 @@ mod tests {
             seq_at_head: 17,
             next_seq: 29,
             area_len: 1 << 20,
+            epoch_end: 2048,
+            epoch_next_seq: 23,
             segments: vec![
                 SegmentInfo {
                     id: SegmentId::new(0),

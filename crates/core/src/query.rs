@@ -31,6 +31,10 @@ pub struct QueryInfo {
     pub spool_bytes: u64,
     /// Dirty pages queued for incremental truncation.
     pub queued_pages: usize,
+    /// Whether an epoch truncation is applying its frozen span right
+    /// now (commits keep flowing past it; see
+    /// [`Rvm::truncate`](crate::Rvm::truncate)).
+    pub truncation_in_flight: bool,
     /// Log geometry.
     pub log: LogInfo,
     /// Whether the instance is poisoned (see

@@ -37,6 +37,30 @@ pub struct RecoveryReport {
     pub segments_updated: usize,
     /// Pad records skipped.
     pub pads_skipped: u64,
+    /// Whether the crash interrupted an in-flight epoch truncation (the
+    /// status block carried a nonzero epoch boundary). Recovery handles
+    /// the span like any other live log prefix — re-applying it is
+    /// idempotent — so this is diagnostic only.
+    pub interrupted_epoch: bool,
+}
+
+/// Builds the latest-committed-change tree per segment from scanned
+/// records, newest record first, so the first value seen for any byte —
+/// the latest committed one — wins. Shared by crash recovery and epoch
+/// truncation (the paper reused its recovery code the same way).
+pub(crate) fn build_latest_trees(
+    records: &[(u64, crate::log::record::TxnRecord)],
+) -> HashMap<u32, IntervalMap> {
+    let mut trees: HashMap<u32, IntervalMap> = HashMap::new();
+    for (_, record) in records.iter().rev() {
+        for range in &record.ranges {
+            trees
+                .entry(range.seg.as_u32())
+                .or_default()
+                .insert_if_uncovered(range.offset, &range.data);
+        }
+    }
+    trees
 }
 
 /// Recovery output consumed by [`Rvm::initialize`](crate::Rvm::initialize).
@@ -64,15 +88,7 @@ pub(crate) fn recover(
 
     // Build the latest-committed-change tree per segment, newest record
     // first.
-    let mut trees: HashMap<u32, IntervalMap> = HashMap::new();
-    for (_, record) in scan.records.iter().rev() {
-        for range in &record.ranges {
-            trees
-                .entry(range.seg.as_u32())
-                .or_default()
-                .insert_if_uncovered(range.offset, &range.data);
-        }
-    }
+    let trees = build_latest_trees(&scan.records);
 
     // Traverse the trees, applying modifications to the external data
     // segments.
@@ -106,17 +122,23 @@ pub(crate) fn recover(
         seg_devices.insert(seg_raw, seg_dev);
     }
 
-    // Only now reset the status block to an empty log (idempotency).
+    // Only now reset the status block to an empty log (idempotency). A
+    // crash mid-epoch-truncation leaves a nonzero epoch boundary in the
+    // status; the scan above already covered that span, so the fields are
+    // simply cleared here.
     let report = RecoveryReport {
         records_replayed: scan.records.len(),
         bytes_applied,
         segments_updated: seg_devices.len(),
         pads_skipped: scan.pads,
+        interrupted_epoch: status.epoch_end != 0,
     };
     status.head = scan.tail;
     status.tail = scan.tail;
     status.seq_at_head = scan.next_seq;
     status.next_seq = scan.next_seq;
+    status.epoch_end = 0;
+    status.epoch_next_seq = 0;
     write_status(dev.as_ref(), &mut status)?;
 
     Ok(Recovered {

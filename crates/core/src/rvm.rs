@@ -5,8 +5,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use rvm_storage::Device;
 
 use crate::check::{self, CheckState, CheckViolation};
@@ -17,19 +18,24 @@ use crate::log::status::{format_log, read_status, write_status, StatusBlock, LOG
 use crate::log::wal::{scan_forward, AppendInfo, Wal};
 use crate::options::{CommitMode, LoadPolicy, Options, Tuning, TxnMode, PAGE_SIZE};
 use crate::query::{LogInfo, QueryInfo};
-use crate::ranges::{ByteRange, IntervalMap, RangeSet};
-use crate::recovery::{recover, RecoveryReport};
+use crate::ranges::{ByteRange, RangeSet};
+use crate::recovery::{build_latest_trees, recover, RecoveryReport};
 use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
 use crate::retry::{retry_resolver, Retrier, RetryDevice};
 use crate::segment::{DeviceResolver, SegmentId, SegmentInfo};
 use crate::spool::{Spool, SpooledTxn};
 use crate::stats::{batch_size_bucket, Stats, StatsSnapshot};
 use crate::truncation::page_vector::PageVector;
-use crate::truncation::PageQueue;
+use crate::truncation::{PageDesc, PageQueue};
 use crate::txn::{Transaction, TxnRegion};
 
 /// Pages written per incremental-truncation sync batch.
 const INCREMENTAL_BATCH_PAGES: usize = 32;
+
+/// The held core lock. Functions that may *release and reacquire* the
+/// lock (waiting out an in-flight epoch truncation) take this guard type;
+/// functions that only mutate state take plain `&mut Core`.
+type CoreGuard<'a> = MutexGuard<'a, Core>;
 
 /// State guarded by the single "core" lock: the WAL, the segment table,
 /// the spool, and the page queue. One lock serializes commits, exactly as
@@ -43,6 +49,37 @@ pub(crate) struct Core {
     page_queue: PageQueue,
     /// Segments referenced by live (untruncated) log records.
     segs_in_log: HashSet<u32>,
+    /// The in-flight concurrent epoch truncation, if any (§5.1.2,
+    /// Figure 6: the old epoch is applied to segments while forward
+    /// processing continues in the rest of the log).
+    epoch: Option<EpochInFlight>,
+    /// Bumped by any thread that releases and reacquires the core lock
+    /// inside [`RvmShared::append_with_space`] (waiting out an in-flight
+    /// epoch). A group-commit leader compares it against the value at
+    /// its WAL checkpoint: if it changed, other committers' records may
+    /// have interleaved and the checkpoint is no longer a rollback point.
+    wait_generation: u64,
+}
+
+/// A concurrent epoch truncation in flight: the frozen span
+/// `[wal.head(), end)` is being scanned and applied to data segments with
+/// the core lock *released*. The head does not move and nothing in the
+/// span can be overwritten meanwhile, because free-space accounting still
+/// counts the span as live; and everything in it is fully written and
+/// forced, because records are appended and forced under a single lock
+/// hold.
+struct EpochInFlight {
+    /// Exclusive logical end of the frozen span.
+    end: u64,
+    /// `next_seq` the log had at `end` when the epoch was snapshotted
+    /// (becomes `seq_at_head` when the head advances to `end`).
+    next_seq: u64,
+    /// Segments referenced by frozen-span records (restored on failure).
+    segs: HashSet<u32>,
+    /// Page-queue descriptors covered by the frozen span, drained at
+    /// snapshot time so commits landing during the apply re-enqueue
+    /// their pages with new-epoch offsets.
+    drained: Vec<PageDesc>,
 }
 
 /// Shared library state behind [`Rvm`] handles and live transactions.
@@ -69,6 +106,15 @@ pub(crate) struct RvmShared {
     poisoned: AtomicBool,
     bg_wakeup: Mutex<bool>,
     bg_condvar: Condvar,
+    /// Tells the background truncation thread to exit; set by
+    /// [`Rvm::set_options`] when `background_truncation` is toggled off.
+    bg_stop: AtomicBool,
+    /// Paired with `core`: signalled whenever an in-flight epoch
+    /// truncation completes or fails. Waiters hold the core lock.
+    epoch_done: Condvar,
+    /// True while an epoch apply is running off-lock (phase 2); commits
+    /// that complete in that window count `commits_during_truncation`.
+    truncating: AtomicBool,
 }
 
 /// A recoverable-virtual-memory instance over one log (§4.2's
@@ -102,7 +148,56 @@ pub(crate) struct RvmShared {
 pub struct Rvm {
     shared: Arc<RvmShared>,
     recovery_report: RecoveryReport,
-    bg_thread: Option<JoinHandle<()>>,
+    /// The background truncation thread, if running. Behind a mutex so
+    /// [`Rvm::set_options`] can spawn/stop it through `&self`.
+    bg_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Failure from [`Rvm::terminate`], carrying the instance back to the
+/// caller.
+///
+/// `terminate` used to consume the instance even when it *refused* to
+/// terminate (`TransactionsOutstanding`), so a caller could never end its
+/// transactions and retry. On refusal the instance comes back untouched
+/// and fully usable; on a shutdown I/O failure it comes back already
+/// terminated, for inspection only.
+pub struct TerminateFailure {
+    /// The instance: untouched after a refusal, terminated after a
+    /// shutdown failure.
+    pub rvm: Rvm,
+    /// Why termination failed.
+    pub error: RvmError,
+}
+
+impl TerminateFailure {
+    /// Splits into the instance and the error.
+    pub fn into_parts(self) -> (Rvm, RvmError) {
+        (self.rvm, self.error)
+    }
+}
+
+impl std::fmt::Debug for TerminateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TerminateFailure")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Display for TerminateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "terminate failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for TerminateFailure {}
+
+impl From<TerminateFailure> for RvmError {
+    /// Propagating with `?` drops the returned instance (best-effort
+    /// shutdown, as `Drop` always did) and keeps the underlying error.
+    fn from(failure: TerminateFailure) -> Self {
+        failure.error
+    }
 }
 
 impl Rvm {
@@ -164,6 +259,8 @@ impl Rvm {
                 spool: Spool::new(),
                 page_queue: PageQueue::new(),
                 segs_in_log: HashSet::new(),
+                epoch: None,
+                wait_generation: 0,
             }),
             group: GroupCommit::new(),
             regions: RwLock::new(HashMap::new()),
@@ -175,24 +272,20 @@ impl Rvm {
             poisoned: AtomicBool::new(false),
             bg_wakeup: Mutex::new(false),
             bg_condvar: Condvar::new(),
+            bg_stop: AtomicBool::new(false),
+            epoch_done: Condvar::new(),
+            truncating: AtomicBool::new(false),
         });
 
-        let bg_thread = if options.tuning.background_truncation {
-            let weak = Arc::downgrade(&shared);
-            Some(
-                std::thread::Builder::new()
-                    .name("rvm-truncation".to_owned())
-                    .spawn(move || background_truncation_loop(weak))
-                    .expect("spawning the truncation thread"),
-            )
-        } else {
-            None
-        };
+        let bg_thread = options
+            .tuning
+            .background_truncation
+            .then(|| spawn_bg_thread(&shared));
 
         Ok(Self {
             shared,
             recovery_report: recovered.report,
-            bg_thread,
+            bg_thread: Mutex::new(bg_thread),
         })
     }
 
@@ -290,13 +383,32 @@ impl Rvm {
         }
 
         // Guarantee the mapped image is the committed one: if live log
-        // records or spooled commits reference this segment, reflect them
-        // into the device first.
-        if core.segs_in_log.contains(&seg_id.as_u32()) || core.spool.references(seg_id) {
-            let r = shared.flush_spool_locked(&mut core);
-            shared.guard_io(r)?;
-            let r = shared.epoch_truncate_locked(&mut core);
-            shared.guard_io(r)?;
+        // records, an in-flight epoch apply, or spooled commits reference
+        // this segment, reflect them into the device first.
+        let epoch_references = |core: &Core| {
+            core.epoch
+                .as_ref()
+                .is_some_and(|e| e.segs.contains(&seg_id.as_u32()))
+        };
+        if core.segs_in_log.contains(&seg_id.as_u32())
+            || core.spool.references(seg_id)
+            || epoch_references(&core)
+        {
+            // An off-lock epoch apply owns the span `[head, epoch.end)`;
+            // wait it out rather than scanning a span another thread is
+            // applying (the wait releases the core lock).
+            while core.epoch.is_some() {
+                shared.epoch_done.wait(&mut core);
+            }
+            if shared.poisoned.load(Ordering::Acquire) {
+                return Err(RvmError::Poisoned);
+            }
+            if core.segs_in_log.contains(&seg_id.as_u32()) || core.spool.references(seg_id) {
+                let r = shared.flush_spool_locked(&mut core);
+                shared.guard_io(r)?;
+                let r = shared.epoch_truncate_locked(&mut core);
+                shared.guard_io(r)?;
+            }
         }
 
         let inner = Arc::new(RegionInner {
@@ -359,13 +471,14 @@ impl Rvm {
 
     /// Applies every committed change in the write-ahead log to its data
     /// segment and reclaims the space (§4.2 `truncate`). Blocks until
-    /// done. Spooled no-flush commits are *not* included — call
-    /// [`Rvm::flush`] first for that.
+    /// done, but runs the epoch apply with the core lock *released*, so
+    /// concurrent commits keep appending in the rest of the circular log
+    /// (§5.1.2: truncation proceeds "while forward processing continues").
+    /// Spooled no-flush commits are *not* included — call [`Rvm::flush`]
+    /// first for that.
     pub fn truncate(&self) -> Result<()> {
         self.check_live()?;
-        let mut core = self.shared.core.lock();
-        let r = self.shared.epoch_truncate_locked(&mut core);
-        self.shared.guard_io(r)?;
+        self.shared.epoch_truncate_concurrent(None, true)?;
         Ok(())
     }
 
@@ -375,17 +488,54 @@ impl Rvm {
     }
 
     /// Replaces the tuning options (§4.2 `set_options`).
+    ///
+    /// Commit paths read the tuning once at entry, so a change applies to
+    /// commits that *begin* after this call; a group-commit leader mid
+    /// batch finishes with the tuning its batch started under.
+    ///
+    /// Toggling `background_truncation` spawns or stops the background
+    /// truncation thread accordingly (the toggle used to be silently
+    /// ignored after construction). Stopping joins the thread, so a
+    /// disable returns only once any truncation it is running completes.
     pub fn set_options(&self, tuning: Tuning) {
-        *self.shared.tuning.write() = tuning;
+        // `bg_thread` is locked around both the tuning write and the
+        // spawn/stop so concurrent `set_options` calls cannot leave the
+        // thread state disagreeing with the flag.
+        let mut bg = self.bg_thread.lock();
+        let was = {
+            let mut t = self.shared.tuning.write();
+            let was = t.background_truncation;
+            *t = tuning;
+            was
+        };
+        if tuning.background_truncation && !was {
+            if bg.is_none() {
+                *bg = Some(spawn_bg_thread(&self.shared));
+            }
+        } else if !tuning.background_truncation && was {
+            if let Some(handle) = bg.take() {
+                self.shared.bg_stop.store(true, Ordering::Release);
+                self.shared.bg_condvar.notify_all();
+                let _ = handle.join();
+                self.shared.bg_stop.store(false, Ordering::Release);
+            }
+        }
     }
 
     /// Library-wide information (§4.2 `query`).
     pub fn query(&self) -> QueryInfo {
-        let check_violations = self.shared.check.lock().violations.clone();
+        // Per the crate-level lock order, `check` is never held while
+        // acquiring `core`: copy the violations out and drop that guard
+        // before touching anything else.
+        let check_violations = {
+            let check = self.shared.check.lock();
+            check.violations.clone()
+        };
+        let mapped_regions = self.shared.regions.read().len();
         let core = self.shared.core.lock();
         QueryInfo {
             active_transactions: self.shared.active_txns.load(Ordering::Acquire),
-            mapped_regions: self.shared.regions.read().len(),
+            mapped_regions,
             spooled_transactions: core.spool.len(),
             spool_bytes: core.spool.bytes(),
             queued_pages: core.page_queue.len(),
@@ -396,6 +546,7 @@ impl Rvm {
                 capacity: core.wal.capacity(),
                 utilization: core.wal.utilization(),
             },
+            truncation_in_flight: core.epoch.is_some(),
             poisoned: self.shared.poisoned.load(Ordering::Acquire),
             check_violations,
             stats: self.shared.stats.snapshot(),
@@ -410,13 +561,25 @@ impl Rvm {
     /// Shuts the instance down cleanly (§4.2 `terminate`): fails if
     /// transactions are outstanding, otherwise flushes the spool and
     /// writes a final status block.
-    pub fn terminate(mut self) -> Result<()> {
+    ///
+    /// On failure the instance comes back inside the
+    /// [`TerminateFailure`]: after a `TransactionsOutstanding` refusal it
+    /// is untouched, so the caller can end the transactions and call
+    /// `terminate` again. Propagating the failure with `?` converts to
+    /// the underlying [`RvmError`] and drops the instance (best-effort
+    /// shutdown, as `Drop` always did).
+    pub fn terminate(mut self) -> std::result::Result<(), TerminateFailure> {
         let active = self.shared.active_txns.load(Ordering::Acquire);
         if active > 0 {
-            return Err(RvmError::TransactionsOutstanding(active));
+            return Err(TerminateFailure {
+                rvm: self,
+                error: RvmError::TransactionsOutstanding(active),
+            });
         }
-        self.shutdown()?;
-        Ok(())
+        match self.shutdown() {
+            Ok(()) => Ok(()),
+            Err(error) => Err(TerminateFailure { rvm: self, error }),
+        }
     }
 
     fn shutdown(&mut self) -> Result<()> {
@@ -429,7 +592,7 @@ impl Rvm {
             *flag = true;
             self.shared.bg_condvar.notify_all();
         }
-        if let Some(handle) = self.bg_thread.take() {
+        if let Some(handle) = self.bg_thread.lock().take() {
             let _ = handle.join();
         }
         // A poisoned instance must not touch the durable image again: the
@@ -523,6 +686,8 @@ impl RvmShared {
             seq_at_head: core.wal.seq_at_head(),
             next_seq: core.wal.next_seq(),
             area_len: core.wal.capacity(),
+            epoch_end: core.epoch.as_ref().map_or(0, |e| e.end),
+            epoch_next_seq: core.epoch.as_ref().map_or(0, |e| e.next_seq),
             segments: core.segments.clone(),
         };
         write_status(self.dev.as_ref(), &mut status)?;
@@ -530,11 +695,16 @@ impl RvmShared {
         Ok(())
     }
 
-    /// Appends a record, truncating (epoch mode — the "space critical"
-    /// path of §5.1.2) as needed to make room.
+    /// Appends a record, making room as needed. With an epoch truncation
+    /// in flight, the thread waits for it to free the frozen span — the
+    /// wait **releases the core lock** (callers must re-validate any
+    /// state derived from it; `Core::wait_generation` records that the
+    /// release happened). With no epoch in flight, it falls back to the
+    /// synchronous space-critical epoch truncation of §5.1.2. Both stall
+    /// paths are charged to `truncation_stall_ns`.
     fn append_with_space(
         &self,
-        core: &mut Core,
+        core: &mut CoreGuard<'_>,
         tid: u64,
         ranges: &[RecordRange],
     ) -> Result<AppendInfo> {
@@ -549,7 +719,24 @@ impl RvmShared {
             if core.wal.space_needed(padded) <= core.wal.free_space() {
                 return core.wal.append_txn(tid, ranges);
             }
-            if !self.epoch_truncate_locked(core)? {
+            let stall = Instant::now();
+            if core.epoch.is_some() {
+                // The in-flight epoch owns the head and will free the
+                // frozen span when it completes; waiting releases the
+                // core lock so the apply thread can finish phase 3.
+                self.epoch_done.wait(core);
+                core.wait_generation += 1;
+                self.stats
+                    .add(&self.stats.truncation_stall_ns, elapsed_ns(stall));
+                if self.poisoned.load(Ordering::Acquire) {
+                    return Err(RvmError::Poisoned);
+                }
+                continue;
+            }
+            let advanced = self.epoch_truncate_locked(core);
+            self.stats
+                .add(&self.stats.truncation_stall_ns, elapsed_ns(stall));
+            if !advanced? {
                 return Err(RvmError::LogFull {
                     needed: core.wal.space_needed(padded),
                     capacity: core.wal.free_space(),
@@ -931,6 +1118,11 @@ impl RvmShared {
             );
         }
         stats.add(&stats.txns_committed, 1);
+        if self.truncating.load(Ordering::Relaxed) {
+            // An epoch apply is running off-lock right now; this commit
+            // made progress through it.
+            stats.add(&stats.commits_during_truncation, 1);
+        }
         txn.release();
 
         if over_threshold {
@@ -1057,7 +1249,21 @@ impl RvmShared {
         let mut outcomes: Vec<Result<AppendInfo>> = Vec::with_capacity(batch.len());
         let group_result: Result<()> = (|| {
             self.flush_spool_locked(&mut core)?;
+            // The checkpoint is only a valid rollback point while no one
+            // else has appended past it. `append_with_space` may release
+            // the core lock to wait out an in-flight epoch truncation,
+            // letting other committers interleave records; the
+            // wait-generation counter detects that, and the batch then
+            // fails *without* rolling back (its records stay in the log
+            // unacknowledged, exactly like a failed force — the instance
+            // poisons below).
             let ckpt = core.wal.checkpoint();
+            let ckpt_gen = core.wait_generation;
+            let rollback = |core: &mut Core| {
+                if core.wait_generation == ckpt_gen {
+                    core.wal.rollback_to(ckpt);
+                }
+            };
             let mut appended_any = false;
             for slot in &batch {
                 let work = slot.work.lock();
@@ -1068,14 +1274,14 @@ impl RvmShared {
                     }
                     Err(e @ RvmError::LogFull { .. }) => outcomes.push(Err(e)),
                     Err(e) => {
-                        core.wal.rollback_to(ckpt);
+                        rollback(&mut core);
                         return Err(e);
                     }
                 }
             }
             if appended_any {
                 if let Err(e) = core.wal.force() {
-                    core.wal.rollback_to(ckpt);
+                    rollback(&mut core);
                     return Err(e);
                 }
             }
@@ -1153,8 +1359,11 @@ impl RvmShared {
         }
     }
 
-    /// Writes every spooled record to the log and forces it once.
-    fn flush_spool_locked(&self, core: &mut Core) -> Result<()> {
+    /// Writes every spooled record to the log and forces it once. May
+    /// release and reacquire the core lock if an append has to wait out
+    /// an in-flight epoch truncation (see
+    /// [`RvmShared::append_with_space`]).
+    fn flush_spool_locked(&self, core: &mut CoreGuard<'_>) -> Result<()> {
         if core.spool.is_empty() {
             return Ok(());
         }
@@ -1195,9 +1404,16 @@ impl RvmShared {
         Ok(())
     }
 
-    /// Epoch truncation (§5.1.2): the recovery procedure applied to the
-    /// live log. Returns whether the head moved.
+    /// Synchronous epoch truncation (§5.1.2's "space critical" path): the
+    /// recovery procedure applied to the whole live log under the core
+    /// lock, without releasing it. Only legal when no concurrent epoch is
+    /// in flight — the two would race for the head. Returns whether the
+    /// head moved.
     fn epoch_truncate_locked(&self, core: &mut Core) -> Result<bool> {
+        debug_assert!(
+            core.epoch.is_none(),
+            "synchronous epoch truncation with an epoch in flight"
+        );
         if core.wal.used() == 0 {
             return Ok(false);
         }
@@ -1211,16 +1427,7 @@ impl RvmShared {
             Some(split),
         )?;
 
-        // Latest-committed-change trees, newest record first.
-        let mut trees: HashMap<u32, IntervalMap> = HashMap::new();
-        for (_, rec) in scan.records.iter().rev() {
-            for range in &rec.ranges {
-                trees
-                    .entry(range.seg.as_u32())
-                    .or_default()
-                    .insert_if_uncovered(range.offset, &range.data);
-            }
-        }
+        let trees = build_latest_trees(&scan.records);
         let mut seg_ids: Vec<u32> = trees.keys().copied().collect();
         seg_ids.sort_unstable();
         for seg_raw in seg_ids {
@@ -1254,6 +1461,188 @@ impl RvmShared {
         Ok(true)
     }
 
+    /// Concurrent epoch truncation (§5.1.2, Figure 6: the old epoch is
+    /// truncated "while forward processing continues in the rest" of the
+    /// log). Three phases:
+    ///
+    /// 1. **Snapshot** (core lock held): freeze the span
+    ///    `[head, tail)` as the epoch, take over its segment set, drain
+    ///    its page-queue prefix, and persist the boundary in the status
+    ///    block — a crash from here on recovers by scanning from the
+    ///    unmoved head, re-applying the span idempotently.
+    /// 2. **Apply** (core lock *released*): scan the frozen span, build
+    ///    the newest-wins recovery trees, write them to the data segments
+    ///    and sync — while commits keep appending past `end`.
+    /// 3. **Complete** (core lock reacquired): advance the head to `end`,
+    ///    clear the epoch from core and status, settle the drained page
+    ///    descriptors, and wake every thread waiting on the epoch.
+    ///
+    /// The off-lock scan is safe because records are appended *and
+    /// forced* under a single core-lock hold — whenever the lock is free,
+    /// every byte of `[head, tail)` is a fully written record — and the
+    /// frozen span cannot be overwritten, because free-space accounting
+    /// counts it as live until the head advances.
+    ///
+    /// `threshold`: re-checked under the lock; with `Some(t)` the epoch
+    /// is skipped if utilization already dropped to `t` or below (another
+    /// thread truncated first). `wait_if_busy`: wait for an in-flight
+    /// epoch and then truncate what remains (explicit [`Rvm::truncate`])
+    /// versus return immediately (threshold triggers — the in-flight
+    /// epoch *is* the truncation that was asked for). Returns whether the
+    /// head moved.
+    fn epoch_truncate_concurrent(&self, threshold: Option<f64>, wait_if_busy: bool) -> Result<bool> {
+        // Phase 1: snapshot the epoch boundary under the core lock.
+        let (dev, area_len, start, start_seq, end) = {
+            let mut core = self.core.lock();
+            while core.epoch.is_some() {
+                if !wait_if_busy {
+                    return Ok(false);
+                }
+                self.epoch_done.wait(&mut core);
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(RvmError::Poisoned);
+            }
+            if let Some(t) = threshold {
+                if core.wal.utilization() <= t {
+                    return Ok(false);
+                }
+            }
+            if core.wal.used() == 0 {
+                return Ok(false);
+            }
+            let start = core.wal.head();
+            let start_seq = core.wal.seq_at_head();
+            let end = core.wal.tail();
+            let next_seq = core.wal.next_seq();
+            let segs = std::mem::take(&mut core.segs_in_log);
+            let drained = core.page_queue.drain_below(end);
+            core.epoch = Some(EpochInFlight {
+                end,
+                next_seq,
+                segs,
+                drained,
+            });
+            // Persist the boundary *before* touching any segment.
+            if let Err(e) = self.write_status_locked(&mut core) {
+                self.abandon_epoch(&mut core);
+                return self.guard_io(Err(e));
+            }
+            self.truncating.store(true, Ordering::Release);
+            (
+                core.wal.device().clone(),
+                core.wal.capacity(),
+                start,
+                start_seq,
+                end,
+            )
+        };
+
+        // Phase 2: scan and apply the frozen span, off-lock.
+        let applied = self.apply_epoch_span(&dev, area_len, start, start_seq, end);
+        self.truncating.store(false, Ordering::Release);
+
+        // Phase 3: reacquire to advance the head and settle the queue.
+        let mut core = self.core.lock();
+        let result = match applied {
+            Ok(()) => {
+                let epoch = core.epoch.take().expect("epoch still in flight");
+                core.wal.advance_head(epoch.end, epoch.next_seq);
+                // A drained page not re-dirtied during the apply is clean
+                // now: its latest committed bytes were all in the frozen
+                // span. One re-enqueued by a commit that landed during
+                // the apply keeps its new descriptor and its dirty bit;
+                // one with spooled (unflushed) data stays dirty too.
+                for desc in &epoch.drained {
+                    if core.page_queue.contains(desc.region_id, desc.page) {
+                        continue;
+                    }
+                    if let Some(region) = desc.region.upgrade() {
+                        let mut pv = region.page_vector.lock();
+                        let entry = pv.entry_mut(desc.page);
+                        if entry.unflushed == 0 {
+                            entry.dirty = false;
+                        }
+                    }
+                }
+                self.write_status_locked(&mut core)
+            }
+            Err(e) => {
+                self.abandon_epoch(&mut core);
+                Err(e)
+            }
+        };
+        self.epoch_done.notify_all();
+        drop(core);
+        self.guard_io(result)?;
+        self.stats.add(&self.stats.epoch_truncations, 1);
+        self.stats.add(&self.stats.epochs_truncated, 1);
+        Ok(true)
+    }
+
+    /// Scans the frozen span `[start, end)` and applies its newest-wins
+    /// trees to the data segments. Runs with the core lock released; the
+    /// lock is taken only briefly to resolve segment devices.
+    fn apply_epoch_span(
+        &self,
+        dev: &Arc<dyn Device>,
+        area_len: u64,
+        start: u64,
+        start_seq: u64,
+        end: u64,
+    ) -> Result<()> {
+        let scan = scan_forward(dev.as_ref(), area_len, start, start_seq, Some(end))?;
+        if scan.tail != end {
+            // Everything in the span was forced before the snapshot; a
+            // short scan means the log was corrupted underneath us.
+            return Err(RvmError::BadLog(format!(
+                "epoch scan ended at {} before the snapshotted boundary {end}",
+                scan.tail
+            )));
+        }
+        let trees = build_latest_trees(&scan.records);
+        let mut seg_ids: Vec<u32> = trees.keys().copied().collect();
+        seg_ids.sort_unstable();
+        let seg_devs: Vec<Arc<dyn Device>> = {
+            let mut core = self.core.lock();
+            let mut seg_devs = Vec::with_capacity(seg_ids.len());
+            for &seg_raw in &seg_ids {
+                let tree = &trees[&seg_raw];
+                let needed = tree
+                    .iter()
+                    .map(|(s, p)| s + p.len() as u64)
+                    .max()
+                    .unwrap_or(0);
+                seg_devs.push(self.segment_device(&mut core, SegmentId::new(seg_raw), needed)?);
+            }
+            seg_devs
+        };
+        for (seg_raw, seg_dev) in seg_ids.iter().zip(&seg_devs) {
+            let tree = &trees[seg_raw];
+            for (off, payload) in tree.iter() {
+                seg_dev.write_at(off, payload)?;
+            }
+            seg_dev.sync()?;
+        }
+        let stats = &self.stats;
+        stats.add(&stats.truncation_bytes_scanned, end - start);
+        for tree in trees.values() {
+            stats.add(&stats.truncation_ranges_applied, tree.len() as u64);
+            stats.add(&stats.truncation_bytes_applied, tree.total_len());
+        }
+        Ok(())
+    }
+
+    /// Reverts an epoch snapshot after a failure: the span is still live
+    /// and unapplied, so its segment set and drained page descriptors go
+    /// back where they were.
+    fn abandon_epoch(&self, core: &mut Core) {
+        if let Some(epoch) = core.epoch.take() {
+            core.segs_in_log.extend(epoch.segs);
+            core.page_queue.requeue_front(epoch.drained);
+        }
+    }
+
     /// Incremental truncation (Figure 7): write dirty pages from VM in
     /// page-queue order, advancing the log head. Returns bytes reclaimed.
     ///
@@ -1261,9 +1650,16 @@ impl RvmShared {
     /// are written and their segment devices synced once before the head
     /// advances past all of them, so each step costs one positioning
     /// batch rather than one sync per page.
-    fn incremental_truncate_locked(&self, core: &mut Core, target: u64) -> Result<u64> {
+    fn incremental_truncate_locked(&self, core: &mut CoreGuard<'_>, target: u64) -> Result<u64> {
         let start_head = core.wal.head();
         'outer: loop {
+            // `flush_spool_locked` below may release the core lock while
+            // waiting for space; if an epoch truncation started in that
+            // window, stop — the epoch owns the head now, and every
+            // remaining queue descriptor sits at or past its boundary.
+            if core.epoch.is_some() {
+                break;
+            }
             if core.wal.head() - start_head >= target {
                 break;
             }
@@ -1363,30 +1759,53 @@ impl RvmShared {
         Ok(reclaimed)
     }
 
-    /// Runs the configured truncation mechanism once.
-    pub(crate) fn truncate_per_mode(&self, core: &mut Core, tuning: &Tuning) -> Result<()> {
-        // Threshold-triggered truncation (inline or on the background
-        // thread) swallows errors at its call sites, so the poison
-        // transition must happen here or a failed truncation would go
-        // entirely unnoticed.
+    /// Runs the configured truncation mechanism once, in response to a
+    /// threshold trigger (inline committer or the background thread).
+    /// Takes the core lock itself; the caller must not hold it.
+    pub(crate) fn run_triggered_truncation(&self, tuning: &Tuning) {
+        // Threshold-triggered truncation swallows errors at its call
+        // sites, so the poison transition must happen here or a failed
+        // truncation would go entirely unnoticed.
         let result = (|| -> Result<()> {
             match tuning.truncation_mode {
                 crate::options::TruncationMode::Epoch => {
-                    self.epoch_truncate_locked(core)?;
+                    // Concurrent protocol. If an epoch is already in
+                    // flight, it *is* the truncation this trigger asked
+                    // for — don't wait, just return.
+                    self.epoch_truncate_concurrent(Some(tuning.truncation_threshold), false)?;
                 }
                 crate::options::TruncationMode::Incremental => {
-                    let reclaimed =
-                        self.incremental_truncate_locked(core, tuning.incremental_reclaim_bytes)?;
-                    // Blocked with space critical: revert to epoch truncation.
-                    let critical = (tuning.truncation_threshold + 0.3).min(0.95);
-                    if reclaimed == 0 && core.wal.utilization() > critical {
-                        self.epoch_truncate_locked(core)?;
+                    let mut core = self.core.lock();
+                    // Re-check under the lock; another committer may have
+                    // truncated already. With an epoch in flight the head
+                    // is owned by its completion — nothing to do inline.
+                    if core.epoch.is_some()
+                        || core.wal.utilization() <= tuning.truncation_threshold
+                    {
+                        return Ok(());
+                    }
+                    let reclaimed = self
+                        .incremental_truncate_locked(&mut core, tuning.incremental_reclaim_bytes)?;
+                    // Blocked with space critical: revert to epoch
+                    // truncation. The revert point must sit at or above
+                    // the trigger threshold — with a threshold above
+                    // 0.95, a bare `min(0.95)` would put the "critical"
+                    // mark *below* the trigger and every blocked trigger
+                    // would look critical immediately.
+                    let critical = (tuning.truncation_threshold + 0.3)
+                        .min(0.95)
+                        .max(tuning.truncation_threshold);
+                    if reclaimed == 0
+                        && core.wal.utilization() > critical
+                        && core.epoch.is_none()
+                    {
+                        self.epoch_truncate_locked(&mut core)?;
                     }
                 }
             }
             Ok(())
         })();
-        self.guard_io(result)
+        let _ = self.guard_io(result);
     }
 
     fn request_truncation(&self, tuning: &Tuning) {
@@ -1395,12 +1814,7 @@ impl RvmShared {
             *flag = true;
             self.bg_condvar.notify_all();
         } else {
-            let mut core = self.core.lock();
-            // Re-check under the lock; another committer may have
-            // truncated already.
-            if core.wal.utilization() > tuning.truncation_threshold {
-                let _ = self.truncate_per_mode(&mut core, tuning);
-            }
+            self.run_triggered_truncation(tuning);
         }
     }
 }
@@ -1419,15 +1833,25 @@ fn background_truncation_loop(shared: Weak<RvmShared>) {
             }
             *flag = false;
         }
-        if strong.terminated.load(Ordering::Acquire) {
+        if strong.terminated.load(Ordering::Acquire) || strong.bg_stop.load(Ordering::Acquire) {
             return;
         }
         let tuning = *strong.tuning.read();
-        let mut core = strong.core.lock();
-        if core.wal.utilization() > tuning.truncation_threshold {
-            let _ = strong.truncate_per_mode(&mut core, &tuning);
-        }
-        drop(core);
+        strong.run_triggered_truncation(&tuning);
         drop(strong);
     }
+}
+
+/// Spawns the background truncation thread. The thread holds only a weak
+/// reference so a dropped [`Rvm`] lets it exit on its next wakeup.
+fn spawn_bg_thread(shared: &Arc<RvmShared>) -> JoinHandle<()> {
+    let weak = Arc::downgrade(shared);
+    std::thread::Builder::new()
+        .name("rvm-truncation".to_owned())
+        .spawn(move || background_truncation_loop(weak))
+        .expect("failed to spawn the rvm truncation thread")
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }

@@ -67,6 +67,17 @@ pub struct Stats {
     pub(crate) group_commit_batch_sizes: [AtomicU64; GROUP_BATCH_BUCKETS],
     pub(crate) spool_flushes: AtomicU64,
     pub(crate) epoch_truncations: AtomicU64,
+    /// Epochs completed by the *concurrent* protocol (snapshot under the
+    /// lock, apply off-lock); `epoch_truncations` also counts the
+    /// synchronous space-critical fallback.
+    pub(crate) epochs_truncated: AtomicU64,
+    /// Transactions that committed while an epoch apply was in flight —
+    /// direct evidence that truncation no longer stalls the pipeline.
+    pub(crate) commits_during_truncation: AtomicU64,
+    /// Nanoseconds commit-path threads spent blocked on truncation (the
+    /// space-critical synchronous epoch, or waiting out an in-flight
+    /// epoch when the log was full).
+    pub(crate) truncation_stall_ns: AtomicU64,
     /// Log bytes scanned by epoch truncation.
     pub(crate) truncation_bytes_scanned: AtomicU64,
     /// Disjoint intervals applied to segments by epoch truncation.
@@ -107,6 +118,9 @@ impl Stats {
             }),
             spool_flushes: self.spool_flushes.load(Ordering::Relaxed),
             epoch_truncations: self.epoch_truncations.load(Ordering::Relaxed),
+            epochs_truncated: self.epochs_truncated.load(Ordering::Relaxed),
+            commits_during_truncation: self.commits_during_truncation.load(Ordering::Relaxed),
+            truncation_stall_ns: self.truncation_stall_ns.load(Ordering::Relaxed),
             truncation_bytes_scanned: self.truncation_bytes_scanned.load(Ordering::Relaxed),
             truncation_ranges_applied: self.truncation_ranges_applied.load(Ordering::Relaxed),
             truncation_bytes_applied: self.truncation_bytes_applied.load(Ordering::Relaxed),
@@ -155,6 +169,14 @@ pub struct StatsSnapshot {
     pub spool_flushes: u64,
     /// Completed epoch truncations.
     pub epoch_truncations: u64,
+    /// Epochs completed by the concurrent protocol (apply ran off-lock
+    /// while commits kept appending); `epoch_truncations` additionally
+    /// counts the synchronous space-critical fallback.
+    pub epochs_truncated: u64,
+    /// Transactions committed while an epoch apply was in flight.
+    pub commits_during_truncation: u64,
+    /// Nanoseconds commit-path threads spent blocked on truncation.
+    pub truncation_stall_ns: u64,
     /// Log bytes scanned by epoch truncation.
     pub truncation_bytes_scanned: u64,
     /// Disjoint intervals applied to segments by epoch truncation.
@@ -249,6 +271,10 @@ impl StatsSnapshot {
             }),
             spool_flushes: self.spool_flushes - earlier.spool_flushes,
             epoch_truncations: self.epoch_truncations - earlier.epoch_truncations,
+            epochs_truncated: self.epochs_truncated - earlier.epochs_truncated,
+            commits_during_truncation: self.commits_during_truncation
+                - earlier.commits_during_truncation,
+            truncation_stall_ns: self.truncation_stall_ns - earlier.truncation_stall_ns,
             truncation_bytes_scanned: self.truncation_bytes_scanned
                 - earlier.truncation_bytes_scanned,
             truncation_ranges_applied: self.truncation_ranges_applied

@@ -86,6 +86,52 @@ impl PageQueue {
         self.queued.clear();
     }
 
+    /// Whether a descriptor for `(region_id, page)` is queued.
+    pub fn contains(&self, region_id: u64, page: usize) -> bool {
+        self.queued.contains(&(region_id, page))
+    }
+
+    /// Removes and returns every descriptor whose offset is below
+    /// `offset`. Descriptor offsets are non-decreasing, so this is a
+    /// prefix of the queue. Used when an epoch truncation freezes
+    /// `[head, offset)`: the drained pages are covered by the epoch apply,
+    /// and commits landing *during* the apply re-enqueue their pages with
+    /// offsets at or past the boundary.
+    pub fn drain_below(&mut self, offset: u64) -> Vec<PageDesc> {
+        let mut drained = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.offset >= offset {
+                break;
+            }
+            drained.push(self.pop_front().expect("front was Some"));
+        }
+        drained
+    }
+
+    /// Puts drained descriptors back at the queue front in their original
+    /// order (epoch apply failed; the pages are still unapplied). A page
+    /// re-enqueued meanwhile keeps its newer descriptor — the older
+    /// drained one still lower-bounds it, so dropping the newer duplicate
+    /// in favour of the earlier offset preserves the queue invariant.
+    pub fn requeue_front(&mut self, drained: Vec<PageDesc>) {
+        for desc in drained.into_iter().rev() {
+            if self.queued.insert((desc.region_id, desc.page)) {
+                self.queue.push_front(desc);
+            } else {
+                // A newer descriptor for the page was enqueued while the
+                // epoch was in flight; replace it with the earlier one.
+                if let Some(pos) = self
+                    .queue
+                    .iter()
+                    .position(|d| d.region_id == desc.region_id && d.page == desc.page)
+                {
+                    self.queue.remove(pos);
+                }
+                self.queue.push_front(desc);
+            }
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.queue.len()
     }
@@ -136,6 +182,45 @@ mod tests {
         q.enqueue(&region, 0, 100, 1);
         drop(region);
         assert!(q.front().unwrap().region.upgrade().is_none());
+    }
+
+    #[test]
+    fn drain_below_takes_the_offset_prefix() {
+        let region = make_test_region(4 * PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&region, 0, 100, 1);
+        q.enqueue(&region, 1, 200, 2);
+        q.enqueue(&region, 2, 300, 3);
+        let drained = q.drain_below(300);
+        assert_eq!(drained.len(), 2);
+        assert!(!q.contains(region.id, 0));
+        assert!(!q.contains(region.id, 1));
+        assert!(q.contains(region.id, 2));
+        // Drained pages may be re-enqueued with new offsets.
+        q.enqueue(&region, 0, 400, 4);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn requeue_front_restores_order_and_wins_over_duplicates() {
+        let region = make_test_region(4 * PAGE_SIZE);
+        let mut q = PageQueue::new();
+        q.enqueue(&region, 0, 100, 1);
+        q.enqueue(&region, 1, 200, 2);
+        let drained = q.drain_below(u64::MAX);
+        assert!(q.is_empty());
+        // Page 1 re-enqueued with a newer offset while the epoch was in
+        // flight; the drained (earlier) descriptor must win.
+        q.enqueue(&region, 1, 900, 9);
+        q.enqueue(&region, 3, 950, 10);
+        q.requeue_front(drained);
+        assert_eq!(q.len(), 3);
+        let d = q.pop_front().unwrap();
+        assert_eq!((d.page, d.offset), (0, 100));
+        let d = q.pop_front().unwrap();
+        assert_eq!((d.page, d.offset), (1, 200));
+        let d = q.pop_front().unwrap();
+        assert_eq!((d.page, d.offset), (3, 950));
     }
 
     #[test]

@@ -536,7 +536,7 @@ fn multi_region_transactions_commit_atomically() {
 }
 
 #[test]
-fn terminate_rejects_outstanding_transactions() {
+fn terminate_rejects_outstanding_transactions_and_returns_the_instance() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
     let region = rvm
@@ -544,10 +544,25 @@ fn terminate_rejects_outstanding_transactions() {
         .unwrap();
     let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
     region.write(&mut txn, 0, &[1]).unwrap();
+
+    // A refused terminate hands the instance back instead of leaking it
+    // into a drop; the caller can finish the transaction and retry.
+    let failure = rvm.terminate().expect_err("an open txn must refuse");
     assert!(matches!(
-        rvm.terminate(),
-        Err(RvmError::TransactionsOutstanding(1))
+        failure.error,
+        RvmError::TransactionsOutstanding(1)
     ));
+    let rvm = failure.rvm;
+    txn.commit(CommitMode::Flush).unwrap();
+    assert_eq!(region.read_vec(0, 1).unwrap(), vec![1]);
+    rvm.terminate().unwrap();
+
+    // The commit survived the failed first attempt.
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
+    assert_eq!(region.read_vec(0, 1).unwrap(), vec![1]);
 }
 
 #[test]

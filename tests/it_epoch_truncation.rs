@@ -1,0 +1,365 @@
+//! Concurrent epoch truncation: commits must keep flowing while an epoch
+//! apply runs off-lock, and a crash at *any* stage of an in-flight epoch
+//! must recover every acknowledged commit.
+//!
+//! The tests park the epoch apply on a gated segment device (its writes
+//! or syncs block until the test releases them), which holds the
+//! truncation in its off-lock phase indefinitely. "Crashes" are device
+//! snapshots taken while the apply is parked — byte-exact images of what
+//! a kill at that instant would leave behind — rebooted into a fresh
+//! instance.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use rvm::segment::{DeviceResolver, MemResolver};
+use rvm::{CommitMode, Options, RegionDescriptor, Rvm, Tuning, TxnMode};
+use rvm_storage::{Device, MemDevice};
+
+const SLOTS: u64 = 16;
+const SLOT_STRIDE: u64 = 512; // distinct pagesworth-of-separation ranges
+const REGION_LEN: u64 = SLOTS * SLOT_STRIDE;
+
+/// Where the gate parks the epoch apply.
+#[derive(Clone, Copy, Debug)]
+enum Park {
+    /// Allow this many segment writes, then park the next one.
+    Writes(u64),
+    /// Allow every write, park the first sync.
+    Sync,
+}
+
+struct GateState {
+    allow_writes: u64,
+    gate_sync: bool,
+    open: bool,
+    parked: bool,
+}
+
+/// A shared gate: the device side parks on it, the test side observes
+/// and releases.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn closed(park: Park) -> Arc<Self> {
+        let (allow_writes, gate_sync) = match park {
+            Park::Writes(n) => (n, false),
+            Park::Sync => (u64::MAX, true),
+        };
+        Arc::new(Self {
+            state: Mutex::new(GateState {
+                allow_writes,
+                gate_sync,
+                open: false,
+                parked: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks the calling (device) thread if the gate says so.
+    fn pass(&self, is_sync: bool) {
+        let mut st = self.state.lock().unwrap();
+        let blocked = if st.open {
+            false
+        } else if is_sync {
+            st.gate_sync
+        } else if st.allow_writes > 0 {
+            st.allow_writes -= 1;
+            false
+        } else {
+            true
+        };
+        if blocked {
+            st.parked = true;
+            self.cv.notify_all();
+            while !st.open {
+                st = self.cv.wait(st).unwrap();
+            }
+            st.parked = false;
+        }
+    }
+
+    /// Test side: wait until the apply thread is parked at the gate.
+    fn wait_parked(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.parked {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Test side: release everything, permanently.
+    fn open(&self) {
+        self.state.lock().unwrap().open = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A segment device whose writes and syncs pass through a [`Gate`].
+struct GatedDevice {
+    inner: Arc<MemDevice>,
+    gate: Arc<Gate>,
+}
+
+impl Device for GatedDevice {
+    fn len(&self) -> rvm_storage::Result<u64> {
+        self.inner.len()
+    }
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> rvm_storage::Result<()> {
+        self.inner.read_at(offset, buf)
+    }
+    fn write_at(&self, offset: u64, data: &[u8]) -> rvm_storage::Result<()> {
+        self.gate.pass(false);
+        self.inner.write_at(offset, data)
+    }
+    fn sync(&self) -> rvm_storage::Result<()> {
+        self.gate.pass(true);
+        self.inner.sync()
+    }
+    fn set_len(&self, len: u64) -> rvm_storage::Result<()> {
+        self.inner.set_len(len)
+    }
+}
+
+/// One world with a gated segment: the log is a plain memory device, the
+/// single segment `seg` parks per the gate.
+struct GatedWorld {
+    log: Arc<MemDevice>,
+    seg_inner: Arc<MemDevice>,
+    gate: Arc<Gate>,
+    resolver: DeviceResolver,
+}
+
+impl GatedWorld {
+    fn new(log_len: u64, park: Park) -> Self {
+        let seg_inner = Arc::new(MemDevice::with_len(REGION_LEN));
+        let gate = Gate::closed(park);
+        let gated: Arc<dyn Device> = Arc::new(GatedDevice {
+            inner: seg_inner.clone(),
+            gate: gate.clone(),
+        });
+        let for_resolver = gated.clone();
+        let resolver: DeviceResolver = Arc::new(move |_name, min| {
+            if for_resolver.len()? < min {
+                for_resolver.set_len(min)?;
+            }
+            Ok(for_resolver.clone())
+        });
+        Self {
+            log: Arc::new(MemDevice::with_len(log_len)),
+            seg_inner,
+            gate,
+            resolver,
+        }
+    }
+
+    fn boot(&self) -> Rvm {
+        Rvm::initialize(
+            Options::new(self.log.clone())
+                .resolver(self.resolver.clone())
+                .tuning(Tuning {
+                    truncation_threshold: 0.99,
+                    ..Tuning::default()
+                })
+                .create_if_empty(),
+        )
+        .expect("initialize")
+    }
+}
+
+/// Commits `value` into slot `value % SLOTS` (8-byte range, slots far
+/// enough apart that the epoch apply makes one segment write per slot).
+fn commit_slot(rvm: &Rvm, region: &rvm::Region, value: u64) {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region
+        .put_u64(&mut txn, (value % SLOTS) * SLOT_STRIDE, value)
+        .unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+}
+
+/// The latest value committed into `slot` after `committed` sequential
+/// `commit_slot` calls (1..=committed).
+fn expected_slot(slot: u64, committed: u64) -> u64 {
+    (1..=committed).rev().find(|i| i % SLOTS == slot).unwrap_or(0)
+}
+
+fn assert_slots(region: &rvm::Region, committed: u64, ctx: &str) {
+    for s in 0..SLOTS {
+        assert_eq!(
+            region.get_u64(s * SLOT_STRIDE).unwrap(),
+            expected_slot(s, committed),
+            "{ctx}: slot {s}"
+        );
+    }
+}
+
+/// The headline property: with the epoch apply parked mid-span on the
+/// gated segment, commits still complete — their latency is bounded by
+/// the log force, not by the truncation. If commits serialized behind
+/// the apply (the pre-concurrent behavior), this test would deadlock:
+/// the gate only opens after the commits have finished.
+#[test]
+fn commits_progress_while_epoch_apply_is_parked() {
+    let world = GatedWorld::new(256 * 1024, Park::Writes(0));
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+        .unwrap();
+    for i in 1..=32 {
+        commit_slot(&rvm, &region, i);
+    }
+
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| rvm.truncate());
+        world.gate.wait_parked();
+        assert!(rvm.query().truncation_in_flight);
+
+        // 16 commits land while the apply is provably stuck.
+        let before = rvm.stats().commits_during_truncation;
+        for i in 33..=48 {
+            commit_slot(&rvm, &region, i);
+        }
+        let during = rvm.stats().commits_during_truncation - before;
+        assert!(
+            during >= 16,
+            "all 16 commits ran inside the apply window, counted {during}"
+        );
+        assert!(rvm.query().truncation_in_flight);
+
+        world.gate.open();
+        handle.join().unwrap().unwrap();
+    });
+
+    // The epoch advanced the head past its span; only the 16 new-epoch
+    // records remain live.
+    let q = rvm.query();
+    assert!(!q.truncation_in_flight);
+    assert_eq!(rvm.stats().epochs_truncated, 1);
+    assert!(q.log.used > 0, "new-epoch records stay live");
+    rvm.truncate().unwrap();
+    assert_eq!(rvm.query().log.used, 0);
+    assert_slots(&region, 48, "after both truncations");
+    drop(region);
+    rvm.terminate().unwrap();
+
+    // Reboot: the segment alone (log empty) holds every commit.
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+        .unwrap();
+    assert_slots(&region, 48, "after reboot");
+}
+
+/// The crash matrix: snapshot the devices while the epoch apply is
+/// parked at each stage — before the first segment write, after one,
+/// mid-span, and after every write but before the sync — with and
+/// without commits landing in the new epoch during the park. Reboot the
+/// snapshot; recovery must report the interrupted epoch and restore
+/// every acknowledged commit.
+#[test]
+fn crash_at_every_stage_of_an_inflight_epoch_recovers() {
+    for park in [Park::Writes(0), Park::Writes(1), Park::Writes(5), Park::Sync] {
+        for commits_during in [0u64, 6] {
+            let world = GatedWorld::new(256 * 1024, park);
+            let rvm = world.boot();
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+                .unwrap();
+            let mut committed = 0;
+            for i in 1..=40 {
+                commit_slot(&rvm, &region, i);
+                committed = i;
+            }
+
+            let (log_image, seg_image) = std::thread::scope(|s| {
+                let handle = s.spawn(|| rvm.truncate());
+                world.gate.wait_parked();
+                // Commits that land in the new epoch before the crash.
+                for i in 41..=40 + commits_during {
+                    commit_slot(&rvm, &region, i);
+                    committed = i;
+                }
+                // The crash image: both devices, frozen mid-apply.
+                let images = (world.log.snapshot(), world.seg_inner.snapshot());
+                world.gate.open();
+                handle.join().unwrap().unwrap();
+                images
+            });
+            drop(region);
+            drop(rvm);
+
+            // Reboot the crash image.
+            let crash_log = Arc::new(MemDevice::from_image(log_image));
+            let segments = MemResolver::new();
+            segments.resolve("seg", REGION_LEN).unwrap();
+            segments.get("seg").unwrap().restore(seg_image);
+            let rvm = Rvm::initialize(
+                Options::new(crash_log.clone()).resolver(segments.clone().into_resolver()),
+            )
+            .unwrap();
+            let ctx = format!("park {park:?}, {commits_during} new-epoch commits");
+            assert!(
+                rvm.recovery_report().interrupted_epoch,
+                "{ctx}: the status block carried the epoch boundary"
+            );
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+                .unwrap();
+            assert_slots(&region, committed, &ctx);
+
+            // The recovered instance is fully live: commit once more and
+            // reboot again over the same devices.
+            commit_slot(&rvm, &region, committed + 1);
+            drop(region);
+            drop(rvm);
+            let rvm = Rvm::initialize(
+                Options::new(crash_log).resolver(segments.clone().into_resolver()),
+            )
+            .unwrap();
+            assert!(!rvm.recovery_report().interrupted_epoch, "{ctx}");
+            let region = rvm
+                .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+                .unwrap();
+            assert_slots(&region, committed + 1, &ctx);
+        }
+    }
+}
+
+/// A crash *after* the epoch completed (head advanced, boundary cleared)
+/// is ordinary recovery: nothing to re-apply, no interrupted epoch.
+#[test]
+fn crash_after_epoch_completion_is_ordinary_recovery() {
+    let world = GatedWorld::new(256 * 1024, Park::Writes(0));
+    let rvm = world.boot();
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+        .unwrap();
+    for i in 1..=24 {
+        commit_slot(&rvm, &region, i);
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| rvm.truncate());
+        world.gate.wait_parked();
+        world.gate.open();
+        handle.join().unwrap().unwrap();
+    });
+    let (log_image, seg_image) = (world.log.snapshot(), world.seg_inner.snapshot());
+    drop(region);
+    std::mem::forget(rvm); // the "crash": the instance never shuts down
+
+    let segments = MemResolver::new();
+    segments.resolve("seg", REGION_LEN).unwrap();
+    segments.get("seg").unwrap().restore(seg_image);
+    let rvm = Rvm::initialize(
+        Options::new(Arc::new(MemDevice::from_image(log_image)))
+            .resolver(segments.clone().into_resolver()),
+    )
+    .unwrap();
+    assert!(!rvm.recovery_report().interrupted_epoch);
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, REGION_LEN))
+        .unwrap();
+    assert_slots(&region, 24, "post-completion crash");
+}

@@ -208,8 +208,10 @@ fn exhausted_retries_poison_the_instance_and_recovery_rescues_commits() {
     assert_eq!(q.stats.poisonings, 1);
     assert!(q.stats.io_retries >= u64::from(RetryPolicy::default().max_retries));
 
-    // Shutdown refuses to touch the durable image.
-    assert!(matches!(rvm.terminate(), Err(RvmError::Poisoned)));
+    // Shutdown refuses to touch the durable image; the failure hands the
+    // poisoned instance back for inspection before it is dropped.
+    let failure = rvm.terminate().expect_err("poisoned terminate must fail");
+    assert!(matches!(failure.error, RvmError::Poisoned));
 
     // A fresh instance over the same devices recovers every acknowledged
     // commit.

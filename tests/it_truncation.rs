@@ -186,6 +186,101 @@ fn unmapped_region_in_queue_falls_back_to_epoch() {
 }
 
 #[test]
+fn extreme_threshold_keeps_the_epoch_fallback_above_the_trigger() {
+    // The incremental mode's "space critical" revert point is
+    // `threshold + 0.3`, capped at 0.95. With a threshold above the cap
+    // (here 0.97) the uncapped arithmetic would put the revert point
+    // *below* the trigger — the clamp must keep it at the threshold so
+    // the invariant `trigger <= critical` holds and a blocked queue
+    // still falls back to epoch truncation instead of filling the log.
+    let world = World::new(20 * 1024);
+    let rvm = world.boot_tuned(Tuning {
+        truncation_mode: TruncationMode::Incremental,
+        truncation_threshold: 0.97,
+        incremental_reclaim_bytes: u64::MAX,
+        ..Tuning::default()
+    });
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, 4 * PAGE_SIZE))
+        .unwrap();
+
+    // Pin page 0 so incremental truncation is blocked at the queue head,
+    // then push the log well past 97% utilization. Every commit must
+    // keep succeeding: the revert must engage rather than return LogFull.
+    let mut long_txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    long_txn.set_range(&region, 0, 8).unwrap();
+    for i in 0..120u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region
+            .write(&mut txn, 64 + (i % 8) * 128, &[5; 128])
+            .unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    let stats = rvm.stats();
+    assert!(
+        stats.epoch_truncations > 0,
+        "blocked incremental at >97% utilization must revert to epoch: {stats:?}"
+    );
+    assert!(rvm.query().log.utilization < 0.97);
+    long_txn.commit(CommitMode::Flush).unwrap();
+}
+
+#[test]
+fn set_options_toggles_the_background_truncation_thread() {
+    let world = World::new(64 * 1024);
+    // Born without a background thread, and with a threshold high enough
+    // that nothing triggers inline.
+    let rvm = world.boot_tuned(Tuning {
+        truncation_threshold: 0.95,
+        ..Tuning::default()
+    });
+    let region = rvm
+        .map(&RegionDescriptor::new("seg", 0, PAGE_SIZE))
+        .unwrap();
+    for i in 0..24u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, (i % 4) * 512, &[8; 512]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    assert_eq!(rvm.stats().epoch_truncations, 0);
+
+    // Enabling background truncation must actually spawn the thread: no
+    // further commits happen, so only the background thread can notice
+    // the lowered threshold and truncate.
+    rvm.set_options(Tuning {
+        background_truncation: true,
+        truncation_threshold: 0.01,
+        ..Tuning::default()
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while rvm.stats().epoch_truncations == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert!(
+        rvm.stats().epoch_truncations > 0,
+        "the toggled-on background thread never truncated"
+    );
+
+    // Disabling joins the thread; the threshold keeps working inline.
+    rvm.set_options(Tuning {
+        background_truncation: false,
+        truncation_threshold: 0.01,
+        ..Tuning::default()
+    });
+    let before = rvm.stats().epoch_truncations;
+    for i in 0..8u64 {
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region.write(&mut txn, (i % 4) * 512, &[9; 512]).unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+    }
+    assert!(
+        rvm.stats().epoch_truncations > before,
+        "inline truncation must take over after the toggle-off"
+    );
+    rvm.terminate().unwrap();
+}
+
+#[test]
 fn truncation_after_no_flush_commits_requires_flush_first() {
     let world = World::new(1 << 20);
     let rvm = world.boot();
