@@ -111,6 +111,8 @@ pub mod crc;
 mod error;
 mod group;
 pub mod log;
+#[cfg(any(loom, test))]
+pub mod models;
 mod options;
 pub mod query;
 pub mod ranges;
@@ -127,6 +129,8 @@ mod txn;
 pub use check::CheckViolation;
 pub use crc::crc32;
 pub use error::{Result, RvmError};
+#[doc(hidden)]
+pub use options::MutationHooks;
 pub use options::{CommitMode, LoadPolicy, Options, TruncationMode, Tuning, TxnMode, PAGE_SIZE};
 pub use query::{LogInfo, QueryInfo};
 pub use recovery::RecoveryReport;

@@ -1,0 +1,196 @@
+//! A minimal exhaustive interleaving explorer.
+//!
+//! A [`Model`] is a deterministic transition system whose only source of
+//! nondeterminism is *which thread steps next*. [`explore`] walks the
+//! entire reachable state graph (depth-first, with visited-state dedup),
+//! invoking the model's invariant check at every state. A state where no
+//! thread is runnable but not every thread has finished is reported as a
+//! deadlock — the shape a lost wakeup takes in a condvar protocol.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A multithreaded protocol restated as per-thread step functions over
+/// cloneable shared state.
+pub trait Model: Clone + Eq + Hash {
+    /// Number of threads in the model (fixed).
+    fn threads(&self) -> usize;
+    /// Whether thread `t` can take a step in this state: not finished and
+    /// not blocked (on a lock or in a condvar wait-set).
+    fn runnable(&self, t: usize) -> bool;
+    /// Whether thread `t` has run to completion.
+    fn finished(&self, t: usize) -> bool;
+    /// Perform one atomic step of thread `t`. Only called when
+    /// `runnable(t)`.
+    fn step(&mut self, t: usize);
+    /// Invariant check, run at every reachable state.
+    fn check(&self) -> Result<(), String>;
+}
+
+/// What [`explore`] found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: u64,
+    /// First violation encountered, if any: the invariant message and the
+    /// schedule (thread index per step) that reaches it from the initial
+    /// state.
+    pub violation: Option<(String, Vec<usize>)>,
+    /// Whether the whole reachable graph was covered (false only if
+    /// `max_states` was hit first).
+    pub complete: bool,
+}
+
+/// Exhaustively explores every schedule of `initial`, visiting at most
+/// `max_states` distinct states.
+pub fn explore<M: Model>(initial: M, max_states: u64) -> ExploreReport {
+    let mut visited: HashSet<M> = HashSet::new();
+    // Each frame carries the state plus the schedule that produced it, so
+    // a violation is reported with its witness interleaving.
+    let mut stack: Vec<(M, Vec<usize>)> = vec![(initial, Vec::new())];
+    let mut states = 0u64;
+
+    while let Some((state, schedule)) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        states += 1;
+        if states > max_states {
+            return ExploreReport {
+                states,
+                violation: None,
+                complete: false,
+            };
+        }
+        if let Err(msg) = state.check() {
+            return ExploreReport {
+                states,
+                violation: Some((msg, schedule)),
+                complete: false,
+            };
+        }
+        let runnable: Vec<usize> = (0..state.threads())
+            .filter(|&t| state.runnable(t))
+            .collect();
+        if runnable.is_empty() {
+            if !(0..state.threads()).all(|t| state.finished(t)) {
+                let blocked: Vec<usize> = (0..state.threads())
+                    .filter(|&t| !state.finished(t))
+                    .collect();
+                return ExploreReport {
+                    states,
+                    violation: Some((
+                        format!("deadlock: threads {blocked:?} blocked forever (lost wakeup?)"),
+                        schedule,
+                    )),
+                    complete: false,
+                };
+            }
+            continue;
+        }
+        for t in runnable {
+            let mut next = state.clone();
+            next.step(t);
+            let mut sched = schedule.clone();
+            sched.push(t);
+            stack.push((next, sched));
+        }
+    }
+
+    ExploreReport {
+        states,
+        violation: None,
+        complete: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads increment a shared counter twice each; a third value
+    /// records the max observed. Sanity-checks full coverage and dedup.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Counter {
+        pcs: [u8; 2],
+        value: u8,
+    }
+
+    impl Model for Counter {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn runnable(&self, t: usize) -> bool {
+            self.pcs[t] < 2
+        }
+        fn finished(&self, t: usize) -> bool {
+            self.pcs[t] == 2
+        }
+        fn step(&mut self, t: usize) {
+            self.pcs[t] += 1;
+            self.value += 1;
+        }
+        fn check(&self) -> Result<(), String> {
+            if self.value > 4 {
+                return Err("counter exceeded theoretical max".into());
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn explores_all_interleavings_of_a_trivial_model() {
+        let report = explore(
+            Counter {
+                pcs: [0, 0],
+                value: 0,
+            },
+            10_000,
+        );
+        assert!(report.complete);
+        assert!(report.violation.is_none());
+        // pcs ∈ {0,1,2}², value = pcs[0]+pcs[1]: 9 states.
+        assert_eq!(report.states, 9);
+    }
+
+    /// A thread that blocks forever must be reported as a deadlock.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Stuck {
+        done: bool,
+    }
+
+    impl Model for Stuck {
+        fn threads(&self) -> usize {
+            1
+        }
+        fn runnable(&self, _t: usize) -> bool {
+            false
+        }
+        fn finished(&self, _t: usize) -> bool {
+            self.done
+        }
+        fn step(&mut self, _t: usize) {}
+        fn check(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blocked_thread_is_a_deadlock_violation() {
+        let report = explore(Stuck { done: false }, 100);
+        let (msg, _) = report.violation.expect("deadlock found");
+        assert!(msg.contains("deadlock"));
+    }
+
+    #[test]
+    fn state_budget_is_honored() {
+        let report = explore(
+            Counter {
+                pcs: [0, 0],
+                value: 0,
+            },
+            3,
+        );
+        assert!(!report.complete);
+    }
+}

@@ -1,0 +1,507 @@
+//! Interleaving models of the group-commit protocol.
+//!
+//! Two models, two halves of the protocol:
+//!
+//! * [`GroupModel`] — the leader's *batch* half: WAL checkpoint, append
+//!   loop that may release the core lock inside `append_with_space`
+//!   (waiting out an epoch truncation), single force, and the
+//!   `wait_generation`-guarded rollback on force failure. The property at
+//!   stake is that a rollback never destroys records appended by another
+//!   thread while the leader's lock was released.
+//! * [`BatonModel`] — the committer's *queue* half: enqueue, wait on the
+//!   group condvar or take the leadership baton, leader publishes every
+//!   queued outcome and hands off. The property at stake is that every
+//!   committer eventually observes exactly one outcome — no lost wakeup,
+//!   no slot stranded in the queue.
+
+use super::explore::Model;
+
+const DONE: u8 = 99;
+
+/// Leader / truncator / flusher model of the batch-rollback protocol.
+///
+/// Threads:
+/// * **0 — leader**: holds the core lock across `ckpt → append A →
+///   append B → force → (rollback) → publish`, except that an append
+///   issued while an epoch is in flight waits on `epoch_done`,
+///   releasing the lock (and bumping `wait_gen` on wake, as
+///   `append_with_space` does).
+/// * **1 — truncator**: the three-phase epoch truncation — snapshot
+///   under the lock, apply off-lock, complete under the lock and
+///   `notify_all`.
+/// * **2 — flusher**: an independent committer whose (small) record
+///   appends without waiting and forces immediately — the thread whose
+///   record a bad rollback would destroy.
+///
+/// The leader's appends wait whenever an epoch is in flight (modeling
+/// "batch does not fit until the frozen span is freed"); the flusher's
+/// single record always fits. This asymmetry is what creates the
+/// interference window the generation guard exists for.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct GroupModel {
+    /// Model mutation: `false` removes the `wait_generation` guard, the
+    /// bug the explorer must be able to exhibit.
+    pub guard_enabled: bool,
+    /// Whether the leader's force fails (exercising the rollback path).
+    pub force_fails: bool,
+
+    lock: Option<u8>,
+    epoch: bool,
+    wait_gen: u8,
+    /// Appended records, in log order, by owner thread id.
+    log: Vec<u8>,
+    /// Length of the durable (forced) log prefix.
+    forced: u8,
+    /// Bitmask of threads waiting on `epoch_done`.
+    epoch_waiters: u8,
+
+    leader_pc: u8,
+    ckpt_len: u8,
+    ckpt_gen: u8,
+    leader_outcome: Option<bool>,
+    rollbacks: u8,
+
+    trunc_pc: u8,
+
+    flush_pc: u8,
+    flusher_forced: bool,
+}
+
+impl GroupModel {
+    pub fn new(guard_enabled: bool, force_fails: bool) -> Self {
+        GroupModel {
+            guard_enabled,
+            force_fails,
+            lock: None,
+            epoch: false,
+            wait_gen: 0,
+            log: Vec::new(),
+            forced: 0,
+            epoch_waiters: 0,
+            leader_pc: 0,
+            ckpt_len: 0,
+            ckpt_gen: 0,
+            leader_outcome: None,
+            rollbacks: 0,
+            trunc_pc: 0,
+            flush_pc: 0,
+            flusher_forced: false,
+        }
+    }
+
+    fn leader_append(&mut self, waiting_pc: u8, next_pc: u8) {
+        if self.epoch {
+            // append_with_space: wait on epoch_done, releasing the lock.
+            self.epoch_waiters |= 1;
+            self.lock = None;
+            self.leader_pc = waiting_pc;
+        } else {
+            self.log.push(0);
+            self.leader_pc = next_pc;
+        }
+    }
+
+    fn step_leader(&mut self) {
+        match self.leader_pc {
+            0 => {
+                self.lock = Some(0);
+                self.leader_pc = 1;
+            }
+            1 => {
+                // wal.checkpoint() + wait_generation snapshot.
+                self.ckpt_len = self.log.len() as u8;
+                self.ckpt_gen = self.wait_gen;
+                self.leader_pc = 2;
+            }
+            2 => self.leader_append(20, 3),
+            3 => self.leader_append(22, 4),
+            4 => {
+                if self.force_fails {
+                    self.leader_pc = 5;
+                } else {
+                    self.forced = self.log.len() as u8;
+                    self.leader_pc = 6;
+                }
+            }
+            5 => {
+                // Rollback, guarded by the generation check.
+                if !self.guard_enabled || self.wait_gen == self.ckpt_gen {
+                    self.log.truncate(self.ckpt_len as usize);
+                    self.forced = self.forced.min(self.ckpt_len);
+                    self.rollbacks += 1;
+                }
+                self.leader_pc = 6;
+            }
+            6 => {
+                self.leader_outcome = Some(!self.force_fails);
+                self.lock = None;
+                self.leader_pc = DONE;
+            }
+            // Woken from an epoch wait: reacquire the lock, bump the
+            // generation (as append_with_space does), retry the append.
+            21 => {
+                self.lock = Some(0);
+                self.wait_gen += 1;
+                self.leader_pc = 2;
+            }
+            23 => {
+                self.lock = Some(0);
+                self.wait_gen += 1;
+                self.leader_pc = 3;
+            }
+            _ => unreachable!("leader stepped while blocked"),
+        }
+    }
+
+    fn step_truncator(&mut self) {
+        match self.trunc_pc {
+            0 => {
+                self.lock = Some(1);
+                self.trunc_pc = 1;
+            }
+            1 => {
+                // Phase 1: snapshot the boundary.
+                self.epoch = true;
+                self.trunc_pc = 2;
+            }
+            2 => {
+                self.lock = None;
+                self.trunc_pc = 3;
+            }
+            3 => {
+                // Phase 2: apply the frozen span off-lock.
+                self.trunc_pc = 4;
+            }
+            4 => {
+                self.lock = Some(1);
+                self.trunc_pc = 5;
+            }
+            5 => {
+                // Phase 3: advance the head, wake every epoch waiter.
+                self.epoch = false;
+                if self.epoch_waiters & 1 != 0 {
+                    self.leader_pc = match self.leader_pc {
+                        20 => 21,
+                        22 => 23,
+                        pc => pc,
+                    };
+                }
+                self.epoch_waiters = 0;
+                self.trunc_pc = 6;
+            }
+            6 => {
+                self.lock = None;
+                self.trunc_pc = DONE;
+            }
+            _ => unreachable!("truncator stepped while blocked"),
+        }
+    }
+
+    fn step_flusher(&mut self) {
+        match self.flush_pc {
+            0 => {
+                self.lock = Some(2);
+                self.flush_pc = 1;
+            }
+            1 => {
+                self.log.push(2);
+                self.flush_pc = 2;
+            }
+            2 => {
+                // A force makes the whole log prefix durable.
+                self.forced = self.log.len() as u8;
+                self.flusher_forced = true;
+                self.flush_pc = 3;
+            }
+            3 => {
+                self.lock = None;
+                self.flush_pc = DONE;
+            }
+            _ => unreachable!("flusher stepped while blocked"),
+        }
+    }
+}
+
+impl Model for GroupModel {
+    fn threads(&self) -> usize {
+        3
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        match t {
+            0 => match self.leader_pc {
+                DONE | 20 | 22 => false,            // finished / parked on epoch_done
+                0 | 21 | 23 => self.lock.is_none(), // acquire steps
+                _ => self.lock == Some(0),
+            },
+            1 => match self.trunc_pc {
+                DONE => false,
+                0 | 4 => self.lock.is_none(), // phase 1 / phase 3 acquire
+                3 => true,                    // the off-lock apply
+                _ => self.lock == Some(1),
+            },
+            _ => match self.flush_pc {
+                DONE => false,
+                0 => self.lock.is_none(),
+                _ => self.lock == Some(2),
+            },
+        }
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        match t {
+            0 => self.leader_pc == DONE,
+            1 => self.trunc_pc == DONE,
+            _ => self.flush_pc == DONE,
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        match t {
+            0 => self.step_leader(),
+            1 => self.step_truncator(),
+            _ => self.step_flusher(),
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if (self.forced as usize) > self.log.len() {
+            return Err("durable prefix longer than the log".into());
+        }
+        if self.rollbacks > 1 {
+            return Err("batch rollback ran twice".into());
+        }
+        if self.flusher_forced && !self.log.contains(&2) {
+            return Err(
+                "rollback destroyed another thread's forced record (generation guard missing)"
+                    .into(),
+            );
+        }
+        let all_done = self.leader_pc == DONE && self.trunc_pc == DONE && self.flush_pc == DONE;
+        if all_done {
+            if self.leader_outcome.is_none() {
+                return Err("leader finished without publishing an outcome".into());
+            }
+            if self.epoch || self.epoch_waiters != 0 {
+                return Err("epoch state leaked past termination".into());
+            }
+            if !self.force_fails && self.forced as usize != self.log.len() {
+                return Err("successful batch left unforced records".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Committer-side model of the leadership baton and follower wakeup.
+///
+/// Two committers enqueue one slot each, then loop exactly like
+/// `group_commit_enqueue`: take the outcome if published, wait on the
+/// group condvar if a leader is active, otherwise take the baton, commit
+/// the whole queue, release the baton, and notify. The explorer's
+/// deadlock detection doubles as the lost-wakeup check: a committer
+/// parked on the condvar after its wakeup already fired can never finish.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BatonModel {
+    /// Model mutation: `false` splits the condvar wait into
+    /// release-then-park (the classic lost-wakeup bug); `true` parks and
+    /// releases atomically, as `Condvar::wait` does.
+    pub atomic_wait: bool,
+
+    lock: Option<u8>,
+    queue: Vec<u8>,
+    leader_active: bool,
+    outcome_published: [bool; 2],
+    outcome_taken: [bool; 2],
+    /// Bitmask of committers parked on the group condvar.
+    waiters: u8,
+    pc: [u8; 2],
+}
+
+impl BatonModel {
+    pub fn new(atomic_wait: bool) -> Self {
+        BatonModel {
+            atomic_wait,
+            lock: None,
+            queue: Vec::new(),
+            leader_active: false,
+            outcome_published: [false; 2],
+            outcome_taken: [false; 2],
+            waiters: 0,
+            pc: [0; 2],
+        }
+    }
+
+    fn step_committer(&mut self, i: usize) {
+        match self.pc[i] {
+            0 => {
+                self.lock = Some(i as u8);
+                self.pc[i] = 1;
+            }
+            1 => {
+                self.queue.push(i as u8);
+                self.lock = None;
+                self.pc[i] = 2;
+            }
+            2 => {
+                self.lock = Some(i as u8);
+                self.pc[i] = 3;
+            }
+            3 => {
+                if self.outcome_published[i] {
+                    self.outcome_taken[i] = true;
+                    self.lock = None;
+                    self.pc[i] = DONE;
+                } else if self.leader_active {
+                    if self.atomic_wait {
+                        // Condvar::wait — park and release in one step.
+                        self.waiters |= 1 << i;
+                        self.lock = None;
+                        self.pc[i] = 4;
+                    } else {
+                        // Buggy wait: release first, park later; a notify
+                        // in between is lost.
+                        self.lock = None;
+                        self.pc[i] = 5;
+                    }
+                } else {
+                    self.leader_active = true;
+                    self.lock = None;
+                    self.pc[i] = 6;
+                }
+            }
+            5 => {
+                self.waiters |= 1 << i;
+                self.pc[i] = 4;
+            }
+            6 => {
+                // Leader round: commit every queued slot (the real leader
+                // takes the core lock here, not the group lock).
+                for &j in &self.queue {
+                    self.outcome_published[j as usize] = true;
+                }
+                self.queue.clear();
+                self.pc[i] = 7;
+            }
+            7 => {
+                self.lock = Some(i as u8);
+                self.pc[i] = 8;
+            }
+            8 => {
+                self.leader_active = false;
+                // notify_all
+                for j in 0..2 {
+                    if self.waiters & (1 << j) != 0 {
+                        self.pc[j] = 2;
+                    }
+                }
+                self.waiters = 0;
+                self.lock = None;
+                self.pc[i] = 2;
+            }
+            _ => unreachable!("committer stepped while parked"),
+        }
+    }
+}
+
+impl Model for BatonModel {
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        match self.pc[t] {
+            DONE | 4 => false,
+            0 | 2 | 7 => self.lock.is_none(),
+            5 | 6 => true,
+            _ => self.lock == Some(t as u8),
+        }
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pc[t] == DONE
+    }
+
+    fn step(&mut self, t: usize) {
+        self.step_committer(t);
+    }
+
+    fn check(&self) -> Result<(), String> {
+        for i in 0..2 {
+            if self.outcome_taken[i] && !self.outcome_published[i] {
+                return Err(format!("committer {i} took an unpublished outcome"));
+            }
+        }
+        if self.pc.iter().all(|&pc| pc == DONE) {
+            if self.leader_active {
+                return Err("leadership baton leaked past termination".into());
+            }
+            if !self.queue.is_empty() {
+                return Err("slot stranded in the queue".into());
+            }
+            if !(self.outcome_taken[0] && self.outcome_taken[1]) {
+                return Err("a committer finished without its outcome".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::explore::explore;
+
+    #[test]
+    fn generation_guard_protects_interleaved_records() {
+        let report = explore(GroupModel::new(true, true), 2_000_000);
+        assert!(report.complete, "state space fully covered");
+        assert!(
+            report.violation.is_none(),
+            "guarded rollback is safe in every interleaving: {:?}",
+            report.violation
+        );
+        assert!(report.states > 100, "nontrivial state space");
+    }
+
+    #[test]
+    fn removing_the_generation_guard_is_caught() {
+        let report = explore(GroupModel::new(false, true), 2_000_000);
+        let (msg, schedule) = report
+            .violation
+            .expect("unguarded rollback must destroy a forced record in some schedule");
+        assert!(msg.contains("destroyed"), "unexpected violation: {msg}");
+        assert!(
+            !schedule.is_empty(),
+            "violation carries its witness schedule"
+        );
+    }
+
+    #[test]
+    fn successful_batches_are_safe_in_every_interleaving() {
+        let report = explore(GroupModel::new(true, false), 2_000_000);
+        assert!(report.complete);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn baton_handoff_never_strands_a_committer() {
+        let report = explore(BatonModel::new(true), 2_000_000);
+        assert!(report.complete, "state space fully covered");
+        assert!(
+            report.violation.is_none(),
+            "no lost wakeup, every slot commits: {:?}",
+            report.violation
+        );
+        assert!(report.states > 50, "nontrivial state space");
+    }
+
+    #[test]
+    fn non_atomic_wait_loses_a_wakeup() {
+        let report = explore(BatonModel::new(false), 2_000_000);
+        let (msg, _) = report
+            .violation
+            .expect("release-then-park must deadlock in some schedule");
+        assert!(msg.contains("deadlock"), "unexpected violation: {msg}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Exhaustive interleaving models of the concurrency protocols.
+//!
+//! These are loom-style model checks: each protocol is restated as a
+//! small state machine per thread over explicitly shared state, and
+//! [`explore`](explore::explore) enumerates **every** schedule of the
+//! thread steps (with state dedup), checking invariants at each reachable
+//! state and flagging deadlocks — which is how a lost wakeup presents —
+//! automatically.
+//!
+//! The real `loom` crate is deliberately not a dependency: the protocols
+//! under test span device I/O and multi-lock phases that loom's
+//! `UnsafeCell`-tracking model doesn't capture any better than an
+//! explicit state machine, and the models here stay dependency-free so
+//! they run in every environment (the CI loom job builds them with
+//! `RUSTFLAGS="--cfg loom"`; they also build under plain `cfg(test)`).
+//!
+//! Two protocols are modeled, matching the two PRs that complicated the
+//! durability argument:
+//!
+//! * [`group_model`] — the group-commit leader baton: batch checkpoint,
+//!   append loop that may release the core lock inside
+//!   `append_with_space`, the single force, and the
+//!   `wait_generation`-guarded rollback. The headline theorem is that the
+//!   guard is *necessary and sufficient* in the model: with it no
+//!   schedule destroys another thread's appended record, and with it
+//!   removed the explorer exhibits a schedule that does.
+//! * [`epoch_model`] — the `epoch_done` condvar handshake between the
+//!   three-phase epoch truncation and `append_with_space` waiters: no
+//!   schedule deadlocks (no lost wakeup), every waiter bumps
+//!   `wait_generation` before re-deriving state, and breaking the
+//!   wait's atomicity (release-then-sleep) is caught as a deadlock.
+
+pub mod epoch_model;
+pub mod explore;
+pub mod group_model;

@@ -72,6 +72,27 @@ pub enum TruncationMode {
     Incremental,
 }
 
+/// Deliberate protocol mutations for the `rvm-crashmc` model checker.
+///
+/// The checker's acceptance test is double-sided: the real tree must show
+/// **zero** committed-prefix violations, and a tree with one of these
+/// switches flipped must show **at least one** — proving the checker can
+/// actually see the bug class each switch reintroduces. They are not part
+/// of the public API surface and carry no stability promise.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutationHooks {
+    /// Group-commit leader skips the batch's single `wal.force()` but
+    /// still reports success: commits are acknowledged without being
+    /// durable. The checker must find a crash image where an acked
+    /// transaction is missing after recovery.
+    pub skip_group_force: bool,
+    /// Group-commit leader skips the WAL-cursor rollback after a batch
+    /// failure, leaving cursors pointing past records that were never
+    /// forced.
+    pub skip_group_rollback: bool,
+}
+
 /// Runtime tuning knobs (`set_options`).
 ///
 /// All fields are scalars, so the struct is `Copy`: the commit path reads
@@ -126,6 +147,10 @@ pub struct Tuning {
     /// batch. Zero (the default) batches only what lock contention
     /// naturally accumulates, adding no latency to solo commits.
     pub group_commit_wait_us: u64,
+    /// Deliberate protocol mutations for the crash-state model checker;
+    /// all off in real use. See [`MutationHooks`].
+    #[doc(hidden)]
+    pub mutation: MutationHooks,
 }
 
 impl Default for Tuning {
@@ -145,6 +170,7 @@ impl Default for Tuning {
             group_commit_max_txns: 64,
             group_commit_max_bytes: 8 << 20,
             group_commit_wait_us: 0,
+            mutation: MutationHooks::default(),
         }
     }
 }

@@ -1260,7 +1260,11 @@ impl RvmShared {
             let ckpt = core.wal.checkpoint();
             let ckpt_gen = core.wait_generation;
             let rollback = |core: &mut Core| {
-                if core.wait_generation == ckpt_gen {
+                // `skip_group_rollback` is a crashmc mutation hook: it
+                // reintroduces the cursors-past-unforced-records bug the
+                // rollback exists to prevent, so the model checker can
+                // prove it would catch that bug.
+                if core.wait_generation == ckpt_gen && !tuning.mutation.skip_group_rollback {
                     core.wal.rollback_to(ckpt);
                 }
             };
@@ -1279,7 +1283,11 @@ impl RvmShared {
                     }
                 }
             }
-            if appended_any {
+            if appended_any && !tuning.mutation.skip_group_force {
+                // `skip_group_force` is a crashmc mutation hook: it
+                // acknowledges the batch without the durability barrier,
+                // the classic lost-commit bug the model checker must be
+                // able to see.
                 if let Err(e) = core.wal.force() {
                     rollback(&mut core);
                     return Err(e);
@@ -1490,7 +1498,11 @@ impl RvmShared {
     /// versus return immediately (threshold triggers — the in-flight
     /// epoch *is* the truncation that was asked for). Returns whether the
     /// head moved.
-    fn epoch_truncate_concurrent(&self, threshold: Option<f64>, wait_if_busy: bool) -> Result<bool> {
+    fn epoch_truncate_concurrent(
+        &self,
+        threshold: Option<f64>,
+        wait_if_busy: bool,
+    ) -> Result<bool> {
         // Phase 1: snapshot the epoch boundary under the core lock.
         let (dev, area_len, start, start_seq, end) = {
             let mut core = self.core.lock();
@@ -1779,8 +1791,7 @@ impl RvmShared {
                     // Re-check under the lock; another committer may have
                     // truncated already. With an epoch in flight the head
                     // is owned by its completion — nothing to do inline.
-                    if core.epoch.is_some()
-                        || core.wal.utilization() <= tuning.truncation_threshold
+                    if core.epoch.is_some() || core.wal.utilization() <= tuning.truncation_threshold
                     {
                         return Ok(());
                     }
@@ -1795,10 +1806,7 @@ impl RvmShared {
                     let critical = (tuning.truncation_threshold + 0.3)
                         .min(0.95)
                         .max(tuning.truncation_threshold);
-                    if reclaimed == 0
-                        && core.wal.utilization() > critical
-                        && core.epoch.is_none()
-                    {
+                    if reclaimed == 0 && core.wal.utilization() > critical && core.epoch.is_none() {
                         self.epoch_truncate_locked(&mut core)?;
                     }
                 }

@@ -1,0 +1,309 @@
+//! # rvm-crashmc — crash-consistency model checking for RVM
+//!
+//! A deterministic crash-state model checker for the commit and
+//! truncation protocols. The pipeline has three stages:
+//!
+//! 1. **Trace capture** ([`workload`]): a workload runs against a real
+//!    [`Rvm`](rvm::Rvm) instance whose log and segment devices are
+//!    wrapped in [`TraceDevice`](rvm_storage::TraceDevice)s sharing one
+//!    [`TraceRecorder`](rvm_storage::TraceRecorder). The result is a
+//!    [`Trace`]: the global order of every `write_at`/`sync`/`set_len`
+//!    across all devices, each device's pre-trace durable image, and the
+//!    transaction script with *ack points* — the op-log index at which
+//!    each flush-mode commit returned to the application.
+//!
+//! 2. **Crash-image enumeration** ([`enumerate`]): every `sync` boundary
+//!    (plus the end of the trace) is a crash point. At a crash point,
+//!    writes covered by an earlier completed `sync` on their device are
+//!    durable; writes since are *pending*, split into sector-granular
+//!    pieces, and any subset of the pieces may have reached the platter —
+//!    this is the `ArbitrarySubset` + `TornWrite` disk model, strictly
+//!    weaker (more adversarial) than "kept in order". Small piece sets
+//!    are enumerated exhaustively; large ones are sampled with seeded
+//!    pseudo-randomness plus a deterministic worst-case core (all-kept,
+//!    all-dropped, every single-piece drop). Images are deduplicated by
+//!    hash, so the reported state count is *distinct reachable crash
+//!    states*.
+//!
+//! 3. **Oracle** ([`oracle`]): each crash image is loaded into fresh
+//!    [`MemDevice`](rvm_storage::MemDevice)s and **real recovery** runs
+//!    on it (`Rvm::initialize`). The recovered state must satisfy the
+//!    committed-prefix invariant:
+//!
+//!    * single-threaded traces: the recovered segments equal the replay
+//!      of some *prefix* of the committed transactions, at least as long
+//!      as the acked prefix (every transaction whose commit returned
+//!      before the crash point must survive);
+//!    * multi-threaded traces (disjoint write cells): each transaction is
+//!      all-or-none, acked ⇒ present, aborted ⇒ never present, and
+//!      per-thread commit order is prefix-closed;
+//!    * the pre-recovery crash image itself passes the
+//!      [`rvm_check`] WAL invariant verifier, and recovery is
+//!      deterministic (see [`oracle::check_recovery_determinism`]).
+//!
+//! The checker's acceptance is double-sided: the real tree must show
+//! zero violations over every workload, and a tree with a
+//! [`MutationHooks`](rvm::MutationHooks) switch flipped (e.g.
+//! `skip_group_force`: acknowledge group commits without the batch's log
+//! force) must show at least one — proving the checker can see the bug
+//! class each switch reintroduces.
+//!
+//! Traces serialize to disk ([`tracefile`]) so failing cases can be
+//! re-checked post mortem: `rvmlog <trace> crashck`.
+
+pub mod enumerate;
+pub mod oracle;
+pub mod tracefile;
+pub mod workload;
+
+use std::collections::{HashMap, HashSet};
+
+use enumerate::{enumerate_images, EnumConfig};
+use rvm_storage::TraceOp;
+
+/// A device participating in a trace: identity plus its durable image at
+/// the moment recording started (the pre-crash base every enumeration
+/// builds on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceBase {
+    /// Id assigned by the recorder; [`TraceOp::device`] refers to it.
+    pub id: u32,
+    /// Segment name, or the log's label.
+    pub name: String,
+    /// Whether this device is the WAL (exactly one per trace).
+    pub is_log: bool,
+    /// Durable contents when recording was enabled. Devices first
+    /// resolved mid-trace start empty (they are zero-filled at creation;
+    /// synthesis grows images on demand).
+    pub image: Vec<u8>,
+}
+
+/// One byte range a transaction wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegWrite {
+    pub segment: String,
+    pub offset: u64,
+    pub data: Vec<u8>,
+}
+
+/// One transaction of the workload script, in per-thread program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// Workload thread that ran the transaction.
+    pub thread: u32,
+    /// `false` for transactions the workload deliberately aborted.
+    pub committed: bool,
+    /// Op-log length observed when the commit (or the flush covering a
+    /// no-flush commit) returned. A crash at point `c >= ack` must
+    /// preserve the transaction; `None` means permanence was never
+    /// promised (unflushed or aborted).
+    pub ack: Option<usize>,
+    pub writes: Vec<SegWrite>,
+}
+
+/// A captured execution: devices, global op order, transaction script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    pub devices: Vec<DeviceBase>,
+    pub ops: Vec<TraceOp>,
+    pub txns: Vec<TxnSpec>,
+    /// Single-threaded traces get the exact prefix-replay oracle;
+    /// multi-threaded ones the disjoint-cell invariant oracle.
+    pub single_threaded: bool,
+}
+
+impl Trace {
+    /// The log device's base entry.
+    pub fn log_base(&self) -> &DeviceBase {
+        self.devices
+            .iter()
+            .find(|d| d.is_log)
+            .expect("trace has a log device")
+    }
+
+    /// Committed transactions in trace order.
+    pub fn committed(&self) -> impl Iterator<Item = &TxnSpec> {
+        self.txns.iter().filter(|t| t.committed)
+    }
+}
+
+/// One invariant breach, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Crash point: `ops[..point]` were issued; the `sync` at `point`
+    /// (if any) did not complete.
+    pub point: usize,
+    /// Which pending pieces the crash image kept.
+    pub kept: Vec<bool>,
+    /// Seed in effect when the image was generated (sampled points).
+    pub seed: u64,
+    pub detail: String,
+}
+
+/// What a [`check_trace`] run covered and found.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Sync boundaries (plus trace end) considered.
+    pub crash_points: usize,
+    /// Crash points whose piece set exceeded the exhaustive cap and were
+    /// sampled instead.
+    pub sampled_points: usize,
+    /// Images generated (before dedup).
+    pub images_enumerated: u64,
+    /// Distinct crash states (deduped by image hash).
+    pub images_unique: u64,
+    /// Recovery runs executed (deduped by image × required-prefix).
+    pub recoveries_run: u64,
+    /// True when every crash point was enumerated exhaustively: the
+    /// report then covers *every* crash state the disk model permits.
+    pub exhaustive: bool,
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable rendering (the `rvmlog crashck` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "crash points:      {}{}\n",
+            self.crash_points,
+            if self.sampled_points > 0 {
+                format!(" ({} sampled)", self.sampled_points)
+            } else {
+                String::new()
+            }
+        ));
+        out.push_str(&format!(
+            "crash states:      {} distinct ({} enumerated, {})\n",
+            self.images_unique,
+            self.images_enumerated,
+            if self.exhaustive {
+                "exhaustive"
+            } else {
+                "sampled"
+            }
+        ));
+        out.push_str(&format!("recoveries run:    {}\n", self.recoveries_run));
+        out.push_str(&format!("violations:        {}\n", self.violations.len()));
+        for v in &self.violations {
+            let kept: String = v.kept.iter().map(|&k| if k { '1' } else { '0' }).collect();
+            out.push_str(&format!(
+                "  @op {} seed {:#x} kept [{}]\n    {}\n",
+                v.point, v.seed, kept, v.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Checks every crash image of `trace` that `cfg` generates, stopping
+/// after [`EnumConfig::max_violations`] breaches.
+pub fn check_trace(trace: &Trace, cfg: &EnumConfig) -> Report {
+    let mut report = Report::default();
+    let mut seen: HashSet<(u64, usize)> = HashSet::new();
+    let mut violations = Vec::new();
+
+    let stats = enumerate_images(trace, cfg, |point, kept, image_hash, images| {
+        // The required prefix depends only on the crash point (acks are
+        // monotone in the op-log), so (image, required-count) identifies
+        // a recovery problem; equal pairs need only one recovery run.
+        let required = trace
+            .txns
+            .iter()
+            .filter(|t| t.ack.is_some_and(|a| a <= point))
+            .count();
+        if !seen.insert((image_hash, required)) {
+            return true;
+        }
+        report.recoveries_run += 1;
+        if let Err(detail) = oracle::check_image(trace, point, images) {
+            violations.push(Violation {
+                point,
+                kept: kept.to_vec(),
+                seed: cfg.seed,
+                detail,
+            });
+            if violations.len() >= cfg.max_violations {
+                return false;
+            }
+        }
+        true
+    });
+
+    report.crash_points = stats.crash_points;
+    report.sampled_points = stats.sampled_points;
+    report.images_enumerated = stats.images_enumerated;
+    report.images_unique = stats.images_unique;
+    report.exhaustive = stats.exhaustive;
+    report.violations = violations;
+    report
+}
+
+/// Grows `img` with zeros so `offset + len` is in bounds.
+pub(crate) fn ensure_len(img: &mut Vec<u8>, offset: u64, len: usize) {
+    let end = offset as usize + len;
+    if img.len() < end {
+        img.resize(end, 0);
+    }
+}
+
+/// Applies a write to a growable image.
+pub(crate) fn apply_write(img: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    ensure_len(img, offset, data.len());
+    img[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+}
+
+/// The base images of every non-log device, by name.
+pub(crate) fn segment_bases(trace: &Trace) -> HashMap<String, Vec<u8>> {
+    trace
+        .devices
+        .iter()
+        .filter(|d| !d.is_log)
+        .map(|d| (d.name.clone(), d.image.clone()))
+        .collect()
+}
+
+/// xorshift64* — the crate's only randomness, fully determined by the
+/// seed (same generator as the storage fault layer).
+pub(crate) fn xorshift64(state: &mut u64) -> u64 {
+    if *state == 0 {
+        *state = 0x9E37_79B9_7F4A_7C15;
+    }
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_write_grows_and_overwrites() {
+        let mut img = vec![1, 2, 3];
+        apply_write(&mut img, 2, &[9, 9]);
+        assert_eq!(img, vec![1, 2, 9, 9]);
+        apply_write(&mut img, 6, &[5]);
+        assert_eq!(img, vec![1, 2, 9, 9, 0, 0, 5]);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = 42;
+        let mut b = 42;
+        for _ in 0..16 {
+            let x = xorshift64(&mut a);
+            assert_eq!(x, xorshift64(&mut b));
+            assert_ne!(x, 0);
+        }
+        let mut z = 0;
+        assert_ne!(xorshift64(&mut z), 0, "zero seed is remapped");
+    }
+}

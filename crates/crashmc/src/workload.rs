@@ -1,0 +1,536 @@
+//! Traced workloads: run a real [`Rvm`] instance over
+//! [`TraceDevice`]-wrapped in-memory devices and capture a [`Trace`].
+//!
+//! Setup (log formatting, region mapping) happens with recording
+//! disabled: those writes are part of each device's durable *base
+//! image*, not of the execution under test. Recording is enabled just
+//! before the transaction script runs; each flush-mode commit samples
+//! the recorder length when it returns — the *ack point* after which a
+//! crash must preserve the transaction.
+//!
+//! Every workload writes disjoint cells with values distinct from the
+//! (all-zero) base, which is what lets the multi-threaded oracle decide
+//! per-transaction presence by looking at bytes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+use rvm::segment::DeviceResolver;
+use rvm::{
+    CommitMode, MutationHooks, Options, Region, RegionDescriptor, Rvm, Tuning, TxnMode, PAGE_SIZE,
+};
+use rvm_storage::{Device, MemDevice, TraceDevice, TraceRecorder};
+
+use crate::{xorshift64, DeviceBase, SegWrite, Trace, TxnSpec};
+
+/// The canned workload shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Three threads × three rounds of barrier-aligned flush commits:
+    /// exercises the group-commit leader baton. Multi-threaded
+    /// (disjoint-cell oracle).
+    GroupCommit,
+    /// Flush commits with explicit epoch truncations interleaved:
+    /// exercises the three-phase truncation crash windows (segment
+    /// application, status advance).
+    Truncation,
+    /// No-flush commits spooled and flushed in batches, with a tail of
+    /// never-flushed transactions that a crash may legally drop.
+    NoFlushSpool,
+    /// Flush commits interleaved with deliberately aborted transactions
+    /// writing poison values that must never survive recovery.
+    AbortMix,
+    /// A seeded single-threaded mix of all of the above.
+    Seeded(u64),
+}
+
+/// Shared capture plumbing: the recorder, the raw in-memory devices
+/// behind the trace wrappers, and the base images.
+struct Capture {
+    recorder: Arc<TraceRecorder>,
+    log_mem: Arc<MemDevice>,
+    log_id: u32,
+    #[allow(clippy::type_complexity)]
+    segs: Arc<Mutex<HashMap<String, (Arc<MemDevice>, Arc<TraceDevice>)>>>,
+    bases: HashMap<u32, Vec<u8>>,
+}
+
+impl Capture {
+    /// Snapshots every device's current (durable) contents as its base
+    /// image and starts recording.
+    fn start(&mut self) {
+        for (id, name) in self.recorder.devices() {
+            let image = if id == self.log_id {
+                self.log_mem.snapshot()
+            } else {
+                self.segs
+                    .lock()
+                    .get(&name)
+                    .map(|(mem, _)| mem.snapshot())
+                    .unwrap_or_default()
+            };
+            self.bases.insert(id, image);
+        }
+        self.recorder.set_enabled(true);
+    }
+
+    /// Stops recording and assembles the trace. Devices first resolved
+    /// while recording was live keep an empty base (they were created
+    /// zero-filled; synthesis grows images on demand).
+    fn finish(self, txns: Vec<TxnSpec>, single_threaded: bool) -> Trace {
+        self.recorder.set_enabled(false);
+        let devices = self
+            .recorder
+            .devices()
+            .into_iter()
+            .map(|(id, name)| DeviceBase {
+                is_log: id == self.log_id,
+                image: self.bases.get(&id).cloned().unwrap_or_default(),
+                id,
+                name,
+            })
+            .collect();
+        Trace {
+            devices,
+            ops: self.recorder.ops(),
+            txns,
+            single_threaded,
+        }
+    }
+}
+
+/// Builds a traced `Rvm`: log and every resolved segment wrapped in
+/// [`TraceDevice`]s sharing one recorder (disabled until
+/// [`Capture::start`]).
+fn setup(log_len: u64, tuning: Tuning) -> (Capture, Rvm) {
+    let recorder = TraceRecorder::new();
+    recorder.set_enabled(false);
+    let log_mem = Arc::new(MemDevice::with_len(log_len));
+    let log = recorder.wrap("log", log_mem.clone());
+    let log_id = log.id();
+
+    type SegMap = HashMap<String, (Arc<MemDevice>, Arc<TraceDevice>)>;
+    let segs: Arc<Mutex<SegMap>> = Arc::new(Mutex::new(HashMap::new()));
+    let resolver: DeviceResolver = Arc::new({
+        let segs = Arc::clone(&segs);
+        let recorder = Arc::clone(&recorder);
+        move |name: &str, min_len: u64| {
+            let mut m = segs.lock();
+            let (_, traced) = m
+                .entry(name.to_owned())
+                .or_insert_with(|| {
+                    let mem = Arc::new(MemDevice::with_len(min_len));
+                    let traced = recorder.wrap(name, mem.clone());
+                    (mem, traced)
+                })
+                .clone();
+            if traced.len()? < min_len {
+                traced.set_len(min_len)?;
+            }
+            Ok(traced as Arc<dyn Device>)
+        }
+    });
+
+    let rvm = Rvm::initialize(
+        Options::new(log)
+            .resolver(resolver)
+            .tuning(tuning)
+            .create_if_empty(),
+    )
+    .expect("workload log initializes");
+    (
+        Capture {
+            recorder,
+            log_mem,
+            log_id,
+            segs,
+            bases: HashMap::new(),
+        },
+        rvm,
+    )
+}
+
+/// One committed flush-mode transaction writing `data` at `offset` of
+/// `region`, returning its spec with the ack point.
+fn flush_txn(
+    rvm: &Rvm,
+    recorder: &TraceRecorder,
+    region: &Region,
+    segment: &str,
+    thread: u32,
+    offset: u64,
+    data: Vec<u8>,
+) -> TxnSpec {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+    region.write(&mut txn, offset, &data).expect("write");
+    txn.commit(CommitMode::Flush).expect("flush commit");
+    TxnSpec {
+        thread,
+        committed: true,
+        ack: Some(recorder.len()),
+        writes: vec![SegWrite {
+            segment: segment.to_owned(),
+            offset,
+            data,
+        }],
+    }
+}
+
+/// Runs a workload and captures its trace. `hooks` injects deliberate
+/// protocol mutations (all-off for real checking).
+pub fn run_workload(kind: Workload, hooks: MutationHooks) -> Trace {
+    match kind {
+        Workload::GroupCommit => group_commit(hooks),
+        Workload::Truncation => truncation(hooks),
+        Workload::NoFlushSpool => no_flush_spool(hooks),
+        Workload::AbortMix => abort_mix(hooks),
+        Workload::Seeded(seed) => seeded(seed, hooks),
+    }
+}
+
+fn tuning_with(hooks: MutationHooks) -> Tuning {
+    Tuning {
+        mutation: hooks,
+        ..Tuning::default()
+    }
+}
+
+fn group_commit(hooks: MutationHooks) -> Trace {
+    const THREADS: u32 = 3;
+    const ROUNDS: u64 = 3;
+    const CELL: u64 = 1024;
+
+    let tuning = Tuning {
+        // A leader lingers so barrier-aligned committers join its batch:
+        // bigger batches mean more pending pieces per crash window.
+        group_commit_wait_us: 2_000,
+        ..tuning_with(hooks)
+    };
+    let (mut cap, rvm) = setup(1 << 16, tuning);
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, 3 * PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let barrier = Barrier::new(THREADS as usize);
+    let mut txns: Vec<TxnSpec> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let region = region.clone();
+                let (rvm, recorder, barrier) = (&rvm, &*cap.recorder, &barrier);
+                s.spawn(move || {
+                    let mut specs = Vec::new();
+                    for i in 0..ROUNDS {
+                        let idx = t as u64 * ROUNDS + i;
+                        let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+                        let data = vec![0x41 + idx as u8; CELL as usize - 64];
+                        region.write(&mut txn, idx * CELL, &data).expect("write");
+                        // Commit together so the leader drains a batch.
+                        barrier.wait();
+                        txn.commit(CommitMode::Flush).expect("flush commit");
+                        specs.push(TxnSpec {
+                            thread: t,
+                            committed: true,
+                            ack: Some(recorder.len()),
+                            writes: vec![SegWrite {
+                                segment: "cells".into(),
+                                offset: idx * CELL,
+                                data,
+                            }],
+                        });
+                    }
+                    specs
+                })
+            })
+            .collect();
+        for h in handles {
+            txns.extend(h.join().expect("workload thread"));
+        }
+    });
+
+    let trace = cap.finish(txns, false);
+    drop(rvm);
+    trace
+}
+
+fn truncation(hooks: MutationHooks) -> Trace {
+    let (mut cap, rvm) = setup(1 << 16, tuning_with(hooks));
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, 2 * PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let mut txns = Vec::new();
+    for i in 0..8u64 {
+        let data = vec![0x10 + i as u8; 700];
+        txns.push(flush_txn(
+            &rvm,
+            &cap.recorder,
+            &region,
+            "cells",
+            0,
+            i * 768,
+            data,
+        ));
+        if i == 2 || i == 5 {
+            rvm.truncate().expect("epoch truncation");
+        }
+    }
+
+    let trace = cap.finish(txns, true);
+    drop(rvm);
+    trace
+}
+
+fn no_flush_spool(hooks: MutationHooks) -> Trace {
+    let (mut cap, rvm) = setup(1 << 16, tuning_with(hooks));
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let mut txns: Vec<TxnSpec> = Vec::new();
+    let mut unacked: Vec<usize> = Vec::new();
+    for i in 0..6u64 {
+        let data = vec![0x20 + i as u8; 600];
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+        region.write(&mut txn, i * 640, &data).expect("write");
+        txn.commit(CommitMode::NoFlush).expect("no-flush commit");
+        unacked.push(txns.len());
+        txns.push(TxnSpec {
+            thread: 0,
+            committed: true,
+            ack: None,
+            writes: vec![SegWrite {
+                segment: "cells".into(),
+                offset: i * 640,
+                data,
+            }],
+        });
+        if i == 1 || i == 3 {
+            rvm.flush().expect("flush");
+            // The flush's return is the ack point for every spooled
+            // commit it covered.
+            let ack = cap.recorder.len();
+            for idx in unacked.drain(..) {
+                txns[idx].ack = Some(ack);
+            }
+        }
+    }
+    // Transactions 4 and 5 stay unflushed: a crash may legally drop
+    // them, but only as a suffix.
+
+    let trace = cap.finish(txns, true);
+    drop(rvm);
+    trace
+}
+
+fn abort_mix(hooks: MutationHooks) -> Trace {
+    let (mut cap, rvm) = setup(1 << 16, tuning_with(hooks));
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let mut txns = Vec::new();
+    for i in 0..6u64 {
+        if i % 3 == 2 {
+            // A transaction that writes poison and aborts: its bytes
+            // must never survive recovery.
+            let data = vec![0xEE; 500];
+            let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+            region.write(&mut txn, i * 640, &data).expect("write");
+            txn.abort().expect("abort");
+            txns.push(TxnSpec {
+                thread: 0,
+                committed: false,
+                ack: None,
+                writes: vec![SegWrite {
+                    segment: "cells".into(),
+                    offset: i * 640,
+                    data,
+                }],
+            });
+        } else {
+            let data = vec![0x30 + i as u8; 500];
+            txns.push(flush_txn(
+                &rvm,
+                &cap.recorder,
+                &region,
+                "cells",
+                0,
+                i * 640,
+                data,
+            ));
+        }
+    }
+
+    let trace = cap.finish(txns, true);
+    drop(rvm);
+    trace
+}
+
+/// A seeded single-threaded mix: flush/no-flush/aborted transactions
+/// with varied sizes, plus explicit flushes and truncations. Fully
+/// determined by the seed.
+fn seeded(seed: u64, hooks: MutationHooks) -> Trace {
+    let mut rng = seed;
+    let (mut cap, rvm) = setup(1 << 16, tuning_with(hooks));
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, 8 * PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let steps = 8 + (xorshift64(&mut rng) % 6) as usize;
+    let mut txns: Vec<TxnSpec> = Vec::new();
+    let mut unacked: Vec<usize> = Vec::new();
+    for step in 0..steps {
+        let offset = step as u64 * 2048;
+        let len = 64 + (xorshift64(&mut rng) % 1200) as usize;
+        let value = 1 + (step % 250) as u8;
+        match xorshift64(&mut rng) % 6 {
+            0..=2 => {
+                let data = vec![value; len];
+                let spec = flush_txn(&rvm, &cap.recorder, &region, "cells", 0, offset, data);
+                // A flush commit drains the spool first: it also acks
+                // every spooled no-flush commit before it.
+                let ack = spec.ack;
+                txns.push(spec);
+                for idx in unacked.drain(..) {
+                    txns[idx].ack = ack;
+                }
+            }
+            3 => {
+                let data = vec![value; len];
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+                region.write(&mut txn, offset, &data).expect("write");
+                txn.commit(CommitMode::NoFlush).expect("no-flush commit");
+                unacked.push(txns.len());
+                txns.push(TxnSpec {
+                    thread: 0,
+                    committed: true,
+                    ack: None,
+                    writes: vec![SegWrite {
+                        segment: "cells".into(),
+                        offset,
+                        data,
+                    }],
+                });
+            }
+            4 => {
+                let data = vec![0xEE; len];
+                let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+                region.write(&mut txn, offset, &data).expect("write");
+                txn.abort().expect("abort");
+                txns.push(TxnSpec {
+                    thread: 0,
+                    committed: false,
+                    ack: None,
+                    writes: vec![SegWrite {
+                        segment: "cells".into(),
+                        offset,
+                        data,
+                    }],
+                });
+            }
+            _ => {
+                if xorshift64(&mut rng) % 2 == 0 {
+                    // `flush` forces the spool: it is the ack point for
+                    // every no-flush commit so far.
+                    rvm.flush().expect("flush");
+                    let ack = cap.recorder.len();
+                    for idx in unacked.drain(..) {
+                        txns[idx].ack = Some(ack);
+                    }
+                } else {
+                    // `truncate` only reclaims log space; it makes no
+                    // promise about spooled commits, so it acks nothing.
+                    rvm.truncate().expect("truncate");
+                }
+            }
+        }
+    }
+
+    let trace = cap.finish(txns, true);
+    drop(rvm);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvm_storage::TraceOpKind;
+
+    #[test]
+    fn truncation_workload_traces_commits_and_truncations() {
+        let trace = run_workload(Workload::Truncation, MutationHooks::default());
+        assert!(trace.single_threaded);
+        assert_eq!(trace.txns.len(), 8);
+        assert!(trace.txns.iter().all(|t| t.committed && t.ack.is_some()));
+        let syncs = trace
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, TraceOpKind::Sync))
+            .count();
+        // 8 forced commits plus the truncation's segment/status syncs.
+        assert!(syncs > 8, "got {syncs} syncs");
+        // Truncation writes to the segment device mid-trace.
+        let seg_id = trace
+            .devices
+            .iter()
+            .find(|d| !d.is_log)
+            .expect("segment device")
+            .id;
+        assert!(trace
+            .ops
+            .iter()
+            .any(|o| o.device == seg_id && matches!(o.kind, TraceOpKind::Write { .. })));
+    }
+
+    #[test]
+    fn group_commit_workload_is_multithreaded_with_monotone_thread_acks() {
+        let trace = run_workload(Workload::GroupCommit, MutationHooks::default());
+        assert!(!trace.single_threaded);
+        assert_eq!(trace.txns.len(), 9);
+        for th in 0..3u32 {
+            let acks: Vec<usize> = trace
+                .txns
+                .iter()
+                .filter(|t| t.thread == th)
+                .map(|t| t.ack.expect("flush commits ack"))
+                .collect();
+            assert_eq!(acks.len(), 3);
+            assert!(acks.windows(2).all(|w| w[0] <= w[1]), "{acks:?}");
+        }
+    }
+
+    #[test]
+    fn no_flush_tail_is_unacked() {
+        let trace = run_workload(Workload::NoFlushSpool, MutationHooks::default());
+        assert_eq!(trace.txns.len(), 6);
+        assert!(trace.txns[..4].iter().all(|t| t.ack.is_some()));
+        assert!(trace.txns[4..].iter().all(|t| t.ack.is_none()));
+    }
+
+    #[test]
+    fn seeded_workloads_are_deterministic() {
+        let a = run_workload(Workload::Seeded(7), MutationHooks::default());
+        let b = run_workload(Workload::Seeded(7), MutationHooks::default());
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.txns, b.txns);
+        let c = run_workload(Workload::Seeded(8), MutationHooks::default());
+        assert_ne!(a.ops, c.ops, "different seeds explore different mixes");
+    }
+
+    #[test]
+    fn base_images_exclude_setup_writes() {
+        let trace = run_workload(Workload::AbortMix, MutationHooks::default());
+        let log = trace.log_base();
+        // The base log image is formatted (nonzero status area), and no
+        // recorded op re-writes the format: the trace starts after setup.
+        assert!(log.image.iter().any(|&b| b != 0));
+        assert!(!trace.ops.is_empty());
+    }
+}

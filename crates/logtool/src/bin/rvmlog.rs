@@ -16,10 +16,18 @@
 //! format — reverse-displacement canonicality, forward/backward scan
 //! symmetry, dual-copy status agreement, recovery-tree idempotence — and
 //! exits non-zero on any violation, including ones `doctor` cannot see.
+//!
+//! `crashck` takes a crash-consistency *trace* (not a log) captured by
+//! `rvm_crashmc`, enumerates every crash image the disk model permits,
+//! and recovers each one, asserting the committed-prefix invariant.
+//! `crashck-gen` produces such a trace from a canned workload.
 
 use std::process::exit;
 use std::sync::Arc;
 
+use rvm_crashmc::enumerate::EnumConfig;
+use rvm_crashmc::workload::{run_workload, Workload};
+use rvm_crashmc::{check_trace, Trace};
 use rvm_logtool::{format_entry, LogInspector};
 use rvm_storage::FileDevice;
 
@@ -29,11 +37,71 @@ fn usage() -> ! {
     eprintln!("       rvmlog <log-file> history <segment> <offset> <len>");
     eprintln!("       rvmlog <log-file> doctor");
     eprintln!("       rvmlog <log-file> verify");
+    eprintln!("       rvmlog crashck <trace-file> [--seed <n>]");
+    eprintln!("       rvmlog crashck-gen <trace-file> <group|truncate|spool|abort|seeded:N>");
     exit(2);
+}
+
+fn crashck(args: &[String]) -> ! {
+    let trace = match Trace::load(&args[0]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("rvmlog: cannot load trace '{}': {e}", args[0]);
+            exit(1);
+        }
+    };
+    let mut cfg = EnumConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        let seed = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage());
+        cfg.seed = seed;
+    }
+    let report = check_trace(&trace, &cfg);
+    print!("{}", report.render());
+    if !report.is_clean() {
+        eprintln!(
+            "rvmlog: crash-consistency violation (re-run with --seed {} on this trace to reproduce)",
+            cfg.seed
+        );
+        exit(1);
+    }
+    exit(0);
+}
+
+fn crashck_gen(args: &[String]) -> ! {
+    let workload = match args[1].as_str() {
+        "group" => Workload::GroupCommit,
+        "truncate" => Workload::Truncation,
+        "spool" => Workload::NoFlushSpool,
+        "abort" => Workload::AbortMix,
+        w => match w.strip_prefix("seeded:").and_then(|n| n.parse().ok()) {
+            Some(seed) => Workload::Seeded(seed),
+            None => usage(),
+        },
+    };
+    let trace = run_workload(workload, Default::default());
+    if let Err(e) = trace.save(&args[0]) {
+        eprintln!("rvmlog: cannot write trace '{}': {e}", args[0]);
+        exit(1);
+    }
+    println!(
+        "wrote {} ({} ops, {} transactions)",
+        args[0],
+        trace.ops.len(),
+        trace.txns.len()
+    );
+    exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("crashck") if args.len() >= 2 => crashck(&args[1..]),
+        Some("crashck-gen") if args.len() == 3 => crashck_gen(&args[1..]),
+        _ => {}
+    }
     if args.len() < 2 {
         usage();
     }

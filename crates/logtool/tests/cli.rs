@@ -150,6 +150,38 @@ fn verify_subcommand_convicts_what_doctor_acquits() {
 }
 
 #[test]
+fn crashck_gen_then_crashck_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rvmlog-crashck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("spool.cmctrace");
+
+    let out = rvmlog()
+        .arg("crashck-gen")
+        .arg(&trace_path)
+        .arg("spool")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("transactions"), "{text}");
+
+    let out = rvmlog().arg("crashck").arg(&trace_path).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("violations:        0"), "{text}");
+    assert!(text.contains("crash states:"), "{text}");
+
+    // A corrupt trace file is rejected cleanly.
+    std::fs::write(&trace_path, b"not a trace").unwrap();
+    let out = rvmlog().arg("crashck").arg(&trace_path).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("cannot load trace"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = rvmlog().output().unwrap();
     assert!(!out.status.success());

@@ -9,10 +9,12 @@ use crate::{Device, DeviceError, Result};
 /// What happens to writes issued after the last successful `sync` when the
 /// planned crash fires.
 ///
-/// A real power failure may preserve any subset of unsynced writes; testing
-/// the two extremes — everything persisted in order with the final write
-/// torn, and everything lost — brackets the behaviours a correct write-ahead
-/// log must tolerate.
+/// A real power failure may preserve any subset of unsynced writes.
+/// [`KeptInOrder`](UnsyncedFate::KeptInOrder) and
+/// [`Lost`](UnsyncedFate::Lost) bracket that space with the two extremes;
+/// [`ArbitrarySubset`](UnsyncedFate::ArbitrarySubset) and
+/// [`TornWrite`](UnsyncedFate::TornWrite) sample the interior — the
+/// reorder/torn-write windows that hand-picked crash matrices miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnsyncedFate {
     /// Every byte written before the crash point persists, in write order;
@@ -21,6 +23,23 @@ pub enum UnsyncedFate {
     /// All writes since the last successful `sync` are rolled back, as if
     /// they never reached the platter.
     Lost,
+    /// Each write since the last successful `sync` independently persists
+    /// or vanishes, decided pseudo-randomly from `seed` (xorshift64*);
+    /// surviving writes apply in their original order. Models a drive that
+    /// reorders its write cache arbitrarily across a power cut.
+    ArbitrarySubset {
+        /// Seed for the keep/drop coin flips; the same seed replays the
+        /// same subset bit-for-bit.
+        seed: u64,
+    },
+    /// Like [`KeptInOrder`](UnsyncedFate::KeptInOrder), but the write in
+    /// flight at the crash point tears on a sector boundary: only whole
+    /// leading sectors of it persist. Models the sector-granular
+    /// atomicity a real disk offers a multi-sector write.
+    TornWrite {
+        /// Sector size in bytes (must be nonzero).
+        sector: u64,
+    },
 }
 
 /// A plan describing when and how a [`FaultDevice`] crashes.
@@ -51,12 +70,31 @@ impl CrashPlan {
             unsynced: UnsyncedFate::Lost,
         }
     }
+
+    /// A plan that crashes after `after_bytes` written, keeping a seeded
+    /// arbitrary subset of the unsynced writes.
+    pub fn arbitrary_subset_at(after_bytes: u64, seed: u64) -> Self {
+        Self {
+            after_bytes,
+            unsynced: UnsyncedFate::ArbitrarySubset { seed },
+        }
+    }
+
+    /// A plan that crashes after `after_bytes` written, tearing the
+    /// in-flight write on a `sector`-byte boundary.
+    pub fn torn_sector_at(after_bytes: u64, sector: u64) -> Self {
+        Self {
+            after_bytes,
+            unsynced: UnsyncedFate::TornWrite { sector },
+        }
+    }
 }
 
 #[derive(Debug)]
 struct JournalEntry {
     offset: u64,
     old: Vec<u8>,
+    new: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -136,14 +174,46 @@ impl FaultDevice {
     }
 
     fn crash(&self, state: &mut FaultState) -> DeviceError {
-        if self.plan.unsynced == UnsyncedFate::Lost {
-            // Roll back in reverse order so overlapping writes restore the
-            // pre-sync image exactly.
-            while let Some(entry) = state.journal.pop() {
-                // A failure to roll back would leave a *more* adversarial
-                // image, which recovery must tolerate anyway; ignore it.
-                let _ = self.inner.write_at(entry.offset, &entry.old);
+        match self.plan.unsynced {
+            UnsyncedFate::Lost => {
+                // Roll back in reverse order so overlapping writes restore
+                // the pre-sync image exactly.
+                while let Some(entry) = state.journal.pop() {
+                    // A failure to roll back would leave a *more*
+                    // adversarial image, which recovery must tolerate
+                    // anyway; ignore it.
+                    let _ = self.inner.write_at(entry.offset, &entry.old);
+                }
             }
+            UnsyncedFate::ArbitrarySubset { seed } => {
+                // Decide each unsynced write's fate up front, then rebuild
+                // the image as "pre-sync state + kept writes applied in
+                // order". Rolling everything back first (reverse order) and
+                // re-applying the kept subset (forward order) gives exactly
+                // the image a reordering write cache could expose, even for
+                // overlapping writes.
+                let mut rng = if seed == 0 { 0x9E3779B97F4A7C15 } else { seed };
+                let keep: Vec<bool> = state
+                    .journal
+                    .iter()
+                    .map(|_| {
+                        rng ^= rng >> 12;
+                        rng ^= rng << 25;
+                        rng ^= rng >> 27;
+                        rng.wrapping_mul(0x2545F4914F6CDD1D) >> 63 == 1
+                    })
+                    .collect();
+                for entry in state.journal.iter().rev() {
+                    let _ = self.inner.write_at(entry.offset, &entry.old);
+                }
+                for (entry, kept) in state.journal.iter().zip(&keep) {
+                    if *kept {
+                        let _ = self.inner.write_at(entry.offset, &entry.new);
+                    }
+                }
+                state.journal.clear();
+            }
+            UnsyncedFate::KeptInOrder | UnsyncedFate::TornWrite { .. } => {}
         }
         state.crashed = true;
         DeviceError::Crashed
@@ -171,14 +241,27 @@ impl Device for FaultDevice {
             return Err(DeviceError::Crashed);
         }
         let remaining = self.plan.after_bytes.saturating_sub(state.bytes_written);
-        let persist_len = (data.len() as u64).min(remaining) as usize;
+        let mut persist_len = (data.len() as u64).min(remaining) as usize;
+        if (data.len() as u64) > remaining {
+            // This is the write in flight at the crash point; a
+            // sector-granular fate tears it on a sector boundary instead of
+            // mid-byte-stream.
+            if let UnsyncedFate::TornWrite { sector } = self.plan.unsynced {
+                let sector = sector.max(1) as usize;
+                persist_len -= persist_len % sector;
+            }
+        }
 
         if persist_len > 0 {
             let mut old = vec![0u8; persist_len];
             self.inner.read_at(offset, &mut old)?;
             self.inner.write_at(offset, &data[..persist_len])?;
             state.bytes_written += persist_len as u64;
-            state.journal.push(JournalEntry { offset, old });
+            state.journal.push(JournalEntry {
+                offset,
+                old,
+                new: data[..persist_len].to_vec(),
+            });
         }
 
         if (data.len() as u64) > remaining {
@@ -300,5 +383,92 @@ mod tests {
         // The synced bytes survive; the post-sync write is rolled back even
         // though one of its bytes was within budget.
         assert_eq!(image(&inner), vec![5, 5, 0, 0]);
+    }
+
+    #[test]
+    fn torn_write_tears_on_sector_boundary() {
+        let inner = Arc::new(MemDevice::with_len(16));
+        // Budget 10: the 12-byte write crosses it; with 4-byte sectors only
+        // the first two whole sectors (8 bytes) may persist.
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::torn_sector_at(10, 4));
+        let err = dev.write_at(0, &[7; 12]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        let mut expect = vec![7u8; 8];
+        expect.extend_from_slice(&[0; 8]);
+        assert_eq!(image(&inner), expect);
+    }
+
+    #[test]
+    fn torn_write_keeps_earlier_writes_in_order() {
+        let inner = Arc::new(MemDevice::with_len(16));
+        let dev = FaultDevice::new(inner.clone(), CrashPlan::torn_sector_at(6, 4));
+        dev.write_at(0, &[1; 4]).unwrap();
+        // Crossing write: 2 bytes of budget remain, under one 4-byte
+        // sector, so none of it persists.
+        let err = dev.write_at(4, &[2; 4]).unwrap_err();
+        assert!(matches!(err, DeviceError::Crashed));
+        let mut expect = vec![1u8; 4];
+        expect.extend_from_slice(&[0; 12]);
+        assert_eq!(image(&inner), expect);
+    }
+
+    #[test]
+    fn arbitrary_subset_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let inner = Arc::new(MemDevice::with_len(8));
+            let dev = FaultDevice::new(inner.clone(), CrashPlan::arbitrary_subset_at(8, seed));
+            for i in 0..8u64 {
+                let _ = dev.write_at(i, &[i as u8 + 1]);
+            }
+            assert!(dev.has_crashed());
+            image(&inner)
+        };
+        assert_eq!(run(42), run(42));
+        // Across many seeds the kept subsets differ (overwhelmingly
+        // likely); find two seeds that disagree.
+        assert!((1..32u64).any(|s| run(s) != run(s + 100)));
+    }
+
+    #[test]
+    fn arbitrary_subset_applies_kept_writes_in_order() {
+        // Two overlapping writes: whatever the subset, the overlap region
+        // must read as one of {old, first, second} consistent with
+        // in-order application of the kept subset — never a value the
+        // device was never asked to hold.
+        for seed in 1..64u64 {
+            let inner = Arc::new(MemDevice::with_len(4));
+            let dev = FaultDevice::new(inner.clone(), CrashPlan::arbitrary_subset_at(9, seed));
+            dev.write_at(0, &[1, 1, 1, 1]).unwrap();
+            dev.write_at(0, &[2, 2, 2, 2]).unwrap();
+            let _ = dev.write_at(0, &[3]);
+            assert!(dev.has_crashed());
+            let img = image(&inner);
+            // Byte 3 is only touched by writes 1 and 2.
+            assert!(
+                [0u8, 1, 2].contains(&img[3]),
+                "seed {seed}: impossible byte {img:?}"
+            );
+            // In-order application: if write 2 was kept, byte 1 cannot show
+            // write 1's value (2 overwrote it after 1).
+            if img[3] == 2 {
+                assert!(img[1] == 2, "seed {seed}: reordered overlap {img:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_subset_never_touches_synced_writes() {
+        for seed in 1..16u64 {
+            let inner = Arc::new(MemDevice::with_len(8));
+            let dev = FaultDevice::new(inner.clone(), CrashPlan::arbitrary_subset_at(6, seed));
+            dev.write_at(0, &[9, 9]).unwrap();
+            dev.sync().unwrap();
+            dev.write_at(2, &[8, 8]).unwrap();
+            let _ = dev.write_at(4, &[7, 7, 7]);
+            assert!(dev.has_crashed());
+            let img = image(&inner);
+            assert_eq!(&img[..2], &[9, 9], "synced prefix must survive");
+            assert!(img[2] == 8 || img[2] == 0);
+        }
     }
 }

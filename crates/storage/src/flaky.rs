@@ -19,6 +19,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::device::Device;
 use crate::error::{DeviceError, FaultOp, Result};
+use crate::fault::UnsyncedFate;
 
 /// What an injected fault does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,39 +241,73 @@ impl FaultClock {
     }
 }
 
+#[derive(Debug, Default)]
+struct CrashModelState {
+    /// `(offset, old, new)` of every write since the last *successful*
+    /// sync — a failed sync is not a durability barrier, so it must not
+    /// clear this journal.
+    journal: Vec<(u64, Vec<u8>, Vec<u8>)>,
+    /// Whether the configured fate has already been applied.
+    settled: bool,
+}
+
 /// A [`Device`] wrapper that injects faults per a [`FaultClock`] schedule.
 ///
 /// Failed operations are fail-stop: a failed `write_at` writes nothing,
 /// a failed `sync` flushes nothing. (Torn writes are `FaultDevice`'s
 /// department.) `len`, `is_empty`, and `set_len` never inject faults but
 /// do fail once the clock has crashed.
+///
+/// ## Crash model
+///
+/// By default a [`FaultKind::Crash`] fault freezes the inner image as-is
+/// — every write issued before the crash persists, synced or not
+/// ([`UnsyncedFate::KeptInOrder`]). [`FlakyDevice::crash_model`]
+/// configures the fate of *unsynced* writes instead, with the same
+/// semantics as [`FaultDevice`](crate::FaultDevice): the wrapper journals
+/// writes and clears the journal only on a **successful** `sync`. An
+/// injected sync failure leaves the journal intact, so a later crash
+/// still rolls those writes back — a failed sync never acts as a silent
+/// durability barrier.
 #[derive(Debug)]
 pub struct FlakyDevice<D: ?Sized> {
     inner: Arc<D>,
     clock: Arc<FaultClock>,
+    crash_model: Option<UnsyncedFate>,
+    model_state: Mutex<CrashModelState>,
 }
 
 impl<D: Device + ?Sized> FlakyDevice<D> {
     /// Wrap `inner` with an explicit fault schedule.
     pub fn new(inner: Arc<D>, faults: Vec<FlakyFault>) -> Self {
-        FlakyDevice {
-            inner,
-            clock: FaultClock::new(faults),
-        }
+        Self::with_clock(inner, FaultClock::new(faults))
     }
 
     /// Wrap `inner` with a seeded pseudo-random schedule; see
     /// [`FaultClock::seeded`].
     pub fn seeded(inner: Arc<D>, seed: u64, fail_per_mille: u32) -> Self {
-        FlakyDevice {
-            inner,
-            clock: FaultClock::seeded(seed, fail_per_mille),
-        }
+        Self::with_clock(inner, FaultClock::seeded(seed, fail_per_mille))
     }
 
     /// Wrap `inner` with an existing (possibly shared) clock.
     pub fn with_clock(inner: Arc<D>, clock: Arc<FaultClock>) -> Self {
-        FlakyDevice { inner, clock }
+        FlakyDevice {
+            inner,
+            clock,
+            crash_model: None,
+            model_state: Mutex::new(CrashModelState::default()),
+        }
+    }
+
+    /// Configure the fate of unsynced writes when the clock crashes; see
+    /// the [crash model](#crash-model) section.
+    ///
+    /// `TornWrite` degrades to `KeptInOrder` here: injected failures are
+    /// fail-stop (a failed write writes nothing), so there is never an
+    /// in-flight write to tear.
+    pub fn crash_model(mut self, fate: UnsyncedFate) -> Self {
+        self.crash_model = Some(fate);
+        self
     }
 
     /// The fault clock driving this device.
@@ -284,33 +319,110 @@ impl<D: Device + ?Sized> FlakyDevice<D> {
     pub fn inner(&self) -> Arc<D> {
         Arc::clone(&self.inner)
     }
+
+    /// Applies the configured unsynced-write fate to the inner image if
+    /// the shared clock has crashed (idempotent). Called automatically by
+    /// every operation that observes the crash; tests that inspect the
+    /// inner device directly call it to make sure the image is settled
+    /// even when the crash fired on a *different* device sharing the
+    /// clock.
+    pub fn settle_crash(&self) {
+        if !self.clock.has_crashed() {
+            return;
+        }
+        let Some(fate) = self.crash_model else {
+            return;
+        };
+        let mut s = self.model_state.lock().unwrap();
+        if s.settled {
+            return;
+        }
+        s.settled = true;
+        match fate {
+            UnsyncedFate::KeptInOrder | UnsyncedFate::TornWrite { .. } => {}
+            UnsyncedFate::Lost => {
+                for (offset, old, _) in s.journal.iter().rev() {
+                    let _ = self.inner.write_at(*offset, old);
+                }
+                s.journal.clear();
+            }
+            UnsyncedFate::ArbitrarySubset { seed } => {
+                let mut rng = if seed == 0 { 0x9E3779B97F4A7C15 } else { seed };
+                let keep: Vec<bool> = s
+                    .journal
+                    .iter()
+                    .map(|_| {
+                        rng ^= rng >> 12;
+                        rng ^= rng << 25;
+                        rng ^= rng >> 27;
+                        rng.wrapping_mul(0x2545F4914F6CDD1D) >> 63 == 1
+                    })
+                    .collect();
+                for (offset, old, _) in s.journal.iter().rev() {
+                    let _ = self.inner.write_at(*offset, old);
+                }
+                for ((offset, _, new), kept) in s.journal.iter().zip(&keep) {
+                    if *kept {
+                        let _ = self.inner.write_at(*offset, new);
+                    }
+                }
+                s.journal.clear();
+            }
+        }
+    }
+
+    fn admit(&self, op: FaultOp) -> Result<()> {
+        let outcome = self.clock.admit(op);
+        if matches!(outcome, Err(DeviceError::Crashed)) {
+            self.settle_crash();
+        }
+        outcome
+    }
 }
 
 impl<D: Device + ?Sized> Device for FlakyDevice<D> {
     fn len(&self) -> Result<u64> {
         if self.clock.has_crashed() {
+            self.settle_crash();
             return Err(DeviceError::Crashed);
         }
         self.inner.len()
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.clock.admit(FaultOp::Read)?;
+        self.admit(FaultOp::Read)?;
         self.inner.read_at(offset, buf)
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
-        self.clock.admit(FaultOp::Write)?;
-        self.inner.write_at(offset, buf)
+        self.admit(FaultOp::Write)?;
+        if self.crash_model.is_some() {
+            let mut old = vec![0u8; buf.len()];
+            self.inner.read_at(offset, &mut old)?;
+            self.inner.write_at(offset, buf)?;
+            self.model_state
+                .lock()
+                .unwrap()
+                .journal
+                .push((offset, old, buf.to_vec()));
+            Ok(())
+        } else {
+            self.inner.write_at(offset, buf)
+        }
     }
 
     fn sync(&self) -> Result<()> {
-        self.clock.admit(FaultOp::Sync)?;
-        self.inner.sync()
+        // An injected failure propagates *without* clearing the journal:
+        // the barrier did not happen, so unsynced writes stay at risk.
+        self.admit(FaultOp::Sync)?;
+        self.inner.sync()?;
+        self.model_state.lock().unwrap().journal.clear();
+        Ok(())
     }
 
     fn set_len(&self, len: u64) -> Result<()> {
         if self.clock.has_crashed() {
+            self.settle_crash();
             return Err(DeviceError::Crashed);
         }
         self.inner.set_len(len)
@@ -411,6 +523,86 @@ mod tests {
         assert_ne!(run(42), run(43));
         let d = FlakyDevice::seeded(Arc::new(MemDevice::with_len(4096)), 7, 1000);
         assert!(d.sync().unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn failed_sync_is_not_a_durability_barrier() {
+        // Schedule: the first sync fails transiently, then a crash on the
+        // 5th total op. With a Lost crash model, *every* write since the
+        // last SUCCESSFUL sync must roll back — including writes issued
+        // before the failed sync.
+        let inner = Arc::new(MemDevice::with_len(8));
+        let d = FlakyDevice::with_clock(
+            Arc::clone(&inner),
+            FaultClock::new(vec![
+                FlakyFault::transient(FaultOp::Sync, 1),
+                FlakyFault::crash_after_ops(5),
+            ]),
+        )
+        .crash_model(UnsyncedFate::Lost);
+
+        d.write_at(0, &[1, 1]).unwrap(); // op 1
+        assert!(d.sync().unwrap_err().is_transient()); // op 2: failed sync
+        d.write_at(2, &[2, 2]).unwrap(); // op 3
+        d.write_at(4, &[3, 3]).unwrap(); // op 4
+        assert!(matches!(
+            d.write_at(6, &[4, 4]).unwrap_err(), // op 5: crash
+            DeviceError::Crashed
+        ));
+        // All three completed writes vanish: the failed sync protected
+        // nothing.
+        assert_eq!(inner.snapshot(), vec![0; 8]);
+    }
+
+    #[test]
+    fn successful_sync_protects_earlier_writes() {
+        let inner = Arc::new(MemDevice::with_len(8));
+        let d = FlakyDevice::with_clock(
+            Arc::clone(&inner),
+            FaultClock::new(vec![FlakyFault::crash_after_ops(4)]),
+        )
+        .crash_model(UnsyncedFate::Lost);
+
+        d.write_at(0, &[1, 1]).unwrap(); // op 1
+        d.sync().unwrap(); // op 2: real barrier
+        d.write_at(2, &[2, 2]).unwrap(); // op 3
+        assert!(matches!(
+            d.sync().unwrap_err(), // op 4: crash
+            DeviceError::Crashed
+        ));
+        assert_eq!(inner.snapshot(), vec![1, 1, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn default_crash_model_keeps_unsynced_writes() {
+        let inner = Arc::new(MemDevice::with_len(4));
+        let d = FlakyDevice::with_clock(
+            Arc::clone(&inner),
+            FaultClock::new(vec![FlakyFault::crash_after_ops(2)]),
+        );
+        d.write_at(0, &[9, 9]).unwrap();
+        assert!(d.write_at(2, &[8, 8]).is_err());
+        assert_eq!(inner.snapshot(), vec![9, 9, 0, 0]);
+    }
+
+    #[test]
+    fn crash_on_shared_clock_settles_on_next_operation() {
+        // The crash fires on device A; device B's journal must still be
+        // applied when B next observes the crash (or via settle_crash).
+        let clock = FaultClock::new(vec![FlakyFault::crash_after_ops(3)]);
+        let inner_a = Arc::new(MemDevice::with_len(4));
+        let inner_b = Arc::new(MemDevice::with_len(4));
+        let a = FlakyDevice::with_clock(Arc::clone(&inner_a), Arc::clone(&clock))
+            .crash_model(UnsyncedFate::Lost);
+        let b = FlakyDevice::with_clock(Arc::clone(&inner_b), Arc::clone(&clock))
+            .crash_model(UnsyncedFate::Lost);
+        b.write_at(0, &[5, 5]).unwrap(); // op 1
+        a.write_at(0, &[6, 6]).unwrap(); // op 2
+        assert!(a.write_at(2, &[7, 7]).is_err()); // op 3: crash, A settles
+        assert_eq!(inner_a.snapshot(), vec![0; 4]);
+        // B has not run an op since the crash; settle it explicitly.
+        b.settle_crash();
+        assert_eq!(inner_b.snapshot(), vec![0; 4]);
     }
 
     #[test]

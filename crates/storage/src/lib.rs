@@ -16,6 +16,10 @@
 //!   [`DeviceError::Injected`], on an explicit or seeded schedule. This is
 //!   the engine behind the transient-fault and crash-during-recovery
 //!   sweeps.
+//! * [`TraceDevice`] — a wrapper that records every mutation into a shared
+//!   [`TraceRecorder`] op-log, in global order across devices. This is the
+//!   input to the `rvm-crashmc` crash-state model checker, which
+//!   enumerates every durable image the op-log permits.
 //!
 //! The `simdisk` crate provides a further implementation that charges seek,
 //! rotation and transfer latency to a virtual clock.
@@ -28,6 +32,7 @@ mod flaky;
 mod mem;
 mod mirror;
 mod null;
+mod trace;
 
 pub use device::{Device, SharedDevice};
 pub use error::{DeviceError, FaultOp, Result};
@@ -37,3 +42,4 @@ pub use flaky::{FaultClock, FaultKind, FlakyDevice, FlakyFault};
 pub use mem::MemDevice;
 pub use mirror::MirrorDevice;
 pub use null::NullDevice;
+pub use trace::{TraceDevice, TraceOp, TraceOpKind, TraceRecorder};
