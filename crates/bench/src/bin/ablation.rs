@@ -35,6 +35,13 @@ fn rvm_over_simdisk(clock: &Clock, tuning: Tuning) -> Rvm {
         }
         Ok(seg_backing.clone() as Arc<dyn rvm_storage::Device>)
     });
+    // The resolver above aliases every name onto one backing disk, so
+    // checksum sidecars are off: this bench measures the paper's logged
+    // paths, not catalog maintenance.
+    let tuning = Tuning {
+        segment_checksums: false,
+        ..tuning
+    };
     Rvm::initialize(
         Options::new(log)
             .resolver(resolver)

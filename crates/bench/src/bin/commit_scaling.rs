@@ -68,6 +68,9 @@ fn run_cell(threads: u64, total: u64, grouped: bool) -> Cell {
         // A short accumulation window (wall-clock; the virtual disk is
         // not charged) so concurrent committers reliably share a batch.
         group_commit_wait_us: if grouped { 300 } else { 0 },
+        // The resolver aliases every name onto one data disk; checksum
+        // sidecars are off so catalog writes cannot land on it.
+        segment_checksums: false,
         ..Tuning::default()
     };
     let rvm = Arc::new(

@@ -10,8 +10,10 @@ use rvm_bench::tpca_run::{run_cell, SweepConfig, SystemKind};
 use tpca::{rmem_pmem_percent, table1_account_sizes, AccessPattern};
 
 fn main() {
-    let mut cfg = SweepConfig::default();
-    cfg.trials = 1;
+    let mut cfg = SweepConfig {
+        trials: 1,
+        ..SweepConfig::default()
+    };
     let mut sizes = table1_account_sizes();
     let mut csv_only = false;
     let args: Vec<String> = std::env::args().skip(1).collect();

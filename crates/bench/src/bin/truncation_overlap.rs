@@ -101,6 +101,9 @@ fn run(total: u64) -> Measured {
                 .tuning(Tuning {
                     background_truncation: true,
                     truncation_threshold: 0.1,
+                    // One shared segment device behind every name, so
+                    // checksum sidecars are off.
+                    segment_checksums: false,
                     ..Tuning::default()
                 })
                 .create_if_empty(),
@@ -250,14 +253,8 @@ fn main() {
          {COMMITTERS} committers, 1 ms/segment-write apply\n\n",
         m.txns
     ));
-    table.push_str(&format!(
-        "{:<26} {:>12}\n",
-        "epochs truncated", m.epochs
-    ));
-    table.push_str(&format!(
-        "{:<26} {:>12.3}\n",
-        "wall time (s)", m.wall_s
-    ));
+    table.push_str(&format!("{:<26} {:>12}\n", "epochs truncated", m.epochs));
+    table.push_str(&format!("{:<26} {:>12.3}\n", "wall time (s)", m.wall_s));
     table.push_str(&format!(
         "{:<26} {:>12.3}\n",
         "truncation in flight (s)", m.in_flight_s

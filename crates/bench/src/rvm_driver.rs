@@ -74,6 +74,10 @@ impl RvmTpca {
         });
         let tuning = Tuning {
             truncation_threshold: log_cfg.threshold,
+            // The resolver aliases every name onto one data disk;
+            // checksum sidecars are off so catalog writes cannot land
+            // on it.
+            segment_checksums: false,
             ..Tuning::default()
         };
         let rvm = Rvm::initialize(

@@ -73,6 +73,10 @@ pub enum RvmReturn {
     /// A transient device fault exhausted its retry budget; the operation
     /// may succeed if reissued on a fresh instance.
     RvmEIoTransient = 15,
+    /// Unrecoverable media corruption: the region is quarantined into
+    /// read-only degraded mode (the original's `RVM_EMEDIA` territory —
+    /// media recovery the paper delegated to mirroring, §2).
+    RvmEMedia = 16,
 }
 
 /// `restore_mode` values for [`rvm_begin_transaction`].
@@ -99,6 +103,7 @@ fn map_err(e: &RvmError) -> RvmReturn {
         RvmError::TransactionsOutstanding(_) => RvmReturn::RvmETxnsOutstanding,
         RvmError::Terminated => RvmReturn::RvmETerminated,
         RvmError::Poisoned => RvmReturn::RvmEPoisoned,
+        RvmError::Media(_) => RvmReturn::RvmEMedia,
     }
 }
 
@@ -533,6 +538,23 @@ pub struct RvmQuery {
     pub truncation_stall_ns: u64,
     /// Nonzero while an epoch truncation is applying its frozen span.
     pub truncation_in_flight: u64,
+    /// Healthy replicas across every mirrored device in play (0 when
+    /// nothing is mirrored).
+    pub replicas_alive: u64,
+    /// Total replicas across those mirrors; `replicas_alive <
+    /// replicas_total` means a mirror is running degraded.
+    pub replicas_total: u64,
+    /// Segment pages verified against their checksum catalogs by scrub
+    /// passes.
+    pub pages_scrubbed: u64,
+    /// Checksum mismatches detected (scrub, verified reads, truncation).
+    pub corruptions_detected: u64,
+    /// Detected corruptions healed by the repair ladder (mirror
+    /// read-repair, log reconstruction, VM rewrite).
+    pub corruptions_repaired: u64,
+    /// Regions quarantined into read-only degraded mode
+    /// ([`RvmReturn::RvmEMedia`]).
+    pub regions_quarantined: u64,
 }
 
 /// Fills `*out` with library state (the paper's `query`).
@@ -567,6 +589,12 @@ pub unsafe extern "C" fn rvm_query(handle: *mut RvmHandle, out: *mut RvmQuery) -
                 commits_during_truncation: q.stats.commits_during_truncation,
                 truncation_stall_ns: q.stats.truncation_stall_ns,
                 truncation_in_flight: u64::from(q.truncation_in_flight),
+                replicas_alive: q.replicas_alive as u64,
+                replicas_total: q.replicas_total as u64,
+                pages_scrubbed: q.stats.pages_scrubbed,
+                corruptions_detected: q.stats.corruptions_detected,
+                corruptions_repaired: q.stats.corruptions_repaired,
+                regions_quarantined: q.stats.regions_quarantined,
             };
         }
         RvmReturn::RvmSuccess
@@ -618,6 +646,7 @@ pub extern "C" fn rvm_strerror(code: RvmReturn) -> *const c_char {
         RvmReturn::RvmEPanic => b"internal panic\0",
         RvmReturn::RvmEPoisoned => b"instance poisoned by unrecoverable I/O failure\0",
         RvmReturn::RvmEIoTransient => b"transient device fault exhausted retries\0",
+        RvmReturn::RvmEMedia => b"unrecoverable media corruption; region quarantined read-only\0",
     };
     s.as_ptr() as *const c_char
 }
@@ -684,7 +713,7 @@ mod tests {
                 RvmReturn::RvmSuccess
             );
             assert_eq!(rvm_set_range_ptr(tid, r, base, 8), RvmReturn::RvmSuccess);
-            std::ptr::copy_nonoverlapping(b"C-durab\0".as_ptr(), base, 8);
+            std::ptr::copy_nonoverlapping(c"C-durab".as_ptr().cast::<u8>(), base, 8);
             assert_eq!(rvm_end_transaction(tid, RVM_FLUSH), RvmReturn::RvmSuccess);
             rvm_free_tid(tid);
 
@@ -825,6 +854,7 @@ mod tests {
             RvmReturn::RvmEPanic,
             RvmReturn::RvmEPoisoned,
             RvmReturn::RvmEIoTransient,
+            RvmReturn::RvmEMedia,
         ] {
             let p = rvm_strerror(code);
             assert!(!p.is_null());

@@ -453,7 +453,7 @@ mod tests {
             None,
         )
         .unwrap();
-        let off = if status.seq % 2 == 0 {
+        let off = if status.seq.is_multiple_of(2) {
             STATUS_A_OFFSET
         } else {
             STATUS_B_OFFSET

@@ -334,7 +334,7 @@ pub fn run_machine(profile: &MachineProfile, seed: u64) -> MachineRow {
 
         if profile.kind == MachineKind::Client
             && profile.flush_every > 0
-            && committed % profile.flush_every == 0
+            && committed.is_multiple_of(profile.flush_every)
         {
             rvm.flush().expect("flush");
         }

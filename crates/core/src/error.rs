@@ -74,6 +74,12 @@ pub enum RvmError {
     /// with this error. Recover by re-running `Rvm::initialize` over the
     /// surviving log image.
     Poisoned,
+    /// Unrecoverable media failure: a segment page failed its checksum and
+    /// the whole repair ladder (mirror read-repair, reconstruction from
+    /// the un-truncated log span) came up empty. The affected region is
+    /// quarantined — per-region read-only degraded mode — while other
+    /// regions keep committing. The message names the segment and page.
+    Media(String),
 }
 
 impl fmt::Display for RvmError {
@@ -116,6 +122,7 @@ impl fmt::Display for RvmError {
                 f,
                 "RVM instance is poisoned after an unrecoverable I/O failure"
             ),
+            RvmError::Media(msg) => write!(f, "unrecoverable media failure: {msg}"),
         }
     }
 }

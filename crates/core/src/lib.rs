@@ -88,9 +88,15 @@
 //!    only lock a thread may *block* on with another of these held is
 //!    none: `core` is always taken first.
 //! 2. `RvmShared::regions` (read or write) — the region map.
-//! 3. Leaf locks, never held while acquiring any of the above:
-//!    per-region `page_vector` / memory locks, `RvmShared::check`
-//!    (debug-checker state), `RvmShared::bg_wakeup`, `Rvm::bg_thread`.
+//! 3. Per-region memory locks (`mem_lock`), then per-region
+//!    `page_vector` — the scrubber's VM-rewrite rung holds
+//!    `core → mem_lock → page_vector` in that order; no path acquires
+//!    `mem_lock` while holding a `page_vector`, or `core` while holding
+//!    either.
+//! 4. Leaf locks, never held while acquiring any of the above:
+//!    `RvmShared::check` (debug-checker state), `RvmShared::bg_wakeup` /
+//!    `scrub_wakeup`, `Rvm::bg_thread` / `scrub_thread`, and
+//!    `SegmentChecksums`' internal entry table.
 //!
 //! Two non-obvious consequences:
 //!
@@ -120,6 +126,7 @@ pub mod recovery;
 mod region;
 mod retry;
 mod rvm;
+pub mod scrub;
 pub mod segment;
 mod spool;
 pub mod stats;
@@ -137,5 +144,6 @@ pub use recovery::RecoveryReport;
 pub use region::{Region, RegionDescriptor};
 pub use retry::{thread_sleeper, BackoffSleeper, RetryPolicy};
 pub use rvm::{Rvm, TerminateFailure};
+pub use scrub::{ScrubReport, SegmentChecksums};
 pub use stats::StatsSnapshot;
 pub use txn::Transaction;

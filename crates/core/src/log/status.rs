@@ -357,7 +357,11 @@ mod tests {
             let b = raw_copy(&dev, STATUS_B_OFFSET).unwrap();
             // Even seqs land in copy A, odd in copy B; the other copy
             // still holds the immediately preceding write.
-            let (newer, older) = if sb.seq % 2 == 0 { (a, b) } else { (b, a) };
+            let (newer, older) = if sb.seq.is_multiple_of(2) {
+                (a, b)
+            } else {
+                (b, a)
+            };
             assert_eq!(newer.seq, sb.seq);
             assert_eq!(newer.head, 1000 + i);
             assert_eq!(older.seq, sb.seq - 1);

@@ -147,6 +147,18 @@ pub struct Tuning {
     /// batch. Zero (the default) batches only what lock contention
     /// naturally accumulates, adding no latency to solo commits.
     pub group_commit_wait_us: u64,
+    /// Maintain a per-page checksum catalog beside each data segment:
+    /// updated whenever truncation or recovery writes segment pages,
+    /// verified when mapped regions load pages and by scrub passes. The
+    /// detection layer the repair ladder (mirror read-repair → log
+    /// reconstruction → quarantine) rests on. On by default.
+    pub segment_checksums: bool,
+    /// Run a background scrubber thread that periodically walks segment
+    /// pages against the checksum catalog and repairs what it can — the
+    /// media analog of background truncation. Off by default.
+    pub background_scrub: bool,
+    /// Milliseconds between background scrub passes.
+    pub scrub_interval_ms: u64,
     /// Deliberate protocol mutations for the crash-state model checker;
     /// all off in real use. See [`MutationHooks`].
     #[doc(hidden)]
@@ -170,6 +182,9 @@ impl Default for Tuning {
             group_commit_max_txns: 64,
             group_commit_max_bytes: 8 << 20,
             group_commit_wait_us: 0,
+            segment_checksums: true,
+            background_scrub: false,
+            scrub_interval_ms: 200,
             mutation: MutationHooks::default(),
         }
     }
@@ -261,6 +276,9 @@ mod tests {
         assert!(t.group_commit_max_txns >= 1);
         assert!(t.group_commit_max_bytes > 0);
         assert_eq!(t.group_commit_wait_us, 0, "solo commits pay no window");
+        assert!(t.segment_checksums, "media detection is on by default");
+        assert!(!t.background_scrub, "scrubber is opt-in");
+        assert!(t.scrub_interval_ms > 0);
     }
 
     #[test]

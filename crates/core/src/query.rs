@@ -25,6 +25,18 @@ pub struct QueryInfo {
     pub active_transactions: u64,
     /// Currently mapped regions.
     pub mapped_regions: usize,
+    /// Mapped regions quarantined into read-only degraded mode by
+    /// unrecoverable media corruption (see
+    /// [`RvmError::Media`](crate::RvmError::Media)).
+    pub regions_degraded: usize,
+    /// Healthy replicas across every mirrored device in play (the log
+    /// plus resolved segments); 0 when nothing is mirrored.
+    pub replicas_alive: usize,
+    /// Total replicas across those mirrors; `replicas_alive <
+    /// replicas_total` means a mirror is running degraded and
+    /// [`MirrorDevice::readmit_replica`](rvm_storage::MirrorDevice) (or a
+    /// resilver) is due.
+    pub replicas_total: usize,
     /// Committed no-flush transactions awaiting a flush.
     pub spooled_transactions: usize,
     /// Record bytes awaiting a flush.

@@ -24,6 +24,7 @@ use crate::error::{Result, RvmError};
 use crate::log::status::{write_status, StatusBlock};
 use crate::log::wal::scan_forward;
 use crate::ranges::IntervalMap;
+use crate::scrub::{apply_tree_verified, sidecar_name, ApplyContext, SegmentChecksums};
 use crate::segment::DeviceResolver;
 
 /// What recovery did, for inspection and tests.
@@ -42,6 +43,12 @@ pub struct RecoveryReport {
     /// the span like any other live log prefix — re-applying it is
     /// idempotent — so this is diagnostic only.
     pub interrupted_epoch: bool,
+    /// Segment pages recovery touched whose pre-apply image failed
+    /// checksum verification (media rot surfaced during replay).
+    pub corrupt_pages_detected: u64,
+    /// Detected pages left with an exact catalog entry: read-repair
+    /// recovered the old image, or the log span rewrote the whole page.
+    pub corrupt_pages_repaired: u64,
 }
 
 /// Builds the latest-committed-change tree per segment from scanned
@@ -69,14 +76,22 @@ pub(crate) struct Recovered {
     pub status: StatusBlock,
     /// Segment devices opened during recovery, keyed by raw segment id.
     pub seg_devices: HashMap<u32, Arc<dyn Device>>,
+    /// Checksum catalogs opened (or adopted) for those segments, keyed
+    /// the same way; empty when checksums are off.
+    pub seg_catalogs: HashMap<u32, Arc<SegmentChecksums>>,
     pub report: RecoveryReport,
 }
 
 /// Runs crash recovery over the log and returns the recovered state.
+/// With `checksums` on, every touched segment's sidecar catalog is opened
+/// (or adopted) and the replay applies under checksum scrutiny — see
+/// [`apply_tree_verified`] — so the catalog is exact again before the
+/// status reset empties the log.
 pub(crate) fn recover(
     dev: &Arc<dyn Device>,
     mut status: StatusBlock,
     resolver: &DeviceResolver,
+    checksums: bool,
 ) -> Result<Recovered> {
     let scan = scan_forward(
         dev.as_ref(),
@@ -91,9 +106,15 @@ pub(crate) fn recover(
     let trees = build_latest_trees(&scan.records);
 
     // Traverse the trees, applying modifications to the external data
-    // segments.
+    // segments. The verified apply also brings each catalog up to date,
+    // and persists it, *before* the status reset below advances the head
+    // past the records that produced it (the scrub module's crash
+    // ordering invariant).
     let mut seg_devices = HashMap::new();
+    let mut seg_catalogs = HashMap::new();
     let mut bytes_applied = 0u64;
+    let mut corrupt_pages_detected = 0u64;
+    let mut corrupt_pages_repaired = 0u64;
     let mut sorted: Vec<_> = trees.iter().collect();
     sorted.sort_by_key(|(id, _)| **id);
     for (&seg_raw, tree) in sorted {
@@ -114,11 +135,28 @@ pub(crate) fn recover(
         if seg_dev.len()? < needed {
             seg_dev.set_len(needed)?;
         }
-        for (start, payload) in tree.iter() {
-            seg_dev.write_at(start, payload)?;
-            bytes_applied += payload.len() as u64;
+        let catalog = if checksums {
+            let side = (resolver)(&sidecar_name(&info.name), 0)?;
+            Some(Arc::new(SegmentChecksums::open(
+                side,
+                &seg_dev,
+                seg_dev.len()?,
+            )?))
+        } else {
+            None
+        };
+        let outcome = apply_tree_verified(
+            seg_dev.as_ref(),
+            catalog.as_deref(),
+            tree,
+            ApplyContext::Recovery,
+        )?;
+        corrupt_pages_detected += outcome.corruptions_detected;
+        corrupt_pages_repaired += outcome.corruptions_repaired;
+        bytes_applied += tree.total_len();
+        if let Some(catalog) = catalog {
+            seg_catalogs.insert(seg_raw, catalog);
         }
-        seg_dev.sync()?;
         seg_devices.insert(seg_raw, seg_dev);
     }
 
@@ -132,6 +170,8 @@ pub(crate) fn recover(
         segments_updated: seg_devices.len(),
         pads_skipped: scan.pads,
         interrupted_epoch: status.epoch_end != 0,
+        corrupt_pages_detected,
+        corrupt_pages_repaired,
     };
     status.head = scan.tail;
     status.tail = scan.tail;
@@ -144,6 +184,7 @@ pub(crate) fn recover(
     Ok(Recovered {
         status,
         seg_devices,
+        seg_catalogs,
         report,
     })
 }
@@ -198,7 +239,7 @@ mod tests {
     #[test]
     fn empty_log_recovers_to_nothing() {
         let (dev, status, resolver) = setup(64);
-        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec.report, RecoveryReport::default());
         assert!(resolver.get("segA").is_none(), "no devices touched");
     }
@@ -212,7 +253,7 @@ mod tests {
         wal.append_txn(3, &[rr(0, 3, &[3])]).unwrap();
         wal.force().unwrap();
 
-        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec.report.records_replayed, 3);
         // Newest-wins pruning applies exactly 4 bytes, not 7.
         assert_eq!(rec.report.bytes_applied, 4);
@@ -229,7 +270,7 @@ mod tests {
         wal.append_txn(1, &[rr(0, 0, &[7; 8]), rr(1, 100, &[9; 8])])
             .unwrap();
         wal.force().unwrap();
-        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec.report.segments_updated, 2);
         let mut buf = [0u8; 8];
         resolver
@@ -248,13 +289,13 @@ mod tests {
         wal.force().unwrap();
         let tail = wal.tail();
 
-        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec.status.head, tail);
         assert_eq!(rec.status.tail, tail);
 
         // A second recovery (as if we crashed right after) finds nothing.
         let status2 = read_status(dev.as_ref()).unwrap();
-        let rec2 = recover(&dev, status2, &resolver.clone().into_resolver()).unwrap();
+        let rec2 = recover(&dev, status2, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec2.report.records_replayed, 0);
         let seg = resolver.get("segA").unwrap();
         let mut buf = [0u8; 16];
@@ -271,7 +312,7 @@ mod tests {
         // Tear the second record.
         dev.write_at(LOG_AREA_START + info.offset + 50, &[0xFF; 4])
             .unwrap();
-        let rec = recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        let rec = recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         assert_eq!(rec.report.records_replayed, 1);
         let seg = resolver.get("segA").unwrap();
         let mut buf = [0u8; 8];
@@ -285,7 +326,7 @@ mod tests {
         let mut wal = wal_for(&dev, &status);
         wal.append_txn(1, &[rr(9, 0, &[1; 4])]).unwrap();
         wal.force().unwrap();
-        let Err(err) = recover(&dev, status, &resolver.into_resolver()) else {
+        let Err(err) = recover(&dev, status, &resolver.into_resolver(), true) else {
             panic!("recovery must fail for an unknown segment id");
         };
         assert!(matches!(err, RvmError::BadLog(_)));
@@ -297,7 +338,7 @@ mod tests {
         let mut wal = wal_for(&dev, &status);
         wal.append_txn(1, &[rr(0, 100_000, &[3; 50])]).unwrap();
         wal.force().unwrap();
-        recover(&dev, status, &resolver.clone().into_resolver()).unwrap();
+        recover(&dev, status, &resolver.clone().into_resolver(), true).unwrap();
         let seg = resolver.get("segA").unwrap();
         assert!(seg.len().unwrap() >= 100_050);
     }

@@ -31,7 +31,9 @@ use rvm_storage::Device;
 
 use crate::error::{Result, RvmError};
 use crate::options::PAGE_SIZE;
+use crate::scrub::SegmentChecksums;
 use crate::segment::SegmentId;
+use crate::stats::MediaCounters;
 use crate::truncation::page_vector::PageVector;
 use crate::txn::Transaction;
 
@@ -200,6 +202,16 @@ pub(crate) struct RegionInner {
     /// `None` once fully loaded; otherwise tracks which pages still need
     /// fetching from the segment (the on-demand load policy).
     pub(crate) unloaded: Mutex<Option<Vec<bool>>>,
+    /// Per-page checksum catalog of the backing segment
+    /// ([`Tuning::segment_checksums`](crate::Tuning)); `None` disables
+    /// media scrutiny for this region.
+    pub(crate) catalog: Option<Arc<SegmentChecksums>>,
+    /// Set (and never cleared while mapped) when unrecoverable media
+    /// corruption quarantines the region: reads of loaded pages keep
+    /// working, new `set_range`s fail with [`RvmError::Media`].
+    pub(crate) degraded: AtomicBool,
+    /// Instance-wide media counters (shared with `Stats`).
+    pub(crate) media: Arc<MediaCounters>,
 }
 
 impl RegionInner {
@@ -222,8 +234,91 @@ impl RegionInner {
         Ok(())
     }
 
+    /// Returns `true` once unrecoverable corruption quarantined the
+    /// region.
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// The error writes to an already-quarantined region fail with.
+    pub(crate) fn degraded_error(&self) -> RvmError {
+        RvmError::Media(format!(
+            "region [{}, {}) of segment '{}' is quarantined (degraded, read-only) \
+             after unrecoverable media corruption",
+            self.seg_offset,
+            self.seg_offset + self.len,
+            self.seg_name
+        ))
+    }
+
+    /// Quarantines the region (once), returning the [`RvmError::Media`]
+    /// describing the unrecoverable page.
+    pub(crate) fn quarantine(&self, seg_page: usize) -> RvmError {
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            self.media
+                .regions_quarantined
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        RvmError::Media(format!(
+            "segment '{}' page {} failed checksum verification and no replica or \
+             committed image could repair it; region quarantined (read-only)",
+            self.seg_name, seg_page
+        ))
+    }
+
+    /// Reads region page `page` (one full [`PAGE_SIZE`] block) from the
+    /// segment, under checksum scrutiny when a catalog is attached: mirror
+    /// read-repair and transient re-reads first, quarantine when the page
+    /// stays unverifiable. This is the load half of the repair ladder —
+    /// a page being *loaded* is by definition not in VM and (map-time
+    /// truncation having drained the segment's live log records) not
+    /// reconstructible from the log, so the mirror is its only donor.
+    pub(crate) fn fetch_page_verified(&self, page: usize, buf: &mut [u8]) -> Result<()> {
+        let page_off = page as u64 * PAGE_SIZE;
+        let Some(catalog) = &self.catalog else {
+            self.seg_dev.read_at(self.seg_offset + page_off, buf)?;
+            return Ok(());
+        };
+        // Region offsets are page-aligned, so region page i is segment
+        // page (seg_offset / PAGE_SIZE) + i exactly.
+        let seg_page = ((self.seg_offset + page_off) / PAGE_SIZE) as usize;
+        let (verified, healed) =
+            crate::scrub::read_page_verified(self.seg_dev.as_ref(), catalog, seg_page, buf)?;
+        self.media.pages_scrubbed.fetch_add(1, Ordering::Relaxed);
+        if healed {
+            self.media
+                .corruptions_detected
+                .fetch_add(1, Ordering::Relaxed);
+            self.media
+                .corruptions_repaired
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if !verified {
+            self.media
+                .corruptions_detected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(self.quarantine(seg_page));
+        }
+        Ok(())
+    }
+
     /// Copies the committed image in from the segment device (map time).
     pub(crate) fn load_from_segment(&self) -> Result<()> {
+        if self.catalog.is_some() {
+            // Page-wise verified load; the bulk path below has no
+            // per-page checksum boundary to verify against.
+            let pages = (self.len / PAGE_SIZE) as usize;
+            let mut buf = vec![0u8; PAGE_SIZE as usize];
+            for page in 0..pages {
+                self.fetch_page_verified(page, &mut buf)?;
+                let _guard = self.mem_lock.write();
+                // SAFETY: exclusive lock held; bounds derived from the
+                // region length.
+                unsafe { self.mem.copy_in(page * PAGE_SIZE as usize, &buf) }?;
+            }
+            *self.unloaded.lock() = None;
+            return Ok(());
+        }
         let _guard = self.mem_lock.write();
         // SAFETY: exclusive lock held; the slice covers the whole block.
         let buf = unsafe { self.mem.slice_mut(0, self.len as usize) }?;
@@ -246,7 +341,7 @@ impl RegionInner {
                 let page_off = page as u64 * PAGE_SIZE;
                 let page_len = PAGE_SIZE.min(self.len - page_off) as usize;
                 let mut buf = vec![0u8; page_len];
-                self.seg_dev.read_at(self.seg_offset + page_off, &mut buf)?;
+                self.fetch_page_verified(page, &mut buf)?;
                 let _guard = self.mem_lock.write();
                 // SAFETY: exclusive lock held; bounds derived from the
                 // region length.
@@ -484,6 +579,9 @@ pub(crate) mod tests_support {
             uncommitted_txns: AtomicU64::new(0),
             page_vector: Mutex::new(PageVector::new(len)),
             unloaded: Mutex::new(None),
+            catalog: None,
+            degraded: AtomicBool::new(false),
+            media: Arc::new(MediaCounters::default()),
         })
     }
 }

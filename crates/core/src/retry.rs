@@ -146,6 +146,22 @@ impl Device for RetryDevice {
     fn set_len(&self, len: u64) -> rvm_storage::Result<()> {
         self.retrier.run(|| self.inner.set_len(len))
     }
+
+    fn read_verified(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        verify: &(dyn Fn(&[u8]) -> bool + Sync),
+    ) -> rvm_storage::Result<rvm_storage::VerifiedRead> {
+        // Forwarded (not reimplemented over `read_at`) so mirror
+        // read-repair underneath stays reachable through the retry layer.
+        self.retrier
+            .run(|| self.inner.read_verified(offset, buf, verify))
+    }
+
+    fn replica_health(&self) -> Option<(usize, usize)> {
+        self.inner.replica_health()
+    }
 }
 
 /// Wraps a resolver so every device it hands out retries transient

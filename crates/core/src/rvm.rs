@@ -22,6 +22,10 @@ use crate::ranges::{ByteRange, RangeSet};
 use crate::recovery::{build_latest_trees, recover, RecoveryReport};
 use crate::region::{Region, RegionDescriptor, RegionInner, RegionMemory};
 use crate::retry::{retry_resolver, Retrier, RetryDevice};
+use crate::scrub::{
+    apply_tree_verified, read_page_verified, sidecar_name, ApplyContext, ApplyOutcome, ScrubReport,
+    SegmentChecksums,
+};
 use crate::segment::{DeviceResolver, SegmentId, SegmentInfo};
 use crate::spool::{Spool, SpooledTxn};
 use crate::stats::{batch_size_bucket, Stats, StatsSnapshot};
@@ -45,6 +49,9 @@ pub(crate) struct Core {
     status_seq: u64,
     segments: Vec<SegmentInfo>,
     seg_devices: HashMap<u32, Arc<dyn Device>>,
+    /// Checksum catalogs for resolved segments (empty with
+    /// [`Tuning::segment_checksums`] off).
+    seg_catalogs: HashMap<u32, Arc<SegmentChecksums>>,
     spool: Spool,
     page_queue: PageQueue,
     /// Segments referenced by live (untruncated) log records.
@@ -109,6 +116,11 @@ pub(crate) struct RvmShared {
     /// Tells the background truncation thread to exit; set by
     /// [`Rvm::set_options`] when `background_truncation` is toggled off.
     bg_stop: AtomicBool,
+    /// Wakeup flag/condvar/stop for the background scrubber thread,
+    /// mirroring the truncation trio above.
+    scrub_wakeup: Mutex<bool>,
+    scrub_condvar: Condvar,
+    scrub_stop: AtomicBool,
     /// Paired with `core`: signalled whenever an in-flight epoch
     /// truncation completes or fails. Waiters hold the core lock.
     epoch_done: Condvar,
@@ -151,6 +163,8 @@ pub struct Rvm {
     /// The background truncation thread, if running. Behind a mutex so
     /// [`Rvm::set_options`] can spawn/stop it through `&self`.
     bg_thread: Mutex<Option<JoinHandle<()>>>,
+    /// The background scrubber thread, if running (same discipline).
+    scrub_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// Failure from [`Rvm::terminate`], carrying the instance back to the
@@ -235,7 +249,7 @@ impl Rvm {
             )));
         }
 
-        let recovered = recover(&dev, status, &resolver)?;
+        let recovered = recover(&dev, status, &resolver, options.tuning.segment_checksums)?;
         let status = recovered.status;
         let wal = Wal::new(
             dev.clone(),
@@ -256,6 +270,7 @@ impl Rvm {
                 status_seq: status.seq,
                 segments: status.segments,
                 seg_devices: recovered.seg_devices,
+                seg_catalogs: recovered.seg_catalogs,
                 spool: Spool::new(),
                 page_queue: PageQueue::new(),
                 segs_in_log: HashSet::new(),
@@ -273,6 +288,9 @@ impl Rvm {
             bg_wakeup: Mutex::new(false),
             bg_condvar: Condvar::new(),
             bg_stop: AtomicBool::new(false),
+            scrub_wakeup: Mutex::new(false),
+            scrub_condvar: Condvar::new(),
+            scrub_stop: AtomicBool::new(false),
             epoch_done: Condvar::new(),
             truncating: AtomicBool::new(false),
         });
@@ -281,11 +299,16 @@ impl Rvm {
             .tuning
             .background_truncation
             .then(|| spawn_bg_thread(&shared));
+        let scrub_thread = options
+            .tuning
+            .background_scrub
+            .then(|| spawn_scrub_thread(&shared));
 
         Ok(Self {
             shared,
             recovery_report: recovered.report,
             bg_thread: Mutex::new(bg_thread),
+            scrub_thread: Mutex::new(scrub_thread),
         })
     }
 
@@ -377,6 +400,7 @@ impl Rvm {
 
         let min_len = desc.offset + desc.len;
         let seg_dev = self.shared.segment_device(&mut core, seg_id, min_len)?;
+        let catalog = self.shared.segment_catalog(&mut core, seg_id, &seg_dev)?;
         if status_dirty {
             let r = shared.write_status_locked(&mut core);
             shared.guard_io(r)?;
@@ -427,6 +451,9 @@ impl Rvm {
                 LoadPolicy::Eager => None,
                 LoadPolicy::OnDemand => Some(vec![true; desc.len.div_ceil(PAGE_SIZE) as usize]),
             }),
+            catalog,
+            degraded: AtomicBool::new(false),
+            media: self.shared.stats.media.clone(),
         });
         if policy == LoadPolicy::Eager {
             inner.load_from_segment()?;
@@ -497,27 +524,41 @@ impl Rvm {
     /// truncation thread accordingly (the toggle used to be silently
     /// ignored after construction). Stopping joins the thread, so a
     /// disable returns only once any truncation it is running completes.
+    /// `background_scrub` toggles the scrubber thread the same way.
     pub fn set_options(&self, tuning: Tuning) {
-        // `bg_thread` is locked around both the tuning write and the
-        // spawn/stop so concurrent `set_options` calls cannot leave the
-        // thread state disagreeing with the flag.
+        // `bg_thread`/`scrub_thread` are locked around both the tuning
+        // write and the spawn/stop so concurrent `set_options` calls
+        // cannot leave the thread state disagreeing with the flags.
         let mut bg = self.bg_thread.lock();
-        let was = {
+        let mut scrub = self.scrub_thread.lock();
+        let (was_bg, was_scrub) = {
             let mut t = self.shared.tuning.write();
-            let was = t.background_truncation;
+            let was = (t.background_truncation, t.background_scrub);
             *t = tuning;
             was
         };
-        if tuning.background_truncation && !was {
+        if tuning.background_truncation && !was_bg {
             if bg.is_none() {
                 *bg = Some(spawn_bg_thread(&self.shared));
             }
-        } else if !tuning.background_truncation && was {
+        } else if !tuning.background_truncation && was_bg {
             if let Some(handle) = bg.take() {
                 self.shared.bg_stop.store(true, Ordering::Release);
                 self.shared.bg_condvar.notify_all();
                 let _ = handle.join();
                 self.shared.bg_stop.store(false, Ordering::Release);
+            }
+        }
+        if tuning.background_scrub && !was_scrub {
+            if scrub.is_none() {
+                *scrub = Some(spawn_scrub_thread(&self.shared));
+            }
+        } else if !tuning.background_scrub && was_scrub {
+            if let Some(handle) = scrub.take() {
+                self.shared.scrub_stop.store(true, Ordering::Release);
+                self.shared.scrub_condvar.notify_all();
+                let _ = handle.join();
+                self.shared.scrub_stop.store(false, Ordering::Release);
             }
         }
     }
@@ -531,11 +572,32 @@ impl Rvm {
             let check = self.shared.check.lock();
             check.violations.clone()
         };
-        let mapped_regions = self.shared.regions.read().len();
+        let (mapped_regions, regions_degraded) = {
+            let regions = self.shared.regions.read();
+            (
+                regions.len(),
+                regions.values().filter(|r| r.is_degraded()).count(),
+            )
+        };
         let core = self.shared.core.lock();
+        // Mirror health: sum replica counts over every mirrored device in
+        // play (the log plus resolved segments). Plain devices report no
+        // replica health and contribute nothing.
+        let mut replicas_alive = 0usize;
+        let mut replicas_total = 0usize;
+        for (alive, total) in std::iter::once(self.shared.dev.replica_health())
+            .chain(core.seg_devices.values().map(|d| d.replica_health()))
+            .flatten()
+        {
+            replicas_alive += alive;
+            replicas_total += total;
+        }
         QueryInfo {
             active_transactions: self.shared.active_txns.load(Ordering::Acquire),
             mapped_regions,
+            regions_degraded,
+            replicas_alive,
+            replicas_total,
             spooled_transactions: core.spool.len(),
             spool_bytes: core.spool.bytes(),
             queued_pages: core.page_queue.len(),
@@ -558,6 +620,24 @@ impl Rvm {
         self.shared.stats.snapshot()
     }
 
+    /// Verifies every mapped region's on-segment pages against their
+    /// checksum catalogs, repairing what it can — one synchronous scrub
+    /// pass (the background analog is
+    /// [`Tuning::background_scrub`](crate::Tuning)).
+    ///
+    /// Detection requires [`Tuning::segment_checksums`](crate::Tuning)
+    /// (on by default); regions mapped while it was off are skipped. On a
+    /// mismatch the repair ladder runs: bounded re-reads (transient,
+    /// in-flight corruption), mirror read-repair (when the segment device
+    /// is a [`MirrorDevice`](rvm_storage::MirrorDevice)), a rewrite from
+    /// the committed image in VM, and finally per-region quarantine —
+    /// the region turns read-only and further writes fail with
+    /// [`RvmError::Media`], while every other region keeps committing.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        self.check_live()?;
+        self.shared.scrub_pass()
+    }
+
     /// Shuts the instance down cleanly (§4.2 `terminate`): fails if
     /// transactions are outstanding, otherwise flushes the spool and
     /// writes a final status block.
@@ -568,6 +648,10 @@ impl Rvm {
     /// `terminate` again. Propagating the failure with `?` converts to
     /// the underlying [`RvmError`] and drops the instance (best-effort
     /// shutdown, as `Drop` always did).
+    // The large Err is the point: the failure hands the whole instance
+    // back so the caller can retry, and boxing it would change the API
+    // for a cold path.
+    #[allow(clippy::result_large_err)]
     pub fn terminate(mut self) -> std::result::Result<(), TerminateFailure> {
         let active = self.shared.active_txns.load(Ordering::Acquire);
         if active > 0 {
@@ -586,13 +670,21 @@ impl Rvm {
         if self.shared.terminated.swap(true, Ordering::AcqRel) {
             return Ok(());
         }
-        // Wake and join the background truncation thread.
+        // Wake and join the background truncation and scrubber threads.
         {
             let mut flag = self.shared.bg_wakeup.lock();
             *flag = true;
             self.shared.bg_condvar.notify_all();
         }
         if let Some(handle) = self.bg_thread.lock().take() {
+            let _ = handle.join();
+        }
+        {
+            let mut flag = self.shared.scrub_wakeup.lock();
+            *flag = true;
+            self.shared.scrub_condvar.notify_all();
+        }
+        if let Some(handle) = self.scrub_thread.lock().take() {
             let _ = handle.join();
         }
         // A poisoned instance must not touch the durable image again: the
@@ -675,6 +767,46 @@ impl RvmShared {
         }
         core.seg_devices.insert(seg.as_u32(), dev.clone());
         Ok(dev)
+    }
+
+    /// Resolves (and caches) a segment's checksum catalog sidecar; `None`
+    /// when [`Tuning::segment_checksums`] is off. A cached catalog is
+    /// grown to cover a segment that grew since it was opened.
+    fn segment_catalog(
+        &self,
+        core: &mut Core,
+        seg: SegmentId,
+        dev: &Arc<dyn Device>,
+    ) -> Result<Option<Arc<SegmentChecksums>>> {
+        if !self.tuning.read().segment_checksums {
+            return Ok(None);
+        }
+        if let Some(catalog) = core.seg_catalogs.get(&seg.as_u32()) {
+            let catalog = catalog.clone();
+            catalog.ensure_covers(dev.as_ref(), dev.len()?)?;
+            return Ok(Some(catalog));
+        }
+        let info = core
+            .segments
+            .iter()
+            .find(|s| s.id == seg)
+            .ok_or_else(|| RvmError::BadLog(format!("unknown segment id {seg}")))?;
+        let side = (self.resolver)(&sidecar_name(&info.name), 0)?;
+        let catalog = Arc::new(SegmentChecksums::open(side, dev.as_ref(), dev.len()?)?);
+        core.seg_catalogs.insert(seg.as_u32(), catalog.clone());
+        Ok(Some(catalog))
+    }
+
+    /// Charges a verified apply's corruption counts to the instance-wide
+    /// media counters.
+    fn charge_media(&self, outcome: &ApplyOutcome) {
+        let media = &self.stats.media;
+        media
+            .corruptions_detected
+            .fetch_add(outcome.corruptions_detected, Ordering::Relaxed);
+        media
+            .corruptions_repaired
+            .fetch_add(outcome.corruptions_repaired, Ordering::Relaxed);
     }
 
     /// Writes the status block from live state.
@@ -1356,7 +1488,7 @@ impl RvmShared {
                         // This member individually ran out of log space
                         // before the group failed; keep its own error.
                         Some(Err(member_err)) => Err(member_err),
-                        _ => Err(original.take().unwrap_or_else(|| match log_full {
+                        _ => Err(original.take().unwrap_or(match log_full {
                             Some((needed, capacity)) => RvmError::LogFull { needed, capacity },
                             None => RvmError::Poisoned,
                         })),
@@ -1446,10 +1578,16 @@ impl RvmShared {
                 .max()
                 .unwrap_or(0);
             let dev = self.segment_device(core, SegmentId::new(seg_raw), needed)?;
-            for (start, payload) in tree.iter() {
-                dev.write_at(start, payload)?;
-            }
-            dev.sync()?;
+            let catalog = self.segment_catalog(core, SegmentId::new(seg_raw), &dev)?;
+            // Writes, syncs, and persists the catalog — all before the
+            // head advance below (the scrub module's crash ordering).
+            let outcome = apply_tree_verified(
+                dev.as_ref(),
+                catalog.as_deref(),
+                tree,
+                ApplyContext::Truncation,
+            )?;
+            self.charge_media(&outcome);
         }
 
         let stats = &self.stats;
@@ -1615,9 +1753,10 @@ impl RvmShared {
         let trees = build_latest_trees(&scan.records);
         let mut seg_ids: Vec<u32> = trees.keys().copied().collect();
         seg_ids.sort_unstable();
-        let seg_devs: Vec<Arc<dyn Device>> = {
+        type SegTargets = Vec<(Arc<dyn Device>, Option<Arc<SegmentChecksums>>)>;
+        let seg_targets: SegTargets = {
             let mut core = self.core.lock();
-            let mut seg_devs = Vec::with_capacity(seg_ids.len());
+            let mut seg_targets = Vec::with_capacity(seg_ids.len());
             for &seg_raw in &seg_ids {
                 let tree = &trees[&seg_raw];
                 let needed = tree
@@ -1625,16 +1764,23 @@ impl RvmShared {
                     .map(|(s, p)| s + p.len() as u64)
                     .max()
                     .unwrap_or(0);
-                seg_devs.push(self.segment_device(&mut core, SegmentId::new(seg_raw), needed)?);
+                let dev = self.segment_device(&mut core, SegmentId::new(seg_raw), needed)?;
+                let catalog = self.segment_catalog(&mut core, SegmentId::new(seg_raw), &dev)?;
+                seg_targets.push((dev, catalog));
             }
-            seg_devs
+            seg_targets
         };
-        for (seg_raw, seg_dev) in seg_ids.iter().zip(&seg_devs) {
+        for (seg_raw, (seg_dev, catalog)) in seg_ids.iter().zip(&seg_targets) {
             let tree = &trees[seg_raw];
-            for (off, payload) in tree.iter() {
-                seg_dev.write_at(off, payload)?;
-            }
-            seg_dev.sync()?;
+            // Writes, syncs, and persists the catalog; the head advances
+            // only after phase 3 (the scrub module's crash ordering).
+            let outcome = apply_tree_verified(
+                seg_dev.as_ref(),
+                catalog.as_deref(),
+                tree,
+                ApplyContext::Truncation,
+            )?;
+            self.charge_media(&outcome);
         }
         let stats = &self.stats;
         stats.add(&stats.truncation_bytes_scanned, end - start);
@@ -1731,7 +1877,9 @@ impl RvmShared {
             }
 
             // Write the batch from VM to the data segments, one sync per
-            // distinct device.
+            // distinct device. Region pages are full segment pages
+            // (mapping offsets are page-aligned), so the VM image updates
+            // the checksum catalog exactly.
             for (region, page) in &batch {
                 let page_off = *page as u64 * PAGE_SIZE;
                 let len = PAGE_SIZE.min(region.len - page_off);
@@ -1739,12 +1887,26 @@ impl RvmShared {
                 region
                     .seg_dev
                     .write_at(region.seg_offset + page_off, &buf)?;
+                if let Some(catalog) = &region.catalog {
+                    catalog.update(((region.seg_offset + page_off) / PAGE_SIZE) as usize, &buf);
+                }
             }
             let mut synced: Vec<u64> = Vec::new();
             for (region, _) in &batch {
                 if !synced.contains(&region.id) {
                     region.seg_dev.sync()?;
                     synced.push(region.id);
+                }
+            }
+            // Persist updated catalogs (once per segment) before the head
+            // advances past the records whose pages were just applied.
+            let mut persisted: Vec<u32> = Vec::new();
+            for (region, _) in &batch {
+                if let Some(catalog) = &region.catalog {
+                    if !persisted.contains(&region.seg.as_u32()) {
+                        catalog.persist()?;
+                        persisted.push(region.seg.as_u32());
+                    }
                 }
             }
             for (region, page) in &batch {
@@ -1825,6 +1987,119 @@ impl RvmShared {
             self.run_triggered_truncation(tuning);
         }
     }
+
+    /// One scrub pass over every mapped region with a checksum catalog
+    /// (see [`Rvm::scrub`]). Device failures propagate (they are *not*
+    /// checksum mismatches — the media may be fine); corruption never
+    /// poisons the instance, it quarantines at most the affected regions.
+    pub(crate) fn scrub_pass(&self) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        let regions: Vec<Arc<RegionInner>> = self.regions.read().values().cloned().collect();
+        for region in regions {
+            self.scrub_region(&region, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Scrubs one region page by page, taking the core lock per page so
+    /// commits interleave freely with a pass.
+    fn scrub_region(&self, region: &Arc<RegionInner>, report: &mut ScrubReport) -> Result<()> {
+        if region.catalog.is_none() {
+            return Ok(());
+        }
+        let pages = (region.len / PAGE_SIZE) as usize;
+        for page in 0..pages {
+            let core = self.core.lock();
+            if core.epoch.is_some() {
+                // An off-lock epoch apply owns the segment writers; the
+                // rest of this region waits for the next pass.
+                report.pages_skipped += (pages - page) as u64;
+                return Ok(());
+            }
+            if !region.mapped.load(Ordering::Acquire) || region.is_degraded() {
+                report.pages_skipped += (pages - page) as u64;
+                return Ok(());
+            }
+            self.scrub_region_page(core, region, page, report)?;
+        }
+        Ok(())
+    }
+
+    /// Verifies one region page against the catalog and runs the repair
+    /// ladder on a mismatch: bounded re-reads and mirror read-repair
+    /// (inside [`read_page_verified`]), then a rewrite from the committed
+    /// image in VM, else quarantine.
+    ///
+    /// Holding `core` for the whole page excludes every other segment
+    /// writer (truncation holds `core`; the epoch apply was ruled out by
+    /// the caller), so the read-check-rewrite sequence cannot race a
+    /// concurrent apply to the same page.
+    fn scrub_region_page(
+        &self,
+        _core: CoreGuard<'_>,
+        region: &Arc<RegionInner>,
+        page: usize,
+        report: &mut ScrubReport,
+    ) -> Result<()> {
+        let catalog = region.catalog.as_ref().expect("caller checked");
+        let media = &self.stats.media;
+        let page_off = page as u64 * PAGE_SIZE;
+        let seg_page = ((region.seg_offset + page_off) / PAGE_SIZE) as usize;
+        let mut buf = vec![0u8; PAGE_SIZE as usize];
+        let (verified, healed) =
+            read_page_verified(region.seg_dev.as_ref(), catalog, seg_page, &mut buf)?;
+        report.pages_scanned += 1;
+        media.pages_scrubbed.fetch_add(1, Ordering::Relaxed);
+        if verified {
+            if healed {
+                report.corruptions_detected += 1;
+                report.corruptions_repaired += 1;
+                media.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+                media.corruptions_repaired.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(());
+        }
+        report.corruptions_detected += 1;
+        media.corruptions_detected.fetch_add(1, Ordering::Relaxed);
+        // Re-reads and any mirror failed; next rung is a rewrite from the
+        // committed image. A *loaded* page with no uncommitted
+        // transaction activity holds exactly that image in VM: committed
+        // changes were applied at load or written since, and map-time
+        // truncation drained the segment's live log records before the
+        // load, so nothing committed is missing from memory.
+        let loaded = region
+            .unloaded
+            .lock()
+            .as_ref()
+            .is_none_or(|pending| !pending[page]);
+        if loaded {
+            let _mem = region.mem_lock.read();
+            let uncommitted = region.page_vector.lock().entry(page).uncommitted;
+            if uncommitted > 0 {
+                // VM holds uncommitted bytes; retry on a later pass.
+                report.pages_skipped += 1;
+                return Ok(());
+            }
+            let len = PAGE_SIZE.min(region.len - page_off) as usize;
+            let mut img = vec![0u8; len];
+            // SAFETY: shared memory lock held; bounds within the region.
+            unsafe { region.mem.copy_out(page_off as usize, &mut img) }?;
+            region
+                .seg_dev
+                .write_at(region.seg_offset + page_off, &img)?;
+            region.seg_dev.sync()?;
+            catalog.update(seg_page, &img);
+            catalog.persist()?;
+            report.corruptions_repaired += 1;
+            media.corruptions_repaired.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        // Unloaded and unverifiable: no healthy replica, no VM image, and
+        // no log span to rebuild from — quarantine the region.
+        report.pages_quarantined += 1;
+        let _ = region.quarantine(seg_page);
+        Ok(())
+    }
 }
 
 fn background_truncation_loop(shared: Weak<RvmShared>) {
@@ -1858,6 +2133,43 @@ fn spawn_bg_thread(shared: &Arc<RvmShared>) -> JoinHandle<()> {
         .name("rvm-truncation".to_owned())
         .spawn(move || background_truncation_loop(weak))
         .expect("failed to spawn the rvm truncation thread")
+}
+
+fn background_scrub_loop(shared: Weak<RvmShared>) {
+    loop {
+        let Some(strong) = shared.upgrade() else {
+            return;
+        };
+        let interval = strong.tuning.read().scrub_interval_ms.max(1);
+        {
+            let mut flag = strong.scrub_wakeup.lock();
+            if !*flag {
+                strong
+                    .scrub_condvar
+                    .wait_for(&mut flag, std::time::Duration::from_millis(interval));
+            }
+            *flag = false;
+        }
+        if strong.terminated.load(Ordering::Acquire) || strong.scrub_stop.load(Ordering::Acquire) {
+            return;
+        }
+        // A pass has no caller to report device errors to; the next tick
+        // retries. A poisoned instance is left alone entirely — its
+        // durable image must not be touched again.
+        if !strong.poisoned.load(Ordering::Acquire) {
+            let _ = strong.scrub_pass();
+        }
+        drop(strong);
+    }
+}
+
+/// Spawns the background scrubber thread (weak reference, as above).
+fn spawn_scrub_thread(shared: &Arc<RvmShared>) -> JoinHandle<()> {
+    let weak = Arc::downgrade(shared);
+    std::thread::Builder::new()
+        .name("rvm-scrub".to_owned())
+        .spawn(move || background_scrub_loop(weak))
+        .expect("failed to spawn the rvm scrub thread")
 }
 
 fn elapsed_ns(start: Instant) -> u64 {

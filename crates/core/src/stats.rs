@@ -41,6 +41,26 @@ pub(crate) struct FaultCounters {
     pub(crate) poisonings: AtomicU64,
 }
 
+/// Media-integrity counters, shared with region load paths and the
+/// scrubber.
+///
+/// Like [`FaultCounters`], these live behind an `Arc`: mapped regions
+/// verify pages as they load them (possibly long after `query` calls
+/// begin) and the scrub pass runs on its own thread — all of them update
+/// the same cells the stats snapshot reads.
+#[derive(Debug, Default)]
+pub(crate) struct MediaCounters {
+    /// Segment pages whose checksums were verified (scrub + verified
+    /// loads).
+    pub(crate) pages_scrubbed: AtomicU64,
+    /// Checksum mismatches detected on segment pages.
+    pub(crate) corruptions_detected: AtomicU64,
+    /// Mismatches repaired (mirror read-repair or log reconstruction).
+    pub(crate) corruptions_repaired: AtomicU64,
+    /// Regions quarantined into degraded mode by unrecoverable pages.
+    pub(crate) regions_quarantined: AtomicU64,
+}
+
 /// Live counters, updated atomically by the library.
 #[derive(Debug, Default)]
 pub struct Stats {
@@ -91,6 +111,7 @@ pub struct Stats {
     /// Overlapping `set_range` declarations from concurrent transactions.
     pub(crate) check_range_conflicts: AtomicU64,
     pub(crate) fault: Arc<FaultCounters>,
+    pub(crate) media: Arc<MediaCounters>,
 }
 
 impl Stats {
@@ -131,6 +152,10 @@ impl Stats {
             io_retries: self.fault.io_retries.load(Ordering::Relaxed),
             transient_faults_healed: self.fault.transient_faults_healed.load(Ordering::Relaxed),
             poisonings: self.fault.poisonings.load(Ordering::Relaxed),
+            pages_scrubbed: self.media.pages_scrubbed.load(Ordering::Relaxed),
+            corruptions_detected: self.media.corruptions_detected.load(Ordering::Relaxed),
+            corruptions_repaired: self.media.corruptions_repaired.load(Ordering::Relaxed),
+            regions_quarantined: self.media.regions_quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,6 +224,14 @@ pub struct StatsSnapshot {
     pub transient_faults_healed: u64,
     /// Times the instance transitioned to the poisoned state.
     pub poisonings: u64,
+    /// Segment pages checksum-verified (scrub passes + verified loads).
+    pub pages_scrubbed: u64,
+    /// Checksum mismatches detected on segment pages.
+    pub corruptions_detected: u64,
+    /// Mismatches repaired (mirror read-repair or log reconstruction).
+    pub corruptions_repaired: u64,
+    /// Regions quarantined into degraded mode.
+    pub regions_quarantined: u64,
 }
 
 impl StatsSnapshot {
@@ -289,6 +322,10 @@ impl StatsSnapshot {
             io_retries: self.io_retries - earlier.io_retries,
             transient_faults_healed: self.transient_faults_healed - earlier.transient_faults_healed,
             poisonings: self.poisonings - earlier.poisonings,
+            pages_scrubbed: self.pages_scrubbed - earlier.pages_scrubbed,
+            corruptions_detected: self.corruptions_detected - earlier.corruptions_detected,
+            corruptions_repaired: self.corruptions_repaired - earlier.corruptions_repaired,
+            regions_quarantined: self.regions_quarantined - earlier.regions_quarantined,
         }
     }
 }

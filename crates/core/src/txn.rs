@@ -103,6 +103,12 @@ impl Transaction {
             return Err(RvmError::TransactionEnded);
         }
         region.inner.check_mapped()?;
+        if region.inner.is_degraded() {
+            // Quarantined regions are read-only: committing over a page
+            // whose durable image is unverifiable could mix corrupt and
+            // fresh bytes. Reads of loaded pages keep working.
+            return Err(region.inner.degraded_error());
+        }
         if len == 0 {
             return Err(RvmError::EmptyRange { offset });
         }

@@ -170,7 +170,7 @@ fn many_segments_fill_and_overflow_the_table() {
 fn garbage_log_device_is_rejected_without_create_flag() {
     let log = Arc::new(MemDevice::with_len(1 << 20));
     log.write_at(0, &[0xAB; 1024]).unwrap();
-    let err = Rvm::initialize(Options::new(log)).err().expect("must fail");
+    let err = Rvm::initialize(Options::new(log)).expect_err("must fail");
     assert!(matches!(err, RvmError::BadLog(_)));
 }
 
@@ -188,8 +188,7 @@ fn truncated_log_device_is_rejected() {
             .resolver(segs.into_resolver())
             .create_if_empty(),
     )
-    .err()
-    .expect("shrunken device must be rejected");
+    .expect_err("shrunken device must be rejected");
     assert!(matches!(err, RvmError::BadLog(_)), "{err}");
 }
 

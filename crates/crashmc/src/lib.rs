@@ -243,6 +243,116 @@ pub fn check_trace(trace: &Trace, cfg: &EnumConfig) -> Report {
     report
 }
 
+/// Like [`check_trace`], but bit-rots each crash image before handing it
+/// to the oracle: one byte inside an acknowledged committed write's range
+/// is flipped on the segment device, and one byte of the checksum
+/// sidecar (when present) is flipped too. The committed-prefix oracle
+/// then demands that recovery *heal* the rot, and an extra convergence
+/// check ([`oracle::check_image_converged`]) demands that the persisted
+/// catalogs match the recovered bytes — i.e. an immediate scrub would
+/// find nothing left to repair.
+///
+/// Sound only over workloads that never truncate (e.g.
+/// [`workload::Workload::BitRot`]): truncation can retire an acked write
+/// from the live log span, after which redo cannot rebuild a rotted byte
+/// and the oracle would report a false violation.
+pub fn check_trace_with_rot(trace: &Trace, cfg: &EnumConfig) -> Report {
+    let mut report = Report::default();
+    let mut seen: HashSet<(u64, usize)> = HashSet::new();
+    let mut violations = Vec::new();
+
+    let stats = enumerate_images(trace, cfg, |point, kept, image_hash, images| {
+        let required = trace
+            .txns
+            .iter()
+            .filter(|t| t.ack.is_some_and(|a| a <= point))
+            .count();
+        if !seen.insert((image_hash, required)) {
+            return true;
+        }
+        let mut rotted = images.to_vec();
+        rot_images(trace, point, cfg.seed, &mut rotted);
+        report.recoveries_run += 1;
+        if let Err(detail) = oracle::check_image_converged(trace, point, &rotted) {
+            violations.push(Violation {
+                point,
+                kept: kept.to_vec(),
+                seed: cfg.seed,
+                detail: format!("(with injected rot) {detail}"),
+            });
+            if violations.len() >= cfg.max_violations {
+                return false;
+            }
+        }
+        true
+    });
+
+    report.crash_points = stats.crash_points;
+    report.sampled_points = stats.sampled_points;
+    report.images_enumerated = stats.images_enumerated;
+    report.images_unique = stats.images_unique;
+    report.exhaustive = stats.exhaustive;
+    report.violations = violations;
+    report
+}
+
+/// Flips one deterministic byte inside an acked committed write's range
+/// on its segment's image, plus one byte of every checksum sidecar. No-op
+/// when no transaction is acked at `point` (nothing is guaranteed
+/// recoverable yet, so arbitrary rot could be legal data loss).
+fn rot_images(trace: &Trace, point: usize, seed: u64, images: &mut [(u32, Vec<u8>)]) {
+    let acked: Vec<&TxnSpec> = trace
+        .txns
+        .iter()
+        .filter(|t| t.committed && t.ack.is_some_and(|a| a <= point))
+        .collect();
+    // No acked transaction yet ⇒ the recovery tree may be empty, in
+    // which case recovery never touches the segments or their catalogs
+    // and injected rot would legally persist until the next map. Only
+    // crash points with committed work make the healing claim testable.
+    if acked.is_empty() {
+        return;
+    }
+    let mut rng = seed ^ (point as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let txn = acked[(xorshift64(&mut rng) % acked.len() as u64) as usize];
+    let write = &txn.writes[(xorshift64(&mut rng) % txn.writes.len() as u64) as usize];
+    if !write.data.is_empty() {
+        let byte = write.offset + xorshift64(&mut rng) % write.data.len() as u64;
+        let dev = trace
+            .devices
+            .iter()
+            .find(|d| !d.is_log && d.name == write.segment)
+            .map(|d| d.id);
+        if let Some(id) = dev {
+            if let Some((_, img)) = images.iter_mut().find(|(i, _)| *i == id) {
+                ensure_len(img, byte, 1);
+                img[byte as usize] ^= 0xA5;
+            }
+        }
+    }
+    // Rot the catalog sidecar of every segment the acked work wrote —
+    // recovery is guaranteed to open those catalogs while applying the
+    // tree, and must not trust one that fails its own self-check: it
+    // re-adopts a fresh catalog instead.
+    let rotted_sidecars: HashSet<String> = acked
+        .iter()
+        .flat_map(|t| t.writes.iter())
+        .map(|w| rvm::scrub::sidecar_name(&w.segment))
+        .collect();
+    for dev in trace
+        .devices
+        .iter()
+        .filter(|d| !d.is_log && rotted_sidecars.contains(&d.name))
+    {
+        if let Some((_, img)) = images.iter_mut().find(|(i, _)| *i == dev.id) {
+            if !img.is_empty() {
+                let byte = (xorshift64(&mut rng) % img.len() as u64) as usize;
+                img[byte] ^= 0xA5;
+            }
+        }
+    }
+}
+
 /// Grows `img` with zeros so `offset + len` is in bounds.
 pub(crate) fn ensure_len(img: &mut Vec<u8>, offset: u64, len: usize) {
     let end = offset as usize + len;

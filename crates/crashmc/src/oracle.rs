@@ -119,10 +119,18 @@ fn cell(map: &HashMap<String, Vec<u8>>, seg: &str, offset: u64, len: usize) -> V
     out
 }
 
-/// Zero-extended equality over two by-name image maps.
+/// Zero-extended equality over two by-name image maps. Checksum-catalog
+/// sidecars are skipped: they are metadata *derived* from the data
+/// segments (recovery rewrites them as it applies the log), so the
+/// committed-prefix replay — which models only data writes — never
+/// contains them; their integrity is checked by their own self-verifying
+/// format instead.
 fn images_equal(a: &HashMap<String, Vec<u8>>, b: &HashMap<String, Vec<u8>>) -> Option<String> {
     let names: std::collections::BTreeSet<&String> = a.keys().chain(b.keys()).collect();
     for name in names {
+        if rvm::scrub::is_sidecar(name) {
+            continue;
+        }
         let (x, y) = (
             a.get(name).map_or(&[][..], |v| v),
             b.get(name).map_or(&[][..], |v| v),
@@ -319,6 +327,49 @@ fn check_disjoint_cells(trace: &Trace, point: usize, recovered: &Recovered) -> R
                     ));
                 }
                 _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`check_image`] plus the *scrub-convergence* assertion used by the
+/// bit-rot checker: after recovery, every persisted checksum catalog must
+/// match the recovered segment bytes, so an immediate scrub would find
+/// nothing left to detect or repair. A catalog recovery failed to bring
+/// back in sync would turn healed rot into a future false positive (or
+/// mask real rot behind a checksum of rotted content that was then
+/// corrected).
+pub fn check_image_converged(
+    trace: &Trace,
+    point: usize,
+    images: &[(u32, Vec<u8>)],
+) -> Result<(), String> {
+    check_image(trace, point, images)?;
+    let recovered = recover(&parts_from_images(trace, images))?;
+    for (name, img) in &recovered.segments {
+        if rvm::scrub::is_sidecar(name) {
+            continue;
+        }
+        let Some(sums_img) = recovered.segments.get(&rvm::scrub::sidecar_name(name)) else {
+            continue;
+        };
+        let sums_dev = MemDevice::from_image(sums_img.clone());
+        let entries = rvm::scrub::SegmentChecksums::load_readonly(&sums_dev)
+            .map_err(|e| format!("segment '{name}': catalog unreadable after recovery: {e}"))?
+            .ok_or_else(|| {
+                format!("segment '{name}': catalog did not converge (torn after recovery)")
+            })?;
+        let seg_dev = MemDevice::from_image(img.clone());
+        let len = img.len() as u64;
+        for page in 0..rvm::scrub::page_count(len) {
+            let sum = rvm::scrub::checksum_of(&seg_dev, len, page)
+                .map_err(|e| format!("segment '{name}' page {page}: unreadable: {e}"))?;
+            if entries.get(page).copied() != Some(sum) {
+                return Err(format!(
+                    "segment '{name}' page {page}: catalog mismatch after recovery — \
+                     scrub would not converge"
+                ));
             }
         }
     }

@@ -43,6 +43,12 @@ pub enum Workload {
     AbortMix,
     /// A seeded single-threaded mix of all of the above.
     Seeded(u64),
+    /// Flush commits only, never truncating: every committed byte stays
+    /// in the live log span. This is the precondition for the bit-rot
+    /// oracle ([`check_trace_with_rot`](crate::check_trace_with_rot)),
+    /// which flips committed segment bytes in each crash image and
+    /// demands that recovery rebuild them from the log.
+    BitRot,
 }
 
 /// Shared capture plumbing: the recorder, the raw in-memory devices
@@ -186,6 +192,7 @@ pub fn run_workload(kind: Workload, hooks: MutationHooks) -> Trace {
         Workload::NoFlushSpool => no_flush_spool(hooks),
         Workload::AbortMix => abort_mix(hooks),
         Workload::Seeded(seed) => seeded(seed, hooks),
+        Workload::BitRot => bit_rot(hooks),
     }
 }
 
@@ -372,6 +379,37 @@ fn abort_mix(hooks: MutationHooks) -> Trace {
     trace
 }
 
+/// Flush commits over disjoint cells with no truncation of any kind:
+/// the log comfortably holds every record, so the whole committed
+/// history stays in the live span. That is what makes rot injection
+/// sound — a byte flipped inside any acked write's range is always
+/// covered by the recovery tree, so redo must rewrite it.
+fn bit_rot(hooks: MutationHooks) -> Trace {
+    let (mut cap, rvm) = setup(1 << 16, tuning_with(hooks));
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, 2 * PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let mut txns = Vec::new();
+    for i in 0..6u64 {
+        let data = vec![0x50 + i as u8; 700];
+        txns.push(flush_txn(
+            &rvm,
+            &cap.recorder,
+            &region,
+            "cells",
+            0,
+            i * 768,
+            data,
+        ));
+    }
+
+    let trace = cap.finish(txns, true);
+    drop(rvm);
+    trace
+}
+
 /// A seeded single-threaded mix: flush/no-flush/aborted transactions
 /// with varied sizes, plus explicit flushes and truncations. Fully
 /// determined by the seed.
@@ -436,7 +474,7 @@ fn seeded(seed: u64, hooks: MutationHooks) -> Trace {
                 });
             }
             _ => {
-                if xorshift64(&mut rng) % 2 == 0 {
+                if xorshift64(&mut rng).is_multiple_of(2) {
                     // `flush` forces the spool: it is the ack point for
                     // every no-flush commit so far.
                     rvm.flush().expect("flush");
@@ -512,6 +550,27 @@ mod tests {
         assert_eq!(trace.txns.len(), 6);
         assert!(trace.txns[..4].iter().all(|t| t.ack.is_some()));
         assert!(trace.txns[4..].iter().all(|t| t.ack.is_none()));
+    }
+
+    #[test]
+    fn bit_rot_workload_never_touches_the_segment() {
+        let trace = run_workload(Workload::BitRot, MutationHooks::default());
+        assert!(trace.single_threaded);
+        assert_eq!(trace.txns.len(), 6);
+        assert!(trace.txns.iter().all(|t| t.committed && t.ack.is_some()));
+        // No truncation ran, so no recorded op writes any data segment:
+        // every committed byte lives only in the log's live span.
+        let seg_ids: Vec<u32> = trace
+            .devices
+            .iter()
+            .filter(|d| !d.is_log)
+            .map(|d| d.id)
+            .collect();
+        assert!(!seg_ids.is_empty());
+        assert!(trace
+            .ops
+            .iter()
+            .all(|o| !seg_ids.contains(&o.device) || !matches!(o.kind, TraceOpKind::Write { .. })));
     }
 
     #[test]

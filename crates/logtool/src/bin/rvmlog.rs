@@ -9,8 +9,15 @@
 //! ```
 //!
 //! `doctor` is a read-only damage scan: it reports torn/short records,
-//! sequence gaps, and corrupt status copies, and exits non-zero if the
-//! log is damaged. It never mutates the image.
+//! sequence gaps, and corrupt status copies — plus how much of each data
+//! segment the checksum catalogs cover — and exits non-zero if the log
+//! is damaged. It never mutates the image.
+//!
+//! `scrub` verifies every data segment page against its sidecar checksum
+//! catalog, read-only, exiting non-zero on any mismatch. `salvage` is the
+//! offline repair ladder: corrupt pages whose latest committed content
+//! the live log span fully covers are rebuilt from the log; the rest are
+//! reported unrecoverable (quarantined when next mapped).
 //!
 //! `verify` goes further: it proves the structural invariants of the log
 //! format — reverse-displacement canonicality, forward/backward scan
@@ -31,14 +38,27 @@ use rvm_crashmc::{check_trace, Trace};
 use rvm_logtool::{format_entry, LogInspector};
 use rvm_storage::FileDevice;
 
+/// Resolves segment names (paths) to existing files only — unlike the
+/// library's default resolver it never creates or grows a file, so scrub
+/// and doctor stay side-effect-free on the filesystem.
+fn strict_file_resolver() -> rvm_logtool::Resolver {
+    Arc::new(|name: &str, _min_len: u64| {
+        Ok(Arc::new(FileDevice::open(name)?) as Arc<dyn rvm_storage::Device>)
+    })
+}
+
 fn usage() -> ! {
     eprintln!("usage: rvmlog <log-file> summary");
     eprintln!("       rvmlog <log-file> records [--backward]");
     eprintln!("       rvmlog <log-file> history <segment> <offset> <len>");
     eprintln!("       rvmlog <log-file> doctor");
     eprintln!("       rvmlog <log-file> verify");
+    eprintln!("       rvmlog <log-file> scrub");
+    eprintln!("       rvmlog <log-file> salvage");
     eprintln!("       rvmlog crashck <trace-file> [--seed <n>]");
-    eprintln!("       rvmlog crashck-gen <trace-file> <group|truncate|spool|abort|seeded:N>");
+    eprintln!(
+        "       rvmlog crashck-gen <trace-file> <group|truncate|spool|abort|bitrot|seeded:N>"
+    );
     exit(2);
 }
 
@@ -76,6 +96,7 @@ fn crashck_gen(args: &[String]) -> ! {
         "truncate" => Workload::Truncation,
         "spool" => Workload::NoFlushSpool,
         "abort" => Workload::AbortMix,
+        "bitrot" => Workload::BitRot,
         w => match w.strip_prefix("seeded:").and_then(|n| n.parse().ok()) {
             Some(seed) => Workload::Seeded(seed),
             None => usage(),
@@ -158,10 +179,29 @@ fn main() {
         }
         "doctor" => inspector.doctor().map(|report| {
             print!("{}", report.render());
+            for coverage in inspector.checksum_coverage(&strict_file_resolver()) {
+                println!("{}", coverage.render());
+            }
             if report.is_damaged() {
                 exit(1);
             }
         }),
+        "scrub" => {
+            let report = inspector.scrub_segments(&strict_file_resolver());
+            print!("{}", report.render());
+            if !report.is_clean() {
+                exit(1);
+            }
+            Ok(())
+        }
+        "salvage" => inspector
+            .salvage_segments(&strict_file_resolver())
+            .map(|report| {
+                print!("{}", report.render());
+                if !report.is_clean() {
+                    exit(1);
+                }
+            }),
         "verify" => inspector.verify().map(|report| {
             print!("{}", report.render());
             if !report.is_clean() {

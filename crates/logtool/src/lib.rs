@@ -17,8 +17,11 @@ use rvm::log::status::{
     read_status, StatusBlock, LOG_AREA_START, STATUS_A_OFFSET, STATUS_BLOCK_SIZE, STATUS_B_OFFSET,
 };
 use rvm::log::wal::{scan_backward, scan_forward};
-use rvm::segment::SegmentId;
-use rvm::{Result, RvmError};
+use rvm::ranges::IntervalMap;
+use rvm::scrub::{checksum_of, page_count, page_len, sidecar_name, SegmentChecksums};
+pub use rvm::segment::DeviceResolver as Resolver;
+use rvm::segment::{DeviceResolver, SegmentId};
+use rvm::{Result, RvmError, PAGE_SIZE};
 pub use rvm_check::VerifyReport;
 use rvm_storage::Device;
 
@@ -96,6 +99,177 @@ impl DoctorReport {
             }
         }
         out
+    }
+}
+
+/// What `rvmlog scrub` found for one segment of the log's segment table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScrub {
+    /// Segment name, as the segment table records it.
+    pub segment: String,
+    /// Total pages the segment holds, or `None` when the segment device
+    /// could not be opened.
+    pub pages: Option<usize>,
+    /// Pages the checksum catalog covers (0 when there is no catalog).
+    pub covered: usize,
+    /// Whether a valid sidecar catalog was found.
+    pub catalog: bool,
+    /// Pages whose current bytes fail their catalog checksum.
+    pub mismatched: Vec<usize>,
+}
+
+/// The result of an offline checksum verification pass
+/// ([`LogInspector::scrub_segments`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OfflineScrubReport {
+    /// Per-segment findings, in segment-table order.
+    pub segments: Vec<SegmentScrub>,
+}
+
+impl OfflineScrubReport {
+    /// Whether every covered page verified. Missing catalogs or
+    /// unreachable segments are reported but are not corruption.
+    pub fn is_clean(&self) -> bool {
+        self.segments.iter().all(|s| s.mismatched.is_empty())
+    }
+
+    /// Human-readable report, as `rvmlog scrub` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut verified = 0usize;
+        let mut mismatches = 0usize;
+        for seg in &self.segments {
+            match seg.pages {
+                None => {
+                    out.push_str(&format!("'{}': cannot open segment\n", seg.segment));
+                    continue;
+                }
+                Some(pages) if !seg.catalog => {
+                    out.push_str(&format!(
+                        "'{}': {} page(s), no checksum catalog (nothing to verify against)\n",
+                        seg.segment, pages
+                    ));
+                    continue;
+                }
+                Some(pages) => {
+                    verified += seg.covered.min(pages) - seg.mismatched.len();
+                    mismatches += seg.mismatched.len();
+                    if seg.mismatched.is_empty() {
+                        out.push_str(&format!(
+                            "'{}': {} page(s), {} covered, all match\n",
+                            seg.segment, pages, seg.covered
+                        ));
+                    } else {
+                        let pages_list: Vec<String> =
+                            seg.mismatched.iter().map(|p| p.to_string()).collect();
+                        out.push_str(&format!(
+                            "'{}': {} page(s), {} covered, {} MISMATCH (page {})\n",
+                            seg.segment,
+                            pages,
+                            seg.covered,
+                            seg.mismatched.len(),
+                            pages_list.join(", ")
+                        ));
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "scrub: {verified} page(s) verified, {mismatches} mismatch(es)\n"
+        ));
+        out
+    }
+}
+
+/// How `rvmlog salvage` disposed of one corrupt page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SalvageOutcome {
+    /// The page's latest committed content was fully present in the live
+    /// log span; the page was rewritten from it and the catalog updated.
+    RebuiltFromLog,
+    /// The live log does not cover the whole page, so no committed image
+    /// of it exists offline; mapping the region will quarantine it.
+    Unrecoverable,
+}
+
+/// The result of an offline repair pass ([`LogInspector::salvage_segments`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Every corrupt page found, with its disposition.
+    pub findings: Vec<(String, usize, SalvageOutcome)>,
+}
+
+impl SalvageReport {
+    /// Whether every corrupt page was repaired (vacuously true when none
+    /// was corrupt).
+    pub fn is_clean(&self) -> bool {
+        self.findings
+            .iter()
+            .all(|(_, _, o)| *o != SalvageOutcome::Unrecoverable)
+    }
+
+    /// Human-readable report, as `rvmlog salvage` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut repaired = 0usize;
+        let mut lost = 0usize;
+        for (segment, page, outcome) in &self.findings {
+            match outcome {
+                SalvageOutcome::RebuiltFromLog => {
+                    repaired += 1;
+                    out.push_str(&format!(
+                        "repaired: '{segment}' page {page} rebuilt from the live log span\n"
+                    ));
+                }
+                SalvageOutcome::Unrecoverable => {
+                    lost += 1;
+                    out.push_str(&format!(
+                        "UNRECOVERABLE: '{segment}' page {page} — the live log covers only \
+                         part of the page; the region will be quarantined when mapped\n"
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "salvage: {repaired} page(s) repaired, {lost} unrecoverable\n"
+        ));
+        out
+    }
+}
+
+/// Checksum-catalog coverage of one segment, as `rvmlog doctor`
+/// summarizes it (coverage only — no page is read or verified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogCoverage {
+    /// Segment name, as the segment table records it.
+    pub segment: String,
+    /// Total pages the segment holds, or `None` when the segment device
+    /// could not be opened.
+    pub pages: Option<usize>,
+    /// Pages the catalog covers (0 when there is no catalog).
+    pub covered: usize,
+    /// Whether a valid sidecar catalog was found.
+    pub catalog: bool,
+}
+
+impl CatalogCoverage {
+    /// One line of the doctor output.
+    pub fn render(&self) -> String {
+        match (self.pages, self.catalog) {
+            (None, _) => format!("checksum coverage: '{}' segment unreachable", self.segment),
+            (Some(pages), false) => {
+                format!(
+                    "checksum coverage: '{}' 0/{} page(s) (no catalog)",
+                    self.segment, pages
+                )
+            }
+            (Some(pages), true) => format!(
+                "checksum coverage: '{}' {}/{} page(s)",
+                self.segment,
+                self.covered.min(pages),
+                pages
+            ),
+        }
     }
 }
 
@@ -281,6 +455,114 @@ impl LogInspector {
         })
     }
 
+    /// Offline checksum verification (`rvmlog scrub`): reads every page
+    /// of every segment in the log's segment table and checks it against
+    /// its sidecar checksum catalog. Never writes a byte; unreachable
+    /// segments and missing catalogs are reported, not errors.
+    pub fn scrub_segments(&self, resolver: &DeviceResolver) -> OfflineScrubReport {
+        let segments = self
+            .status
+            .segments
+            .iter()
+            .map(|info| scrub_one(resolver, &info.name))
+            .collect();
+        OfflineScrubReport { segments }
+    }
+
+    /// Catalog coverage per segment, without reading any data page — the
+    /// `rvmlog doctor` summary of how much of the image checksums protect.
+    pub fn checksum_coverage(&self, resolver: &DeviceResolver) -> Vec<CatalogCoverage> {
+        self.status
+            .segments
+            .iter()
+            .map(|info| {
+                let pages = (resolver)(&info.name, 0)
+                    .and_then(|seg| seg.len())
+                    .ok()
+                    .map(page_count);
+                let entries = (resolver)(&sidecar_name(&info.name), 0)
+                    .ok()
+                    .and_then(|dev| SegmentChecksums::load_readonly(dev.as_ref()).ok().flatten());
+                CatalogCoverage {
+                    segment: info.name.clone(),
+                    pages,
+                    covered: entries.as_ref().map_or(0, Vec::len),
+                    catalog: entries.is_some(),
+                }
+            })
+            .collect()
+    }
+
+    /// Offline repair (`rvmlog salvage`): scrubs every segment, then walks
+    /// the same repair ladder recovery uses for each corrupt page — if the
+    /// live (un-truncated) log span fully covers the page, its latest
+    /// committed content is rebuilt from the log, written back, and the
+    /// catalog updated; otherwise the page is reported unrecoverable and
+    /// left for quarantine at the next `map`.
+    pub fn salvage_segments(&self, resolver: &DeviceResolver) -> Result<SalvageReport> {
+        let scrub = self.scrub_segments(resolver);
+        let mut findings = Vec::new();
+        if scrub.is_clean() {
+            return Ok(SalvageReport { findings });
+        }
+
+        // Latest-wins content of the live span, per segment: newest record
+        // first, first writer of each byte wins — the same trees recovery
+        // builds before applying.
+        let mut trees: std::collections::BTreeMap<SegmentId, IntervalMap> =
+            std::collections::BTreeMap::new();
+        let records = self.records()?;
+        for (_, record) in records.iter().rev() {
+            for range in &record.ranges {
+                trees
+                    .entry(range.seg)
+                    .or_default()
+                    .insert_if_uncovered(range.offset, &range.data);
+            }
+        }
+
+        let empty = IntervalMap::default();
+        for seg_scrub in scrub.segments.iter().filter(|s| !s.mismatched.is_empty()) {
+            let name = &seg_scrub.segment;
+            let info = self
+                .status
+                .segment_by_name(name)
+                .expect("scrub walked the segment table");
+            let seg = (resolver)(name, 0)?;
+            let seg_len = seg.len()?;
+            let catalog =
+                SegmentChecksums::open((resolver)(&sidecar_name(name), 0)?, seg.as_ref(), seg_len)?;
+            let tree = trees.get(&info.id).unwrap_or(&empty);
+            let mut wrote = false;
+            for &page in &seg_scrub.mismatched {
+                let start = page as u64 * PAGE_SIZE;
+                let plen = page_len(seg_len, page) as u64;
+                let covered: u64 = tree
+                    .iter()
+                    .map(|(off, data)| {
+                        let end = off + data.len() as u64;
+                        end.min(start + plen).saturating_sub(off.max(start))
+                    })
+                    .sum();
+                if plen > 0 && covered == plen {
+                    let mut buf = vec![0u8; plen as usize];
+                    tree.overlay_onto(start, &mut buf);
+                    seg.write_at(start, &buf)?;
+                    catalog.update(page, &buf);
+                    wrote = true;
+                    findings.push((name.clone(), page, SalvageOutcome::RebuiltFromLog));
+                } else {
+                    findings.push((name.clone(), page, SalvageOutcome::Unrecoverable));
+                }
+            }
+            if wrote {
+                seg.sync()?;
+                catalog.persist()?;
+            }
+        }
+        Ok(SalvageReport { findings })
+    }
+
     /// Full WAL invariant verification (`rvmlog verify`): everything
     /// [`LogInspector::doctor`] checks is about where the live log *ends*;
     /// this additionally proves the structural invariants the format
@@ -318,6 +600,53 @@ impl LogInspector {
             ));
         }
         Ok(out)
+    }
+}
+
+/// Verifies one segment against its sidecar catalog, read-only. Errors
+/// opening the segment or its catalog become per-segment report states,
+/// never failures; a page whose read errors counts as a mismatch (the
+/// repair ladder is what distinguishes transient from resident).
+fn scrub_one(resolver: &DeviceResolver, name: &str) -> SegmentScrub {
+    let unreachable = || SegmentScrub {
+        segment: name.to_owned(),
+        pages: None,
+        covered: 0,
+        catalog: false,
+        mismatched: Vec::new(),
+    };
+    let Ok(seg) = (resolver)(name, 0) else {
+        return unreachable();
+    };
+    let Ok(seg_len) = seg.len() else {
+        return unreachable();
+    };
+    let pages = page_count(seg_len);
+    let entries = (resolver)(&sidecar_name(name), 0)
+        .ok()
+        .and_then(|dev| SegmentChecksums::load_readonly(dev.as_ref()).ok().flatten());
+    let Some(entries) = entries else {
+        return SegmentScrub {
+            segment: name.to_owned(),
+            pages: Some(pages),
+            covered: 0,
+            catalog: false,
+            mismatched: Vec::new(),
+        };
+    };
+    let mut mismatched = Vec::new();
+    for (page, &expected) in entries.iter().enumerate().take(pages) {
+        match checksum_of(seg.as_ref(), seg_len, page) {
+            Ok(sum) if sum == expected => {}
+            _ => mismatched.push(page),
+        }
+    }
+    SegmentScrub {
+        segment: name.to_owned(),
+        pages: Some(pages),
+        covered: entries.len(),
+        catalog: true,
+        mismatched,
     }
 }
 
@@ -540,6 +869,100 @@ mod tests {
         assert!(report.is_clean(), "{:?}", report.findings);
         assert_eq!(report.live_records, 5);
         assert!(report.render().contains("all invariants hold"));
+    }
+
+    /// A world whose log fully covers page 0 of a two-page segment:
+    /// catalogs are adopted at `map`, the log is never truncated, and the
+    /// shared [`MemResolver`] lets the test corrupt segment bytes.
+    fn media_world() -> (Arc<MemDevice>, MemResolver) {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let resolver = MemResolver::new();
+        let rvm = Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(resolver.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap();
+        let region = rvm
+            .map(&RegionDescriptor::new("meta", 0, 2 * PAGE_SIZE))
+            .unwrap();
+        let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+        region
+            .write(&mut txn, 0, &vec![0x5A; PAGE_SIZE as usize])
+            .unwrap();
+        txn.commit(CommitMode::Flush).unwrap();
+        std::mem::forget(rvm);
+        (log, resolver)
+    }
+
+    #[test]
+    fn scrub_passes_clean_segments_and_reports_coverage() {
+        let (log, resolver) = media_world();
+        let inspector = LogInspector::open(log).unwrap();
+        let dr = resolver.clone().into_resolver();
+        let report = inspector.scrub_segments(&dr);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.segments.len(), 1);
+        assert_eq!(report.segments[0].pages, Some(2));
+        assert_eq!(report.segments[0].covered, 2);
+        assert!(report.render().contains("all match"), "{}", report.render());
+
+        let coverage = inspector.checksum_coverage(&dr);
+        assert_eq!(coverage.len(), 1);
+        assert!(coverage[0].catalog);
+        assert!(
+            coverage[0].render().contains("'meta' 2/2 page(s)"),
+            "{}",
+            coverage[0].render()
+        );
+    }
+
+    #[test]
+    fn scrub_detects_rot_and_salvage_rebuilds_log_covered_pages() {
+        let (log, resolver) = media_world();
+        let seg = resolver.resolve("meta", 0).unwrap();
+        // Rot in page 0 (fully covered by the live log) and page 1
+        // (never written by any committed transaction).
+        seg.write_at(100, &[0xEE; 8]).unwrap();
+        seg.write_at(PAGE_SIZE + 7, &[0xEE; 8]).unwrap();
+
+        let inspector = LogInspector::open(log).unwrap();
+        let dr = resolver.clone().into_resolver();
+        let report = inspector.scrub_segments(&dr);
+        assert!(!report.is_clean());
+        assert_eq!(report.segments[0].mismatched, vec![0, 1]);
+        assert!(report.render().contains("MISMATCH"), "{}", report.render());
+
+        let salvage = inspector.salvage_segments(&dr).unwrap();
+        assert_eq!(salvage.findings.len(), 2);
+        assert_eq!(
+            salvage.findings[0],
+            ("meta".to_owned(), 0, SalvageOutcome::RebuiltFromLog)
+        );
+        assert_eq!(
+            salvage.findings[1],
+            ("meta".to_owned(), 1, SalvageOutcome::Unrecoverable)
+        );
+        assert!(!salvage.is_clean());
+
+        // Page 0 carries the committed content again and verifies; page 1
+        // is still rotten (nothing committed exists to rebuild it from).
+        let mut buf = [0u8; 8];
+        seg.read_at(100, &mut buf).unwrap();
+        assert_eq!(buf, [0x5A; 8]);
+        let after = inspector.scrub_segments(&dr);
+        assert_eq!(after.segments[0].mismatched, vec![1]);
+    }
+
+    #[test]
+    fn salvage_is_a_no_op_on_clean_segments() {
+        let (log, resolver) = media_world();
+        let inspector = LogInspector::open(log).unwrap();
+        let dr = resolver.into_resolver();
+        let salvage = inspector.salvage_segments(&dr).unwrap();
+        assert!(salvage.findings.is_empty());
+        assert!(salvage.is_clean());
+        assert!(salvage.render().contains("0 page(s) repaired"));
     }
 
     #[test]

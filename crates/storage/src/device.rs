@@ -4,6 +4,28 @@ use std::sync::Arc;
 
 use crate::Result;
 
+/// Outcome of a [`Device::read_verified`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifiedRead {
+    /// The data read passed verification on the first attempt.
+    Clean,
+    /// Verified data was found, but only after at least one copy failed
+    /// verification and was repaired (mirrored devices: read-repair of the
+    /// losing replica).
+    Repaired,
+    /// No copy of the data passed verification; the buffer holds the
+    /// best-effort (unverified) bytes. The caller escalates — e.g. to log
+    /// reconstruction or quarantine.
+    Corrupt,
+}
+
+impl VerifiedRead {
+    /// `true` unless the read came back [`VerifiedRead::Corrupt`].
+    pub fn is_verified(self) -> bool {
+        !matches!(self, VerifiedRead::Corrupt)
+    }
+}
+
 /// A byte-addressable, synchronizable storage device.
 ///
 /// This is the paper's notion of "a Unix file or a raw disk partition"
@@ -42,6 +64,35 @@ pub trait Device: Send + Sync {
 
     /// Resizes the device, zero-filling any extension.
     fn set_len(&self, len: u64) -> Result<()>;
+
+    /// Reads `buf.len()` bytes at `offset` and checks them against
+    /// `verify` (typically a checksum predicate supplied by the caller —
+    /// the device itself holds no checksums).
+    ///
+    /// The default implementation is a plain read followed by the check.
+    /// Devices holding redundant copies (see
+    /// [`MirrorDevice`](crate::MirrorDevice)) override it to try each copy
+    /// until one verifies, repairing the losers in place (read-repair).
+    /// Wrappers should forward so the redundancy underneath stays visible.
+    fn read_verified(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        verify: &(dyn Fn(&[u8]) -> bool + Sync),
+    ) -> Result<VerifiedRead> {
+        self.read_at(offset, buf)?;
+        Ok(if verify(buf) {
+            VerifiedRead::Clean
+        } else {
+            VerifiedRead::Corrupt
+        })
+    }
+
+    /// Replica health as `(alive, total)` for devices with internal
+    /// redundancy; `None` for plain devices. Wrappers forward.
+    fn replica_health(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// A reference-counted trait object for any device.
@@ -66,5 +117,18 @@ impl<D: Device + ?Sized> Device for Arc<D> {
 
     fn set_len(&self, len: u64) -> Result<()> {
         (**self).set_len(len)
+    }
+
+    fn read_verified(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        verify: &(dyn Fn(&[u8]) -> bool + Sync),
+    ) -> Result<VerifiedRead> {
+        (**self).read_verified(offset, buf, verify)
+    }
+
+    fn replica_health(&self) -> Option<(usize, usize)> {
+        (**self).replica_health()
     }
 }

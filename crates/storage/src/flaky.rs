@@ -31,6 +31,12 @@ pub enum FaultKind {
     /// The clock crashes: this and every later operation fails with
     /// [`DeviceError::Crashed`].
     Crash,
+    /// Silent corruption: the operation *succeeds* but its data is
+    /// flipped — a rotted read returns corrupted bytes, a rotted write
+    /// persists corrupted bytes on the media. Rot on a sync does nothing.
+    /// This is the bit-rot fault the fail-stop kinds above cannot
+    /// express; only end-to-end checksums can catch it.
+    BitRot,
 }
 
 /// One scheduled fault: fail `count` operations starting at the `nth`
@@ -94,6 +100,23 @@ impl FlakyFault {
             kind: FaultKind::Crash,
         }
     }
+
+    /// Silently corrupt the `nth` operation of kind `op`; see
+    /// [`FaultKind::BitRot`].
+    pub fn bit_rot(op: FaultOp, nth: u64) -> Self {
+        Self::bit_rot_run(op, nth, 1)
+    }
+
+    /// Silently corrupt `count` consecutive operations of kind `op`
+    /// starting at the `nth`.
+    pub fn bit_rot_run(op: FaultOp, nth: u64, count: u64) -> Self {
+        FlakyFault {
+            op: Some(op),
+            nth,
+            count,
+            kind: FaultKind::BitRot,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -108,10 +131,25 @@ struct ClockState {
     /// In seeded mode, per-mille probability that any operation fails
     /// with a transient fault.
     per_mille: u32,
+    /// In seeded mode, per-mille probability that an operation is
+    /// silently corrupted ([`FaultKind::BitRot`]) when it did not fail.
+    rot_per_mille: u32,
     seeded: bool,
     crashed: bool,
-    /// Number of faults injected so far (all kinds).
+    /// Number of faults injected so far (all kinds, bit rot included).
     injected: u64,
+    /// Number of bit-rot faults injected so far.
+    rotted: u64,
+}
+
+/// How the clock disposed of one admitted (non-failing) operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Admitted {
+    /// The operation proceeds untouched.
+    Clean,
+    /// The operation proceeds but its data must be corrupted; the salt
+    /// picks which byte flips, deterministically per schedule.
+    Rot { salt: u64 },
 }
 
 fn op_index(op: FaultOp) -> usize {
@@ -138,9 +176,11 @@ impl FaultClock {
                 total: 0,
                 rng: 0,
                 per_mille: 0,
+                rot_per_mille: 0,
                 seeded: false,
                 crashed: false,
                 injected: 0,
+                rotted: 0,
             }),
         })
     }
@@ -149,6 +189,15 @@ impl FaultClock {
     /// `fail_per_mille`/1000, pseudo-randomly from `seed` (xorshift64*),
     /// always with a transient fault.
     pub fn seeded(seed: u64, fail_per_mille: u32) -> Arc<Self> {
+        Self::seeded_with_rot(seed, fail_per_mille, 0)
+    }
+
+    /// A clock that fails each operation with probability
+    /// `fail_per_mille`/1000 (transiently) and silently corrupts each
+    /// surviving operation with probability `rot_per_mille`/1000 — the
+    /// seeded corruption *storm*. Both channels draw from the same
+    /// xorshift64* stream, so a storm replays bit-for-bit from its seed.
+    pub fn seeded_with_rot(seed: u64, fail_per_mille: u32, rot_per_mille: u32) -> Arc<Self> {
         Arc::new(FaultClock {
             state: Mutex::new(ClockState {
                 faults: Vec::new(),
@@ -156,9 +205,11 @@ impl FaultClock {
                 total: 0,
                 rng: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
                 per_mille: fail_per_mille.min(1000),
+                rot_per_mille: rot_per_mille.min(1000),
                 seeded: true,
                 crashed: false,
                 injected: 0,
+                rotted: 0,
             }),
         })
     }
@@ -179,13 +230,18 @@ impl FaultClock {
         self.state.lock().unwrap().injected
     }
 
+    /// Number of bit-rot faults injected so far.
+    pub fn rotted(&self) -> u64 {
+        self.state.lock().unwrap().rotted
+    }
+
     /// Whether the clock has hit a crash fault.
     pub fn has_crashed(&self) -> bool {
         self.state.lock().unwrap().crashed
     }
 
     /// Record one operation of kind `op` and decide its fate.
-    fn admit(&self, op: FaultOp) -> Result<()> {
+    fn admit(&self, op: FaultOp) -> Result<Admitted> {
         let mut s = self.state.lock().unwrap();
         if s.crashed {
             return Err(DeviceError::Crashed);
@@ -217,9 +273,22 @@ impl FaultClock {
                 verdict = Some(FaultKind::Transient);
             }
         }
+        if verdict.is_none() && s.seeded && s.rot_per_mille > 0 {
+            // A second, independent roll for the rot channel. Guarded so
+            // rot-free seeded clocks keep their historical rng stream.
+            let mut x = s.rng;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            s.rng = x;
+            let roll = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 32) % 1000;
+            if (roll as u32) < s.rot_per_mille {
+                verdict = Some(FaultKind::BitRot);
+            }
+        }
 
         match verdict {
-            None => Ok(()),
+            None => Ok(Admitted::Clean),
             Some(kind) => {
                 s.injected += 1;
                 match kind {
@@ -234,6 +303,13 @@ impl FaultClock {
                     FaultKind::Crash => {
                         s.crashed = true;
                         Err(DeviceError::Crashed)
+                    }
+                    FaultKind::BitRot => {
+                        s.rotted += 1;
+                        // Salt the corruption with the op count so each
+                        // rotted operation flips a different byte,
+                        // deterministically per schedule.
+                        Ok(Admitted::Rot { salt: s.total })
                     }
                 }
             }
@@ -371,12 +447,22 @@ impl<D: Device + ?Sized> FlakyDevice<D> {
         }
     }
 
-    fn admit(&self, op: FaultOp) -> Result<()> {
+    fn admit(&self, op: FaultOp) -> Result<Admitted> {
         let outcome = self.clock.admit(op);
         if matches!(outcome, Err(DeviceError::Crashed)) {
             self.settle_crash();
         }
         outcome
+    }
+}
+
+/// Flips one byte of `buf`, picked by `salt`. The corruption the
+/// [`FaultKind::BitRot`] fault applies: a single flipped byte, enough to
+/// fail any honest checksum while staying cheap to inject.
+fn rot_buf(buf: &mut [u8], salt: u64) {
+    if !buf.is_empty() {
+        let i = (salt % buf.len() as u64) as usize;
+        buf[i] ^= 0xA5;
     }
 }
 
@@ -390,12 +476,26 @@ impl<D: Device + ?Sized> Device for FlakyDevice<D> {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        self.admit(FaultOp::Read)?;
-        self.inner.read_at(offset, buf)
+        let admitted = self.admit(FaultOp::Read)?;
+        self.inner.read_at(offset, buf)?;
+        if let Admitted::Rot { salt } = admitted {
+            rot_buf(buf, salt);
+        }
+        Ok(())
     }
 
     fn write_at(&self, offset: u64, buf: &[u8]) -> Result<()> {
-        self.admit(FaultOp::Write)?;
+        let admitted = self.admit(FaultOp::Write)?;
+        let rotted;
+        let buf: &[u8] = if let Admitted::Rot { salt } = admitted {
+            // Rot on a write persists corrupted bytes on the media.
+            let mut copy = buf.to_vec();
+            rot_buf(&mut copy, salt);
+            rotted = copy;
+            &rotted
+        } else {
+            buf
+        };
         if self.crash_model.is_some() {
             let mut old = vec![0u8; buf.len()];
             self.inner.read_at(offset, &mut old)?;
@@ -414,6 +514,7 @@ impl<D: Device + ?Sized> Device for FlakyDevice<D> {
     fn sync(&self) -> Result<()> {
         // An injected failure propagates *without* clearing the journal:
         // the barrier did not happen, so unsynced writes stay at risk.
+        // Rot on a sync does nothing — there is no data to corrupt.
         self.admit(FaultOp::Sync)?;
         self.inner.sync()?;
         self.model_state.lock().unwrap().journal.clear();
@@ -426,6 +527,14 @@ impl<D: Device + ?Sized> Device for FlakyDevice<D> {
             return Err(DeviceError::Crashed);
         }
         self.inner.set_len(len)
+    }
+
+    // read_verified deliberately stays the default (read then check) so an
+    // injected rot is *visible* to the caller's checksum — that is the
+    // whole point of the fault.
+
+    fn replica_health(&self) -> Option<(usize, usize)> {
+        self.inner.replica_health()
     }
 }
 
@@ -603,6 +712,87 @@ mod tests {
         // B has not run an op since the crash; settle it explicitly.
         b.settle_crash();
         assert_eq!(inner_b.snapshot(), vec![0; 4]);
+    }
+
+    #[test]
+    fn bit_rot_corrupts_a_read_silently() {
+        let d = dev(vec![FlakyFault::bit_rot(FaultOp::Read, 2)]);
+        d.write_at(0, &[7u8; 16]).unwrap();
+        let mut clean = [0u8; 16];
+        d.read_at(0, &mut clean).unwrap(); // read 1: clean
+        assert_eq!(clean, [7u8; 16]);
+        let mut rotted = [0u8; 16];
+        d.read_at(0, &mut rotted).unwrap(); // read 2: rotted, but Ok
+        assert_ne!(rotted, [7u8; 16]);
+        assert_eq!(rotted.iter().filter(|&&b| b != 7).count(), 1);
+        assert_eq!(d.clock().rotted(), 1);
+        assert_eq!(d.clock().injected(), 1);
+        // Healed afterwards, and the media itself was never touched.
+        d.read_at(0, &mut clean).unwrap();
+        assert_eq!(clean, [7u8; 16]);
+    }
+
+    #[test]
+    fn bit_rot_on_write_persists_corruption() {
+        let inner = Arc::new(MemDevice::with_len(4096));
+        let d = FlakyDevice::with_clock(
+            Arc::clone(&inner),
+            FaultClock::new(vec![FlakyFault::bit_rot(FaultOp::Write, 1)]),
+        );
+        d.write_at(0, &[3u8; 8]).unwrap(); // succeeds, but rots the media
+        let mut buf = [0u8; 8];
+        inner.read_at(0, &mut buf).unwrap();
+        assert_ne!(buf, [3u8; 8]);
+        assert_eq!(buf.iter().filter(|&&b| b != 3).count(), 1);
+        assert_eq!(d.clock().rotted(), 1);
+    }
+
+    #[test]
+    fn bit_rot_on_sync_is_harmless() {
+        let d = dev(vec![FlakyFault::bit_rot(FaultOp::Sync, 1)]);
+        d.write_at(0, b"ok").unwrap();
+        d.sync().unwrap();
+        let mut buf = [0u8; 2];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"ok");
+        assert_eq!(d.clock().rotted(), 1);
+    }
+
+    #[test]
+    fn seeded_rot_storm_is_deterministic() {
+        let run = |seed| {
+            let clock = FaultClock::seeded_with_rot(seed, 50, 200);
+            let d = FlakyDevice::with_clock(Arc::new(MemDevice::with_len(4096)), clock);
+            let mut outcomes = Vec::new();
+            for i in 0..128u64 {
+                let mut buf = [0u8; 4];
+                d.write_at(i % 64, &[i as u8; 4]).ok();
+                outcomes.push(d.read_at(i % 64, &mut buf).map(|()| buf).ok());
+            }
+            (outcomes, d.clock().rotted(), d.clock().injected())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+        let (_, rotted, injected) = run(9);
+        assert!(rotted > 0, "a 20% rot storm over 256 ops must rot");
+        assert!(injected > rotted, "transient channel fires too");
+    }
+
+    #[test]
+    fn rot_free_seeded_clock_keeps_its_stream() {
+        // seeded() must behave identically to historical behavior: the
+        // rot roll is skipped entirely when rot_per_mille == 0.
+        let a = FlakyDevice::seeded(Arc::new(MemDevice::with_len(4096)), 42, 300);
+        let b = {
+            let clock = FaultClock::seeded_with_rot(42, 300, 0);
+            FlakyDevice::with_clock(Arc::new(MemDevice::with_len(4096)), clock)
+        };
+        for i in 0..64 {
+            assert_eq!(
+                a.write_at(i % 8, b"z").is_ok(),
+                b.write_at(i % 8, b"z").is_ok()
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ mod common {
 use std::sync::{Arc, Barrier};
 
 use common::World;
-use rvm::{CommitMode, RegionDescriptor, Rvm, Tuning, TxnMode, PAGE_SIZE};
+use rvm::{CommitMode, RegionDescriptor, Tuning, TxnMode, PAGE_SIZE};
 use rvm_storage::Device;
 
 #[test]
@@ -47,7 +47,7 @@ fn concurrent_transactions_on_disjoint_slots() {
 
     // Reboot: every thread's final writes are durable.
     drop(region);
-    drop(Arc::try_unwrap(rvm).ok().expect("sole owner"));
+    drop(Arc::try_unwrap(rvm).expect("sole owner"));
     let rvm = world.boot();
     let region = rvm
         .map(&RegionDescriptor::new("seg", 0, 8 * PAGE_SIZE))
@@ -120,7 +120,7 @@ fn group_commit_amortizes_forces_across_threads() {
     // Crash without terminating: the shared forces must have made every
     // acknowledged commit durable, and the log must verify clean.
     drop(region);
-    std::mem::forget(Arc::try_unwrap(rvm).ok().expect("sole owner"));
+    std::mem::forget(Arc::try_unwrap(rvm).expect("sole owner"));
     let report = rvm_check::verify(&(world.log.clone() as Arc<dyn Device>)).unwrap();
     assert!(report.is_clean(), "{}", report.render());
 
@@ -207,7 +207,6 @@ fn concurrent_commits_with_background_truncation() {
     assert!(q.log.utilization < 0.9, "utilization {}", q.log.utilization);
     assert_eq!(q.stats.txns_committed, 320);
     Arc::try_unwrap(rvm)
-        .ok()
         .expect("sole owner")
         .terminate()
         .unwrap();

@@ -12,7 +12,7 @@ use rvm::MutationHooks;
 use rvm_crashmc::enumerate::{enumerate_images, EnumConfig};
 use rvm_crashmc::oracle::{check_recovery_determinism, parts_from_images};
 use rvm_crashmc::workload::{run_workload, Workload};
-use rvm_crashmc::{check_trace, Report};
+use rvm_crashmc::{check_trace, check_trace_with_rot, Report};
 
 fn checked(label: &str, workload: Workload) -> Report {
     let trace = run_workload(workload, MutationHooks::default());
@@ -87,6 +87,22 @@ fn model_checker_catches_a_skipped_group_force() {
     );
 }
 
+/// Media-failure satellite: the bit-rot workload never truncates, so
+/// every committed byte stays covered by the live log span. The checker
+/// flips one byte of committed segment data — plus one byte of each
+/// checksum-catalog sidecar — in every enumerated crash image; recovery
+/// must heal the rot (committed-prefix oracle), and afterwards the
+/// persisted catalog must match the recovered bytes, so recovery and
+/// scrub converge on the same image.
+#[test]
+fn recovery_and_scrub_converge_on_bit_rotted_crash_images() {
+    let trace = run_workload(Workload::BitRot, MutationHooks::default());
+    let report = check_trace_with_rot(&trace, &EnumConfig::default());
+    assert!(report.exhaustive, "{}", report.render());
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.images_unique > 10, "{}", report.render());
+}
+
 /// Satellite: recovery determinism. Recovering the same crash image
 /// twice yields byte-identical segments and log, and a recovery that
 /// itself crashes partway (then recovers again) converges to the same
@@ -98,7 +114,7 @@ fn recovery_is_deterministic_across_repeated_and_interrupted_runs() {
     let mut picked = Vec::new();
     let mut count = 0u64;
     enumerate_images(&trace, &cfg, |point, _, _, images| {
-        if count % 31 == 0 && picked.len() < 8 {
+        if count.is_multiple_of(31) && picked.len() < 8 {
             picked.push((point, images.to_vec()));
         }
         count += 1;

@@ -140,12 +140,21 @@ impl GatedWorld {
             inner: seg_inner.clone(),
             gate: gate.clone(),
         });
+        // The checksum sidecar gets its own ungated device: the gate
+        // models a stuck *segment*, and parking catalog maintenance
+        // would stall `map` before the scenario even starts.
+        let sums: Arc<dyn Device> = Arc::new(MemDevice::with_len(0));
         let for_resolver = gated.clone();
-        let resolver: DeviceResolver = Arc::new(move |_name, min| {
-            if for_resolver.len()? < min {
-                for_resolver.set_len(min)?;
+        let resolver: DeviceResolver = Arc::new(move |name, min| {
+            let dev = if rvm::scrub::is_sidecar(name) {
+                sums.clone()
+            } else {
+                for_resolver.clone()
+            };
+            if dev.len()? < min {
+                dev.set_len(min)?;
             }
-            Ok(for_resolver.clone())
+            Ok(dev)
         });
         Self {
             log: Arc::new(MemDevice::with_len(log_len)),
@@ -182,7 +191,10 @@ fn commit_slot(rvm: &Rvm, region: &rvm::Region, value: u64) {
 /// The latest value committed into `slot` after `committed` sequential
 /// `commit_slot` calls (1..=committed).
 fn expected_slot(slot: u64, committed: u64) -> u64 {
-    (1..=committed).rev().find(|i| i % SLOTS == slot).unwrap_or(0)
+    (1..=committed)
+        .rev()
+        .find(|i| i % SLOTS == slot)
+        .unwrap_or(0)
 }
 
 fn assert_slots(region: &rvm::Region, committed: u64, ctx: &str) {
@@ -260,7 +272,12 @@ fn commits_progress_while_epoch_apply_is_parked() {
 /// every acknowledged commit.
 #[test]
 fn crash_at_every_stage_of_an_inflight_epoch_recovers() {
-    for park in [Park::Writes(0), Park::Writes(1), Park::Writes(5), Park::Sync] {
+    for park in [
+        Park::Writes(0),
+        Park::Writes(1),
+        Park::Writes(5),
+        Park::Sync,
+    ] {
         for commits_during in [0u64, 6] {
             let world = GatedWorld::new(256 * 1024, park);
             let rvm = world.boot();
@@ -314,10 +331,9 @@ fn crash_at_every_stage_of_an_inflight_epoch_recovers() {
             commit_slot(&rvm, &region, committed + 1);
             drop(region);
             drop(rvm);
-            let rvm = Rvm::initialize(
-                Options::new(crash_log).resolver(segments.clone().into_resolver()),
-            )
-            .unwrap();
+            let rvm =
+                Rvm::initialize(Options::new(crash_log).resolver(segments.clone().into_resolver()))
+                    .unwrap();
             assert!(!rvm.recovery_report().interrupted_epoch, "{ctx}");
             let region = rvm
                 .map(&RegionDescriptor::new("seg", 0, REGION_LEN))

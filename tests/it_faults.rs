@@ -427,14 +427,11 @@ fn crash_during_recovery_matrix_re_recovers_idempotently() {
         let (log, segments) = build_crashed_image(N);
         let clock = FaultClock::new(vec![FlakyFault::crash_after_ops(k)]);
         let (sleeper, _) = recording_sleeper();
-        match Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
-            Ok(rvm) => {
-                // The crash lands during map (or just after); either way
-                // this incarnation is dead.
-                let _ = rvm.map(&descriptor());
-                std::mem::forget(rvm);
-            }
-            Err(_) => {}
+        if let Ok(rvm) = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
+            // The crash lands during map (or just after); either way
+            // this incarnation is dead.
+            let _ = rvm.map(&descriptor());
+            std::mem::forget(rvm);
         }
         assert!(clock.has_crashed(), "crash op {k} never fired");
 
@@ -518,6 +515,65 @@ fn crash_during_truncation_matrix_preserves_all_commits() {
     }
 }
 
+/// Regression: a *transient* replica error under a mirror must be
+/// retried (writes) or skipped (reads) without dropping the replica.
+/// An earlier draft dropped a replica on its first error of any kind,
+/// silently halving redundancy on every hiccup.
+#[test]
+fn mirrored_log_transient_faults_retry_and_skip_without_dropping_replicas() {
+    use rvm_storage::{Device, MirrorDevice};
+    const N: u64 = 12;
+
+    let a_mem = Arc::new(MemDevice::with_len(1 << 20));
+    let b_mem = Arc::new(MemDevice::with_len(1 << 20));
+    // Transient faults on one replica only: short write runs (inside the
+    // mirror's retry budget), a read hiccup (skipped to the healthy
+    // replica), and a sync failure (retried).
+    let clock = FaultClock::new(vec![
+        FlakyFault::transient(FaultOp::Read, 2),
+        FlakyFault::transient(FaultOp::Write, 5),
+        FlakyFault::transient_run(FaultOp::Write, 20, 2),
+        FlakyFault::transient(FaultOp::Sync, 4),
+    ]);
+    let a = Arc::new(FlakyDevice::with_clock(
+        Arc::clone(&a_mem),
+        Arc::clone(&clock),
+    ));
+    let mirror = Arc::new(
+        MirrorDevice::new(vec![
+            a as Arc<dyn Device>,
+            Arc::clone(&b_mem) as Arc<dyn Device>,
+        ])
+        .unwrap(),
+    );
+    let segments = MemResolver::new();
+    let rvm = Rvm::initialize(
+        Options::new(mirror)
+            .resolver(segments.clone().into_resolver())
+            .create_if_empty(),
+    )
+    .unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    for i in 1..=N {
+        run_txn(&rvm, &region, i).unwrap_or_else(|e| panic!("txn {i} failed to heal: {e}"));
+    }
+    assert!(clock.injected() > 0, "fault schedule never fired");
+    assert_state_is_prefix(&region, N);
+
+    // Every fault was transient: both replicas must still be in service.
+    let q = rvm.query();
+    assert_eq!(
+        (q.replicas_alive, q.replicas_total),
+        (2, 2),
+        "a transient fault dropped a replica: {q:?}"
+    );
+    rvm.terminate().unwrap();
+
+    // And the retried writes really landed: both replicas carry the same
+    // durable log image.
+    assert_eq!(a_mem.snapshot(), b_mem.snapshot());
+}
+
 #[test]
 fn seeded_fault_storms_either_heal_or_poison_recoverably() {
     const N: u64 = 25;
@@ -531,31 +587,29 @@ fn seeded_fault_storms_either_heal_or_poison_recoverably() {
 
             let mut acked = 0u64;
             let mut clean_exit = false;
-            match Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
-                Ok(rvm) => {
-                    if let Ok(region) = rvm.map(&descriptor()) {
-                        for i in 1..=N {
-                            match run_txn(&rvm, &region, i) {
-                                Ok(()) => acked = i,
-                                Err(e) => {
-                                    assert!(
-                                        rvm.is_poisoned(),
-                                        "{tag}: commit failed ({e}) without poisoning"
-                                    );
-                                    break;
-                                }
+            // A failed initialization means it was flooded: acked == 0.
+            if let Ok(rvm) = Rvm::initialize(flaky_options(&log, &segments, &clock, sleeper)) {
+                if let Ok(region) = rvm.map(&descriptor()) {
+                    for i in 1..=N {
+                        match run_txn(&rvm, &region, i) {
+                            Ok(()) => acked = i,
+                            Err(e) => {
+                                assert!(
+                                    rvm.is_poisoned(),
+                                    "{tag}: commit failed ({e}) without poisoning"
+                                );
+                                break;
                             }
                         }
                     }
-                    if acked == N {
-                        // terminate consumes the instance whether or not it
-                        // succeeds; the durable image must stay recoverable.
-                        clean_exit = rvm.terminate().is_ok();
-                    } else {
-                        std::mem::forget(rvm);
-                    }
                 }
-                Err(_) => {} // initialization itself was flooded: acked == 0
+                if acked == N {
+                    // terminate consumes the instance whether or not it
+                    // succeeds; the durable image must stay recoverable.
+                    clean_exit = rvm.terminate().is_ok();
+                } else {
+                    std::mem::forget(rvm);
+                }
             }
 
             // Whatever happened, a fresh instance over the bare devices

@@ -1,0 +1,286 @@
+//! The media-failure corruption matrix: checksummed segments under
+//! injected bit rot, exercising every rung of the repair ladder.
+//!
+//! * single-replica rot under a mirror → scrub detects it and
+//!   read-repair heals the losing replica in place;
+//! * both-copies rot of a page the un-truncated WAL still covers →
+//!   recovery detects the mismatch and rebuilds the page from the log;
+//! * unrecoverable rot (no mirror, no log span, no VM image) →
+//!   quarantine: that region alone turns read-only degraded
+//!   ([`RvmError::Media`]) while other regions keep committing;
+//! * a seeded rot storm over a mirrored segment → repeated scrubs
+//!   converge with every detection repaired and nothing quarantined.
+
+use std::sync::Arc;
+
+use rvm::segment::{DeviceResolver, MemResolver};
+use rvm::{CommitMode, LoadPolicy, Options, RegionDescriptor, Rvm, RvmError, TxnMode, PAGE_SIZE};
+use rvm_storage::{Device, FaultClock, FlakyDevice, MemDevice, MirrorDevice};
+
+const SEG: &str = "seg";
+
+/// Resolver serving `SEG` from the given mirror and every other name —
+/// notably the checksum sidecar — from plain in-memory devices, mirroring
+/// production layouts where the catalog lives beside the data device.
+fn mirrored_resolver(mirror: &Arc<MirrorDevice>, side: &MemResolver) -> DeviceResolver {
+    let mirror = Arc::clone(mirror);
+    let side = side.clone();
+    Arc::new(move |name: &str, min_len: u64| {
+        if name == SEG {
+            if mirror.len()? < min_len {
+                mirror.set_len(min_len)?;
+            }
+            Ok(Arc::clone(&mirror) as Arc<dyn Device>)
+        } else {
+            side.resolve(name, min_len)
+        }
+    })
+}
+
+fn commit_fill(rvm: &Rvm, region: &rvm::Region, offset: u64, data: &[u8]) {
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    region.write(&mut txn, offset, data).unwrap();
+    txn.commit(CommitMode::Flush).unwrap();
+}
+
+#[test]
+fn single_replica_rot_is_detected_and_read_repaired_by_scrub() {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let a = Arc::new(MemDevice::with_len(1 << 16));
+    let b = Arc::new(MemDevice::with_len(1 << 16));
+    let mirror = Arc::new(
+        MirrorDevice::new(vec![
+            Arc::clone(&a) as Arc<dyn Device>,
+            Arc::clone(&b) as Arc<dyn Device>,
+        ])
+        .unwrap(),
+    );
+    let side = MemResolver::new();
+    let rvm = Rvm::initialize(
+        Options::new(log)
+            .resolver(mirrored_resolver(&mirror, &side))
+            .create_if_empty(),
+    )
+    .unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new(SEG, 0, 2 * PAGE_SIZE))
+        .unwrap();
+    commit_fill(&rvm, &region, 0, &[0x5A; PAGE_SIZE as usize]);
+    // Apply the commit to the segment so the catalog covers real data.
+    rvm.truncate().unwrap();
+
+    // Silent rot on one replica only; the mirror still reports healthy.
+    a.write_at(100, &[0xEE; 8]).unwrap();
+    let before = rvm.query();
+    assert_eq!((before.replicas_alive, before.replicas_total), (2, 2));
+
+    let report = rvm.scrub().unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.pages_scanned, 2, "{report:?}");
+    assert_eq!(report.corruptions_detected, 1, "{report:?}");
+    assert_eq!(report.corruptions_repaired, 1, "{report:?}");
+    assert_eq!(report.pages_quarantined, 0, "{report:?}");
+
+    // The losing replica was healed in place — both now hold committed
+    // bytes — and no replica was dropped over it.
+    assert_eq!(&a.snapshot()[100..108], &[0x5A; 8]);
+    assert_eq!(&b.snapshot()[100..108], &[0x5A; 8]);
+    assert!(mirror.read_repairs() >= 1);
+    let q = rvm.query();
+    assert_eq!((q.replicas_alive, q.replicas_total), (2, 2));
+    assert!(q.stats.pages_scrubbed >= 2, "{:?}", q.stats);
+    assert_eq!(q.stats.corruptions_detected, 1, "{:?}", q.stats);
+    assert_eq!(q.stats.corruptions_repaired, 1, "{:?}", q.stats);
+    assert_eq!(q.stats.regions_quarantined, 0, "{:?}", q.stats);
+
+    // A second pass finds nothing left to repair.
+    let report = rvm.scrub().unwrap();
+    assert_eq!(report.corruptions_detected, 0, "{report:?}");
+    rvm.terminate().unwrap();
+}
+
+#[test]
+fn both_copies_rot_of_a_wal_resident_page_is_rebuilt_from_the_log() {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segs = MemResolver::new();
+    let rvm = Rvm::initialize(
+        Options::new(log.clone())
+            .resolver(segs.clone().into_resolver())
+            .create_if_empty(),
+    )
+    .unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new(SEG, 0, 2 * PAGE_SIZE))
+        .unwrap();
+    commit_fill(&rvm, &region, 0, &[0x5A; PAGE_SIZE as usize]);
+    // The owner dies before truncating: the commit's record is still in
+    // the live log span, but truncation-on-map already pushed an earlier
+    // image (and its checksums) to the segment.
+    std::mem::forget(rvm);
+
+    // Rot the only copy of the segment while the machine is down.
+    let seg = segs.get(SEG).unwrap();
+    seg.write_at(200, &[0xEE; 16]).unwrap();
+
+    // Recovery verifies the page against the catalog, sees the rot, and
+    // the redo span rewrites the whole page — the rot never surfaces.
+    let rvm = Rvm::initialize(
+        Options::new(log)
+            .resolver(segs.clone().into_resolver())
+            .create_if_empty(),
+    )
+    .unwrap();
+    let report = rvm.recovery_report();
+    assert!(report.corrupt_pages_detected >= 1, "{report:?}");
+    assert_eq!(
+        report.corrupt_pages_detected, report.corrupt_pages_repaired,
+        "{report:?}"
+    );
+    let region = rvm
+        .map(&RegionDescriptor::new(SEG, 0, 2 * PAGE_SIZE))
+        .unwrap();
+    assert_eq!(region.read_vec(200, 16).unwrap(), vec![0x5A; 16]);
+    assert_eq!(&segs.get(SEG).unwrap().snapshot()[200..216], &[0x5A; 16]);
+
+    // Scrub agrees: the rebuilt image matches its catalog everywhere.
+    let report = rvm.scrub().unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.corruptions_detected, 0, "{report:?}");
+    rvm.terminate().unwrap();
+}
+
+#[test]
+fn unrecoverable_rot_quarantines_only_its_region() {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segs = MemResolver::new();
+    let boot = || {
+        Rvm::initialize(
+            Options::new(log.clone())
+                .resolver(segs.clone().into_resolver())
+                .create_if_empty(),
+        )
+        .unwrap()
+    };
+    let bad_desc = RegionDescriptor::new("bad", 0, PAGE_SIZE);
+    let good_desc = RegionDescriptor::new("good", 0, PAGE_SIZE);
+
+    // Seed committed data, truncate it to the segment, shut down clean:
+    // the log holds nothing to rebuild from.
+    let rvm = boot();
+    let bad = rvm.map(&bad_desc).unwrap();
+    commit_fill(&rvm, &bad, 0, &[0xAB; PAGE_SIZE as usize]);
+    rvm.truncate().unwrap(); // drain the live span: no redo records remain
+    rvm.terminate().unwrap();
+
+    // Rot the only copy while offline. No mirror, no log span: this page
+    // is unrecoverable.
+    segs.get("bad").unwrap().write_at(321, &[0xEE; 8]).unwrap();
+
+    let rvm = boot();
+    // On-demand mapping defers page loads, so the rot is still latent —
+    // and there is no pristine VM image to rewrite from.
+    let bad = rvm.map_with(&bad_desc, LoadPolicy::OnDemand).unwrap();
+    let good = rvm.map(&good_desc).unwrap();
+
+    let report = rvm.scrub().unwrap();
+    assert!(!report.is_clean(), "{report:?}");
+    assert_eq!(report.pages_quarantined, 1, "{report:?}");
+    assert_eq!(report.corruptions_repaired, 0, "{report:?}");
+
+    // The rotted region is read-only degraded…
+    let mut txn = rvm.begin_transaction(TxnMode::Restore).unwrap();
+    let err = bad.write(&mut txn, 0, &[1]).unwrap_err();
+    assert!(matches!(err, RvmError::Media(_)), "{err:?}");
+    txn.abort().unwrap();
+
+    // …while the healthy region keeps committing.
+    commit_fill(&rvm, &good, 0, &[0x11; 64]);
+    assert_eq!(good.read_vec(0, 64).unwrap(), vec![0x11; 64]);
+
+    let q = rvm.query();
+    assert_eq!(q.regions_degraded, 1, "{q:?}");
+    assert_eq!(q.mapped_regions, 2, "{q:?}");
+    assert_eq!(q.stats.regions_quarantined, 1, "{:?}", q.stats);
+
+    // A later pass skips the quarantined region instead of re-counting it.
+    let report = rvm.scrub().unwrap();
+    assert_eq!(report.pages_quarantined, 0, "{report:?}");
+    assert!(report.pages_skipped >= 1, "{report:?}");
+}
+
+#[test]
+fn seeded_rot_storm_over_a_mirror_converges_with_all_corruptions_repaired() {
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    // Both replicas rot independently (separate seeds, no transient
+    // failures — those are it_faults territory): every read or write may
+    // silently corrupt, and the checksum catalog is the only tripwire.
+    let mk = |seed| -> Arc<dyn Device> {
+        Arc::new(FlakyDevice::with_clock(
+            Arc::new(MemDevice::with_len(1 << 16)),
+            FaultClock::seeded_with_rot(seed, 0, 120),
+        ))
+    };
+    let mirror = Arc::new(MirrorDevice::new(vec![mk(11), mk(23)]).unwrap());
+    let side = MemResolver::new();
+    let rvm = Rvm::initialize(
+        Options::new(log)
+            .resolver(mirrored_resolver(&mirror, &side))
+            .create_if_empty(),
+    )
+    .unwrap();
+    let region = rvm
+        .map(&RegionDescriptor::new(SEG, 0, 4 * PAGE_SIZE))
+        .unwrap();
+
+    for i in 0..16u64 {
+        commit_fill(&rvm, &region, (i % 8) * 512, &[0x30 + i as u8; 512]);
+        if i % 5 == 4 {
+            rvm.truncate().unwrap();
+        }
+    }
+    rvm.truncate().unwrap();
+
+    // Scrub until two consecutive passes find nothing: the storm keeps
+    // rotting reads, but every detection must repair — never quarantine,
+    // never surface bad bytes.
+    let mut clean_passes = 0;
+    for _ in 0..64 {
+        let report = rvm.scrub().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.pages_quarantined, 0, "{report:?}");
+        assert_eq!(
+            report.corruptions_detected, report.corruptions_repaired,
+            "{report:?}"
+        );
+        if report.corruptions_detected == 0 && report.pages_skipped == 0 {
+            clean_passes += 1;
+            if clean_passes == 2 {
+                break;
+            }
+        } else {
+            clean_passes = 0;
+        }
+    }
+    assert_eq!(clean_passes, 2, "scrub never converged under the storm");
+
+    // VM state survived the storm byte for byte.
+    for i in 8..16u64 {
+        assert_eq!(
+            region.read_vec((i % 8) * 512, 512).unwrap(),
+            vec![0x30 + i as u8; 512],
+            "cell {i}"
+        );
+    }
+    let q = rvm.query();
+    assert_eq!((q.replicas_alive, q.replicas_total), (2, 2), "{q:?}");
+    assert_eq!(q.stats.regions_quarantined, 0, "{:?}", q.stats);
+    // Cumulative counters: a truncation-time detection is repaired by a
+    // *later* scrub pass (which books its own detect/repair pair), so
+    // repaired can trail detected globally — but never exceed it.
+    assert!(
+        q.stats.corruptions_repaired <= q.stats.corruptions_detected,
+        "{:?}",
+        q.stats
+    );
+    rvm.terminate().unwrap();
+}

@@ -37,7 +37,9 @@ impl World {
         Rvm::initialize(self.options()).expect("initialize")
     }
 
-    /// Boots with specific tuning.
+    /// Boots with specific tuning. (Compiled into every test binary;
+    /// not all of them use it.)
+    #[allow(dead_code)]
     pub fn boot_tuned(&self, tuning: Tuning) -> Rvm {
         Rvm::initialize(self.options().tuning(tuning)).expect("initialize")
     }
