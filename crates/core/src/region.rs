@@ -60,6 +60,15 @@ impl RegionDescriptor {
     }
 
     pub(crate) fn validate(&self) -> Result<()> {
+        // Checked first: the alignment diagnostics below (and every
+        // downstream `offset + len`, e.g. `ByteRange::at`) assume the
+        // end fits in u64.
+        if self.offset.checked_add(self.len).is_none() {
+            return Err(RvmError::BadMapping(format!(
+                "region at {} of '{}' with length {} overflows u64",
+                self.offset, self.segment, self.len
+            )));
+        }
         if self.len == 0
             || !self.len.is_multiple_of(PAGE_SIZE)
             || !self.offset.is_multiple_of(PAGE_SIZE)
@@ -319,10 +328,15 @@ impl RegionInner {
             *self.unloaded.lock() = None;
             return Ok(());
         }
-        let _guard = self.mem_lock.write();
-        // SAFETY: exclusive lock held; the slice covers the whole block.
-        let buf = unsafe { self.mem.slice_mut(0, self.len as usize) }?;
-        self.seg_dev.read_at(self.seg_offset, buf)?;
+        {
+            let _guard = self.mem_lock.write();
+            // SAFETY: exclusive lock held; the slice covers the whole
+            // block.
+            let buf = unsafe { self.mem.slice_mut(0, self.len as usize) }?;
+            self.seg_dev.read_at(self.seg_offset, buf)?;
+        }
+        // `unloaded` ranks before `mem_lock` (`ensure_loaded` repairs
+        // pages under it), so the guard above must be gone first.
         *self.unloaded.lock() = None;
         Ok(())
     }

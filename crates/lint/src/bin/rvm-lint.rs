@@ -1,0 +1,9 @@
+//! `rvm-lint` — standalone driver for the workspace static analyzer.
+//! `rvmlog lint` wraps the same [`rvm_lint::cli_main`].
+
+use std::process::exit;
+
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    exit(rvm_lint::cli_main(&args));
+}

@@ -1,0 +1,330 @@
+//! Configuration: the canonical lock order (`lockorder.toml`) and the
+//! finding baseline (`lint-baseline.toml`).
+
+use std::fmt;
+use std::path::Path;
+
+use crate::toml::{self, Val};
+
+/// One declared lock (or lock family) in the canonical order.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Unique rank; acquisitions must be strictly rank-increasing while
+    /// other locks are held.
+    pub rank: i64,
+    /// Short name used in findings and rendered docs.
+    pub name: String,
+    /// Acquisition patterns, `field.method` (e.g. `core.lock`,
+    /// `regions.read`). Matched as a suffix of the receiver chain, the
+    /// longest pattern winning.
+    pub patterns: Vec<String>,
+    /// Human description for the rendered DESIGN.md section.
+    pub desc: String,
+}
+
+/// A declared condvar and the lock it parks on.
+#[derive(Debug, Clone)]
+pub struct CondvarDecl {
+    pub name: String,
+    /// Receiver-chain suffix of the condvar field (e.g. `epoch_done`).
+    pub pattern: String,
+    /// Name of the [`LockDecl`] whose guard it releases while parked.
+    pub parks: String,
+    pub desc: String,
+}
+
+/// The parsed canonical lock order.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    pub locks: Vec<LockDecl>,
+    pub condvars: Vec<CondvarDecl>,
+    /// Free-text preamble lines rendered into the docs section.
+    pub notes: Vec<String>,
+}
+
+/// Errors loading configuration.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn cfg_err(msg: impl Into<String>) -> ConfigError {
+    ConfigError(msg.into())
+}
+
+impl LockOrder {
+    /// Parses and validates `lockorder.toml` content.
+    pub fn parse(src: &str) -> Result<LockOrder, ConfigError> {
+        let doc = toml::parse(src).map_err(|e| cfg_err(format!("lockorder.toml: {e}")))?;
+        let mut order = LockOrder::default();
+        if let Some(Val::List(notes)) = doc.root.get("notes") {
+            for n in notes {
+                if let Some(s) = n.as_str() {
+                    order.notes.push(s.to_string());
+                }
+            }
+        }
+        for t in doc.all("lock") {
+            let name = t
+                .str_of("name")
+                .ok_or_else(|| cfg_err("[[lock]] missing `name`"))?
+                .to_string();
+            let rank = t
+                .get("rank")
+                .and_then(Val::as_int)
+                .ok_or_else(|| cfg_err(format!("lock `{name}` missing integer `rank`")))?;
+            let patterns: Vec<String> = t
+                .get("patterns")
+                .and_then(Val::as_list)
+                .map(|l| {
+                    l.iter()
+                        .filter_map(|v| v.as_str().map(String::from))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if patterns.is_empty() {
+                return Err(cfg_err(format!("lock `{name}` has no patterns")));
+            }
+            for p in &patterns {
+                let ok = p
+                    .rsplit_once('.')
+                    .is_some_and(|(_, m)| matches!(m, "lock" | "read" | "write"));
+                if !ok {
+                    return Err(cfg_err(format!(
+                        "lock `{name}` pattern `{p}` must end in .lock/.read/.write"
+                    )));
+                }
+            }
+            order.locks.push(LockDecl {
+                rank,
+                name,
+                patterns,
+                desc: t.str_of("desc").unwrap_or_default().to_string(),
+            });
+        }
+        for t in doc.all("condvar") {
+            let name = t
+                .str_of("name")
+                .ok_or_else(|| cfg_err("[[condvar]] missing `name`"))?
+                .to_string();
+            order.condvars.push(CondvarDecl {
+                pattern: t.str_of("pattern").unwrap_or(&name).to_string(),
+                parks: t
+                    .str_of("parks")
+                    .ok_or_else(|| cfg_err(format!("condvar `{name}` missing `parks`")))?
+                    .to_string(),
+                desc: t.str_of("desc").unwrap_or_default().to_string(),
+                name,
+            });
+        }
+        if order.locks.is_empty() {
+            return Err(cfg_err("lockorder.toml declares no [[lock]] entries"));
+        }
+        let mut ranks: Vec<i64> = order.locks.iter().map(|l| l.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        if ranks.len() != order.locks.len() {
+            return Err(cfg_err("lock ranks must be unique (a total order)"));
+        }
+        let mut names: Vec<&str> = order.locks.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != order.locks.len() {
+            return Err(cfg_err("lock names must be unique"));
+        }
+        for c in &order.condvars {
+            if !order.locks.iter().any(|l| l.name == c.parks) {
+                return Err(cfg_err(format!(
+                    "condvar `{}` parks on undeclared lock `{}`",
+                    c.name, c.parks
+                )));
+            }
+        }
+        order.locks.sort_by_key(|l| l.rank);
+        Ok(order)
+    }
+
+    /// Loads from a file.
+    pub fn load(path: &Path) -> Result<LockOrder, ConfigError> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| cfg_err(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&src)
+    }
+
+    /// Lock declaration by name.
+    pub fn by_name(&self, name: &str) -> Option<&LockDecl> {
+        self.locks.iter().find(|l| l.name == name)
+    }
+
+    /// Renders the DESIGN.md "Locking" section body. This output is the
+    /// single source of truth shared by the docs and the checker; a test
+    /// asserts DESIGN.md contains it verbatim.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "The canonical lock acquisition order is declared in\n\
+             [`lockorder.toml`](lockorder.toml) and machine-checked by\n\
+             `rvm-lint` (pass `lock-order`) on every CI run; this section is\n\
+             rendered from that file (`rvm-lint --update-design`). Locks must\n\
+             be acquired in strictly increasing rank while any other lock is\n\
+             held; a condvar may only park on its declared lock, with nothing\n\
+             else held.\n\n",
+        );
+        out.push_str("| Rank | Lock | Acquired as | Role |\n");
+        out.push_str("|---|---|---|---|\n");
+        for l in &self.locks {
+            let pats: Vec<String> = l.patterns.iter().map(|p| format!("`{p}()`")).collect();
+            out.push_str(&format!(
+                "| {} | {} | {} | {} |\n",
+                l.rank,
+                l.name,
+                pats.join(", "),
+                l.desc
+            ));
+        }
+        if !self.condvars.is_empty() {
+            out.push_str("\nCondvars (each releases its lock while parked):\n\n");
+            for c in &self.condvars {
+                out.push_str(&format!(
+                    "* `{}` parks on **{}** — {}\n",
+                    c.name, c.parks, c.desc
+                ));
+            }
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str(&format!("* {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// One suppressed finding in `lint-baseline.toml`.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    pub id: String,
+    pub file: String,
+    pub function: String,
+    pub note: String,
+}
+
+/// The checked-in baseline: findings that existed when the ratchet was
+/// introduced (or were judged intentional). CI fails only on findings
+/// *not* in this set.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    pub fn parse(src: &str) -> Result<Baseline, ConfigError> {
+        let doc = toml::parse(src).map_err(|e| cfg_err(format!("lint-baseline.toml: {e}")))?;
+        let mut out = Baseline::default();
+        for t in doc.all("suppress") {
+            out.entries.push(BaselineEntry {
+                id: t
+                    .str_of("id")
+                    .ok_or_else(|| cfg_err("[[suppress]] missing `id`"))?
+                    .to_string(),
+                file: t.str_of("file").unwrap_or_default().to_string(),
+                function: t.str_of("function").unwrap_or_default().to_string(),
+                note: t.str_of("note").unwrap_or_default().to_string(),
+            });
+        }
+        Ok(out)
+    }
+
+    pub fn load(path: &Path) -> Result<Baseline, ConfigError> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| cfg_err(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&src)
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Serializes a baseline for the given findings (used by
+    /// `--write-baseline`). Notes on entries that survive from `prev`
+    /// are preserved.
+    pub fn render(findings: &[crate::findings::Finding], prev: &Baseline) -> String {
+        let mut out = String::from(
+            "# rvm-lint finding baseline.\n\
+             #\n\
+             # Findings listed here are known and suppressed; CI fails only on\n\
+             # findings NOT in this file (the ratchet). Regenerate after fixing\n\
+             # code with:  cargo run -p rvm-lint -- --write-baseline\n\
+             # Never regenerate to absorb a *new* finding without review.\n\n\
+             schema = 1\n",
+        );
+        for f in findings {
+            let note = prev
+                .entries
+                .iter()
+                .find(|e| e.id == f.id)
+                .map(|e| e.note.clone())
+                .filter(|n| !n.is_empty())
+                .unwrap_or_else(|| f.message.clone());
+            out.push_str("\n[[suppress]]\n");
+            out.push_str(&format!("id = {}\n", crate::toml::escape(&f.id)));
+            out.push_str(&format!("file = {}\n", crate::toml::escape(&f.file)));
+            out.push_str(&format!(
+                "function = {}\n",
+                crate::toml::escape(&f.function)
+            ));
+            out.push_str(&format!("note = {}\n", crate::toml::escape(&note)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+notes = ["note one"]
+[[lock]]
+rank = 10
+name = "core"
+patterns = ["core.lock"]
+desc = "the core"
+[[lock]]
+rank = 20
+name = "regions"
+patterns = ["regions.read", "regions.write"]
+desc = "region map"
+[[condvar]]
+name = "epoch_done"
+pattern = "epoch_done"
+parks = "core"
+desc = "epoch completion"
+"#;
+
+    #[test]
+    fn parses_and_validates() {
+        let o = LockOrder::parse(MINIMAL).unwrap();
+        assert_eq!(o.locks.len(), 2);
+        assert_eq!(o.condvars[0].parks, "core");
+        assert!(o.render_markdown().contains("| 10 | core |"));
+    }
+
+    #[test]
+    fn rejects_duplicate_ranks_and_bad_parks() {
+        let dup = MINIMAL.replace("rank = 20", "rank = 10");
+        assert!(LockOrder::parse(&dup).is_err());
+        let bad = MINIMAL.replace("parks = \"core\"", "parks = \"nope\"");
+        assert!(LockOrder::parse(&bad).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Findings and their stable identifiers.
+
+use std::fmt;
+
+/// The four analysis passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    LockOrder,
+    DeviceFallibility,
+    UnloggedWrite,
+    PanicSurface,
+}
+
+impl Pass {
+    /// Stable slug used in finding IDs, JSON, and `lint:allow(...)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Pass::LockOrder => "lock-order",
+            Pass::DeviceFallibility => "device-fallibility",
+            Pass::UnloggedWrite => "unlogged-write",
+            Pass::PanicSurface => "panic-surface",
+        }
+    }
+
+    /// Short uppercase tag used in the ID prefix.
+    fn tag(self) -> &'static str {
+        match self {
+            Pass::LockOrder => "LOCK",
+            Pass::DeviceFallibility => "DEV",
+            Pass::UnloggedWrite => "ULW",
+            Pass::PanicSurface => "PANIC",
+        }
+    }
+
+    pub const ALL: [Pass; 4] = [
+        Pass::LockOrder,
+        Pass::DeviceFallibility,
+        Pass::UnloggedWrite,
+        Pass::PanicSurface,
+    ];
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One finding.
+///
+/// The `id` is a function of the pass, the workspace-relative file path,
+/// the enclosing function, and a pass-specific *detail key* (e.g.
+/// `"check->core"` for a lock inversion) — deliberately **not** of the
+/// line number, so the baseline survives unrelated edits to the same
+/// file. Two identical detail keys in one function get `#2`, `#3`, ...
+/// ordinal suffixes before hashing.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub id: String,
+    pub pass: Pass,
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    pub message: String,
+}
+
+/// 64-bit FNV-1a: tiny, stable, dependency-free. Used only for finding
+/// IDs — no adversarial input, collisions merely merge two baseline
+/// entries.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the stable finding ID.
+pub fn finding_id(pass: Pass, file: &str, function: &str, detail: &str) -> String {
+    let key = format!("{}|{}|{}|{}", pass.slug(), file, function, detail);
+    format!("RVML-{}-{:08x}", pass.tag(), fnv64(key.as_bytes()) as u32)
+}
+
+/// A builder that assigns ordinal suffixes to repeated detail keys
+/// within one (file, function) so IDs stay unique *and* stable in order.
+#[derive(Default)]
+pub struct IdSpace {
+    seen: std::collections::HashMap<String, u32>,
+}
+
+impl IdSpace {
+    pub fn id(&mut self, pass: Pass, file: &str, function: &str, detail: &str) -> String {
+        let key = format!("{}|{}|{}|{}", pass.slug(), file, function, detail);
+        let n = self.seen.entry(key).or_insert(0);
+        *n += 1;
+        if *n == 1 {
+            finding_id(pass, file, function, detail)
+        } else {
+            finding_id(pass, file, function, &format!("{detail}#{n}"))
+        }
+    }
+}
+
+impl Finding {
+    /// Human-readable one-liner.
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {}:{}: in `{}`: {}",
+            self.id, self.file, self.line, self.function, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_line_independent() {
+        let a = finding_id(
+            Pass::LockOrder,
+            "crates/core/src/rvm.rs",
+            "Rvm::query",
+            "check->core",
+        );
+        let b = finding_id(
+            Pass::LockOrder,
+            "crates/core/src/rvm.rs",
+            "Rvm::query",
+            "check->core",
+        );
+        assert_eq!(a, b);
+        assert!(a.starts_with("RVML-LOCK-"));
+    }
+
+    #[test]
+    fn id_space_disambiguates_duplicates() {
+        let mut s = IdSpace::default();
+        let a = s.id(Pass::DeviceFallibility, "f.rs", "g", "sync|discard");
+        let b = s.id(Pass::DeviceFallibility, "f.rs", "g", "sync|discard");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tiny JSON emitter (no serde in the build environment).
+
+/// Escapes `s` as a JSON string, including the surrounding quotes.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Incremental object/array writer with stable key order.
+#[derive(Default)]
+pub struct JsonBuf {
+    out: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    fn pre(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    pub fn obj_open(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    pub fn obj_close(&mut self) -> &mut Self {
+        self.out.push('}');
+        self.needs_comma.pop();
+        self
+    }
+
+    pub fn arr_open(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    pub fn arr_close(&mut self) -> &mut Self {
+        self.out.push(']');
+        self.needs_comma.pop();
+        self
+    }
+
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre();
+        self.out.push_str(&esc(key));
+        self.out.push(':');
+        // The value that follows manages its own comma state.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    pub fn str_field(&mut self, key: &str, val: &str) -> &mut Self {
+        self.key(key);
+        self.pre();
+        self.out.push_str(&esc(val));
+        self
+    }
+
+    pub fn num_field(&mut self, key: &str, val: u64) -> &mut Self {
+        self.key(key);
+        self.pre();
+        self.out.push_str(&val.to_string());
+        self
+    }
+
+    pub fn bool_field(&mut self, key: &str, val: bool) -> &mut Self {
+        self.key(key);
+        self.pre();
+        self.out.push_str(if val { "true" } else { "false" });
+        self
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_object_layout() {
+        let mut j = JsonBuf::default();
+        j.obj_open()
+            .str_field("a", "x\"y")
+            .num_field("n", 3)
+            .arr_open("items");
+        j.obj_open().bool_field("ok", true).obj_close();
+        j.obj_open().bool_field("ok", false).obj_close();
+        j.arr_close().obj_close();
+        assert_eq!(
+            j.finish(),
+            r#"{"a":"x\"y","n":3,"items":[{"ok":true},{"ok":false}]}"#
+        );
+    }
+}

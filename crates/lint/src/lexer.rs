@@ -1,0 +1,325 @@
+//! A minimal Rust lexer.
+//!
+//! `rvm-lint` analyzes source *tokens*, not an AST: the container has no
+//! `syn`, and none of the four passes needs type information — they need
+//! token shapes (`.lock()`, `let _ =`, `*p =`) plus enough item structure
+//! to attribute a site to a function. The lexer therefore handles exactly
+//! the lexical constructs that can hide or fake a token match — comments
+//! (nested), string/char/byte/raw literals, and lifetimes — and treats
+//! everything else as identifiers or single-character punctuation.
+//! Multi-character operators are recognized at the analysis layer from
+//! adjacent punctuation tokens.
+
+/// Token kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including `self`, `fn`, `pub`, ...).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// String/char/byte/numeric literal. The text is kept verbatim.
+    Literal,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// `true` if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// An inline suppression comment: `// lint:allow(pass-name): reason`.
+///
+/// Suppresses findings of that pass on the same line or the next
+/// non-comment line.
+#[derive(Debug, Clone)]
+pub struct InlineAllow {
+    pub line: u32,
+    pub pass: String,
+}
+
+/// Lexer output: tokens plus inline-allow directives found in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<InlineAllow>,
+}
+
+impl Lexed {
+    /// `true` if `pass` is suppressed on `line` (directive on the same
+    /// line or the line immediately above).
+    pub fn allowed(&self, pass: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.pass == pass && (a.line == line || a.line + 1 == line))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Unterminated constructs consume to end of input rather
+/// than erroring: the linter must degrade gracefully on any tree.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `i` past a quoted literal body (after the opening quote),
+    // honoring backslash escapes; returns with `i` past the close quote.
+    fn skip_quoted(b: &[char], mut i: usize, line: &mut u32, quote: char) -> usize {
+        while i < b.len() {
+            match b[i] {
+                '\\' => i += 2,
+                '\n' => {
+                    *line += 1;
+                    i += 1;
+                }
+                c if c == quote => return i + 1,
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if b.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                if let Some(rest) = text.trim().strip_prefix("lint:allow(") {
+                    if let Some(end) = rest.find(')') {
+                        out.allows.push(InlineAllow {
+                            line,
+                            pass: rest[..end].trim().to_string(),
+                        });
+                    }
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i = skip_quoted(&b, i + 1, &mut line, '"');
+                out.toks.push(Tok {
+                    kind: Kind::Literal,
+                    text: "\"\"".to_string(),
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal. `'a` followed by a non-quote
+                // is a lifetime; `'a'`, `'\n'`, `'\u{1F600}'` are chars.
+                let next = b.get(i + 1).copied().unwrap_or(' ');
+                if is_ident_start(next) && b.get(i + 2) != Some(&'\'') {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: Kind::Lifetime,
+                        text: b[start..i].iter().collect(),
+                        line,
+                    });
+                } else {
+                    let start_line = line;
+                    i = skip_quoted(&b, i + 1, &mut line, '\'');
+                    out.toks.push(Tok {
+                        kind: Kind::Literal,
+                        text: "''".to_string(),
+                        line: start_line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Raw / byte string prefixes: r"", r#""#, b"", br#""#, c"".
+                if i < b.len() && matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb") {
+                    let mut j = i;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        let start_line = line;
+                        // Scan for closing quote + same number of hashes.
+                        // Raw strings (any `r` in the prefix) take no
+                        // escapes; `b""`/`c""` do.
+                        let raw = text.contains('r');
+                        j += 1;
+                        loop {
+                            if j >= b.len() {
+                                break;
+                            }
+                            match b[j] {
+                                '\n' => {
+                                    line += 1;
+                                    j += 1;
+                                }
+                                '\\' if !raw => j += 2,
+                                '"' => {
+                                    let mut k = j + 1;
+                                    let mut h = 0;
+                                    while h < hashes && b.get(k) == Some(&'#') {
+                                        h += 1;
+                                        k += 1;
+                                    }
+                                    if h == hashes {
+                                        j = k;
+                                        break;
+                                    }
+                                    j += 1;
+                                }
+                                _ => j += 1,
+                            }
+                        }
+                        i = j;
+                        out.toks.push(Tok {
+                            kind: Kind::Literal,
+                            text: "\"\"".to_string(),
+                            line: start_line,
+                        });
+                        continue;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: Kind::Ident,
+                    text,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+                // Fractional part — but never consume `..` (range syntax).
+                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: Kind::Literal,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let l = lex("fn a() {\n  b.lock();\n}");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "a", "(", ")", "{", "b", ".", "lock", "(", ")", ";", "}"]
+        );
+        assert_eq!(l.toks[5].line, 2);
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        let l = lex("let s = \"a.lock()\"; let c = '{'; let r = r#\"x.lock()\"# ;");
+        assert!(!l.toks.iter().any(|t| t.is_ident("lock")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a u8) { let c = 'x'; }");
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            2
+        );
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Literal && t.text == "''"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_inline_allow() {
+        let l = lex("/* a /* b */ c */ x.sync(); // lint:allow(device-fallibility): simulated\n");
+        assert!(l.toks.iter().any(|t| t.is_ident("sync")));
+        assert!(l.allowed("device-fallibility", 1));
+        assert!(l.allowed("device-fallibility", 2));
+        assert!(!l.allowed("lock-order", 1));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let l = lex("for i in 0..10 { a[i] = 1.5; }");
+        let texts: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"10"));
+        assert!(texts.contains(&"1.5"));
+    }
+}

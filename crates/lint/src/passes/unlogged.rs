@@ -1,0 +1,229 @@
+//! Pass 3 — static unlogged-write triage: raw writes into mapped region
+//! memory in functions that never declare a `set_range`.
+//!
+//! The paper's §6 war story — "mutation without set_range" — is caught
+//! at commit time by `rvm-check`'s snapshot/diff detector (PR 2), but
+//! only when the buggy path actually runs under a debug build. This pass
+//! is the compile-time companion: in the API-consumer crates it flags
+//! any function that
+//!
+//! 1. takes the raw view of region memory (`base_ptr()` /
+//!    `from_raw_parts_mut`), **and**
+//! 2. writes through it (`*p = ...`, `ptr::write`,
+//!    `copy_nonoverlapping`, `copy_from_slice` on the raw view), **and**
+//! 3. never declares any range in the same function (`set_range`,
+//!    `set_range_ptr`, `modify`, `write`/`put_*` region helpers).
+//!
+//! The triage is intentionally function-local: a pointer smuggled across
+//! a function boundary is invisible here and remains `rvm-check`'s job
+//! at commit. Findings say so.
+
+use crate::findings::{Finding, IdSpace, Pass};
+use crate::items::FileModel;
+use crate::lexer::{Kind, Tok};
+
+/// Raw-view sources.
+const RAW_SOURCES: &[&str] = &["base_ptr", "from_raw_parts_mut"];
+
+/// Range-declaration markers (direct or via the logged write helpers).
+const DECLARES: &[&str] = &[
+    "set_range",
+    "set_range_ptr",
+    "modify",
+    "put_u32",
+    "put_u64",
+    "write",
+];
+
+/// Raw-write markers that need no deref-assignment shape.
+const RAW_WRITE_FNS: &[&str] = &[
+    "copy_nonoverlapping",
+    "write_volatile",
+    "write_bytes",
+    "copy_from_slice",
+];
+
+fn has_ident_call(toks: &[Tok], open: usize, close: usize, names: &[&str]) -> Option<u32> {
+    has_call_where(toks, open, close, names, |_| true)
+}
+
+fn has_call_where(
+    toks: &[Tok],
+    open: usize,
+    close: usize,
+    names: &[&str],
+    extra: impl Fn(usize) -> bool,
+) -> Option<u32> {
+    for i in open + 1..close {
+        let t = &toks[i];
+        if t.kind == Kind::Ident
+            && names.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+            && extra(i)
+        {
+            return Some(t.line);
+        }
+    }
+    None
+}
+
+/// Detects a deref assignment `*expr = ...` (not `==`, not `*=` which
+/// has the `*` after an ident) or `ptr::write(...)`.
+fn raw_write_line(toks: &[Tok], open: usize, close: usize) -> Option<u32> {
+    if let Some(line) = has_ident_call(toks, open, close, RAW_WRITE_FNS) {
+        return Some(line);
+    }
+    // `ptr::write(` — `write` is too common to match bare, so require
+    // the `ptr::`/`std::ptr::` path prefix.
+    for i in open + 3..close {
+        let t = &toks[i];
+        if t.kind == Kind::Ident
+            && (t.text == "write" || t.text == "write_unaligned")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("ptr")
+        {
+            return Some(t.line);
+        }
+    }
+    // Deref assignment: statement-ish `* <chain> = <...>` where the `=`
+    // is not part of `==`/`<=`/`>=`/`!=` and the `*` is prefix (preceded
+    // by a statement boundary, `=`, `;`, `{`, `(`, `,`, or `unsafe`).
+    for i in open + 1..close {
+        if !toks[i].is_punct('*') {
+            continue;
+        }
+        let prefix_ok = i == 0
+            || toks[i - 1].is_punct(';')
+            || toks[i - 1].is_punct('{')
+            || toks[i - 1].is_punct('}')
+            || toks[i - 1].is_punct('(')
+            || toks[i - 1].is_punct(',')
+            || toks[i - 1].is_punct('=');
+        if !prefix_ok {
+            continue;
+        }
+        // Scan the deref target: idents, `.`, `::`, index/call groups.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < close {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('=') {
+                let is_cmp = toks.get(j + 1).is_some_and(|n| n.is_punct('='))
+                    || toks[j - 1].is_punct('=')
+                    || toks[j - 1].is_punct('!')
+                    || toks[j - 1].is_punct('<')
+                    || toks[j - 1].is_punct('>');
+                if !is_cmp {
+                    return Some(toks[i].line);
+                }
+                break;
+            } else if depth == 0
+                && (t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_punct(','))
+            {
+                break;
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// Runs the pass over the API-consumer files.
+pub fn run(files: &[&FileModel]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut ids = IdSpace::default();
+    for fm in files {
+        let toks = &fm.lexed.toks;
+        for f in fm.fns.iter().filter(|f| !f.is_test) {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let Some(src_line) = has_ident_call(toks, open, close, RAW_SOURCES) else {
+                continue;
+            };
+            let Some(write_line) = raw_write_line(toks, open, close) else {
+                continue;
+            };
+            // `write` in DECLARES means the logged region helper
+            // (`r.write(...)` / bare `write(...)`) — a path-qualified
+            // `ptr::write(...)` is a *raw* write, not a declaration.
+            let declares = has_call_where(toks, open, close, DECLARES, |i| {
+                !(i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':'))
+            });
+            if declares.is_some() {
+                continue;
+            }
+            if fm.lexed.allowed(Pass::UnloggedWrite.slug(), src_line)
+                || fm.lexed.allowed(Pass::UnloggedWrite.slug(), write_line)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                id: ids.id(
+                    Pass::UnloggedWrite,
+                    &fm.path,
+                    &f.qual,
+                    "raw-write-no-set-range",
+                ),
+                pass: Pass::UnloggedWrite,
+                file: fm.path.clone(),
+                line: write_line,
+                function: f.qual.clone(),
+                message: format!(
+                    "writes through raw region memory (base_ptr taken line {src_line}, raw \
+                     write line {write_line}) but never declares a set_range in this function \
+                     — the paper's §6 \"mutation without set_range\" bug; rvm-check would only \
+                     catch this at commit time in a debug build"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileModel;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let m = FileModel::build("t.rs", src, false);
+        run(&[&m])
+    }
+
+    #[test]
+    fn convicts_raw_write_without_set_range() {
+        let f = run_on("fn bad(r: &Region) { let p = r.base_ptr(); unsafe { *p.add(4) = 7; } }");
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("set_range"));
+    }
+
+    #[test]
+    fn passes_declared_and_safe_writers() {
+        let f = run_on(
+            "fn good(t: &mut T, r: &Region) { let p = r.base_ptr(); t.set_range_ptr(r, p, 8); unsafe { *p = 1; } }\n\
+             fn also_good(t: &mut T, r: &Region) { r.put_u64(t, 0, 9); }\n\
+             fn compare(r: &Region) -> bool { let p = r.base_ptr(); unsafe { *p == 3 } }",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn ptr_write_and_copy_nonoverlapping_convict() {
+        let f = run_on(
+            "fn b1(r: &Region) { let p = r.base_ptr(); unsafe { std::ptr::write(p, 0u8); } }\n\
+             fn b2(r: &Region, s: &[u8]) { let p = r.base_ptr(); unsafe { std::ptr::copy_nonoverlapping(s.as_ptr(), p, s.len()); } }",
+        );
+        assert_eq!(f.len(), 2, "{f:#?}");
+    }
+}

@@ -1,0 +1,346 @@
+//! A minimal TOML subset parser — just enough for `lockorder.toml` and
+//! `lint-baseline.toml`, which the tool itself writes.
+//!
+//! Supported: comments, `[table]`, `[[array-of-tables]]`, and
+//! `key = value` with string / integer / boolean / single-line array
+//! values. This is deliberately not a general TOML implementation; the
+//! two config files stay within this subset by construction (the
+//! baseline is machine-written, the lock order is validated on load).
+
+use std::fmt;
+
+/// A TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    List(Vec<Val>),
+}
+
+impl Val {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Val::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Val]> {
+        match self {
+            Val::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One table: its header path and key/value pairs, in file order.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub name: String,
+    pub entries: Vec<(String, Val)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Val> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Val::as_str)
+    }
+}
+
+/// A parsed document: the root table plus named tables in order.
+/// `[[x]]` produces one `Table` per occurrence, all named `x`.
+#[derive(Debug, Default)]
+pub struct Doc {
+    pub root: Table,
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// All tables named `name` (array-of-tables accessor).
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> + 'a {
+        self.tables.iter().filter(move |t| t.name == name)
+    }
+}
+
+/// Parse error with 1-based line number.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Strips a trailing comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Val, ParseError> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| err(line, "unterminated string"))?;
+        let mut out = String::new();
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => return Err(err(line, "dangling escape")),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Val::Str(out));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(line, "arrays must close on the same line"))?;
+        let mut items = Vec::new();
+        // Split on commas outside strings.
+        let mut depth_str = false;
+        let mut escaped = false;
+        let mut cur = String::new();
+        for c in body.chars() {
+            match c {
+                '\\' if depth_str && !escaped => {
+                    escaped = true;
+                    cur.push(c);
+                    continue;
+                }
+                '"' if !escaped => {
+                    depth_str = !depth_str;
+                    cur.push(c);
+                }
+                ',' if !depth_str => {
+                    if !cur.trim().is_empty() {
+                        items.push(parse_value(&cur, line)?);
+                    }
+                    cur.clear();
+                }
+                _ => cur.push(c),
+            }
+            escaped = false;
+        }
+        if !cur.trim().is_empty() {
+            items.push(parse_value(&cur, line)?);
+        }
+        return Ok(Val::List(items));
+    }
+    match s {
+        "true" => return Ok(Val::Bool(true)),
+        "false" => return Ok(Val::Bool(false)),
+        _ => {}
+    }
+    s.parse::<i64>()
+        .map(Val::Int)
+        .map_err(|_| err(line, format!("unsupported value `{s}`")))
+}
+
+/// Net `[` vs `]` count outside strings — used to join multi-line
+/// arrays.
+fn bracket_balance(s: &str) -> i32 {
+    let mut bal = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    bal
+}
+
+/// Parses a document in the supported subset.
+pub fn parse(src: &str) -> Result<Doc, ParseError> {
+    let mut doc = Doc::default();
+    let mut current: Option<Table> = None;
+    let mut lines = src.lines().enumerate();
+    while let Some((n, raw)) = lines.next() {
+        let line_no = n + 1;
+        let mut joined;
+        let mut line = strip_comment(raw).trim();
+        // A `key = [` whose array spans lines: join until brackets
+        // balance.
+        if line.contains('=') && bracket_balance(line) > 0 {
+            joined = line.to_string();
+            for (m, cont) in lines.by_ref() {
+                joined.push(' ');
+                joined.push_str(strip_comment(cont).trim());
+                if bracket_balance(&joined) <= 0 {
+                    break;
+                }
+                if m - n > 500 {
+                    return Err(err(line_no, "unterminated array"));
+                }
+            }
+            line = joined.trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(h) = line.strip_prefix("[[") {
+            let name = h
+                .strip_suffix("]]")
+                .ok_or_else(|| err(line_no, "malformed [[header]]"))?
+                .trim()
+                .to_string();
+            if let Some(t) = current.take() {
+                doc.tables.push(t);
+            }
+            current = Some(Table {
+                name,
+                entries: Vec::new(),
+            });
+        } else if let Some(h) = line.strip_prefix('[') {
+            let name = h
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "malformed [header]"))?
+                .trim()
+                .to_string();
+            if let Some(t) = current.take() {
+                doc.tables.push(t);
+            }
+            current = Some(Table {
+                name,
+                entries: Vec::new(),
+            });
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            let val = parse_value(&line[eq + 1..], line_no)?;
+            match &mut current {
+                Some(t) => t.entries.push((key, val)),
+                None => doc.root.entries.push((key, val)),
+            }
+        } else {
+            return Err(err(line_no, format!("unparseable line `{line}`")));
+        }
+    }
+    if let Some(t) = current.take() {
+        doc.tables.push(t);
+    }
+    Ok(doc)
+}
+
+/// Escapes a string for emission as a TOML basic string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_arrays_and_values() {
+        let doc = parse(
+            r#"
+# comment
+schema = 1
+[meta]
+title = "Lock order" # trailing
+[[level]]
+rank = 10
+patterns = ["core.lock", "x # not a comment"]
+strict = true
+[[level]]
+rank = 20
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.get("schema"), Some(&Val::Int(1)));
+        assert_eq!(doc.all("meta").count(), 1);
+        let levels: Vec<_> = doc.all("level").collect();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].get("rank"), Some(&Val::Int(10)));
+        assert_eq!(levels[0].get("strict"), Some(&Val::Bool(true)));
+        let pats = levels[0].get("patterns").unwrap().as_list().unwrap();
+        assert_eq!(pats[1].as_str(), Some("x # not a comment"));
+    }
+
+    #[test]
+    fn multiline_arrays_join() {
+        let doc =
+            parse("notes = [\n    \"one [with] brackets\", # c\n    \"two\",\n]\nk = 3\n").unwrap();
+        let notes = doc.root.get("notes").unwrap().as_list().unwrap();
+        assert_eq!(notes.len(), 2);
+        assert_eq!(notes[0].as_str(), Some("one [with] brackets"));
+        assert_eq!(doc.root.get("k"), Some(&Val::Int(3)));
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let s = "a\"b\\c\nd";
+        let doc = parse(&format!("k = {}", escape(s))).unwrap();
+        assert_eq!(doc.root.str_of("k"), Some(s));
+    }
+}

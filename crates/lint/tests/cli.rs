@@ -1,0 +1,147 @@
+//! End-to-end test of the `rvm-lint` binary: a miniature workspace with
+//! seeded findings, the JSON report schema, and the baseline ratchet
+//! round-trip (convict -> --write-baseline -> suppressed -> fixed ->
+//! stale entry reported).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn rvm_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvm-lint"))
+}
+
+/// A tiny workspace with one lock-order inversion and one discarded
+/// device Result, both in lock-order/fallibility scope.
+fn write_mini_workspace(dir: &Path) -> PathBuf {
+    let core = dir.join("crates/core/src");
+    std::fs::create_dir_all(&core).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        core.join("badcode.rs"),
+        "pub struct S;\n\
+         impl S {\n\
+             pub fn careless(&self, dev: &dyn Device) {\n\
+                 let _ = dev.sync();\n\
+             }\n\
+             fn inverted(&self) {\n\
+                 let _r = self.regions.read();\n\
+                 let _c = self.core.lock();\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("lockorder.toml"),
+        "[[lock]]\nrank = 10\nname = \"core\"\npatterns = [\"core.lock\"]\ndesc = \"core\"\n\n\
+         [[lock]]\nrank = 20\nname = \"regions\"\npatterns = [\"regions.read\", \"regions.write\"]\ndesc = \"regions\"\n",
+    )
+    .unwrap();
+    core.join("badcode.rs")
+}
+
+/// Pulls the integer after `"key"` — searched from the end, so for keys
+/// that also appear per-finding this reads the trailing `counts` object.
+fn count(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\"");
+    let at = json
+        .rfind(&needle)
+        .unwrap_or_else(|| panic!("no {needle} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn json_schema_baseline_ratchet_round_trip() {
+    let dir = std::env::temp_dir().join(format!("rvm-lint-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bad_file = write_mini_workspace(&dir);
+    let root = dir.to_str().unwrap();
+
+    // 1. Fresh findings: exit 1, JSON carries the documented fields.
+    let out = rvm_lint()
+        .args(["--root", root, "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    for field in [
+        "\"schema\"",
+        "\"findings\"",
+        "\"id\"",
+        "\"pass\"",
+        "\"file\"",
+        "\"line\"",
+        "\"function\"",
+        "\"message\"",
+        "\"baselined\"",
+        "\"counts\"",
+        "\"total\"",
+        "\"fresh\"",
+        "\"stale_baseline\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    assert!(json.contains("RVML-LOCK-"), "{json}");
+    assert!(json.contains("RVML-DEV-"), "{json}");
+    assert_eq!(count(&json, "total"), 2, "{json}");
+    assert_eq!(count(&json, "fresh"), 2, "{json}");
+    assert_eq!(count(&json, "baselined"), 0, "{json}");
+
+    // 2. Ratchet the findings into the baseline.
+    let out = rvm_lint()
+        .args(["--root", root, "--write-baseline"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let baseline = std::fs::read_to_string(dir.join("lint-baseline.toml")).unwrap();
+    assert!(baseline.contains("[[suppress]]"), "{baseline}");
+    assert!(baseline.contains("RVML-LOCK-"), "{baseline}");
+
+    // 3. Same findings, now baselined: exit 0.
+    let out = rvm_lint()
+        .args(["--root", root, "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(count(&json, "fresh"), 0, "{json}");
+    assert_eq!(count(&json, "baselined"), 2, "{json}");
+
+    // 4. Fix the fallibility finding; its baseline entry goes stale but
+    //    the run stays green (the ratchet only tightens).
+    std::fs::write(
+        &bad_file,
+        "pub struct S;\n\
+         impl S {\n\
+             pub fn careful(&self, dev: &dyn Device) -> Result<()> {\n\
+                 dev.sync()\n\
+             }\n\
+             fn inverted(&self) {\n\
+                 let _r = self.regions.read();\n\
+                 let _c = self.core.lock();\n\
+             }\n\
+         }\n",
+    )
+    .unwrap();
+    let out = rvm_lint().args(["--root", root]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stale baseline entry RVML-DEV-"), "{text}");
+    assert!(text.contains("1 stale baseline entry"), "{text}");
+
+    // 5. Help and usage errors.
+    let out = rvm_lint().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("rvmlog lint"));
+    let out = rvm_lint().arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture for the device-fallibility pass: the four ways a
+// Device/WAL Result gets lost.
+
+fn discard_let_underscore(dev: &dyn Device) {
+    let _ = dev.sync();
+}
+
+fn discard_ok(dev: &dyn Device, buf: &[u8]) {
+    dev.write_at(0, buf).ok();
+}
+
+fn discard_bare_statement(wal: &Wal) {
+    wal.force();
+}
+
+fn unwrap_outside_tests(dev: &dyn Device, buf: &mut [u8]) {
+    dev.read_at(0, buf).unwrap();
+}
+
+fn expect_outside_tests(dev: &dyn Device) {
+    dev.set_len(4096).expect("grow");
+}

@@ -1,0 +1,33 @@
+// Known-good fixture for the device-fallibility pass: every Result is
+// propagated, inspected, bound, or suppressed with a reviewed reason.
+// Zero findings expected.
+
+fn propagates(dev: &dyn Device) -> Result<()> {
+    dev.sync()?;
+    Ok(())
+}
+
+fn binds_and_returns(dev: &dyn Device, buf: &[u8]) -> Result<()> {
+    let outcome = dev.write_at(0, buf);
+    outcome
+}
+
+fn inspects(dev: &dyn Device) -> bool {
+    dev.sync().is_ok()
+}
+
+fn maps_the_error(wal: &Wal) -> Result<()> {
+    wal.force().map_err(RvmError::from)
+}
+
+fn reviewed_suppression(dev: &dyn Device, buf: &[u8]) {
+    // lint:allow(device-fallibility): crash-sim rollback, errors harden the image
+    let _ = dev.write_at(0, buf);
+}
+
+#[cfg(test)]
+mod tests {
+    fn unwrap_in_tests_is_fine(dev: &dyn Device) {
+        dev.sync().unwrap();
+    }
+}

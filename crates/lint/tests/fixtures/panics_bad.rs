@@ -1,0 +1,24 @@
+// Known-bad fixture for the panic-surface pass: aborts reachable from
+// the public API, directly and through private helpers.
+
+pub fn api_unwraps(values: &[u64]) -> u64 {
+    values.first().unwrap() + private_helper_expects(values)
+}
+
+fn private_helper_expects(values: &[u64]) -> u64 {
+    values.last().copied().expect("caller checked")
+}
+
+pub fn api_indexes(buf: &[u8]) -> u8 {
+    buf[3]
+}
+
+pub fn api_reaches_panic_macro(kind: u8) {
+    dispatch_on_kind(kind);
+}
+
+fn dispatch_on_kind(kind: u8) {
+    if kind > 3 {
+        panic!("unknown kind {kind}");
+    }
+}

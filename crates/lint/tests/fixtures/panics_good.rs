@@ -1,0 +1,29 @@
+// Known-good fixture for the panic-surface pass: fallible shapes at the
+// public boundary; panics exist only where the public API cannot reach
+// them. Zero findings expected.
+
+pub fn api_returns_option(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn api_gets_safely(buf: &[u8]) -> u8 {
+    buf.get(3).copied().unwrap_or(0)
+}
+
+/// Private and never called from a public function: outside the
+/// reachable panic surface.
+fn internal_only_tooling(values: &[u64]) -> u64 {
+    values.first().unwrap() + 1
+}
+
+/// Crate-visible is not part of the *public* surface either.
+pub(crate) fn crate_only(values: &[u64]) -> u64 {
+    values[0]
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn unwraps_in_tests(values: &[u64]) -> u64 {
+        values.first().unwrap() + super::api_gets_safely(&[]) as u64
+    }
+}

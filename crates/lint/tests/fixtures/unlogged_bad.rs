@@ -1,0 +1,23 @@
+// Known-bad fixture for the unlogged-write pass: the paper's section 6
+// disaster — mutating mapped region memory without declaring a range.
+
+fn deref_write_without_set_range(region: &Region) {
+    let base = region.base_ptr();
+    unsafe {
+        *base.add(16) = 0xAB;
+    }
+}
+
+fn bulk_copy_without_set_range(region: &Region, src: &[u8]) {
+    let base = region.base_ptr();
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), base, src.len());
+    }
+}
+
+fn ptr_write_without_set_range(region: &Region, value: u64) {
+    let base = region.base_ptr();
+    unsafe {
+        std::ptr::write(base.cast::<u64>(), value);
+    }
+}

@@ -1,0 +1,30 @@
+// Known-good fixture for the unlogged-write pass: raw writes preceded
+// by a set_range declaration in the same function, plus read-only and
+// helper-mediated uses. Zero findings expected.
+
+fn declared_deref_write(txn: &mut Transaction, region: &Region) -> Result<()> {
+    let base = region.base_ptr();
+    txn.set_range_ptr(region, base, 8)?;
+    unsafe {
+        *base = 1;
+    }
+    Ok(())
+}
+
+fn logged_helper_write(txn: &mut Transaction, region: &Region) -> Result<()> {
+    region.put_u64(txn, 0, 42)
+}
+
+fn read_only_use(region: &Region) -> u8 {
+    let base = region.base_ptr();
+    unsafe { *base }
+}
+
+fn modify_declares(txn: &mut Transaction, region: &Region, src: &[u8]) -> Result<()> {
+    let base = region.base_ptr();
+    txn.modify(region, 0, src.len() as u64)?;
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), base, src.len());
+    }
+    Ok(())
+}

@@ -59,7 +59,15 @@ fn usage() -> ! {
     eprintln!(
         "       rvmlog crashck-gen <trace-file> <group|truncate|spool|abort|bitrot|seeded:N>"
     );
+    eprintln!("       rvmlog lint [rvm-lint options]");
     exit(2);
+}
+
+/// `rvmlog lint` — the workspace static analyzer. Takes no log file;
+/// all arguments pass straight through to `rvm-lint` (`--json`,
+/// `--root`, `--write-baseline`, `--update-design`, ...).
+fn lint(args: &[String]) -> ! {
+    exit(rvm_lint::cli_main(args));
 }
 
 fn crashck(args: &[String]) -> ! {
@@ -121,6 +129,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("crashck") if args.len() >= 2 => crashck(&args[1..]),
         Some("crashck-gen") if args.len() == 3 => crashck_gen(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         _ => {}
     }
     if args.len() < 2 {

@@ -524,10 +524,14 @@ impl LogInspector {
         let empty = IntervalMap::default();
         for seg_scrub in scrub.segments.iter().filter(|s| !s.mismatched.is_empty()) {
             let name = &seg_scrub.segment;
-            let info = self
-                .status
-                .segment_by_name(name)
-                .expect("scrub walked the segment table");
+            // The scrub report names segments from the status table, but
+            // this tool runs against arbitrary (possibly corrupt) media —
+            // report the inconsistency instead of panicking on it.
+            let info = self.status.segment_by_name(name).ok_or_else(|| {
+                RvmError::Media(format!(
+                    "scrub reported segment '{name}' which is missing from the status table"
+                ))
+            })?;
             let seg = (resolver)(name, 0)?;
             let seg_len = seg.len()?;
             let catalog =

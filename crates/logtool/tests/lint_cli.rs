@@ -1,0 +1,64 @@
+//! `rvmlog lint` round-trip: the lint driver is reachable through the
+//! log tool with identical semantics (exit codes, JSON, baseline
+//! suppression).
+
+use std::path::Path;
+use std::process::Command;
+
+fn rvmlog() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvmlog"))
+}
+
+fn write_mini_workspace(dir: &Path) {
+    let core = dir.join("crates/core/src");
+    std::fs::create_dir_all(&core).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        core.join("careless.rs"),
+        "pub fn careless(dev: &dyn Device) { let _ = dev.sync(); }\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("lockorder.toml"),
+        "[[lock]]\nrank = 10\nname = \"core\"\npatterns = [\"core.lock\"]\ndesc = \"core\"\n",
+    )
+    .unwrap();
+}
+
+#[test]
+fn lint_subcommand_reports_and_respects_baseline() {
+    let dir = std::env::temp_dir().join(format!("rvmlog-lint-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    write_mini_workspace(&dir);
+    let root = dir.to_str().unwrap();
+
+    // Fresh finding through the subcommand: exit 1, JSON schema intact.
+    let out = rvmlog()
+        .args(["lint", "--root", root, "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"schema\""), "{json}");
+    assert!(json.contains("RVML-DEV-"), "{json}");
+    assert!(json.contains("\"device-fallibility\""), "{json}");
+
+    // Baseline it, then the same invocation is green.
+    let out = rvmlog()
+        .args(["lint", "--root", root, "--write-baseline"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = rvmlog().args(["lint", "--root", root]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 new, 1 baselined"), "{text}");
+
+    // The subcommand is advertised in the usage text.
+    let out = rvmlog().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let usage = String::from_utf8(out.stderr).unwrap();
+    assert!(usage.contains("rvmlog lint"), "{usage}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -182,6 +182,7 @@ impl FaultDevice {
                     // A failure to roll back would leave a *more*
                     // adversarial image, which recovery must tolerate
                     // anyway; ignore it.
+                    // lint:allow(device-fallibility): crash simulation builds the torn image
                     let _ = self.inner.write_at(entry.offset, &entry.old);
                 }
             }
@@ -204,10 +205,12 @@ impl FaultDevice {
                     })
                     .collect();
                 for entry in state.journal.iter().rev() {
+                    // lint:allow(device-fallibility): crash simulation builds the torn image
                     let _ = self.inner.write_at(entry.offset, &entry.old);
                 }
                 for (entry, kept) in state.journal.iter().zip(&keep) {
                     if *kept {
+                        // lint:allow(device-fallibility): crash simulation builds the torn image
                         let _ = self.inner.write_at(entry.offset, &entry.new);
                     }
                 }

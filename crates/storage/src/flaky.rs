@@ -418,6 +418,7 @@ impl<D: Device + ?Sized> FlakyDevice<D> {
             UnsyncedFate::KeptInOrder | UnsyncedFate::TornWrite { .. } => {}
             UnsyncedFate::Lost => {
                 for (offset, old, _) in s.journal.iter().rev() {
+                    // lint:allow(device-fallibility): crash simulation builds the torn image
                     let _ = self.inner.write_at(*offset, old);
                 }
                 s.journal.clear();
@@ -435,10 +436,12 @@ impl<D: Device + ?Sized> FlakyDevice<D> {
                     })
                     .collect();
                 for (offset, old, _) in s.journal.iter().rev() {
+                    // lint:allow(device-fallibility): crash simulation builds the torn image
                     let _ = self.inner.write_at(*offset, old);
                 }
                 for ((offset, _, new), kept) in s.journal.iter().zip(&keep) {
                     if *kept {
+                        // lint:allow(device-fallibility): crash simulation builds the torn image
                         let _ = self.inner.write_at(*offset, new);
                     }
                 }
