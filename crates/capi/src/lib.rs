@@ -555,6 +555,15 @@ pub struct RvmQuery {
     /// Regions quarantined into read-only degraded mode
     /// ([`RvmReturn::RvmEMedia`]).
     pub regions_quarantined: u64,
+    /// Group-commit batches submitted through the pipelined log writer
+    /// (writes and force in flight while the next batch filled).
+    pub pipeline_submits: u64,
+    /// High-water mark of forces simultaneously in flight (≥ 2 means the
+    /// pipeline actually overlapped device work).
+    pub forces_in_flight_hw: u64,
+    /// Nanoseconds pipelined leaders stalled waiting for a staging
+    /// buffer (i.e. for an in-flight force to complete).
+    pub pipeline_stall_ns: u64,
 }
 
 /// Fills `*out` with library state (the paper's `query`).
@@ -595,6 +604,9 @@ pub unsafe extern "C" fn rvm_query(handle: *mut RvmHandle, out: *mut RvmQuery) -
                 corruptions_detected: q.stats.corruptions_detected,
                 corruptions_repaired: q.stats.corruptions_repaired,
                 regions_quarantined: q.stats.regions_quarantined,
+                pipeline_submits: q.stats.pipeline_submits,
+                forces_in_flight_hw: q.stats.forces_in_flight_hw,
+                pipeline_stall_ns: q.stats.pipeline_stall_ns,
             };
         }
         RvmReturn::RvmSuccess
@@ -897,5 +909,58 @@ mod tests {
         let seg_bytes = std::fs::read(&seg_path).unwrap();
         assert_eq!(&seg_bytes[..4], &[0x5A; 4]);
         let _ = std::fs::remove_file(seg_path);
+    }
+
+    #[test]
+    fn query_round_trips_pipeline_counters() {
+        use rvm::segment::MemResolver;
+        use rvm::Tuning;
+        use rvm_storage::MemDevice;
+
+        // The C entry point has no tuning parameter, so build the handle
+        // around a pipelined instance directly — the query path is the
+        // thing under test, not initialization.
+        let rvm = Rvm::initialize(
+            Options::new(Arc::new(MemDevice::with_len(4 << 20)))
+                .resolver(MemResolver::new().into_resolver())
+                .create_if_empty()
+                .tuning(Tuning {
+                    log_pipeline: true,
+                    ..Tuning::default()
+                }),
+        )
+        .unwrap();
+        let h = Box::into_raw(Box::new(RvmHandle { rvm }));
+        // SAFETY: `h` is a live handle from the Box above; pointers passed
+        // to the C functions are valid for the duration of each call.
+        unsafe {
+            let mut r: *mut RegionHandle = std::ptr::null_mut();
+            assert_eq!(
+                rvm_map(h, c"seg".as_ptr(), 0, 4096, &mut r),
+                RvmReturn::RvmSuccess
+            );
+            for i in 0..4u8 {
+                let mut tid: *mut TidHandle = std::ptr::null_mut();
+                rvm_begin_transaction(h, RVM_RESTORE, &mut tid);
+                assert_eq!(rvm_set_range(tid, r, 0, 8), RvmReturn::RvmSuccess);
+                rvm_region_base(r).write_bytes(i, 8);
+                assert_eq!(rvm_end_transaction(tid, RVM_FLUSH), RvmReturn::RvmSuccess);
+                rvm_free_tid(tid);
+            }
+
+            // The C-side struct must agree field-for-field with the Rust
+            // query the pipeline counters come from.
+            let expect = (*h).rvm.query();
+            let mut q = RvmQuery::default();
+            assert_eq!(rvm_query(h, &mut q), RvmReturn::RvmSuccess);
+            assert_eq!(q.pipeline_submits, expect.stats.pipeline_submits);
+            assert_eq!(q.forces_in_flight_hw, expect.stats.forces_in_flight_hw);
+            assert_eq!(q.pipeline_stall_ns, expect.stats.pipeline_stall_ns);
+            assert!(q.pipeline_submits >= 1, "pipeline never submitted: {q:?}");
+            assert_eq!(q.flush_commits, 4);
+
+            rvm_free_region(r);
+            assert_eq!(rvm_terminate(h), RvmReturn::RvmSuccess);
+        }
     }
 }

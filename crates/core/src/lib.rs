@@ -120,6 +120,7 @@ pub mod log;
 #[cfg(any(loom, test))]
 pub mod models;
 mod options;
+mod pipeline;
 pub mod query;
 pub mod ranges;
 pub mod recovery;

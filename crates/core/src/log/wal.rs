@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use rvm_storage::Device;
+use rvm_storage::{Device, IoToken};
 
 use crate::error::{Result, RvmError};
 use crate::log::record::{
@@ -39,6 +39,59 @@ pub struct AppendInfo {
     pub space_consumed: u64,
 }
 
+/// Staging memory for pipelined appends: encoded record bytes accumulated
+/// in RAM, addressed by *physical* device offset, instead of being written
+/// to the device one record at a time.
+///
+/// Contiguous appends coalesce into one chunk, so a whole group-commit
+/// batch typically submits as a single device write (two when a pad
+/// record wraps the lap: the pad fills the old lap's physical end while
+/// the record restarts at the area's physical start). The buffer is
+/// reusable — `clear` keeps chunk allocations for the next batch, which
+/// is what makes double-buffering cheap.
+#[derive(Debug, Default)]
+pub struct StagingBuf {
+    /// `(physical offset, bytes)`, in append order.
+    chunks: Vec<(u64, Vec<u8>)>,
+}
+
+impl StagingBuf {
+    /// An empty staging buffer.
+    pub fn new() -> Self {
+        StagingBuf::default()
+    }
+
+    /// Drops staged bytes but keeps allocations for reuse.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total staged payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.chunks.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// The staged `(physical offset, bytes)` chunks, append order.
+    pub fn chunks(&self) -> &[(u64, Vec<u8>)] {
+        &self.chunks
+    }
+
+    fn push(&mut self, phys: u64, data: &[u8]) {
+        if let Some((off, buf)) = self.chunks.last_mut() {
+            if *off + buf.len() as u64 == phys {
+                buf.extend_from_slice(data);
+                return;
+            }
+        }
+        self.chunks.push((phys, data.to_vec()));
+    }
+}
+
 /// A snapshot of the append cursors, taken before a group-commit batch so
 /// a failed shared force can roll the whole group back at once (the
 /// multi-record extension of the single-append restore in
@@ -47,6 +100,18 @@ pub struct AppendInfo {
 pub struct WalCheckpoint {
     tail: u64,
     next_seq: u64,
+}
+
+impl WalCheckpoint {
+    /// Logical tail at the time of the snapshot.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Next sequence number at the time of the snapshot.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
 }
 
 /// The circular log writer.
@@ -212,6 +277,87 @@ impl Wal {
             record_bytes,
             space_consumed: need,
         })
+    }
+
+    /// Appends one committed transaction into `staging` instead of the
+    /// device: the cursors advance exactly as [`Wal::append_txn`] would
+    /// advance them, but the encoded bytes (pad record included) land in
+    /// RAM. The caller later pushes the whole buffer to the device with
+    /// [`Wal::submit_staged`] — the fill half of the reserve/fill/submit
+    /// pipeline.
+    ///
+    /// The only possible error is [`RvmError::LogFull`], raised before any
+    /// cursor or staging mutation, so a failed staged append needs no
+    /// rollback and leaves `staging` untouched.
+    pub fn append_txn_staged(
+        &mut self,
+        tid: u64,
+        ranges: &[RecordRange],
+        staging: &mut StagingBuf,
+    ) -> Result<AppendInfo> {
+        let padded = record::txn_record_size(ranges.iter().map(|r| r.data.len() as u64));
+        if padded > self.area_len {
+            return Err(RvmError::LogFull {
+                needed: padded,
+                capacity: self.area_len,
+            });
+        }
+        let need = self.space_needed(padded);
+        if need > self.free_space() {
+            return Err(RvmError::LogFull {
+                needed: need,
+                capacity: self.free_space(),
+            });
+        }
+
+        let lap_remaining = self.area_len - self.tail % self.area_len;
+        if padded > lap_remaining {
+            debug_assert!(lap_remaining >= MIN_RECORD_SIZE);
+            let pad = encode_pad(self.next_seq, lap_remaining);
+            staging.push(self.phys(self.tail), &pad);
+            self.next_seq += 1;
+            self.tail += lap_remaining;
+        }
+
+        let seq = self.next_seq;
+        let buf = encode_txn(seq, tid, ranges);
+        debug_assert_eq!(buf.len() as u64, padded);
+        let offset = self.tail;
+        staging.push(self.phys(offset), &buf);
+        self.next_seq += 1;
+        self.tail += padded;
+
+        let record_bytes = HEADER_SIZE
+            + ranges
+                .iter()
+                .map(|r| record::RANGE_ENTRY_SIZE + r.data.len() as u64)
+                .sum::<u64>()
+            + TRAILER_SIZE;
+        Ok(AppendInfo {
+            offset,
+            seq,
+            record_bytes,
+            space_consumed: need,
+        })
+    }
+
+    /// Submits every staged chunk as an asynchronous device write,
+    /// draining `staging` (its allocations move into the tokens' payloads;
+    /// the buffer itself is reusable). The writes are *submitted*, not
+    /// durable — the caller must pair them with [`Wal::submit_force`] and
+    /// wait both before acknowledging anything.
+    pub fn submit_staged(&self, staging: &mut StagingBuf) -> Vec<IoToken> {
+        staging
+            .chunks
+            .drain(..)
+            .map(|(off, data)| self.dev.submit_write(off, data))
+            .collect()
+    }
+
+    /// Submits an asynchronous durability barrier covering every write
+    /// submitted before it (the pipelined counterpart of [`Wal::force`]).
+    pub fn submit_force(&self) -> IoToken {
+        self.dev.submit_sync()
     }
 
     /// Forces all appended records to stable storage (a "log force").
@@ -656,6 +802,87 @@ mod tests {
         .unwrap();
         backward.reverse();
         assert_eq!(forward.records, backward);
+    }
+
+    #[test]
+    fn staged_append_matches_direct_append_byte_for_byte() {
+        let mut direct = mk_wal(1 << 16);
+        let mut staged = mk_wal(1 << 16);
+        let mut buf = StagingBuf::new();
+        for tid in 1..=3u64 {
+            let a = direct
+                .append_txn(tid, &[range(0, tid * 16, tid as u8, 120)])
+                .unwrap();
+            let b = staged
+                .append_txn_staged(tid, &[range(0, tid * 16, tid as u8, 120)], &mut buf)
+                .unwrap();
+            assert_eq!(a, b, "staged append reports identical AppendInfo");
+        }
+        // Three contiguous records coalesce into one chunk.
+        assert_eq!(buf.chunks().len(), 1);
+        let tokens = staged.submit_staged(&mut buf);
+        assert!(buf.is_empty(), "submit drains the staging buffer");
+        for t in tokens {
+            staged.device().wait(t).unwrap();
+        }
+        staged.device().wait(staged.submit_force()).unwrap();
+
+        let scan_d = scan_forward(direct.device().as_ref(), direct.capacity(), 0, 1, None).unwrap();
+        let scan_s = scan_forward(staged.device().as_ref(), staged.capacity(), 0, 1, None).unwrap();
+        assert_eq!(scan_d, scan_s);
+        assert_eq!(staged.tail(), direct.tail());
+        assert_eq!(staged.next_seq(), direct.next_seq());
+    }
+
+    #[test]
+    fn staged_wraparound_pad_splits_into_two_chunks() {
+        let area = 8 * LOG_BLOCK;
+        let mut wal = mk_wal(area);
+        let mut buf = StagingBuf::new();
+        wal.append_txn_staged(1, &[range(0, 0, 1, 1000)], &mut buf)
+            .unwrap();
+        wal.append_txn_staged(2, &[range(0, 0, 2, 1000)], &mut buf)
+            .unwrap();
+        wal.advance_head(3 * LOG_BLOCK, 2);
+        // Pads the lap end (contiguous with the first chunk) then wraps to
+        // the physical start of the area: a second, non-contiguous chunk.
+        wal.append_txn_staged(3, &[range(0, 0, 3, 1000)], &mut buf)
+            .unwrap();
+        assert_eq!(buf.chunks().len(), 2);
+        assert_eq!(buf.chunks()[1].0, LOG_AREA_START, "wrap restarts the area");
+        for t in wal.submit_staged(&mut buf) {
+            wal.device().wait(t).unwrap();
+        }
+        wal.device().wait(wal.submit_force()).unwrap();
+
+        let scan = scan_forward(
+            wal.device().as_ref(),
+            wal.capacity(),
+            wal.head(),
+            wal.seq_at_head(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.pads, 1);
+        assert_eq!(scan.records[1].1.tid, 3);
+        assert_eq!(scan.tail, wal.tail());
+    }
+
+    #[test]
+    fn staged_log_full_leaves_cursors_and_staging_untouched() {
+        let mut wal = mk_wal(4 * LOG_BLOCK);
+        let mut buf = StagingBuf::new();
+        wal.append_txn_staged(1, &[range(0, 0, 1, 100)], &mut buf)
+            .unwrap();
+        let (tail0, seq0, bytes0) = (wal.tail(), wal.next_seq(), buf.bytes());
+        let err = wal
+            .append_txn_staged(2, &[range(0, 0, 2, 10_000)], &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, RvmError::LogFull { .. }));
+        assert_eq!(wal.tail(), tail0);
+        assert_eq!(wal.next_seq(), seq0);
+        assert_eq!(buf.bytes(), bytes0, "failed staged append stages nothing");
     }
 
     #[test]

@@ -147,6 +147,15 @@ pub struct Tuning {
     /// batch. Zero (the default) batches only what lock contention
     /// naturally accumulates, adding no latency to solo commits.
     pub group_commit_wait_us: u64,
+    /// Pipeline group-commit batches through double-buffered staging
+    /// memory and asynchronous device submission: a leader encodes its
+    /// batch into one of two staging buffers and *submits* the writes and
+    /// the force without waiting, so the next leader can fill and submit
+    /// the other buffer while the first force is still in flight. Commit
+    /// acknowledgements still wait for the batch's own force — durability
+    /// semantics are unchanged; only the serialization and the device time
+    /// overlap. Requires `group_commit`; off by default.
+    pub log_pipeline: bool,
     /// Maintain a per-page checksum catalog beside each data segment:
     /// updated whenever truncation or recovery writes segment pages,
     /// verified when mapped regions load pages and by scrub passes. The
@@ -182,6 +191,7 @@ impl Default for Tuning {
             group_commit_max_txns: 64,
             group_commit_max_bytes: 8 << 20,
             group_commit_wait_us: 0,
+            log_pipeline: false,
             segment_checksums: true,
             background_scrub: false,
             scrub_interval_ms: 200,
@@ -276,6 +286,7 @@ mod tests {
         assert!(t.group_commit_max_txns >= 1);
         assert!(t.group_commit_max_bytes > 0);
         assert_eq!(t.group_commit_wait_us, 0, "solo commits pay no window");
+        assert!(!t.log_pipeline, "pipelined log writer is opt-in");
         assert!(t.segment_checksums, "media detection is on by default");
         assert!(!t.background_scrub, "scrubber is opt-in");
         assert!(t.scrub_interval_ms > 0);

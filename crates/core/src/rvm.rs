@@ -15,8 +15,9 @@ use crate::error::{Result, RvmError};
 use crate::group::{GroupCommit, GroupSlot, SlotWork};
 use crate::log::record::{self, RecordRange};
 use crate::log::status::{format_log, read_status, write_status, StatusBlock, LOG_AREA_START};
-use crate::log::wal::{scan_forward, AppendInfo, Wal};
+use crate::log::wal::{scan_forward, AppendInfo, StagingBuf, Wal, WalCheckpoint};
 use crate::options::{CommitMode, LoadPolicy, Options, Tuning, TxnMode, PAGE_SIZE};
+use crate::pipeline::{InFlightBatch, LogPipeline};
 use crate::query::{LogInfo, QueryInfo};
 use crate::ranges::{ByteRange, RangeSet};
 use crate::recovery::{build_latest_trees, recover, RecoveryReport};
@@ -127,6 +128,11 @@ pub(crate) struct RvmShared {
     /// True while an epoch apply is running off-lock (phase 2); commits
     /// that complete in that window count `commits_during_truncation`.
     truncating: AtomicBool,
+    /// The pipelined log writer's staging buffers and in-flight batches
+    /// (see [`crate::pipeline`]); inert unless [`Tuning::log_pipeline`].
+    /// Its lock ranks just above `core` and is never held across an
+    /// acquisition of `core`.
+    pipeline: LogPipeline,
 }
 
 /// A recoverable-virtual-memory instance over one log (§4.2's
@@ -293,6 +299,7 @@ impl Rvm {
             scrub_stop: AtomicBool::new(false),
             epoch_done: Condvar::new(),
             truncating: AtomicBool::new(false),
+            pipeline: LogPipeline::new(),
         });
 
         let bg_thread = options
@@ -406,6 +413,19 @@ impl Rvm {
             shared.guard_io(r)?;
         }
 
+        // A pipelined batch not yet reaped may reference this segment
+        // without appearing in `segs_in_log` (membership is recorded at
+        // reap): drain the pipeline so the image decision below sees a
+        // settled log. Reaping needs the core lock, so release it around
+        // the drain; batches are submitted under `core`, so once the
+        // pipeline is idle *while we hold the lock* none can be in flight.
+        while !shared.pipeline.is_idle() {
+            drop(core);
+            shared.pipeline_drain();
+            core = shared.core.lock();
+            core.wait_generation += 1;
+        }
+
         // Guarantee the mapped image is the committed one: if live log
         // records, an in-flight epoch apply, or spooled commits reference
         // this segment, reflect them into the device first.
@@ -505,6 +525,10 @@ impl Rvm {
     /// first for that.
     pub fn truncate(&self) -> Result<()> {
         self.check_live()?;
+        // Settle any in-flight pipelined batches first: the epoch can
+        // only freeze the span below the pipeline floor, and an explicit
+        // truncate promises to reclaim everything committed so far.
+        self.shared.pipeline_drain();
         self.shared.epoch_truncate_concurrent(None, true)?;
         Ok(())
     }
@@ -1318,7 +1342,11 @@ impl RvmShared {
             }
             gs.leader_active = true;
             drop(gs);
-            self.group_leader_round(tuning);
+            if tuning.log_pipeline {
+                self.pipeline_leader_round(tuning);
+            } else {
+                self.group_leader_round(tuning);
+            }
             self.group.state.lock().leader_active = false;
             self.group.wakeup.notify_all();
         }
@@ -1499,6 +1527,436 @@ impl RvmShared {
         }
     }
 
+    /// Pipelined leader side (`Tuning::log_pipeline`): one bounded batch,
+    /// encoded into a staging buffer and *submitted* — writes and force —
+    /// without waiting for the device. The batch goes onto the in-flight
+    /// queue; the next leader's fill overlaps its force, and a later reap
+    /// ([`Self::pipeline_reap_batch`]) acknowledges the committers. See
+    /// [`crate::pipeline`] for the protocol.
+    ///
+    /// Reservation and submission both happen under one core-lock hold,
+    /// in queue order: a successor batch must never reach the device
+    /// while an earlier batch's bytes are still an unwritten hole below
+    /// it, or a crash after the successor's force could strand forced
+    /// records beyond a gap the recovery scan cannot cross.
+    fn pipeline_leader_round(self: &Arc<Self>, tuning: &Tuning) {
+        if tuning.group_commit_wait_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(
+                tuning.group_commit_wait_us,
+            ));
+        }
+        let max_txns = tuning.group_commit_max_txns.max(1);
+        let batch: Vec<Arc<GroupSlot>> = {
+            let mut gs = self.group.state.lock();
+            let mut batch = Vec::new();
+            let mut bytes = 0u64;
+            while batch.len() < max_txns {
+                let Some(front) = gs.queue.front() else { break };
+                if !batch.is_empty() && bytes + front.record_bytes > tuning.group_commit_max_bytes {
+                    break;
+                }
+                bytes += front.record_bytes;
+                batch.push(gs.queue.pop_front().expect("front was Some"));
+            }
+            batch
+        };
+        if batch.is_empty() {
+            // Nothing queued: this round is the pipeline tail. Stand in
+            // as the reaper so in-flight committers (including, possibly,
+            // this thread's own batch) get their outcomes.
+            self.pipeline_reap_front();
+            return;
+        }
+
+        let mut staging = self.pipeline_acquire_buf();
+        let stats = &self.stats;
+        let mut core = self.core.lock();
+
+        enum Fill {
+            Submitted {
+                write_tokens: Vec<rvm_storage::IoToken>,
+                force_token: Option<rvm_storage::IoToken>,
+                ckpt: WalCheckpoint,
+                ckpt_gen: u64,
+            },
+            Failed(RvmError),
+        }
+
+        let mut outcomes: Vec<Result<AppendInfo>> = Vec::with_capacity(batch.len());
+        // Members truncation provably cannot make room for; on the next
+        // fill attempt they take their own `LogFull` instead of
+        // re-truncating (guarantees the retry loop terminates).
+        let mut wont_fit: Vec<bool> = vec![false; batch.len()];
+        let fill: Fill = 'attempt: loop {
+            // Any path that released the core lock restarts the fill from
+            // scratch: the staged appends were rolled back first, and the
+            // checkpoint below is re-taken.
+            staging.clear();
+            outcomes.clear();
+            if self.poisoned.load(Ordering::Acquire) {
+                break Fill::Failed(RvmError::Poisoned);
+            }
+            if let Err(e) = self.flush_spool_locked(&mut core) {
+                break Fill::Failed(e);
+            }
+            let ckpt = core.wal.checkpoint();
+            let ckpt_gen = core.wait_generation;
+            let mut appended_any = false;
+            for (i, slot) in batch.iter().enumerate() {
+                let work = slot.work.lock();
+                let padded =
+                    record::txn_record_size(work.ranges.iter().map(|r| r.data.len() as u64));
+                if padded > core.wal.capacity() {
+                    outcomes.push(Err(RvmError::LogFull {
+                        needed: padded,
+                        capacity: core.wal.capacity(),
+                    }));
+                    continue;
+                }
+                if wont_fit[i] {
+                    outcomes.push(Err(RvmError::LogFull {
+                        needed: core.wal.space_needed(padded),
+                        capacity: core.wal.free_space(),
+                    }));
+                    continue;
+                }
+                if core.wal.space_needed(padded) > core.wal.free_space() {
+                    // Out of space mid-fill. Rolling back the staged
+                    // cursor advances is always safe here — the core lock
+                    // has been held since the checkpoint, so nothing
+                    // interleaved — and nothing of this batch reached the
+                    // device yet.
+                    drop(work);
+                    core.wal.rollback_to(ckpt);
+                    let stall = Instant::now();
+                    if core.epoch.is_some() {
+                        // The in-flight epoch owns the head; wait it out
+                        // (releases the core lock).
+                        self.epoch_done.wait(&mut core);
+                        core.wait_generation += 1;
+                        stats.add(&stats.truncation_stall_ns, elapsed_ns(stall));
+                        continue 'attempt;
+                    }
+                    // Synchronous truncation can only reclaim below the
+                    // pipeline floor, so drain the in-flight batches
+                    // first. Reaping needs the core lock — release it
+                    // around the drain.
+                    drop(core);
+                    self.pipeline_drain();
+                    core = self.core.lock();
+                    core.wait_generation += 1;
+                    match self.epoch_truncate_locked(&mut core) {
+                        Ok(advanced) => {
+                            stats.add(&stats.truncation_stall_ns, elapsed_ns(stall));
+                            if !advanced {
+                                wont_fit[i] = true;
+                            }
+                            continue 'attempt;
+                        }
+                        Err(e) => break 'attempt Fill::Failed(e),
+                    }
+                }
+                match core
+                    .wal
+                    .append_txn_staged(slot.tid, &work.ranges, &mut staging)
+                {
+                    Ok(info) => {
+                        appended_any = true;
+                        outcomes.push(Ok(info));
+                    }
+                    Err(e @ RvmError::LogFull { .. }) => outcomes.push(Err(e)),
+                    Err(e) => break 'attempt Fill::Failed(e),
+                }
+            }
+            let write_tokens = core.wal.submit_staged(&mut staging);
+            // `skip_group_force` is the crashmc mutation hook from the
+            // serial path: acknowledge without the durability barrier.
+            let force_token = (appended_any && !tuning.mutation.skip_group_force)
+                .then(|| core.wal.submit_force());
+            break Fill::Submitted {
+                write_tokens,
+                force_token,
+                ckpt,
+                ckpt_gen,
+            };
+        };
+
+        match fill {
+            Fill::Submitted {
+                write_tokens,
+                force_token,
+                ckpt,
+                ckpt_gen,
+            } => {
+                if write_tokens.is_empty() && force_token.is_none() {
+                    // Every member individually failed (`LogFull`): no
+                    // bytes reached the device, nothing to wait on.
+                    let over = core.wal.utilization() > tuning.truncation_threshold;
+                    drop(core);
+                    self.pipeline_release_buf(staging);
+                    for (slot, outcome) in batch.iter().zip(outcomes) {
+                        let mut work = slot.work.lock();
+                        work.over_threshold = over;
+                        work.outcome = Some(outcome);
+                    }
+                    return;
+                }
+                let end_tail = core.wal.tail();
+                let dev = Arc::clone(core.wal.device());
+                stats.add(&stats.pipeline_submits, 1);
+                let depth = {
+                    let mut ps = self.pipeline.pipe.lock();
+                    ps.in_flight.push_back(InFlightBatch {
+                        slots: batch,
+                        outcomes,
+                        write_tokens,
+                        force_token,
+                        dev,
+                        ckpt,
+                        ckpt_gen,
+                        end_tail,
+                        buf: staging,
+                    });
+                    ps.in_flight.len() as u64 + u64::from(ps.reap_floor.is_some())
+                };
+                stats
+                    .forces_in_flight_hw
+                    .fetch_max(depth, Ordering::Relaxed);
+                drop(core);
+                // Reap the predecessor, if any: its force has been in
+                // flight while this batch filled. This batch itself stays
+                // in flight so the *next* leader's fill overlaps it.
+                let has_predecessor = self.pipeline.pipe.lock().in_flight.len() > 1;
+                if has_predecessor {
+                    self.pipeline_reap_front();
+                }
+            }
+            Fill::Failed(e) => {
+                drop(core);
+                self.pipeline_release_buf(staging);
+                let e = self.guard_io(Err::<(), _>(e)).unwrap_err();
+                self.pipeline_publish_failure(&batch, outcomes, e);
+            }
+        }
+    }
+
+    /// Takes a free staging buffer, reaping the oldest in-flight batch
+    /// when both are out. Time spent waiting is the pipeline *stall*
+    /// (`pipeline_stall_ns`): the fill could not start until a force
+    /// completed.
+    fn pipeline_acquire_buf(&self) -> StagingBuf {
+        let mut stalled: Option<Instant> = None;
+        loop {
+            let mut ps = self.pipeline.pipe.lock();
+            if let Some(buf) = ps.free.pop() {
+                drop(ps);
+                if let Some(t) = stalled {
+                    self.stats.add(&self.stats.pipeline_stall_ns, elapsed_ns(t));
+                }
+                return buf;
+            }
+            stalled.get_or_insert_with(Instant::now);
+            if ps.reap_floor.is_none() {
+                if let Some(batch) = ps.in_flight.pop_front() {
+                    ps.reap_floor = Some(batch.ckpt);
+                    drop(ps);
+                    let buf = self.pipeline_reap_batch(batch);
+                    self.pipeline_settle(buf);
+                    continue;
+                }
+                // No free buffer, nothing in flight, no reap in progress:
+                // unreachable while leadership is exclusive (at most one
+                // filling buffer exists, and it is not this caller's).
+                debug_assert!(false, "staging buffers unaccounted for");
+            }
+            self.pipeline.pipe_cv.wait(&mut ps);
+        }
+    }
+
+    /// Reaps the oldest in-flight batch, waiting out a concurrent reaper
+    /// first so reaps stay FIFO. No-op when the pipeline is idle.
+    fn pipeline_reap_front(&self) {
+        let mut ps = self.pipeline.pipe.lock();
+        loop {
+            if ps.reap_floor.is_none() {
+                let Some(batch) = ps.in_flight.pop_front() else {
+                    return; // idle
+                };
+                ps.reap_floor = Some(batch.ckpt);
+                drop(ps);
+                let buf = self.pipeline_reap_batch(batch);
+                self.pipeline_settle(buf);
+                return;
+            }
+            // Another thread owns the reap; FIFO order means waiting it
+            // out is as good as reaping the front ourselves.
+            self.pipeline.pipe_cv.wait(&mut ps);
+        }
+    }
+
+    /// Returns a drained staging buffer to the free list and releases the
+    /// reap floor set by the caller's pop.
+    fn pipeline_settle(&self, buf: StagingBuf) {
+        let mut ps = self.pipeline.pipe.lock();
+        debug_assert!(ps.reap_floor.is_some());
+        ps.reap_floor = None;
+        ps.free.push(buf);
+        drop(ps);
+        self.pipeline.pipe_cv.notify_all();
+    }
+
+    /// Returns a buffer that never made it into an in-flight batch.
+    fn pipeline_release_buf(&self, mut buf: StagingBuf) {
+        buf.clear();
+        let mut ps = self.pipeline.pipe.lock();
+        ps.free.push(buf);
+        drop(ps);
+        self.pipeline.pipe_cv.notify_all();
+    }
+
+    /// Reaps every in-flight batch. Used by paths that need the log
+    /// settled: mapping a segment the pipeline may reference, and the
+    /// space-critical synchronous truncation (which can only reclaim
+    /// below the pipeline floor). Must be called with **no** locks held.
+    pub(crate) fn pipeline_drain(&self) {
+        loop {
+            {
+                let ps = self.pipeline.pipe.lock();
+                if ps.in_flight.is_empty() && ps.reap_floor.is_none() {
+                    return;
+                }
+            }
+            self.pipeline_reap_front();
+        }
+    }
+
+    /// Completion side: waits the batch's submitted writes and force with
+    /// no locks held, then performs the same post-force bookkeeping as
+    /// the serial leader (success) or the rollback-and-poison protocol
+    /// (failure), and publishes every member's outcome. Returns the
+    /// batch's staging buffer for the caller to settle.
+    fn pipeline_reap_batch(&self, mut batch: InFlightBatch) -> StagingBuf {
+        let mut io: rvm_storage::Result<()> = Ok(());
+        for t in batch.write_tokens.drain(..) {
+            let r = batch.dev.wait(t);
+            if io.is_ok() {
+                io = r;
+            }
+        }
+        if let Some(f) = batch.force_token.take() {
+            let r = batch.dev.wait(f);
+            if io.is_ok() {
+                io = r;
+            }
+        }
+        let mut result: Result<()> = io.map_err(RvmError::from);
+        if result.is_ok() && self.poisoned.load(Ordering::Acquire) {
+            // An older batch failed after this one was submitted: these
+            // records sit beyond an unforced hole a recovery scan cannot
+            // cross, so the batch fails even though its own force
+            // succeeded.
+            result = Err(RvmError::Poisoned);
+        }
+        let tuning = *self.tuning.read();
+        let stats = &self.stats;
+        match result {
+            Ok(()) => {
+                let mut core = self.core.lock();
+                let successes = batch.outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+                if successes > 0 {
+                    stats.add(&stats.log_forces, 1);
+                    stats.add(&stats.group_commit_batches, 1);
+                    stats.add(&stats.group_commit_txns, successes);
+                    stats.add(
+                        &stats.group_commit_batch_sizes[batch_size_bucket(successes)],
+                        1,
+                    );
+                }
+                for (slot, outcome) in batch.slots.iter().zip(&batch.outcomes) {
+                    if let Ok(info) = outcome {
+                        let work = slot.work.lock();
+                        stats.add(&stats.bytes_logged, info.record_bytes);
+                        for (region, pages) in &work.region_pages {
+                            {
+                                let mut pv = region.page_vector.lock();
+                                for &p in pages {
+                                    pv.mark_page_dirty(p);
+                                }
+                            }
+                            for &p in pages {
+                                core.page_queue.enqueue(region, p, info.offset, info.seq);
+                            }
+                        }
+                        for r in &work.ranges {
+                            core.segs_in_log.insert(r.seg.as_u32());
+                        }
+                    }
+                }
+                let over = core.wal.utilization() > tuning.truncation_threshold;
+                drop(core);
+                for (slot, outcome) in batch.slots.iter().zip(batch.outcomes) {
+                    let mut work = slot.work.lock();
+                    work.over_threshold = over;
+                    work.outcome = Some(outcome);
+                }
+            }
+            Err(e) => {
+                {
+                    let mut core = self.core.lock();
+                    // Roll back iff nothing appended past this batch: the
+                    // tail still matches its post-append position and no
+                    // core-lock release bumped the wait generation.
+                    // (`skip_group_rollback` is the crashmc mutation hook,
+                    // exactly as in the serial path.)
+                    if core.wait_generation == batch.ckpt_gen
+                        && core.wal.tail() == batch.end_tail
+                        && !tuning.mutation.skip_group_rollback
+                    {
+                        core.wal.rollback_to(batch.ckpt);
+                    }
+                }
+                let e = self.guard_io(Err::<(), _>(e)).unwrap_err();
+                self.pipeline_publish_failure(&batch.slots, batch.outcomes, e);
+            }
+        }
+        // Purely an accelerant: parked committers re-check their slots
+        // sooner. Missed wakeups are impossible — a committer that finds
+        // `leader_active` false claims leadership itself, and leadership
+        // release notifies under the group-state lock.
+        self.group.wakeup.notify_all();
+        batch.buf
+    }
+
+    /// Failure publication shared by the pipelined submit and reap paths;
+    /// mirrors the serial group path: one member receives the original
+    /// error, members that individually ran out of log space keep their
+    /// own `LogFull`, and the rest observe the state the failure left
+    /// behind (`Poisoned` after a device error, or a reconstructed
+    /// `LogFull`).
+    fn pipeline_publish_failure(
+        &self,
+        slots: &[Arc<GroupSlot>],
+        outcomes: Vec<Result<AppendInfo>>,
+        e: RvmError,
+    ) {
+        let log_full = match &e {
+            RvmError::LogFull { needed, capacity } => Some((*needed, *capacity)),
+            _ => None,
+        };
+        let mut original = Some(e);
+        let mut outcomes = outcomes.into_iter();
+        for slot in slots {
+            let result = match outcomes.next() {
+                Some(Err(member_err)) => Err(member_err),
+                _ => Err(original.take().unwrap_or(match log_full {
+                    Some((needed, capacity)) => RvmError::LogFull { needed, capacity },
+                    None => RvmError::Poisoned,
+                })),
+            };
+            slot.work.lock().outcome = Some(result);
+        }
+    }
+
     /// Writes every spooled record to the log and forces it once. May
     /// release and reacquire the core lock if an append has to wait out
     /// an in-flight epoch truncation (see
@@ -1558,7 +2016,16 @@ impl RvmShared {
             return Ok(false);
         }
         let head = core.wal.head();
-        let split = core.wal.tail();
+        // In-flight pipelined batches past the floor are written (or still
+        // being written) but not forced; only the stable prefix below the
+        // floor may be scanned and reclaimed.
+        let split = match self.pipeline.floor() {
+            Some(f) => f.tail().min(core.wal.tail()),
+            None => core.wal.tail(),
+        };
+        if split <= head {
+            return Ok(false);
+        }
         let scan = scan_forward(
             core.wal.device().as_ref(),
             core.wal.capacity(),
@@ -1597,10 +2064,17 @@ impl RvmShared {
             stats.add(&stats.truncation_bytes_applied, tree.total_len());
         }
         core.wal.advance_head(scan.tail, scan.next_seq);
-        core.segs_in_log.clear();
-        core.page_queue.clear();
-        for region in self.regions.read().values() {
-            region.page_vector.lock().clear_dirty_where_flushed();
+        if scan.tail == core.wal.tail() {
+            core.segs_in_log.clear();
+            core.page_queue.clear();
+            for region in self.regions.read().values() {
+                region.page_vector.lock().clear_dirty_where_flushed();
+            }
+        } else {
+            // Records above the pipeline floor are still live: drop only
+            // the queue prefix this epoch applied and keep the (possibly
+            // overbroad — that is merely conservative) segment set.
+            core.page_queue.drain_below(scan.tail);
         }
         self.write_status_locked(core)?;
         self.stats.add(&self.stats.epoch_truncations, 1);
@@ -1663,9 +2137,24 @@ impl RvmShared {
             }
             let start = core.wal.head();
             let start_seq = core.wal.seq_at_head();
-            let end = core.wal.tail();
-            let next_seq = core.wal.next_seq();
-            let segs = std::mem::take(&mut core.segs_in_log);
+            // Freeze only the stable prefix below the pipeline floor:
+            // in-flight pipelined batches are written (or still being
+            // written) but not forced, and the off-lock apply requires
+            // every byte of the span to be a fully written, forced record.
+            let (end, next_seq, full) = match self.pipeline.floor() {
+                Some(f) if f.tail() < core.wal.tail() => (f.tail(), f.next_seq(), false),
+                _ => (core.wal.tail(), core.wal.next_seq(), true),
+            };
+            if end <= start {
+                return Ok(false);
+            }
+            let segs = if full {
+                std::mem::take(&mut core.segs_in_log)
+            } else {
+                // Records above the floor still reference segments; keep
+                // the set (an overbroad set is merely conservative).
+                core.segs_in_log.clone()
+            };
             let drained = core.page_queue.drain_below(end);
             core.epoch = Some(EpochInFlight {
                 end,
@@ -1822,12 +2311,20 @@ impl RvmShared {
                 break;
             }
             if core.page_queue.is_empty() {
-                // Queue drained: every committed, flushed change is
-                // applied; the whole log is reclaimable.
-                if core.wal.used() > 0 {
-                    let (tail, seq) = (core.wal.tail(), core.wal.next_seq());
+                // Queue drained: every *reaped*, flushed change is
+                // applied. The log is reclaimable up to the pipeline
+                // floor; in-flight batches keep their span (their pages
+                // only enter the queue at reap).
+                let (tail, seq) = match self.pipeline.floor() {
+                    Some(f) if f.tail() < core.wal.tail() => (f.tail(), f.next_seq()),
+                    _ => (core.wal.tail(), core.wal.next_seq()),
+                };
+                if tail > core.wal.head() {
+                    let full = tail == core.wal.tail();
                     core.wal.advance_head(tail, seq);
-                    core.segs_in_log.clear();
+                    if full {
+                        core.segs_in_log.clear();
+                    }
                 }
                 break;
             }
@@ -1918,11 +2415,20 @@ impl RvmShared {
             self.stats
                 .add(&self.stats.pages_written_incremental, batch.len() as u64);
 
-            // Move the log head to the next descriptor's offset.
+            // Move the log head to the next descriptor's offset — capped
+            // at the pipeline floor: in-flight batches have no queue
+            // entries yet, so the queue can skip straight from below the
+            // floor to a later spool-flush descriptor, and the head must
+            // not jump over unforced records.
+            let floor = self.pipeline.floor();
+            let cap = |off: u64, seq: u64| match floor {
+                Some(f) if f.tail() < off => (f.tail(), f.next_seq()),
+                None | Some(_) => (off, seq),
+            };
             let (new_head, new_seq) = match core.page_queue.front() {
-                Some(d) if d.offset > core.wal.head() => (d.offset, d.seq),
+                Some(d) if d.offset > core.wal.head() => cap(d.offset, d.seq),
                 Some(_) => (core.wal.head(), core.wal.seq_at_head()),
-                None => (core.wal.tail(), core.wal.next_seq()),
+                None => cap(core.wal.tail(), core.wal.next_seq()),
             };
             core.wal.advance_head(new_head, new_seq);
         }

@@ -85,6 +85,17 @@ pub struct Stats {
     pub(crate) group_commit_txns: AtomicU64,
     /// Batch-size histogram (additive buckets, so deltas stay field-wise).
     pub(crate) group_commit_batch_sizes: [AtomicU64; GROUP_BATCH_BUCKETS],
+    /// Batches submitted through the pipelined log writer (staged fill +
+    /// async submit instead of a synchronous force).
+    pub(crate) pipeline_submits: AtomicU64,
+    /// High-water mark of log forces in flight at once. NOT additive:
+    /// snapshots report the absolute mark, and `delta_since` carries the
+    /// later snapshot's value through unchanged. Above 1 proves forces
+    /// actually overlapped.
+    pub(crate) forces_in_flight_hw: AtomicU64,
+    /// Nanoseconds pipelined leaders spent blocked waiting for a free
+    /// staging buffer (both in flight): the pipeline's backpressure.
+    pub(crate) pipeline_stall_ns: AtomicU64,
     pub(crate) spool_flushes: AtomicU64,
     pub(crate) epoch_truncations: AtomicU64,
     /// Epochs completed by the *concurrent* protocol (snapshot under the
@@ -137,6 +148,9 @@ impl Stats {
             group_commit_batch_sizes: std::array::from_fn(|i| {
                 self.group_commit_batch_sizes[i].load(Ordering::Relaxed)
             }),
+            pipeline_submits: self.pipeline_submits.load(Ordering::Relaxed),
+            forces_in_flight_hw: self.forces_in_flight_hw.load(Ordering::Relaxed),
+            pipeline_stall_ns: self.pipeline_stall_ns.load(Ordering::Relaxed),
             spool_flushes: self.spool_flushes.load(Ordering::Relaxed),
             epoch_truncations: self.epoch_truncations.load(Ordering::Relaxed),
             epochs_truncated: self.epochs_truncated.load(Ordering::Relaxed),
@@ -190,6 +204,14 @@ pub struct StatsSnapshot {
     /// Group-commit batch-size histogram: batches of size 1, 2, 3–4,
     /// 5–8, 9–16, and 17+ (see [`batch_size_bucket`]).
     pub group_commit_batch_sizes: [u64; GROUP_BATCH_BUCKETS],
+    /// Batches submitted through the pipelined log writer.
+    pub pipeline_submits: u64,
+    /// High-water mark of log forces in flight at once (absolute, not
+    /// additive; `delta_since` carries the later value through). Above 1
+    /// means forces genuinely overlapped.
+    pub forces_in_flight_hw: u64,
+    /// Nanoseconds pipelined leaders spent waiting for a staging buffer.
+    pub pipeline_stall_ns: u64,
     /// Spool flushes (each covers many no-flush commits).
     pub spool_flushes: u64,
     /// Completed epoch truncations.
@@ -302,6 +324,11 @@ impl StatsSnapshot {
             group_commit_batch_sizes: std::array::from_fn(|i| {
                 self.group_commit_batch_sizes[i] - earlier.group_commit_batch_sizes[i]
             }),
+            pipeline_submits: self.pipeline_submits - earlier.pipeline_submits,
+            // A high-water mark is not additive; the delta window reports
+            // the mark as of its end.
+            forces_in_flight_hw: self.forces_in_flight_hw,
+            pipeline_stall_ns: self.pipeline_stall_ns - earlier.pipeline_stall_ns,
             spool_flushes: self.spool_flushes - earlier.spool_flushes,
             epoch_truncations: self.epoch_truncations - earlier.epoch_truncations,
             epochs_truncated: self.epochs_truncated - earlier.epochs_truncated,

@@ -41,6 +41,13 @@ pub enum Workload {
     /// Flush commits interleaved with deliberately aborted transactions
     /// writing poison values that must never survive recovery.
     AbortMix,
+    /// Three threads of flush commits through the *pipelined* log writer
+    /// (`log_pipeline` tuning): a batch cap below the thread count makes
+    /// consecutive batches coexist, so the trace contains windows where
+    /// buffer A's force has completed but buffer B's records are not yet
+    /// submitted — exactly the states the committed-prefix oracle must
+    /// survive. Multi-threaded (disjoint-cell oracle).
+    Pipeline,
     /// A seeded single-threaded mix of all of the above.
     Seeded(u64),
     /// Flush commits only, never truncating: every committed byte stays
@@ -191,6 +198,7 @@ pub fn run_workload(kind: Workload, hooks: MutationHooks) -> Trace {
         Workload::Truncation => truncation(hooks),
         Workload::NoFlushSpool => no_flush_spool(hooks),
         Workload::AbortMix => abort_mix(hooks),
+        Workload::Pipeline => pipeline(hooks),
         Workload::Seeded(seed) => seeded(seed, hooks),
         Workload::BitRot => bit_rot(hooks),
     }
@@ -235,6 +243,71 @@ fn group_commit(hooks: MutationHooks) -> Trace {
                         let data = vec![0x41 + idx as u8; CELL as usize - 64];
                         region.write(&mut txn, idx * CELL, &data).expect("write");
                         // Commit together so the leader drains a batch.
+                        barrier.wait();
+                        txn.commit(CommitMode::Flush).expect("flush commit");
+                        specs.push(TxnSpec {
+                            thread: t,
+                            committed: true,
+                            ack: Some(recorder.len()),
+                            writes: vec![SegWrite {
+                                segment: "cells".into(),
+                                offset: idx * CELL,
+                                data,
+                            }],
+                        });
+                    }
+                    specs
+                })
+            })
+            .collect();
+        for h in handles {
+            txns.extend(h.join().expect("workload thread"));
+        }
+    });
+
+    let trace = cap.finish(txns, false);
+    drop(rvm);
+    trace
+}
+
+fn pipeline(hooks: MutationHooks) -> Trace {
+    const THREADS: u32 = 3;
+    const ROUNDS: u64 = 4;
+    const CELL: u64 = 1024;
+
+    let tuning = Tuning {
+        log_pipeline: true,
+        // The leader lingers so barrier-aligned committers pile up, and
+        // the batch cap splits them below the thread count: the follower
+        // batch fills and submits while the first batch's force is still
+        // in flight, so the trace records sync(A) … writes(B) … sync(B)
+        // and the enumerator crashes inside every gap — including the
+        // one between buffer A's completion and buffer B's submission.
+        group_commit_wait_us: 2_000,
+        group_commit_max_txns: 2,
+        ..tuning_with(hooks)
+    };
+    let (mut cap, rvm) = setup(1 << 16, tuning);
+    let region = rvm
+        .map(&RegionDescriptor::new("cells", 0, 3 * PAGE_SIZE))
+        .expect("map cells");
+    cap.start();
+
+    let barrier = Barrier::new(THREADS as usize);
+    let mut txns: Vec<TxnSpec> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let region = region.clone();
+                let (rvm, recorder, barrier) = (&rvm, &*cap.recorder, &barrier);
+                s.spawn(move || {
+                    let mut specs = Vec::new();
+                    for i in 0..ROUNDS {
+                        let idx = t as u64 * ROUNDS + i;
+                        let mut txn = rvm.begin_transaction(TxnMode::Restore).expect("begin");
+                        let data = vec![0x61 + idx as u8; CELL as usize - 64];
+                        region.write(&mut txn, idx * CELL, &data).expect("write");
+                        // Commit together so batches form and overlap.
                         barrier.wait();
                         txn.commit(CommitMode::Flush).expect("flush commit");
                         specs.push(TxnSpec {
@@ -542,6 +615,23 @@ mod tests {
             assert_eq!(acks.len(), 3);
             assert!(acks.windows(2).all(|w| w[0] <= w[1]), "{acks:?}");
         }
+    }
+
+    #[test]
+    fn pipeline_workload_is_multithreaded_and_forces_in_batches() {
+        let trace = run_workload(Workload::Pipeline, MutationHooks::default());
+        assert!(!trace.single_threaded);
+        assert_eq!(trace.txns.len(), 12);
+        assert!(trace.txns.iter().all(|t| t.committed && t.ack.is_some()));
+        // The pipelined writer still forces: every batch records exactly
+        // one log sync, and nine commits over capped batches need several.
+        let log_id = trace.log_base().id;
+        let syncs = trace
+            .ops
+            .iter()
+            .filter(|o| o.device == log_id && matches!(o.kind, TraceOpKind::Sync))
+            .count();
+        assert!(syncs >= 2, "pipelined run forced only {syncs} times");
     }
 
     #[test]

@@ -26,6 +26,65 @@ impl VerifiedRead {
     }
 }
 
+/// Completion token for an asynchronous device operation submitted with
+/// [`Device::submit_write`] or [`Device::submit_sync`].
+///
+/// A token is either *inline* — the operation already ran synchronously at
+/// submit time and the token carries its result, which [`Device::wait`]
+/// simply returns — or *pending*, carrying a device-assigned completion id
+/// that the submitting device resolves in its own `wait`/`poll` overrides.
+/// The inline form is what the default trait methods produce, so every
+/// existing [`Device`] implementation is async-capable (just without
+/// overlap) for free; devices with a real asynchronous path (a thread-backed
+/// file device, the simulated disk's overlapped cost model) return pending
+/// tokens.
+///
+/// Tokens are not `Clone`: completion is consumed exactly once by `wait`.
+#[derive(Debug)]
+pub struct IoToken {
+    id: u64,
+    inline: Option<Result<()>>,
+}
+
+impl IoToken {
+    /// A token for an operation that already completed at submit time with
+    /// `result`. [`Device::wait`]'s default returns the stored result.
+    pub fn inline(result: Result<()>) -> Self {
+        IoToken {
+            id: 0,
+            inline: Some(result),
+        }
+    }
+
+    /// A token for an in-flight operation identified by the submitting
+    /// device's completion id `id`. The device that minted it must override
+    /// [`Device::wait`] (and usually [`Device::poll`]) to resolve it.
+    pub fn pending(id: u64) -> Self {
+        IoToken { id, inline: None }
+    }
+
+    /// The completion id for pending tokens (0 for inline tokens).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// `true` if the operation completed at submit time and the token
+    /// carries its result.
+    pub fn is_inline(&self) -> bool {
+        self.inline.is_some()
+    }
+
+    /// Consumes the token, returning the inline result if there is one.
+    /// Wrappers call this first and forward pending tokens to their inner
+    /// device.
+    pub fn into_inline(self) -> std::result::Result<Result<()>, IoToken> {
+        match self.inline {
+            Some(r) => Ok(r),
+            None => Err(self),
+        }
+    }
+}
+
 /// A byte-addressable, synchronizable storage device.
 ///
 /// This is the paper's notion of "a Unix file or a raw disk partition"
@@ -93,6 +152,56 @@ pub trait Device: Send + Sync {
     fn replica_health(&self) -> Option<(usize, usize)> {
         None
     }
+
+    /// Submits an asynchronous write of `data` at `offset`, returning a
+    /// completion token for [`Device::wait`].
+    ///
+    /// The durability contract is unchanged: the write is *completed* (in
+    /// the [`Device::sync`] sense) only once `wait` on its token returns.
+    /// A sync submitted after a write covers that write exactly when the
+    /// write was submitted first on the same device.
+    ///
+    /// The default runs the write synchronously and returns an inline
+    /// token, so plain devices need no override. Fault-injecting wrappers
+    /// evaluate their schedule here, at submit, but deliver the error at
+    /// `wait` — mirroring real completion-queue semantics.
+    fn submit_write(&self, offset: u64, data: Vec<u8>) -> IoToken {
+        IoToken::inline(self.write_at(offset, &data))
+    }
+
+    /// Submits an asynchronous durability barrier covering every write
+    /// submitted (or issued with [`Device::write_at`]) before this call,
+    /// returning a completion token. The barrier has *taken effect* only
+    /// once [`Device::wait`] on the token returns `Ok`.
+    ///
+    /// The default runs [`Device::sync`] synchronously and returns an
+    /// inline token.
+    fn submit_sync(&self) -> IoToken {
+        IoToken::inline(self.sync())
+    }
+
+    /// Returns `true` once the operation behind `token` has completed
+    /// (successfully or not); `wait` will then not block. Inline tokens
+    /// are always complete.
+    fn poll(&self, token: &IoToken) -> bool {
+        let _ = token;
+        true
+    }
+
+    /// Blocks until the operation behind `token` completes and returns its
+    /// result. Must be called on the same device that minted the token.
+    ///
+    /// The default resolves inline tokens; devices that mint pending
+    /// tokens must override it.
+    fn wait(&self, token: IoToken) -> Result<()> {
+        match token.into_inline() {
+            Ok(result) => result,
+            // A pending token can only reach the default when a device
+            // overrode submit_* without overriding wait; treat the
+            // operation as already complete rather than hang.
+            Err(_pending) => Ok(()),
+        }
+    }
 }
 
 /// A reference-counted trait object for any device.
@@ -130,5 +239,21 @@ impl<D: Device + ?Sized> Device for Arc<D> {
 
     fn replica_health(&self) -> Option<(usize, usize)> {
         (**self).replica_health()
+    }
+
+    fn submit_write(&self, offset: u64, data: Vec<u8>) -> IoToken {
+        (**self).submit_write(offset, data)
+    }
+
+    fn submit_sync(&self) -> IoToken {
+        (**self).submit_sync()
+    }
+
+    fn poll(&self, token: &IoToken) -> bool {
+        (**self).poll(token)
+    }
+
+    fn wait(&self, token: IoToken) -> Result<()> {
+        (**self).wait(token)
     }
 }

@@ -34,7 +34,7 @@ mod mirror;
 mod null;
 mod trace;
 
-pub use device::{Device, SharedDevice, VerifiedRead};
+pub use device::{Device, IoToken, SharedDevice, VerifiedRead};
 pub use error::{DeviceError, FaultOp, Result};
 pub use fault::{CrashPlan, FaultDevice, UnsyncedFate};
 pub use file::FileDevice;

@@ -392,6 +392,104 @@ fn failed_group_append_recovers_none_of_the_group() {
     }
 }
 
+/// Pipelined variant of the failed-group-force scenario
+/// (`Tuning::log_pipeline`): the force is *submitted* asynchronously and
+/// its failure surfaces at the reap, not inline in the leader. The
+/// contract must be unchanged — the in-flight batch rolls its WAL cursor
+/// back and poisons exactly once, every member fails, and work arriving
+/// after the poison fails fast without touching the device.
+#[test]
+fn failed_pipelined_force_rolls_back_and_poisons_once() {
+    const N: u64 = 4;
+
+    fn pipelined_tuning() -> Tuning {
+        Tuning {
+            log_pipeline: true,
+            ..grouped_tuning()
+        }
+    }
+
+    // Dry run: count device syncs consumed by the setup prefix. The next
+    // sync after that is the pipelined batch's submitted force.
+    let dry_syncs = {
+        let log = Arc::new(MemDevice::with_len(1 << 20));
+        let segments = MemResolver::new();
+        let clock = FaultClock::new(vec![]);
+        let (sleeper, _) = recording_sleeper();
+        let (rvm, _region) =
+            group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(pipelined_tuning()));
+        let (_, _, syncs) = clock.ops_seen();
+        std::mem::forget(rvm);
+        syncs
+    };
+    assert!(dry_syncs > 0);
+
+    let log = Arc::new(MemDevice::with_len(1 << 20));
+    let segments = MemResolver::new();
+    let clock = FaultClock::new(vec![FlakyFault::permanent(FaultOp::Sync, dry_syncs + 1)]);
+    let (sleeper, _) = recording_sleeper();
+    let (rvm, region) =
+        group_setup(flaky_options(&log, &segments, &clock, sleeper).tuning(pipelined_tuning()));
+
+    let results = run_group(&rvm, &region, N);
+
+    // The submitted force failed at the reap: every member fails — none
+    // may report durability the log never achieved.
+    assert_eq!(
+        results.iter().filter(|r| r.is_ok()).count(),
+        0,
+        "a member of a failed pipelined batch reported success: {results:?}"
+    );
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r, Err(RvmError::Device(_)))),
+        "no member surfaced the device error: {results:?}"
+    );
+
+    // Exactly one poisoning for the whole batch — not one per member,
+    // and not one per staging buffer.
+    assert!(rvm.is_poisoned());
+    let q = rvm.query();
+    assert_eq!(q.stats.poisonings, 1);
+    assert!(q.stats.pipeline_submits >= 1, "{q:?}");
+
+    // Committers arriving after the poison fail fast, before any staging
+    // or device work.
+    let ops_at_poison = clock.total_ops();
+    let late = run_group(&rvm, &region, 2);
+    assert!(
+        late.iter().all(|r| matches!(r, Err(RvmError::Poisoned))),
+        "commit after poison: {late:?}"
+    );
+    assert_eq!(
+        clock.total_ops(),
+        ops_at_poison,
+        "a poisoned pipeline touched the device"
+    );
+
+    // Every member's in-memory state rolled back; the matching WAL cursor
+    // rollback is what keeps the next image reboot-consistent.
+    assert_slot(&region, 0, 0);
+    assert_slot(&region, 1, 1); // warm-up value, not 11
+    assert_slot(&region, 2, 0);
+    assert_slot(&region, 3, 0);
+
+    // Reboot on repaired hardware: the records were fully written before
+    // the submitted force failed, so recovery replays the whole batch —
+    // and must never replay a partial one.
+    std::mem::forget(rvm);
+    let rvm = Rvm::initialize(clean_options(&log, &segments)).unwrap();
+    let region = rvm.map(&descriptor()).unwrap();
+    let replayed: Vec<bool> = (0..N)
+        .map(|t| region.read_vec(t * SLOT_SIZE, 1).unwrap()[0] == 10 + t as u8)
+        .collect();
+    assert!(
+        replayed.iter().all(|&p| p) || replayed.iter().all(|&p| !p),
+        "pipelined batch replayed partially: {replayed:?}"
+    );
+}
+
 /// Builds a log + segments image holding `n` acknowledged commits whose
 /// owner crashed without terminating (the log is un-truncated).
 fn build_crashed_image(n: u64) -> (Arc<MemDevice>, MemResolver) {
